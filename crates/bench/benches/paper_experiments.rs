@@ -1,0 +1,93 @@
+//! Criterion benches: one group per family of paper artefacts.
+//!
+//! Each bench runs the corresponding experiment at `Scale::Micro` so that
+//! `cargo bench` exercises exactly the code paths of the full reproduction
+//! while finishing in minutes. The wall-clock times reported here track the
+//! *offline* cost of the algorithms (geometry, bookkeeping); the paper's cost
+//! metric — the number of kNN queries — is what the `repro` binary reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbs_bench::{run_experiment, Scale};
+
+fn bench_experiment(c: &mut Criterion, id: &'static str) {
+    let mut group = c.benchmark_group("paper");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function(id, |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(run_experiment(id, Scale::Micro, 42 + seed))
+        });
+    });
+    group.finish();
+}
+
+fn fig11_voronoi(c: &mut Criterion) {
+    bench_experiment(c, "fig11");
+}
+
+fn fig12_convergence(c: &mut Criterion) {
+    bench_experiment(c, "fig12");
+}
+
+fn fig13_sampling_strategy(c: &mut Criterion) {
+    bench_experiment(c, "fig13");
+}
+
+fn fig14_count_schools(c: &mut Criterion) {
+    bench_experiment(c, "fig14");
+}
+
+fn fig15_count_restaurants(c: &mut Criterion) {
+    bench_experiment(c, "fig15");
+}
+
+fn fig16_sum_enrollment(c: &mut Criterion) {
+    bench_experiment(c, "fig16");
+}
+
+fn fig17_avg_rating(c: &mut Criterion) {
+    bench_experiment(c, "fig17");
+}
+
+fn fig18_database_size(c: &mut Criterion) {
+    bench_experiment(c, "fig18");
+}
+
+fn fig19_varying_k(c: &mut Criterion) {
+    bench_experiment(c, "fig19");
+}
+
+fn fig20_ablation(c: &mut Criterion) {
+    bench_experiment(c, "fig20");
+}
+
+fn fig21_localization(c: &mut Criterion) {
+    bench_experiment(c, "fig21");
+}
+
+fn table1_online(c: &mut Criterion) {
+    bench_experiment(c, "table1");
+}
+
+criterion_group!(
+    name = paper_experiments;
+    config = Criterion::default().significance_level(0.1).noise_threshold(0.1);
+    targets = fig11_voronoi,
+        fig12_convergence,
+        fig13_sampling_strategy,
+        fig14_count_schools,
+        fig15_count_restaurants,
+        fig16_sum_enrollment,
+        fig17_avg_rating,
+        fig18_database_size,
+        fig19_varying_k,
+        fig20_ablation,
+        fig21_localization,
+        table1_online
+);
+criterion_main!(paper_experiments);

@@ -1,0 +1,115 @@
+//! `repro` — regenerate the paper's tables and figures from the command line.
+//!
+//! ```text
+//! repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N] [--out DIR]
+//! ```
+//!
+//! Results are printed as text tables and written as CSV files under the
+//! output directory (default `bench-results/`).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lbs_bench::{all_experiment_ids, run_experiment, Scale};
+
+struct Options {
+    experiments: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiments: Vec<String> = Vec::new();
+    let mut scale = Scale::Small;
+    let mut seed = 2015u64; // the paper's publication year, for determinism
+    let mut out_dir = PathBuf::from("bench-results");
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                let value = args.next().ok_or("--experiment needs a value")?;
+                if value == "all" {
+                    experiments = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+                } else {
+                    experiments.push(value);
+                }
+            }
+            "--scale" | "-s" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&value).ok_or(format!("unknown scale `{value}`"))?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--out" | "-o" => {
+                out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if experiments.is_empty() {
+        experiments = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Options {
+        experiments,
+        scale,
+        seed,
+        out_dir,
+    })
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N] [--out DIR]\n\
+         experiments: {}",
+        all_experiment_ids().join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = fs::create_dir_all(&options.out_dir) {
+        eprintln!("cannot create {}: {e}", options.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let valid = all_experiment_ids();
+    for id in &options.experiments {
+        if !valid.contains(&id.as_str()) {
+            eprintln!("unknown experiment `{id}`\n{}", usage());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "Reproducing {} experiment(s) at {:?} scale (seed {})\n",
+        options.experiments.len(),
+        options.scale,
+        options.seed
+    );
+    for id in &options.experiments {
+        let started = std::time::Instant::now();
+        let result = run_experiment(id, options.scale, options.seed);
+        println!("{}", result.to_table());
+        println!("  ({:.1?})\n", started.elapsed());
+        let path = options.out_dir.join(format!("{id}.csv"));
+        if let Err(e) = fs::write(&path, result.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("CSV files written to {}", options.out_dir.display());
+    ExitCode::SUCCESS
+}

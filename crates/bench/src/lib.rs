@@ -1,0 +1,28 @@
+//! # lbs-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation section (§6) on the simulated substrates of this workspace.
+//!
+//! Each experiment is a function in [`experiments`] returning an
+//! [`ExperimentResult`]: a set of rows shaped like the series the paper
+//! plots (query cost versus relative error, estimate traces, ablation
+//! ladders, …). The `repro` binary runs them from the command line and
+//! writes CSV files; the Criterion bench `paper_experiments` runs reduced
+//! versions so that `cargo bench` exercises the same code paths.
+//!
+//! Absolute numbers differ from the paper — the substrate is a simulator,
+//! not Google Maps or WeChat — but the *shape* of each result (which
+//! algorithm wins, roughly by how much, how cost scales with k, database
+//! size or precision) is the reproduction target. `EXPERIMENTS.md` at the
+//! repository root records the paper-reported versus measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod result;
+pub mod scale;
+
+pub use experiments::{all_experiment_ids, run_experiment};
+pub use result::{ExperimentResult, Row};
+pub use scale::Scale;

@@ -1,0 +1,177 @@
+//! Experiment result containers and rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of an experiment result: column name → value pairs in column
+/// order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Row {
+    /// `(column, value)` pairs in display order.
+    pub cells: Vec<(String, String)>,
+}
+
+impl Row {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// Adds a string cell.
+    pub fn with(mut self, column: &str, value: impl ToString) -> Self {
+        self.cells.push((column.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a floating point cell with a sensible number of digits.
+    pub fn with_f64(mut self, column: &str, value: f64) -> Self {
+        let formatted = if value.abs() >= 1000.0 {
+            format!("{value:.0}")
+        } else if value.abs() >= 1.0 {
+            format!("{value:.2}")
+        } else {
+            format!("{value:.4}")
+        };
+        self.cells.push((column.to_string(), formatted));
+        self
+    }
+
+    /// Value of a column, if present.
+    pub fn get(&self, column: &str) -> Option<&str> {
+        self.cells
+            .iter()
+            .find(|(c, _)| c == column)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The result of one experiment: identifier, human-readable title and rows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Identifier (e.g. `fig14`, `table1`).
+    pub id: String,
+    /// Title matching the paper artefact.
+    pub title: String,
+    /// Free-form notes (parameters used, caveats).
+    pub notes: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            notes: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Column names, taken from the first row.
+    pub fn columns(&self) -> Vec<String> {
+        self.rows
+            .first()
+            .map(|r| r.cells.iter().map(|(c, _)| c.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Renders the result as a CSV document.
+    pub fn to_csv(&self) -> String {
+        let columns = self.columns();
+        let mut out = String::new();
+        out.push_str(&columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = columns
+                .iter()
+                .map(|c| row.get(c).unwrap_or("").replace(',', ";"))
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the result as an aligned text table (for terminal output).
+    pub fn to_table(&self) -> String {
+        let columns = self.columns();
+        if columns.is_empty() {
+            return format!("{} — {} (no rows)\n", self.id, self.title);
+        }
+        let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in columns.iter().enumerate() {
+                widths[i] = widths[i].max(row.get(c).unwrap_or("").len());
+            }
+        }
+        let mut out = format!("{} — {}\n", self.id, self.title);
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        let header: Vec<String> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&format!("  {}\n", header.join("  ")));
+        for row in &self.rows {
+            let line: Vec<String> = columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", row.get(c).unwrap_or(""), width = widths[i]))
+                .collect();
+            out.push_str(&format!("  {}\n", line.join("  ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_building_and_lookup() {
+        let r = Row::new()
+            .with("algo", "LR-LBS-AGG")
+            .with_f64("rel_error", 0.123456)
+            .with_f64("cost", 12345.0);
+        assert_eq!(r.get("algo"), Some("LR-LBS-AGG"));
+        assert_eq!(r.get("rel_error"), Some("0.1235"));
+        assert_eq!(r.get("cost"), Some("12345"));
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn csv_and_table_rendering() {
+        let mut res = ExperimentResult::new("figX", "demo");
+        res.note("synthetic");
+        res.push(Row::new().with("a", 1).with("b", "x,y"));
+        res.push(Row::new().with("a", 2).with("b", "z"));
+        let csv = res.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("1,x;y"));
+        let table = res.to_table();
+        assert!(table.contains("figX — demo"));
+        assert!(table.contains("note: synthetic"));
+        assert_eq!(res.columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn empty_result_renders() {
+        let res = ExperimentResult::new("fig0", "empty");
+        assert!(res.to_table().contains("no rows"));
+        assert_eq!(res.to_csv(), "\n");
+    }
+}

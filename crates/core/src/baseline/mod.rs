@@ -1,0 +1,24 @@
+//! The prior-art baseline LR-LBS-NNO (Dalvi et al., "Sampling hidden objects
+//! using nearest-neighbor oracles", SIGKDD 2011), re-implemented from its
+//! description for the comparison experiments.
+//!
+//! The baseline, like LR-LBS-AGG, draws random query locations and corrects
+//! for sampling bias with the area of the returned tuple's Voronoi cell — but
+//! it only ever uses the **top-1** tuple, and it **estimates** the cell area
+//! with a Monte-Carlo procedure instead of computing it exactly:
+//!
+//! 1. find a square around the tuple that (hopefully) covers its Voronoi cell
+//!    by doubling a probe radius until probes in the four axis directions no
+//!    longer return the tuple,
+//! 2. sample a fixed number of locations uniformly in that square and count
+//!    the fraction whose nearest neighbour is the tuple,
+//! 3. take `fraction × square area` as the cell area.
+//!
+//! Both steps consume queries, the area estimate is noisy, and the truncation
+//! of the square introduces a bias the method cannot quantify — which is
+//! exactly the behaviour the paper contrasts its unbiased estimator against
+//! (high variance, slow convergence in Figures 12 and 14–17).
+
+mod nno;
+
+pub use nno::{NnoBaseline, NnoConfig};

@@ -1,0 +1,169 @@
+//! Estimator output types.
+//!
+//! Every estimator reports the same thing: a point estimate, accuracy
+//! book-keeping (standard error, confidence interval, sample count), the
+//! query cost actually paid, and a convergence trace suitable for the
+//! paper's Figure 12 ("estimate versus query cost").
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{RunningStats, Summary};
+
+/// One point of the convergence trace: the running estimate after a given
+/// number of queries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Total queries issued to the LBS when the snapshot was taken.
+    pub query_cost: u64,
+    /// The running estimate at that point.
+    pub estimate: f64,
+}
+
+/// The result of one aggregate estimation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Point estimate of the aggregate.
+    pub value: f64,
+    /// Standard error of the estimate (0 when undefined, e.g. a single
+    /// sample).
+    pub std_error: f64,
+    /// 95 % normal-approximation confidence interval.
+    pub ci95: (f64, f64),
+    /// Number of independent per-query samples the estimate averages.
+    pub samples: u64,
+    /// Total number of kNN queries issued to the LBS.
+    pub query_cost: u64,
+    /// Convergence trace (running estimate after each sample).
+    pub trace: Vec<TracePoint>,
+    /// Summary of the per-sample estimates (for variance analysis).
+    pub per_sample: Summary,
+}
+
+impl Estimate {
+    /// Builds an estimate from an accumulator of per-sample values.
+    pub fn from_stats(stats: &RunningStats, query_cost: u64, trace: Vec<TracePoint>) -> Self {
+        Estimate {
+            value: stats.mean(),
+            std_error: stats.std_error().unwrap_or(0.0),
+            ci95: stats.confidence_interval(1.96),
+            samples: stats.count(),
+            query_cost,
+            trace,
+            per_sample: stats.into(),
+        }
+    }
+
+    /// Builds a ratio (AVG = SUM/COUNT) estimate from separate numerator and
+    /// denominator accumulators. The standard error is propagated with the
+    /// first-order delta method, ignoring the covariance term (a conservative
+    /// simplification; the experiments report relative error against ground
+    /// truth anyway).
+    pub fn ratio_from_stats(
+        numerator: &RunningStats,
+        denominator: &RunningStats,
+        query_cost: u64,
+        trace: Vec<TracePoint>,
+    ) -> Self {
+        let denom_mean = denominator.mean();
+        let value = if denom_mean.abs() <= f64::EPSILON {
+            0.0
+        } else {
+            numerator.mean() / denom_mean
+        };
+        let std_error = if denom_mean.abs() <= f64::EPSILON {
+            0.0
+        } else {
+            let num_se = numerator.std_error().unwrap_or(0.0);
+            let den_se = denominator.std_error().unwrap_or(0.0);
+            let rel = (num_se / numerator.mean().abs().max(f64::EPSILON)).powi(2)
+                + (den_se / denom_mean.abs()).powi(2);
+            value.abs() * rel.sqrt()
+        };
+        Estimate {
+            value,
+            std_error,
+            ci95: (value - 1.96 * std_error, value + 1.96 * std_error),
+            samples: numerator.count(),
+            query_cost,
+            trace,
+            per_sample: numerator.into(),
+        }
+    }
+
+    /// Relative error against a known ground truth.
+    pub fn relative_error(&self, truth: f64) -> f64 {
+        crate::stats::relative_error(self.value, truth)
+    }
+}
+
+/// Errors an estimation run can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EstimateError {
+    /// The query budget was exhausted before a single sample could be
+    /// completed.
+    NoSamples,
+    /// The underlying service reported an error that makes continuing
+    /// impossible.
+    Service(String),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::NoSamples => {
+                write!(f, "query budget exhausted before any sample completed")
+            }
+            EstimateError::Service(msg) => write!(f, "service error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_copies_summary() {
+        let mut s = RunningStats::new();
+        for x in [10.0, 12.0, 8.0, 10.0] {
+            s.push(x);
+        }
+        let est = Estimate::from_stats(&s, 42, vec![]);
+        assert!((est.value - 10.0).abs() < 1e-12);
+        assert_eq!(est.samples, 4);
+        assert_eq!(est.query_cost, 42);
+        assert!(est.ci95.0 < est.value && est.value < est.ci95.1);
+        assert!((est.relative_error(10.0) - 0.0).abs() < 1e-12);
+        assert!((est.relative_error(8.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_estimate_divides_means() {
+        let mut num = RunningStats::new();
+        let mut den = RunningStats::new();
+        for (n, d) in [(8.0, 2.0), (12.0, 2.0), (6.0, 2.0), (14.0, 2.0)] {
+            num.push(n);
+            den.push(d);
+        }
+        let est = Estimate::ratio_from_stats(&num, &den, 10, vec![]);
+        assert!((est.value - 5.0).abs() < 1e-12);
+        assert!(est.std_error >= 0.0);
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator_is_zero() {
+        let mut num = RunningStats::new();
+        num.push(3.0);
+        let den = RunningStats::new();
+        let est = Estimate::ratio_from_stats(&num, &den, 1, vec![]);
+        assert_eq!(est.value, 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EstimateError::NoSamples.to_string().contains("budget"));
+        assert!(EstimateError::Service("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,501 @@
+//! The binary-search edge-finding primitive (paper Appendix A, Algorithm 7).
+//!
+//! Given a location `c1` known to return the target tuple within the top h
+//! and a direction, the primitive walks the half-line from `c1` until the
+//! target drops out of the answer, brackets the crossing within `δ`, repeats
+//! the bracketing on two rays rotated by `±arcsin(δ′/r)`, and reports the
+//! line through the two bracket midpoints as the estimated Voronoi edge. The
+//! edge error is bounded by the paper's Theorem 3 and can be made arbitrarily
+//! small by shrinking `δ` and `δ′` at `O(log(b/δ))` queries per edge.
+
+use std::collections::HashMap;
+
+use lbs_data::TupleId;
+use lbs_geom::{Line, Point, Ray, Rect};
+use lbs_service::{LbsInterface, QueryError};
+
+/// Rank-only oracle over an LNR interface: answers "which tuple ids are in
+/// the top h at this location", memoising answers so that repeated probes of
+/// the same location (frequent during vertex testing) cost only one query.
+pub struct RankOracle<'a, S: LbsInterface + ?Sized = dyn LbsInterface> {
+    service: &'a S,
+    h: usize,
+    /// Memoised full answers (all returned ids in rank order) per location.
+    cache: HashMap<(i64, i64), Vec<TupleId>>,
+    queries: u64,
+    /// Every tuple id ever observed in an answer, with one location where it
+    /// was observed (used by the concavity repair and position inference).
+    companions: HashMap<TupleId, Point>,
+}
+
+impl<'a, S: LbsInterface + ?Sized> RankOracle<'a, S> {
+    /// Creates an oracle that asks for the top `h` ids of each answer.
+    pub fn new(service: &'a S, h: usize) -> Self {
+        RankOracle {
+            service,
+            h,
+            cache: HashMap::new(),
+            queries: 0,
+            companions: HashMap::new(),
+        }
+    }
+
+    /// The `h` of the top-h membership the oracle tests.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Queries issued so far through this oracle (cache hits excluded).
+    pub fn queries_used(&self) -> u64 {
+        self.queries
+    }
+
+    /// Every tuple id observed so far, with one query location where it
+    /// appeared.
+    pub fn companions(&self) -> &HashMap<TupleId, Point> {
+        &self.companions
+    }
+
+    fn quantize(p: &Point) -> (i64, i64) {
+        ((p.x * 1e7).round() as i64, (p.y * 1e7).round() as i64)
+    }
+
+    /// The ids of the full answer at `q` (up to the interface's k), in rank
+    /// order.
+    pub fn full_ids(&mut self, q: &Point) -> Result<Vec<TupleId>, QueryError> {
+        let key = Self::quantize(q);
+        if let Some(ids) = self.cache.get(&key) {
+            return Ok(ids.clone());
+        }
+        let resp = self.service.query(q)?;
+        self.queries += 1;
+        let ids: Vec<TupleId> = resp.results.iter().map(|r| r.id).collect();
+        for id in &ids {
+            self.companions.entry(*id).or_insert(*q);
+        }
+        self.cache.insert(key, ids.clone());
+        Ok(ids)
+    }
+
+    /// The ids of the top-h tuples at `q`, in rank order.
+    pub fn top_ids(&mut self, q: &Point) -> Result<Vec<TupleId>, QueryError> {
+        let mut ids = self.full_ids(q)?;
+        ids.truncate(self.h);
+        Ok(ids)
+    }
+
+    /// `true` when the target appears in the top h at `q`.
+    pub fn in_cell(&mut self, target: TupleId, q: &Point) -> Result<bool, QueryError> {
+        Ok(self.top_ids(q)?.contains(&target))
+    }
+
+    /// `true` when `other` ranks strictly above `target` at `q` (i.e. the
+    /// query location is on `other`'s side of their perpendicular bisector).
+    /// Ids missing from the answer are treated as ranking below every id
+    /// that is present; when both are missing the location is treated as
+    /// being on `other`'s side (the conservative choice for edge searches
+    /// walking away from the target).
+    pub fn prefers(&mut self, other: TupleId, target: TupleId, q: &Point) -> Result<bool, QueryError> {
+        let ids = self.full_ids(q)?;
+        let pos_other = ids.iter().position(|id| *id == other);
+        let pos_target = ids.iter().position(|id| *id == target);
+        Ok(match (pos_other, pos_target) {
+            (Some(o), Some(t)) => o < t,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => true,
+        })
+    }
+}
+
+/// An estimated Voronoi edge produced by the binary search.
+#[derive(Clone, Debug)]
+pub struct EdgeEstimate {
+    /// The estimated edge line.
+    pub line: Line,
+    /// A point just inside the cell, adjacent to the edge (the `c3` of the
+    /// paper). Used to orient the edge's half-plane.
+    pub inside_point: Point,
+    /// A point just outside the cell across the edge (the `c4`).
+    pub outside_point: Point,
+    /// The tuple that displaces the target across this edge, when it could be
+    /// identified (the `t'` of the paper).
+    pub crossing_tuple: Option<TupleId>,
+}
+
+/// Binary-searches along the segment from `from` (inside the cell) to `to`
+/// (outside) until the bracket is shorter than `delta`. Returns
+/// `(inside_point, outside_point, ids_at_outside)`.
+fn bracket_crossing<S: lbs_service::LbsInterface + ?Sized>(
+    oracle: &mut RankOracle<'_, S>,
+    target: TupleId,
+    from: Point,
+    to: Point,
+    delta: f64,
+) -> Result<(Point, Point, Vec<TupleId>), QueryError> {
+    let mut lo = from;
+    let mut hi = to;
+    let mut ids_hi = oracle.top_ids(&hi)?;
+    while lo.distance(&hi) > delta {
+        let mid = lo.midpoint(&hi);
+        let ids_mid = oracle.top_ids(&mid)?;
+        if ids_mid.contains(&target) {
+            lo = mid;
+        } else {
+            hi = mid;
+            ids_hi = ids_mid;
+        }
+    }
+    Ok((lo, hi, ids_hi))
+}
+
+/// Binary-searches along the segment from `from` (where `target` ranks above
+/// `other`) to `to` (where `other` ranks above `target`) for their
+/// perpendicular bisector, until the bracket is shorter than `delta`.
+fn bracket_pairwise<S: lbs_service::LbsInterface + ?Sized>(
+    oracle: &mut RankOracle<'_, S>,
+    target: TupleId,
+    other: TupleId,
+    from: Point,
+    to: Point,
+    delta: f64,
+) -> Result<(Point, Point), QueryError> {
+    let mut lo = from;
+    let mut hi = to;
+    while lo.distance(&hi) > delta {
+        let mid = lo.midpoint(&hi);
+        if oracle.prefers(other, target, &mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok((lo, hi))
+}
+
+/// Finds the perpendicular bisector between `target` and a specific other
+/// tuple `other` using the pairwise-rank predicate throughout.
+///
+/// `from` must be a location where `target` ranks above `other` and `to` one
+/// where `other` ranks above `target` (e.g. a failed cell vertex). This is
+/// the primitive behind the §4.2 concavity repair: it pins down the edge
+/// contributed by one specific neighbour even when the plain top-h
+/// membership predicate would flip on a different edge first.
+pub fn find_bisector<S: lbs_service::LbsInterface + ?Sized>(
+    oracle: &mut RankOracle<'_, S>,
+    target: TupleId,
+    other: TupleId,
+    from: Point,
+    to: Point,
+    bbox: &Rect,
+    delta: f64,
+    delta_prime: f64,
+) -> Result<Option<EdgeEstimate>, QueryError> {
+    if oracle.prefers(other, target, &from)? || !oracle.prefers(other, target, &to)? {
+        return Ok(None);
+    }
+    let (c3, c4) = bracket_pairwise(oracle, target, other, from, to, delta)?;
+    let midpoint_primary = c3.midpoint(&c4);
+    let r = from.distance(&c4);
+    let Some(ray) = Ray::towards(from, to) else {
+        return Ok(None);
+    };
+    let fallback = || {
+        Line::with_normal(&ray.direction, &midpoint_primary).map(|line| EdgeEstimate {
+            line,
+            inside_point: c3,
+            outside_point: c4,
+            crossing_tuple: Some(other),
+        })
+    };
+    if delta_prime >= r || r <= f64::EPSILON {
+        return Ok(fallback());
+    }
+    let angle = (delta_prime / r).asin();
+    for rotated in [ray.rotated(angle), ray.rotated(-angle)] {
+        let far_t = rotated
+            .exit_from_rect(bbox)
+            .unwrap_or(r * 1.5)
+            .min(r * 1.5);
+        let far = rotated.at(far_t);
+        if !oracle.prefers(other, target, &far)? {
+            continue;
+        }
+        let (c5, c6) = bracket_pairwise(oracle, target, other, from, far, delta)?;
+        let midpoint_secondary = c5.midpoint(&c6);
+        if let Some(line) = Line::through(&midpoint_primary, &midpoint_secondary) {
+            return Ok(Some(EdgeEstimate {
+                line,
+                inside_point: c3,
+                outside_point: c4,
+                crossing_tuple: Some(other),
+            }));
+        }
+    }
+    Ok(fallback())
+}
+
+/// Algorithm 7: finds the Voronoi edge of `target`'s top-h cell that the ray
+/// from `c1` in `direction` crosses first.
+///
+/// Returns `Ok(None)` when the ray reaches the bounding box without leaving
+/// the cell (the cell is bounded by the box in that direction) or when the
+/// direction is degenerate.
+pub fn find_edge<S: lbs_service::LbsInterface + ?Sized>(
+    oracle: &mut RankOracle<'_, S>,
+    target: TupleId,
+    c1: Point,
+    direction: Point,
+    bbox: &Rect,
+    delta: f64,
+    delta_prime: f64,
+) -> Result<Option<EdgeEstimate>, QueryError> {
+    let Some(ray) = Ray::new(c1, direction) else {
+        return Ok(None);
+    };
+    let Some(t_exit) = ray.exit_from_rect(bbox) else {
+        return Ok(None);
+    };
+    if t_exit <= delta {
+        return Ok(None);
+    }
+    let cb = ray.at(t_exit);
+    // If the exit point still returns the target, the cell reaches the box in
+    // this direction and there is no edge to find.
+    if oracle.in_cell(target, &cb)? {
+        return Ok(None);
+    }
+
+    // Primary bracket along the ray.
+    let (c3, c4, ids_c4) = bracket_crossing(oracle, target, c1, cb, delta)?;
+    let ids_c3 = oracle.top_ids(&c3)?;
+    let crossing_tuple = ids_c4
+        .iter()
+        .find(|id| !ids_c3.contains(id) && **id != target)
+        .copied();
+
+    let midpoint_primary = c3.midpoint(&c4);
+    let r = c1.distance(&c4);
+    let fallback = || {
+        // Perpendicular to the ray at the primary midpoint — the paper's
+        // fallback when no secondary bracket can be found.
+        Line::with_normal(&ray.direction, &midpoint_primary).map(|line| EdgeEstimate {
+            line,
+            inside_point: c3,
+            outside_point: c4,
+            crossing_tuple,
+        })
+    };
+    if delta_prime >= r || r <= f64::EPSILON {
+        return Ok(fallback());
+    }
+
+    // Secondary brackets along the two rotated rays. When the displacing
+    // tuple t′ is known, the bracket predicate is the *pairwise rank* of the
+    // target versus t′ — it flips exactly on their perpendicular bisector,
+    // which keeps the secondary bracket on the same edge even near concave
+    // corners of top-h cells where the plain membership predicate would jump
+    // to a different edge.
+    let angle = (delta_prime / r).asin();
+    for rotated in [ray.rotated(angle), ray.rotated(-angle)] {
+        let Some(t_exit2) = rotated.exit_from_rect(bbox) else {
+            continue;
+        };
+        let far = rotated.at(t_exit2);
+        let midpoint_secondary = if let Some(t_prime) = crossing_tuple {
+            if oracle.prefers(t_prime, target, &far)? {
+                let (c5, c6) = bracket_pairwise(oracle, target, t_prime, c1, far, delta)?;
+                Some(c5.midpoint(&c6))
+            } else {
+                None
+            }
+        } else {
+            if oracle.in_cell(target, &far)? {
+                None
+            } else {
+                let (c5, c6, _) = bracket_crossing(oracle, target, c1, far, delta)?;
+                Some(c5.midpoint(&c6))
+            }
+        };
+        let Some(midpoint_secondary) = midpoint_secondary else {
+            continue;
+        };
+        if let Some(line) = Line::through(&midpoint_primary, &midpoint_secondary) {
+            return Ok(Some(EdgeEstimate {
+                line,
+                inside_point: c3,
+                outside_point: c4,
+                crossing_tuple,
+            }));
+        }
+    }
+    Ok(fallback())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_data::{Dataset, Tuple};
+    use lbs_service::{ServiceConfig, SimulatedLbs};
+
+    fn region() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn service(points: &[(f64, f64)], k: usize) -> SimulatedLbs {
+        let tuples: Vec<Tuple> = points
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| Tuple::new(i as u64, Point::new(*x, *y)))
+            .collect();
+        SimulatedLbs::new(Dataset::new(tuples, region()), ServiceConfig::lnr_lbs(k))
+    }
+
+    #[test]
+    fn oracle_caches_and_counts() {
+        let svc = service(&[(25.0, 50.0), (75.0, 50.0)], 2);
+        let mut oracle = RankOracle::new(&svc, 1);
+        let q = Point::new(10.0, 50.0);
+        assert_eq!(oracle.top_ids(&q).unwrap(), vec![0]);
+        assert_eq!(oracle.top_ids(&q).unwrap(), vec![0]);
+        assert_eq!(oracle.queries_used(), 1, "second call must hit the cache");
+        assert!(oracle.in_cell(0, &q).unwrap());
+        assert!(!oracle.in_cell(1, &q).unwrap());
+        assert!(oracle.companions().contains_key(&0));
+    }
+
+    #[test]
+    fn finds_the_bisector_between_two_tuples() {
+        // Two tuples; the Voronoi edge is the vertical line x = 50.
+        let svc = service(&[(25.0, 50.0), (75.0, 50.0)], 2);
+        let mut oracle = RankOracle::new(&svc, 1);
+        let edge = find_edge(
+            &mut oracle,
+            0,
+            Point::new(25.0, 50.0),
+            Point::new(1.0, 0.0),
+            &region(),
+            0.01,
+            0.5,
+        )
+        .unwrap()
+        .expect("edge must exist towards the other tuple");
+        // The estimated line should be very close to x = 50: check two points.
+        for y in [10.0, 90.0] {
+            let p = Point::new(50.0, y);
+            assert!(
+                edge.line.signed_distance(&p).abs() < 0.5,
+                "estimated edge too far from x=50 at y={y}: {}",
+                edge.line.signed_distance(&p)
+            );
+        }
+        assert_eq!(edge.crossing_tuple, Some(1));
+        assert!(oracle.in_cell(0, &edge.inside_point).unwrap());
+        assert!(!oracle.in_cell(0, &edge.outside_point).unwrap());
+    }
+
+    #[test]
+    fn no_edge_when_cell_reaches_the_box() {
+        // A single tuple owns the whole box; no edge in any direction.
+        let svc = service(&[(50.0, 50.0)], 1);
+        let mut oracle = RankOracle::new(&svc, 1);
+        let edge = find_edge(
+            &mut oracle,
+            0,
+            Point::new(50.0, 50.0),
+            Point::new(1.0, 0.0),
+            &region(),
+            0.01,
+            0.5,
+        )
+        .unwrap();
+        assert!(edge.is_none());
+    }
+
+    #[test]
+    fn diagonal_bisector_is_recovered() {
+        // Tuples at (30,30) and (70,70): the bisector is the line x + y = 100.
+        let svc = service(&[(30.0, 30.0), (70.0, 70.0)], 2);
+        let mut oracle = RankOracle::new(&svc, 1);
+        let edge = find_edge(
+            &mut oracle,
+            0,
+            Point::new(30.0, 30.0),
+            Point::new(1.0, 1.0),
+            &region(),
+            0.01,
+            0.5,
+        )
+        .unwrap()
+        .expect("edge exists");
+        for t in [-20.0, 0.0, 20.0] {
+            // Points on the true bisector.
+            let p = Point::new(50.0 + t, 50.0 - t);
+            assert!(
+                edge.line.signed_distance(&p).abs() < 1.0,
+                "estimated diagonal edge off by {} at {p:?}",
+                edge.line.signed_distance(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn query_cost_scales_logarithmically_with_delta() {
+        let svc = service(&[(25.0, 50.0), (75.0, 50.0)], 2);
+        let mut coarse = RankOracle::new(&svc, 1);
+        find_edge(
+            &mut coarse,
+            0,
+            Point::new(25.0, 50.0),
+            Point::new(1.0, 0.0),
+            &region(),
+            1.0,
+            0.5,
+        )
+        .unwrap();
+        let coarse_cost = coarse.queries_used();
+        let mut fine = RankOracle::new(&svc, 1);
+        find_edge(
+            &mut fine,
+            0,
+            Point::new(25.0, 50.0),
+            Point::new(1.0, 0.0),
+            &region(),
+            0.001,
+            0.5,
+        )
+        .unwrap();
+        let fine_cost = fine.queries_used();
+        assert!(fine_cost > coarse_cost);
+        // 1000x finer precision should cost only ~10 extra bisection steps
+        // per bracket, nowhere near 1000x.
+        assert!(fine_cost < coarse_cost + 45, "fine {fine_cost} coarse {coarse_cost}");
+    }
+
+    #[test]
+    fn top2_membership_edge() {
+        // Three collinear tuples; for the middle tuple with h = 2 the cell
+        // spans everything between the outer tuples' far bisectors.
+        let svc = service(&[(20.0, 50.0), (50.0, 50.0), (80.0, 50.0)], 3);
+        let mut oracle = RankOracle::new(&svc, 2);
+        // Tuple 1 (centre) is in the top-2 everywhere except far beyond the
+        // outer tuples; walking right from the centre the membership boundary
+        // is the bisector of tuples 0 and 2 relative to 1... concretely the
+        // point where tuple 1 falls to rank 3: x = 65 (bisector of 1 and 0 is
+        // x=35; of 1 and 2 is x=65; beyond x=65 ranks are 2,1 then 0 closer
+        // than 1? At x=70: d(0)=50, d(1)=20, d(2)=10 → top-2 = {2,1} so 1 is
+        // still in. Actually tuple 1 is in the top-2 of every location on the
+        // segment, so the edge search must reach the box and report None.
+        let edge = find_edge(
+            &mut oracle,
+            1,
+            Point::new(50.0, 50.0),
+            Point::new(1.0, 0.0),
+            &region(),
+            0.01,
+            0.5,
+        )
+        .unwrap();
+        assert!(edge.is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! LNR-LBS-AGG: aggregate estimation over rank-only interfaces (paper §4).
+//!
+//! LNR-LBS interfaces (WeChat, Sina Weibo) return only a ranked list of tuple
+//! ids — no coordinates, no distances. The estimator therefore cannot compute
+//! Voronoi cells from tuple locations; instead it *infers* each cell edge by
+//! a binary search on query locations: walking along a ray from a point known
+//! to return the tuple until the tuple drops out of the answer brackets a
+//! point of the cell boundary, and two such brackets on slightly rotated rays
+//! pin down the edge line to arbitrary precision (Appendix A of the paper).
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`binary_search`] | Appendix A, Alg. 7 | the edge-finding primitive with (δ, δ′) error control |
+//! | [`cell`] | §4.1, §4.2 | cell construction by vertex testing, concavity repair for k > 1 |
+//! | [`locate`] | §4.3 | tuple-position inference from two cell vertices |
+//! | [`estimator`] | Alg. 6 | the LNR-LBS-AGG estimator |
+//!
+//! The resulting estimates are not exactly unbiased — the recovered cell can
+//! differ from the true one by at most the edge error ε — but the bias is
+//! bounded by the paper's Theorem 2 and shrinks as `log(1/ε)` more queries
+//! are spent per edge.
+
+pub mod binary_search;
+pub mod cell;
+pub mod estimator;
+pub mod locate;
+
+pub use binary_search::{find_bisector, find_edge, EdgeEstimate, RankOracle};
+pub use cell::{explore_cell, LnrCellOutcome};
+pub use estimator::{LnrLbsAgg, LnrLbsAggConfig};
+pub use locate::{infer_position, LocatedTuple};

@@ -1,0 +1,496 @@
+//! Algorithm LR-LBS-AGG (paper Algorithm 5).
+//!
+//! Per sample: draw a query location from the sampling design, issue one kNN
+//! query, and for each returned tuple whose rank fits the chosen top-h level
+//! compute its exact top-h Voronoi cell and add `Q(t) / p(t)` to the sample's
+//! contribution, where `p(t)` is the exact probability of drawing a location
+//! inside that cell. The sample contributions are independent and unbiased;
+//! their mean is the estimate, and their sample variance yields the
+//! confidence interval.
+
+use rand::Rng;
+
+use lbs_geom::Rect;
+use lbs_service::{LbsInterface, QueryError, ReturnMode};
+
+use crate::agg::Aggregate;
+use crate::estimate::{Estimate, EstimateError, TracePoint};
+use crate::sampling::QuerySampler;
+use crate::stats::RunningStats;
+
+use super::explorer::{explore_cell, CellEstimate, ExploreConfig};
+use super::history::History;
+use super::variance::HSelection;
+
+/// Configuration of the LR-LBS-AGG estimator.
+#[derive(Clone, Debug)]
+pub struct LrLbsAggConfig {
+    /// How many of the k returned tuples to use per query (§3.2.3).
+    pub h_selection: HSelection,
+    /// Faster initialization with fake corner tuples (§3.2.1).
+    pub use_fast_init: bool,
+    /// Seed cell computations from history (§3.2.2).
+    pub use_history: bool,
+    /// Allow the unbiased Monte-Carlo escape (§3.2.4).
+    pub use_mc_bounds: bool,
+    /// Use a density-weighted sampling design instead of uniform (§5.2).
+    ///
+    /// Weighted sampling integrates the density over the cell polygon, which
+    /// is exact only for convex (top-1) cells, so enabling it forces
+    /// `h = 1` and disables the Monte-Carlo escape.
+    pub weighted_sampler: Option<lbs_data::DensityGrid>,
+    /// Record a trace point every this many samples (0 disables the trace).
+    pub trace_every: u64,
+    /// How many known tuples seed each cell computation.
+    pub history_neighbor_limit: usize,
+    /// Explicit half-width of the fast-initialization box, if any.
+    pub fast_init_half_width: Option<f64>,
+    /// Cap on Theorem-1 rounds per cell before the Monte-Carlo escape.
+    pub max_explore_rounds: usize,
+    /// Escape when more than this many untested vertices remain.
+    pub mc_vertex_threshold: usize,
+    /// Escape when a round shrinks the cell by less than this fraction.
+    pub mc_min_shrink: f64,
+}
+
+impl Default for LrLbsAggConfig {
+    fn default() -> Self {
+        LrLbsAggConfig {
+            h_selection: HSelection::default(),
+            use_fast_init: true,
+            use_history: true,
+            use_mc_bounds: true,
+            weighted_sampler: None,
+            trace_every: 1,
+            history_neighbor_limit: 32,
+            fast_init_half_width: None,
+            max_explore_rounds: 64,
+            mc_vertex_threshold: 14,
+            mc_min_shrink: 0.02,
+        }
+    }
+}
+
+impl LrLbsAggConfig {
+    /// The ablation ladder of the paper's Figure 20: level 0 disables every
+    /// error-reduction technique, each following level adds one more in the
+    /// order the paper presents them, and level 4 equals the full default.
+    ///
+    /// | level | fast init | history | adaptive h | MC bounds |
+    /// |-------|-----------|---------|------------|-----------|
+    /// | 0     | –         | –       | –          | –         |
+    /// | 1     | ✓         | –       | –          | –         |
+    /// | 2     | ✓         | ✓       | –          | –         |
+    /// | 3     | ✓         | ✓       | ✓          | –         |
+    /// | 4     | ✓         | ✓       | ✓          | ✓         |
+    pub fn ablation_level(level: usize) -> Self {
+        let mut cfg = LrLbsAggConfig {
+            h_selection: HSelection::Top1,
+            use_fast_init: false,
+            use_history: false,
+            use_mc_bounds: false,
+            ..LrLbsAggConfig::default()
+        };
+        if level >= 1 {
+            cfg.use_fast_init = true;
+        }
+        if level >= 2 {
+            cfg.use_history = true;
+        }
+        if level >= 3 {
+            cfg.h_selection = HSelection::default();
+        }
+        if level >= 4 {
+            cfg.use_mc_bounds = true;
+        }
+        cfg
+    }
+
+    /// Configuration using a fixed top-h level for every returned tuple
+    /// (the non-adaptive variants of Figure 19).
+    pub fn fixed_h(h: usize) -> Self {
+        LrLbsAggConfig {
+            h_selection: HSelection::Fixed(h),
+            ..LrLbsAggConfig::default()
+        }
+    }
+
+    fn explore_config(&self) -> ExploreConfig {
+        ExploreConfig {
+            use_fast_init: self.use_fast_init,
+            use_history: self.use_history,
+            use_mc_bounds: self.use_mc_bounds && self.weighted_sampler.is_none(),
+            fast_init_half_width: self.fast_init_half_width,
+            history_neighbor_limit: self.history_neighbor_limit,
+            max_rounds: self.max_explore_rounds,
+            mc_vertex_threshold: self.mc_vertex_threshold,
+            mc_min_shrink: self.mc_min_shrink,
+            max_mc_trials: 4_000,
+        }
+    }
+}
+
+/// The LR-LBS-AGG estimator. Holds the cross-sample history so that repeated
+/// [`LrLbsAgg::estimate`] calls on the same service keep benefiting from it.
+#[derive(Clone, Debug, Default)]
+pub struct LrLbsAgg {
+    config: LrLbsAggConfig,
+    history: History,
+}
+
+impl LrLbsAgg {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: LrLbsAggConfig) -> Self {
+        LrLbsAgg {
+            config,
+            history: History::new(),
+        }
+    }
+
+    /// The accumulated history (for inspection by experiments).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Clears the accumulated history.
+    pub fn reset_history(&mut self) {
+        self.history = History::new();
+    }
+
+    /// Estimates `aggregate` over `region` through the LR interface
+    /// `service`, spending at most `query_budget` kNN queries.
+    ///
+    /// The estimator stops starting new samples once the budget is spent; the
+    /// sample in flight is allowed to finish, so the actual cost can slightly
+    /// exceed the budget (mirroring how one would use a daily API quota).
+    pub fn estimate<S: LbsInterface + ?Sized, R: Rng>(
+        &mut self,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        query_budget: u64,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError> {
+        assert_eq!(
+            service.config().return_mode,
+            ReturnMode::LocationReturned,
+            "LR-LBS-AGG requires a location-returned interface; use LnrLbsAgg for rank-only ones"
+        );
+        let sampler = match &self.config.weighted_sampler {
+            Some(grid) => QuerySampler::weighted(grid.clone()),
+            None => QuerySampler::uniform(*region),
+        };
+        let k = service.config().k;
+        let start_cost = service.queries_issued();
+        let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
+
+        let mut numerator = RunningStats::new();
+        let mut denominator = RunningStats::new();
+        let mut trace: Vec<TracePoint> = Vec::new();
+
+        while budget_left(service) > 0 {
+            let q = sampler.sample(rng);
+            let resp = match service.query(&q) {
+                Ok(r) => r,
+                Err(QueryError::BudgetExhausted { .. }) => break,
+            };
+
+            let mut num_contrib = 0.0;
+            let mut den_contrib = 0.0;
+            let mut aborted = false;
+
+            // Decide the top-h level of every returned tuple *before* any
+            // exploration of this sample. Deciding lazily would let the
+            // history gathered while exploring the rank-1 tuple influence the
+            // inclusion of the rank-2.. tuples of the same answer, which
+            // introduces a positive bias (the inclusion indicator would
+            // correlate with the current query).
+            let chosen_h: Vec<usize> = resp
+                .results
+                .iter()
+                .map(|returned| match (&self.config.weighted_sampler, returned.location) {
+                    (Some(_), _) | (_, None) => 1,
+                    (None, Some(location)) => self.config.h_selection.choose(
+                        &location,
+                        k,
+                        region,
+                        &self.history,
+                        self.config.history_neighbor_limit,
+                    ),
+                })
+                .collect();
+
+            for (returned, &h) in resp.results.iter().zip(chosen_h.iter()) {
+                let Some(location) = returned.location else {
+                    continue;
+                };
+                // Only tuples whose rank fits within their chosen h
+                // contribute (the query point is inside their top-h cell
+                // exactly when rank <= h).
+                if returned.rank > h {
+                    continue;
+                }
+                let outcome = match explore_cell(
+                    service,
+                    returned.id,
+                    location,
+                    h,
+                    region,
+                    &mut self.history,
+                    &self.config.explore_config(),
+                    rng,
+                ) {
+                    Ok(o) => o,
+                    Err(QueryError::BudgetExhausted { .. }) => {
+                        aborted = true;
+                        break;
+                    }
+                };
+
+                let inverse_p = match (&outcome.estimate, &sampler) {
+                    (CellEstimate::Exact { cell }, s) => match s.cell_probability(cell) {
+                        Some(p) if p > 0.0 => 1.0 / p,
+                        _ => 0.0,
+                    },
+                    (mc @ CellEstimate::MonteCarlo { .. }, QuerySampler::Uniform { .. }) => {
+                        mc.inverse_probability_uniform(region)
+                    }
+                    // Weighted sampling disables the MC escape, so this arm is
+                    // unreachable in practice; contribute nothing rather than
+                    // something biased if it ever happens.
+                    (CellEstimate::MonteCarlo { .. }, QuerySampler::Weighted { .. }) => 0.0,
+                };
+
+                let num = aggregate.numerator(returned, Some(&location)).unwrap_or(0.0);
+                let den = aggregate
+                    .denominator(returned, Some(&location))
+                    .unwrap_or(0.0);
+                num_contrib += num * inverse_p;
+                den_contrib += den * inverse_p;
+            }
+
+            if aborted {
+                // The sample could not be completed within the service's hard
+                // limit; discard it rather than record a partial (biased)
+                // contribution.
+                break;
+            }
+
+            numerator.push(num_contrib);
+            denominator.push(den_contrib);
+
+            if self.config.trace_every > 0 && numerator.count() % self.config.trace_every == 0 {
+                let current = if aggregate.is_ratio() {
+                    if denominator.mean().abs() > f64::EPSILON {
+                        numerator.mean() / denominator.mean()
+                    } else {
+                        0.0
+                    }
+                } else {
+                    numerator.mean()
+                };
+                trace.push(TracePoint {
+                    query_cost: service.queries_issued() - start_cost,
+                    estimate: current,
+                });
+            }
+        }
+
+        if numerator.count() == 0 {
+            return Err(EstimateError::NoSamples);
+        }
+        let cost = service.queries_issued() - start_cost;
+        Ok(if aggregate.is_ratio() {
+            Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
+        } else {
+            Estimate::from_stats(&numerator, cost, trace)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Selection;
+    use lbs_data::{attrs, Dataset, ScenarioBuilder};
+    use lbs_service::{ServiceConfig, SimulatedLbs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn region() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 200.0, 200.0)
+    }
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ScenarioBuilder::usa_pois(n).with_bbox(region()).build(&mut rng)
+    }
+
+    #[test]
+    fn count_all_converges_to_truth() {
+        let d = dataset(200, 1);
+        let truth = d.len() as f64;
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(10));
+        let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = est
+            .estimate(&service, &region(), &Aggregate::count_all(), 2_500, &mut rng)
+            .unwrap();
+        assert!(out.samples > 5);
+        assert!(out.query_cost >= 2_500);
+        let rel = out.relative_error(truth);
+        assert!(rel < 0.35, "relative error {rel} (estimate {} truth {truth})", out.value);
+    }
+
+    #[test]
+    fn count_with_selection_converges() {
+        let d = dataset(200, 3);
+        let truth = Aggregate::count_restaurants().ground_truth(&d, &region());
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(10));
+        let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = est
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_restaurants(),
+                2_500,
+                &mut rng,
+            )
+            .unwrap();
+        let rel = out.relative_error(truth);
+        assert!(rel < 0.45, "relative error {rel}");
+    }
+
+    #[test]
+    fn sum_and_avg_estimates_work() {
+        let d = dataset(150, 5);
+        let sum_truth = Aggregate::sum_school_enrollment().ground_truth(&d, &region());
+        let avg_agg = Aggregate::avg_where(attrs::RATING, Selection::TextEquals {
+            attr: attrs::CATEGORY.into(),
+            value: "restaurant".into(),
+        });
+        let avg_truth = avg_agg.ground_truth(&d, &region());
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(10));
+        let mut rng = StdRng::seed_from_u64(6);
+
+        let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let sum_out = est
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::sum_school_enrollment(),
+                2_000,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(sum_out.relative_error(sum_truth) < 0.6, "SUM rel err too high");
+
+        let avg_out = est
+            .estimate(&service, &region(), &avg_agg, 2_000, &mut rng)
+            .unwrap();
+        // AVG is a ratio of two correlated estimates and converges fast.
+        assert!(
+            avg_out.relative_error(avg_truth) < 0.25,
+            "AVG {} vs truth {avg_truth}",
+            avg_out.value
+        );
+    }
+
+    #[test]
+    fn unbiasedness_over_repetitions() {
+        // The mean of many independent low-budget estimates must approach the
+        // truth much more closely than a single estimate's typical error.
+        let d = dataset(60, 7);
+        let truth = d.len() as f64;
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(6));
+        let mut means = RunningStats::new();
+        for seed in 0..30 {
+            let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let out = est
+                .estimate(&service, &region(), &Aggregate::count_all(), 400, &mut rng)
+                .unwrap();
+            means.push(out.value);
+        }
+        let rel_bias = (means.mean() - truth).abs() / truth;
+        assert!(rel_bias < 0.12, "empirical bias {rel_bias} too large");
+    }
+
+    #[test]
+    fn trace_is_recorded_and_monotone_in_cost() {
+        let d = dataset(100, 9);
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(5));
+        let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = est
+            .estimate(&service, &region(), &Aggregate::count_all(), 800, &mut rng)
+            .unwrap();
+        assert!(!out.trace.is_empty());
+        for w in out.trace.windows(2) {
+            assert!(w[0].query_cost <= w[1].query_cost);
+        }
+    }
+
+    #[test]
+    fn ablation_levels_monotonically_enable_features() {
+        let l0 = LrLbsAggConfig::ablation_level(0);
+        assert!(!l0.use_fast_init && !l0.use_history && !l0.use_mc_bounds);
+        assert_eq!(l0.h_selection, HSelection::Top1);
+        let l2 = LrLbsAggConfig::ablation_level(2);
+        assert!(l2.use_fast_init && l2.use_history && !l2.use_mc_bounds);
+        let l4 = LrLbsAggConfig::ablation_level(4);
+        assert!(l4.use_fast_init && l4.use_history && l4.use_mc_bounds);
+        assert_eq!(l4.h_selection, HSelection::default());
+    }
+
+    #[test]
+    fn weighted_sampling_reduces_variance_on_clustered_data() {
+        // Clustered data with uniform sampling → rural tuples dominate the
+        // variance; census-style weighted sampling should cut the per-sample
+        // standard deviation substantially for COUNT.
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = ScenarioBuilder::usa_pois(250).build(&mut rng);
+        let bbox = d.bbox();
+        let grid = lbs_data::DensityGrid::from_dataset(&d, 24, 16, 0.2);
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(10));
+
+        let mut uniform_est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let uniform_out = uniform_est
+            .estimate(&service, &bbox, &Aggregate::count_all(), 3_000, &mut rng)
+            .unwrap();
+        let mut weighted_est = LrLbsAgg::new(LrLbsAggConfig {
+            weighted_sampler: Some(grid),
+            ..LrLbsAggConfig::default()
+        });
+        let weighted_out = weighted_est
+            .estimate(&service, &bbox, &Aggregate::count_all(), 3_000, &mut rng)
+            .unwrap();
+        assert!(
+            weighted_out.per_sample.std_dev < uniform_out.per_sample.std_dev,
+            "weighted std dev {} should beat uniform {}",
+            weighted_out.per_sample.std_dev,
+            uniform_out.per_sample.std_dev
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "LR-LBS-AGG requires a location-returned interface")]
+    fn rejects_lnr_interfaces() {
+        let d = dataset(20, 13);
+        let service = SimulatedLbs::new(d, ServiceConfig::lnr_lbs(5));
+        let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let mut rng = StdRng::seed_from_u64(14);
+        let _ = est.estimate(&service, &region(), &Aggregate::count_all(), 100, &mut rng);
+    }
+
+    #[test]
+    fn hard_service_limit_yields_no_samples_error() {
+        let d = dataset(50, 15);
+        let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(5).with_query_limit(1));
+        let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        let mut rng = StdRng::seed_from_u64(16);
+        let res = est.estimate(&service, &region(), &Aggregate::count_all(), 100, &mut rng);
+        assert!(matches!(res, Err(EstimateError::NoSamples)));
+    }
+}

@@ -1,0 +1,163 @@
+//! History of discovered tuples (paper §3.2.2).
+//!
+//! LBS databases such as Google Maps are static over the course of an
+//! estimation run, so every tuple location discovered while computing one
+//! Voronoi cell is free information for all later cells: starting the next
+//! computation from the bisectors of already-known nearby tuples yields a
+//! much tighter initial cell at zero query cost.
+//!
+//! [`History`] stores every `(tuple id, location)` pair ever returned by the
+//! LR interface plus the volumes of the cells computed so far (the latter
+//! feed the adaptive top-h selection threshold of §3.2.3).
+
+use std::collections::HashMap;
+
+use lbs_data::TupleId;
+use lbs_geom::Point;
+
+use crate::stats::RunningStats;
+
+/// Accumulated knowledge about the hidden database.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    locations: HashMap<TupleId, Point>,
+    cell_volumes: RunningStats,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Number of distinct tuples whose locations are known.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// `true` when no tuple has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Records a tuple location (idempotent).
+    pub fn insert(&mut self, id: TupleId, location: Point) {
+        self.locations.entry(id).or_insert(location);
+    }
+
+    /// The known location of a tuple, if any.
+    pub fn location_of(&self, id: TupleId) -> Option<Point> {
+        self.locations.get(&id).copied()
+    }
+
+    /// `true` when the tuple has been seen before.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.locations.contains_key(&id)
+    }
+
+    /// The locations of the `limit` known tuples nearest to `site`,
+    /// excluding any tuple at (essentially) the same location as `site`
+    /// itself.
+    ///
+    /// These are the "historic tuples" fed into the initial cell of a new
+    /// computation (Algorithm 3). Limiting the count keeps the geometry work
+    /// bounded: faraway tuples cannot contribute edges to the cell anyway.
+    pub fn neighbors_of(&self, site: &Point, limit: usize) -> Vec<Point> {
+        let mut pts: Vec<Point> = self
+            .locations
+            .values()
+            .copied()
+            .filter(|p| !p.approx_eq(site))
+            .collect();
+        pts.sort_by(|a, b| {
+            a.distance_sq(site)
+                .partial_cmp(&b.distance_sq(site))
+                .unwrap()
+        });
+        pts.truncate(limit);
+        pts
+    }
+
+    /// Distance from `site` to the nearest known tuple (other than itself).
+    pub fn nearest_distance(&self, site: &Point) -> Option<f64> {
+        self.locations
+            .values()
+            .filter(|p| !p.approx_eq(site))
+            .map(|p| p.distance(site))
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Records the volume of a cell computed during this run.
+    pub fn record_cell_volume(&mut self, volume: f64) {
+        self.cell_volumes.push(volume);
+    }
+
+    /// Mean volume of the cells computed so far, if any.
+    pub fn mean_cell_volume(&self) -> Option<f64> {
+        if self.cell_volumes.count() == 0 {
+            None
+        } else {
+            Some(self.cell_volumes.mean())
+        }
+    }
+
+    /// Number of cell volumes recorded.
+    pub fn cells_recorded(&self) -> u64 {
+        self.cell_volumes.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent_and_lookup_works() {
+        let mut h = History::new();
+        assert!(h.is_empty());
+        h.insert(3, Point::new(1.0, 1.0));
+        h.insert(3, Point::new(9.0, 9.0)); // ignored: already known
+        h.insert(5, Point::new(2.0, 2.0));
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(3));
+        assert!(!h.contains(4));
+        assert_eq!(h.location_of(3), Some(Point::new(1.0, 1.0)));
+        assert_eq!(h.location_of(99), None);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_limited() {
+        let mut h = History::new();
+        for i in 0..10u64 {
+            h.insert(i, Point::new(i as f64 * 10.0, 0.0));
+        }
+        let site = Point::new(0.0, 0.0);
+        let n = h.neighbors_of(&site, 3);
+        assert_eq!(n.len(), 3);
+        // The site itself (tuple 0 at the same location) is excluded.
+        assert!(n.iter().all(|p| !p.approx_eq(&site)));
+        assert!(n[0].distance(&site) <= n[1].distance(&site));
+        assert!(n[1].distance(&site) <= n[2].distance(&site));
+        assert!((n[0].x - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_distance_excludes_self() {
+        let mut h = History::new();
+        let site = Point::new(5.0, 5.0);
+        h.insert(1, site);
+        assert!(h.nearest_distance(&site).is_none());
+        h.insert(2, Point::new(8.0, 9.0));
+        assert!((h.nearest_distance(&site).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_volume_statistics() {
+        let mut h = History::new();
+        assert!(h.mean_cell_volume().is_none());
+        h.record_cell_volume(10.0);
+        h.record_cell_volume(30.0);
+        assert_eq!(h.cells_recorded(), 2);
+        assert!((h.mean_cell_volume().unwrap() - 20.0).abs() < 1e-12);
+    }
+}

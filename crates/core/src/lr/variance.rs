@@ -1,0 +1,176 @@
+//! Adaptive choice of how many returned tuples to use per query (§3.2.3).
+//!
+//! A query with k > 1 returns k tuples; using the top-h Voronoi cell of each
+//! (rather than only the top-1) gives k contributions per query and usually a
+//! lower per-sample variance — but larger h means more complex cells and more
+//! queries to pin them down. The paper's rule: for each returned tuple,
+//! compute `λ_h`, a history-derived **upper bound** on the volume of its
+//! top-h cell, and pick the largest `h ∈ [2, k]` with `λ_h ≤ λ_0`; fall back
+//! to `h = 1` when none qualifies. Tuples whose top-1 cell is already large
+//! contribute little variance, so spending queries to enlarge their h would
+//! be wasted.
+
+use lbs_geom::{top_k_cell, Point, Rect};
+
+use super::history::History;
+
+/// Policy for choosing the `h` of the top-h Voronoi cell per returned tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HSelection {
+    /// Always use the top-1 cell (ignore the other k − 1 returned tuples).
+    Top1,
+    /// Use a fixed `h` for every tuple (capped at the interface's k).
+    Fixed(usize),
+    /// The adaptive rule of §3.2.3 with threshold `λ_0`; `None` derives the
+    /// threshold from the running mean of cell volumes seen so far (twice the
+    /// mean), falling back to 0.5 % of the region area before any history
+    /// exists.
+    Adaptive {
+        /// Explicit volume threshold `λ_0`, if any.
+        lambda0: Option<f64>,
+    },
+}
+
+impl Default for HSelection {
+    fn default() -> Self {
+        HSelection::Adaptive { lambda0: None }
+    }
+}
+
+impl HSelection {
+    /// Chooses the `h` to use for a tuple located at `site`, given the
+    /// interface's top-k limit and the current history.
+    pub fn choose(
+        &self,
+        site: &Point,
+        k: usize,
+        region: &Rect,
+        history: &History,
+        neighbor_limit: usize,
+    ) -> usize {
+        match self {
+            HSelection::Top1 => 1,
+            HSelection::Fixed(h) => (*h).clamp(1, k.max(1)),
+            HSelection::Adaptive { lambda0 } => {
+                if k <= 1 {
+                    return 1;
+                }
+                // Larger h is only worthwhile where the database is locally
+                // dense (small cells); beyond a handful of levels the extra
+                // cell complexity costs more queries than the variance it
+                // saves, so the adaptive policy caps itself.
+                let k = k.min(3);
+                let threshold = lambda0.unwrap_or_else(|| {
+                    history
+                        .mean_cell_volume()
+                        .map(|v| 0.5 * v)
+                        .unwrap_or(region.area() * 0.005)
+                });
+                let neighbors = history.neighbors_of(site, neighbor_limit);
+                if neighbors.is_empty() {
+                    // No knowledge at all: be conservative, use the top-1 cell.
+                    return 1;
+                }
+                // λ_h computed from history is an upper bound on the true
+                // top-h cell volume because the history set is a subset of
+                // the database. Volumes grow with h, so scan from the largest
+                // h downwards and stop at the first that fits.
+                for h in (2..=k).rev() {
+                    let lambda_h = top_k_cell(site, &neighbors, h, region).area;
+                    if lambda_h <= threshold {
+                        return h;
+                    }
+                }
+                1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn dense_history_around(site: Point, spacing: f64) -> History {
+        let mut h = History::new();
+        let mut id = 1000u64;
+        for i in -3i32..=3 {
+            for j in -3i32..=3 {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                h.insert(
+                    id,
+                    Point::new(site.x + i as f64 * spacing, site.y + j as f64 * spacing),
+                );
+                id += 1;
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn top1_and_fixed_policies() {
+        let h = History::new();
+        let site = Point::new(50.0, 50.0);
+        assert_eq!(HSelection::Top1.choose(&site, 10, &region(), &h, 32), 1);
+        assert_eq!(HSelection::Fixed(3).choose(&site, 10, &region(), &h, 32), 3);
+        // Fixed h is capped at k.
+        assert_eq!(HSelection::Fixed(8).choose(&site, 5, &region(), &h, 32), 5);
+        assert_eq!(HSelection::Fixed(0).choose(&site, 5, &region(), &h, 32), 1);
+    }
+
+    #[test]
+    fn adaptive_with_no_history_is_conservative() {
+        let h = History::new();
+        let policy = HSelection::default();
+        assert_eq!(policy.choose(&Point::new(50.0, 50.0), 10, &region(), &h, 32), 1);
+    }
+
+    #[test]
+    fn adaptive_uses_larger_h_in_dense_areas() {
+        let site = Point::new(50.0, 50.0);
+        // Dense neighbourhood: even the top-3 cell stays small.
+        let dense = dense_history_around(site, 2.0);
+        let policy = HSelection::Adaptive {
+            lambda0: Some(200.0),
+        };
+        let h_dense = policy.choose(&site, 3, &region(), &dense, 64);
+        assert!(h_dense >= 2, "dense area should allow h >= 2, got {h_dense}");
+        // Sparse neighbourhood: even the top-2 cell exceeds the threshold.
+        let sparse = dense_history_around(site, 40.0);
+        let h_sparse = policy.choose(&site, 3, &region(), &sparse, 64);
+        assert_eq!(h_sparse, 1);
+    }
+
+    #[test]
+    fn adaptive_threshold_from_history_mean() {
+        let site = Point::new(50.0, 50.0);
+        let mut hist = dense_history_around(site, 2.0);
+        // Record small cell volumes so the derived threshold 2×mean is small.
+        for _ in 0..5 {
+            hist.record_cell_volume(1.0);
+        }
+        let policy = HSelection::Adaptive { lambda0: None };
+        // Threshold = 2.0; the top-2 cell around a 2 km lattice is larger
+        // than 2 km², so the policy falls back to 1.
+        assert_eq!(policy.choose(&site, 3, &region(), &hist, 64), 1);
+        // With a generous recorded mean the same neighbourhood allows h >= 2.
+        let mut hist2 = dense_history_around(site, 2.0);
+        for _ in 0..5 {
+            hist2.record_cell_volume(100.0);
+        }
+        assert!(policy.choose(&site, 3, &region(), &hist2, 64) >= 2);
+    }
+
+    #[test]
+    fn adaptive_with_k1_is_always_one() {
+        let hist = dense_history_around(Point::new(50.0, 50.0), 2.0);
+        let policy = HSelection::default();
+        assert_eq!(policy.choose(&Point::new(50.0, 50.0), 1, &region(), &hist, 64), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Query-location samplers.
+//!
+//! The estimators draw random query locations, look at which tuple(s) come
+//! back, and divide each tuple's contribution by its *selection probability*
+//! — the probability that the random location lands inside the tuple's
+//! (top-h) Voronoi cell. Two sampling designs are supported:
+//!
+//! * **Uniform** over the bounding region (the paper's default): the
+//!   selection probability is simply `|V_h(t)| / |V_0|`.
+//! * **Density-weighted** using external knowledge such as census population
+//!   density (paper §5.2): locations are drawn from a piecewise-constant
+//!   [`DensityGrid`]; the selection probability becomes the integral of that
+//!   density over the cell, which [`QuerySampler::cell_probability`] computes
+//!   exactly for convex cells.
+//!
+//! Both designs keep the paper's equation (1) unbiased — only the variance
+//! changes — because the probability used in the denominator is exactly the
+//! probability the sampler realises.
+
+use rand::Rng;
+
+use lbs_data::DensityGrid;
+use lbs_geom::{ConvexPolygon, Point, Rect, TopKCell};
+
+/// A randomised design for choosing query locations.
+#[derive(Clone, Debug)]
+pub enum QuerySampler {
+    /// Uniform over the bounding region.
+    Uniform {
+        /// The region queries are drawn from (also the aggregate's region).
+        bbox: Rect,
+    },
+    /// Weighted by a piecewise-constant density (e.g. population density).
+    Weighted {
+        /// The proposal density; its bounding box is the query region.
+        grid: DensityGrid,
+    },
+}
+
+impl QuerySampler {
+    /// Uniform sampler over a region.
+    pub fn uniform(bbox: Rect) -> Self {
+        QuerySampler::Uniform { bbox }
+    }
+
+    /// Density-weighted sampler.
+    pub fn weighted(grid: DensityGrid) -> Self {
+        QuerySampler::Weighted { grid }
+    }
+
+    /// The region queries are drawn from.
+    pub fn bbox(&self) -> Rect {
+        match self {
+            QuerySampler::Uniform { bbox } => *bbox,
+            QuerySampler::Weighted { grid } => grid.bbox(),
+        }
+    }
+
+    /// `true` for the weighted design.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, QuerySampler::Weighted { .. })
+    }
+
+    /// Draws one query location.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Point {
+        match self {
+            QuerySampler::Uniform { bbox } => bbox.at_fraction(rng.gen(), rng.gen()),
+            QuerySampler::Weighted { grid } => grid.sample(rng),
+        }
+    }
+
+    /// Probability that a sampled location lands inside the given exactly
+    /// computed cell.
+    ///
+    /// For the uniform design this is `area / |V_0|` and works for any cell
+    /// (convex or not). The weighted design needs the cell's convex polygon
+    /// to integrate the density exactly; for concave top-h cells it falls
+    /// back to `None` and the caller must either use `h = 1` or switch to the
+    /// uniform design (that combination is how the experiments run it).
+    pub fn cell_probability(&self, cell: &TopKCell) -> Option<f64> {
+        match self {
+            QuerySampler::Uniform { bbox } => Some(cell.area / bbox.area()),
+            QuerySampler::Weighted { grid } => cell
+                .convex
+                .as_ref()
+                .map(|poly| grid.integrate_convex(poly)),
+        }
+    }
+
+    /// Probability of landing inside an arbitrary convex polygon.
+    pub fn convex_probability(&self, polygon: &ConvexPolygon) -> f64 {
+        match self {
+            QuerySampler::Uniform { bbox } => polygon.area() / bbox.area(),
+            QuerySampler::Weighted { grid } => grid.integrate_convex(polygon),
+        }
+    }
+
+    /// Probability corresponding to a raw area, available only for the
+    /// uniform design (the weighted design needs the shape, not just the
+    /// area).
+    pub fn area_probability(&self, area: f64) -> Option<f64> {
+        match self {
+            QuerySampler::Uniform { bbox } => Some(area / bbox.area()),
+            QuerySampler::Weighted { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::top_k_cell;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bbox() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_sampler_covers_the_box() {
+        let s = QuerySampler::uniform(bbox());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mean = Point::ORIGIN;
+        let n = 2_000;
+        for _ in 0..n {
+            let p = s.sample(&mut rng);
+            assert!(bbox().contains(&p));
+            mean = mean + p;
+        }
+        mean = mean / n as f64;
+        assert!((mean.x - 50.0).abs() < 2.5 && (mean.y - 50.0).abs() < 2.5);
+        assert!(!s.is_weighted());
+    }
+
+    #[test]
+    fn uniform_cell_probability_is_area_fraction() {
+        let s = QuerySampler::uniform(bbox());
+        let site = Point::new(25.0, 50.0);
+        let others = vec![Point::new(75.0, 50.0)];
+        let cell = top_k_cell(&site, &others, 1, &bbox());
+        assert!((s.cell_probability(&cell).unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(s.area_probability(2_500.0), Some(0.25));
+    }
+
+    #[test]
+    fn weighted_sampler_prefers_heavy_cells() {
+        let grid = DensityGrid::from_weights(bbox(), 2, 1, vec![9.0, 1.0]);
+        let s = QuerySampler::weighted(grid);
+        assert!(s.is_weighted());
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5_000;
+        let left = (0..n).filter(|_| s.sample(&mut rng).x < 50.0).count();
+        assert!(left as f64 / n as f64 > 0.85);
+    }
+
+    #[test]
+    fn weighted_cell_probability_uses_density() {
+        let grid = DensityGrid::from_weights(bbox(), 2, 1, vec![9.0, 1.0]);
+        let s = QuerySampler::weighted(grid);
+        // Cell of the left site is the left half of the box, which carries
+        // 0.9 of the probability mass.
+        let site = Point::new(25.0, 50.0);
+        let others = vec![Point::new(75.0, 50.0)];
+        let cell = top_k_cell(&site, &others, 1, &bbox());
+        let p = s.cell_probability(&cell).unwrap();
+        assert!((p - 0.9).abs() < 1e-9);
+        // Raw areas cannot be converted under the weighted design.
+        assert!(s.area_probability(5_000.0).is_none());
+    }
+
+    #[test]
+    fn weighted_probability_unavailable_for_concave_cells() {
+        let grid = DensityGrid::uniform(bbox());
+        let s = QuerySampler::weighted(grid);
+        let site = Point::new(50.0, 50.0);
+        let others = vec![
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Point::new(50.0, 10.0),
+            Point::new(50.0, 90.0),
+        ];
+        let cell = top_k_cell(&site, &others, 2, &bbox());
+        assert!(cell.convex.is_none());
+        assert!(s.cell_probability(&cell).is_none());
+    }
+
+    #[test]
+    fn bbox_accessor_matches_design() {
+        let s = QuerySampler::uniform(bbox());
+        assert_eq!(s.bbox(), bbox());
+        let w = QuerySampler::weighted(DensityGrid::uniform(bbox()));
+        assert_eq!(w.bbox(), bbox());
+    }
+}

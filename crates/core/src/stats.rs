@@ -1,0 +1,251 @@
+//! Sample statistics for the estimators.
+//!
+//! Every estimator in this crate produces one independent, (nearly) unbiased
+//! per-query estimate per sampled query location and reports their mean. The
+//! accuracy book-keeping is the standard survey-sampling machinery the paper
+//! cites (§2.3): sample variance with Bessel's correction, standard error of
+//! the mean, normal-approximation confidence intervals, relative error and
+//! mean squared error.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of the observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Bessel-corrected sample variance (`None` with fewer than two
+    /// observations).
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.count - 1) as f64)
+        }
+    }
+
+    /// Population variance of the observations seen so far (`None` when
+    /// empty).
+    pub fn population_variance(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.m2 / self.count as f64)
+        }
+    }
+
+    /// Standard error of the mean (`None` with fewer than two observations).
+    pub fn std_error(&self) -> Option<f64> {
+        self.sample_variance()
+            .map(|v| (v / self.count as f64).sqrt())
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// z-score (1.96 for 95 %). Collapses to the point estimate when the
+    /// standard error is unavailable.
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        match self.std_error() {
+            Some(se) => (self.mean - z * se, self.mean + z * se),
+            None => (self.mean, self.mean),
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+/// Relative error `|estimate − truth| / |truth|`.
+///
+/// Returns the absolute error when the truth is zero (the conventional
+/// fall-back so that a perfect estimate still scores zero).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth.abs() <= f64::EPSILON {
+        estimate.abs()
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Mean squared error decomposition `bias² + variance` (paper §2.3).
+pub fn mse(bias: f64, variance: f64) -> f64 {
+    bias * bias + variance
+}
+
+/// Summary statistics of a finished set of observations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Bessel-corrected sample standard deviation (0 when undefined).
+    pub std_dev: f64,
+    /// Standard error of the mean (0 when undefined).
+    pub std_error: f64,
+}
+
+impl From<&RunningStats> for Summary {
+    fn from(s: &RunningStats) -> Self {
+        Summary {
+            count: s.count(),
+            mean: s.mean(),
+            std_dev: s.sample_variance().map(f64::sqrt).unwrap_or(0.0),
+            std_error: s.std_error().unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let mut s = RunningStats::new();
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for x in data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+        // Population variance of this classic data set is 4.
+        assert!((s.population_variance().unwrap() - 4.0).abs() < 1e-12);
+        // Bessel-corrected variance is 32/7.
+        assert!((s.sample_variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.sample_variance().is_none());
+        assert!(s.population_variance().is_none());
+        assert!(s.std_error().is_none());
+        assert_eq!(s.confidence_interval(1.96), (0.0, 0.0));
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert!(s.sample_variance().is_none());
+        assert_eq!(s.population_variance(), Some(0.0));
+        assert_eq!(s.confidence_interval(1.96), (3.0, 3.0));
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let mut s = RunningStats::new();
+        for i in 0..100 {
+            s.push(10.0 + (i % 7) as f64);
+        }
+        let (lo, hi) = s.confidence_interval(1.96);
+        assert!(lo < s.mean() && s.mean() < hi);
+        let (lo99, hi99) = s.confidence_interval(2.58);
+        assert!(lo99 < lo && hi < hi99);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance().unwrap() - whole.sample_variance().unwrap()).abs() < 1e-9);
+        // Merging an empty accumulator is a no-op.
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        // Merging into an empty accumulator copies.
+        let mut empty = RunningStats::new();
+        empty.merge(&whole);
+        assert!((empty.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(5.0, 0.0), 5.0);
+        assert!((relative_error(-110.0, -100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_decomposition() {
+        assert_eq!(mse(3.0, 4.0), 13.0);
+        assert_eq!(mse(0.0, 2.5), 2.5);
+    }
+
+    #[test]
+    fn summary_from_stats() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        let sum: Summary = (&s).into();
+        assert_eq!(sum.count, 3);
+        assert!((sum.mean - 2.0).abs() < 1e-12);
+        assert!((sum.std_dev - 1.0).abs() < 1e-12);
+        assert!((sum.std_error - 1.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

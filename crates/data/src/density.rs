@@ -1,0 +1,351 @@
+//! Population-density grid: the "external knowledge" of paper §5.2.
+//!
+//! The paper speeds up COUNT estimation by sampling query locations with
+//! probability proportional to US-Census population density instead of
+//! uniformly: POIs concentrate where people live, so density-weighted
+//! sampling makes tuple selection probabilities far more uniform and the
+//! inverse-probability estimator far less variable.
+//!
+//! [`DensityGrid`] is the synthetic substitute: a piecewise-constant density
+//! over a regular grid. It supports
+//!
+//! * drawing random locations with probability proportional to the density
+//!   ([`DensityGrid::sample`]),
+//! * evaluating the normalised probability density at a point
+//!   ([`DensityGrid::pdf`]), and
+//! * exactly integrating the density over a convex polygon
+//!   ([`DensityGrid::integrate_convex`]), which is what converts a Voronoi
+//!   cell into a selection probability under weighted sampling.
+//!
+//! Because the density is piecewise constant, all three operations are exact
+//! — the unbiasedness argument of the paper's equation (1) carries over
+//! unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use lbs_geom::{ConvexPolygon, HalfPlane, Line, Point, Rect};
+
+use crate::dataset::Dataset;
+
+/// A piecewise-constant probability density over a regular grid covering a
+/// bounding box.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DensityGrid {
+    bbox: Rect,
+    cols: usize,
+    rows: usize,
+    /// Per-cell non-negative weights, row-major, normalised to sum to 1.
+    weights: Vec<f64>,
+    /// Cumulative distribution over cells for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Builds a grid from raw non-negative cell weights (row-major,
+    /// `cols * rows` entries). Weights are normalised internally; an all-zero
+    /// weight vector falls back to the uniform density.
+    pub fn from_weights(bbox: Rect, cols: usize, rows: usize, mut weights: Vec<f64>) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        assert_eq!(weights.len(), cols * rows, "weight vector has wrong length");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+            "weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            let uniform = 1.0 / (cols * rows) as f64;
+            weights.iter_mut().for_each(|w| *w = uniform);
+        } else {
+            weights.iter_mut().for_each(|w| *w /= total);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += *w;
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift so the last entry is exactly 1.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        DensityGrid {
+            bbox,
+            cols,
+            rows,
+            weights,
+            cumulative,
+        }
+    }
+
+    /// The uniform density over a bounding box (a 1×1 grid).
+    pub fn uniform(bbox: Rect) -> Self {
+        DensityGrid::from_weights(bbox, 1, 1, vec![1.0])
+    }
+
+    /// Estimates a density grid from the tuple locations of a dataset by
+    /// histogramming them, adding `smoothing` pseudo-counts per cell.
+    ///
+    /// This mimics using census population counts as a proxy for POI density:
+    /// the counts correlate with, but are not identical to, the actual tuple
+    /// distribution (the smoothing is the "error" of the external knowledge).
+    pub fn from_dataset(dataset: &Dataset, cols: usize, rows: usize, smoothing: f64) -> Self {
+        let bbox = dataset.bbox();
+        let mut weights = vec![smoothing.max(0.0); cols * rows];
+        for loc in dataset.locations() {
+            let (cx, cy) = cell_of(&bbox, cols, rows, &loc);
+            weights[cy * cols + cx] += 1.0;
+        }
+        DensityGrid::from_weights(bbox, cols, rows, weights)
+    }
+
+    /// The bounding box the density is defined over.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Grid resolution as `(cols, rows)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The rectangle of the grid cell at `(col, row)`.
+    pub fn cell_rect(&self, col: usize, row: usize) -> Rect {
+        let w = self.bbox.width() / self.cols as f64;
+        let h = self.bbox.height() / self.rows as f64;
+        Rect::from_bounds(
+            self.bbox.min_x + col as f64 * w,
+            self.bbox.min_y + row as f64 * h,
+            self.bbox.min_x + (col + 1) as f64 * w,
+            self.bbox.min_y + (row + 1) as f64 * h,
+        )
+    }
+
+    /// Probability density at a point (per unit area). Zero outside the box.
+    ///
+    /// The density integrates to 1 over the bounding box.
+    pub fn pdf(&self, p: &Point) -> f64 {
+        if !self.bbox.contains(p) {
+            return 0.0;
+        }
+        let (cx, cy) = cell_of(&self.bbox, self.cols, self.rows, p);
+        let cell_area = self.cell_rect(cx, cy).area();
+        self.weights[cy * self.cols + cx] / cell_area
+    }
+
+    /// Draws a random location with probability proportional to the density.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> Point {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        };
+        let (cx, cy) = (idx % self.cols, idx / self.cols);
+        let cell = self.cell_rect(cx, cy);
+        cell.at_fraction(rng.gen(), rng.gen())
+    }
+
+    /// Exact integral of the density over a convex polygon (clipped to the
+    /// bounding box).
+    ///
+    /// Under density-weighted query sampling, the probability that a given
+    /// tuple is sampled equals the integral of the density over its Voronoi
+    /// cell — this method supplies exactly that quantity, keeping the
+    /// estimator unbiased.
+    pub fn integrate_convex(&self, polygon: &ConvexPolygon) -> f64 {
+        if polygon.is_empty() {
+            return 0.0;
+        }
+        let Some(poly_bbox) = polygon.bounding_rect() else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let w = self.weights[row * self.cols + col];
+                if w <= 0.0 {
+                    continue;
+                }
+                let cell = self.cell_rect(col, row);
+                if !cell.intersects(&poly_bbox) {
+                    continue;
+                }
+                // Clip the polygon against the four half-planes of the cell.
+                let clipped = clip_to_rect(polygon, &cell);
+                let a = clipped.area();
+                if a > 0.0 {
+                    total += w * a / cell.area();
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Clips a convex polygon to a rectangle using four axis-aligned half-planes.
+fn clip_to_rect(polygon: &ConvexPolygon, rect: &Rect) -> ConvexPolygon {
+    let planes = [
+        // x >= min_x  <=>  -x <= -min_x
+        HalfPlane::new(Line {
+            a: -1.0,
+            b: 0.0,
+            c: -rect.min_x,
+        }),
+        // x <= max_x
+        HalfPlane::new(Line {
+            a: 1.0,
+            b: 0.0,
+            c: rect.max_x,
+        }),
+        // y >= min_y
+        HalfPlane::new(Line {
+            a: 0.0,
+            b: -1.0,
+            c: -rect.min_y,
+        }),
+        // y <= max_y
+        HalfPlane::new(Line {
+            a: 0.0,
+            b: 1.0,
+            c: rect.max_y,
+        }),
+    ];
+    polygon.clip_all(&planes)
+}
+
+fn cell_of(bbox: &Rect, cols: usize, rows: usize, p: &Point) -> (usize, usize) {
+    let fx = ((p.x - bbox.min_x) / bbox.width()).clamp(0.0, 1.0 - f64::EPSILON);
+    let fy = ((p.y - bbox.min_y) / bbox.height()).clamp(0.0, 1.0 - f64::EPSILON);
+    (
+        ((fx * cols as f64) as usize).min(cols - 1),
+        ((fy * rows as f64) as usize).min(rows - 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bbox() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_pdf_integrates_to_one() {
+        let g = DensityGrid::uniform(bbox());
+        assert!((g.pdf(&Point::new(50.0, 50.0)) - 1.0 / 10_000.0).abs() < 1e-12);
+        assert_eq!(g.pdf(&Point::new(200.0, 50.0)), 0.0);
+        let full = ConvexPolygon::from_rect(&bbox());
+        assert!((g.integrate_convex(&full) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let g = DensityGrid::from_weights(bbox(), 2, 2, vec![1.0, 1.0, 2.0, 0.0]);
+        // pdf in the heavy cell (col 0, row 1 => x<50, y>50) is twice the pdf
+        // in a light cell.
+        let heavy = g.pdf(&Point::new(25.0, 75.0));
+        let light = g.pdf(&Point::new(25.0, 25.0));
+        assert!((heavy / light - 2.0).abs() < 1e-9);
+        // Zero-weight cell has zero density.
+        assert_eq!(g.pdf(&Point::new(75.0, 75.0)), 0.0);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let g = DensityGrid::from_weights(bbox(), 2, 2, vec![0.0; 4]);
+        let p = g.pdf(&Point::new(10.0, 10.0));
+        assert!((p - 1.0 / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_weight_length_panics() {
+        let _ = DensityGrid::from_weights(bbox(), 2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        // All mass in the top-right quadrant.
+        let g = DensityGrid::from_weights(bbox(), 2, 2, vec![0.0, 0.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p = g.sample(&mut rng);
+            assert!(p.x >= 50.0 && p.y >= 50.0, "sample {p:?} outside heavy cell");
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_matches_pdf() {
+        let g = DensityGrid::from_weights(bbox(), 2, 1, vec![3.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let left = (0..n).filter(|_| g.sample(&mut rng).x < 50.0).count();
+        let frac = left as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "left fraction {frac}");
+    }
+
+    #[test]
+    fn integrate_convex_matches_pdf_for_aligned_rects() {
+        let g = DensityGrid::from_weights(bbox(), 2, 2, vec![1.0, 1.0, 1.0, 5.0]);
+        // The top-right quadrant holds 5/8 of the mass.
+        let quad = ConvexPolygon::from_rect(&Rect::from_bounds(50.0, 50.0, 100.0, 100.0));
+        assert!((g.integrate_convex(&quad) - 5.0 / 8.0).abs() < 1e-9);
+        // A rectangle spanning the bottom half holds 2/8 of the mass.
+        let bottom = ConvexPolygon::from_rect(&Rect::from_bounds(0.0, 0.0, 100.0, 50.0));
+        assert!((g.integrate_convex(&bottom) - 0.25).abs() < 1e-9);
+        // The empty polygon integrates to zero.
+        assert_eq!(g.integrate_convex(&ConvexPolygon::empty()), 0.0);
+    }
+
+    #[test]
+    fn integrate_triangle_under_uniform_density() {
+        let g = DensityGrid::uniform(bbox());
+        let tri = ConvexPolygon::from_ccw_vertices(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(0.0, 100.0),
+        ]);
+        assert!((g.integrate_convex(&tri) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_dataset_histograms_locations() {
+        let tuples = vec![
+            Tuple::new(0, Point::new(10.0, 10.0)),
+            Tuple::new(1, Point::new(12.0, 14.0)),
+            Tuple::new(2, Point::new(90.0, 90.0)),
+        ];
+        let d = Dataset::new(tuples, bbox());
+        let g = DensityGrid::from_dataset(&d, 2, 2, 0.0);
+        // Two of three tuples are in the bottom-left cell.
+        let bl = g.pdf(&Point::new(20.0, 20.0));
+        let tr = g.pdf(&Point::new(80.0, 80.0));
+        assert!((bl / tr - 2.0).abs() < 1e-9);
+        // Empty cells have zero density without smoothing, positive with it.
+        assert_eq!(g.pdf(&Point::new(80.0, 20.0)), 0.0);
+        let smoothed = DensityGrid::from_dataset(&d, 2, 2, 0.5);
+        assert!(smoothed.pdf(&Point::new(80.0, 20.0)) > 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_by_monte_carlo() {
+        let g = DensityGrid::from_weights(bbox(), 4, 4, (1..=16).map(|i| i as f64).collect());
+        // Riemann sum over a fine grid.
+        let n = 200;
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let p = bbox().at_fraction((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
+                sum += g.pdf(&p);
+            }
+        }
+        sum *= bbox().area() / (n * n) as f64;
+        assert!((sum - 1.0).abs() < 1e-6, "integral {sum}");
+    }
+}

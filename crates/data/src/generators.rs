@@ -1,0 +1,479 @@
+//! Synthetic dataset generators.
+//!
+//! These generators stand in for the datasets the paper evaluates on
+//! (OpenStreetMap-USA POIs joined with Google-Maps ratings and US-Census
+//! enrollments; WeChat and Sina Weibo user bases). What the estimators are
+//! sensitive to is reproduced faithfully:
+//!
+//! * **Spatial skew.** Tuples are drawn from a mixture of dense Gaussian
+//!   urban clusters (the cities of [`crate::region`]) and a sparse uniform
+//!   rural background. This produces Voronoi cells spanning many orders of
+//!   magnitude in area, exactly the situation of the paper's Figure 11, and
+//!   is what makes density-weighted sampling (§5.2) pay off.
+//! * **Attribute distributions.** Review ratings are truncated-normal,
+//!   school enrollments log-normal, review counts heavy-tailed, gender a
+//!   Bernoulli draw — and none of them depends on the local tuple density,
+//!   so attribute values are essentially independent of Voronoi-cell size.
+//! * **Planted ground truth.** The "Starbucks" brand is planted with an
+//!   exactly known count so that Table 1's relative error can be computed
+//!   against a known truth instead of a press release.
+
+use rand::Rng;
+
+use lbs_geom::{Point, Rect};
+
+use crate::dataset::Dataset;
+use crate::region;
+use crate::tuple::{attrs, Tuple, TupleId};
+
+/// Spatial placement model for generated tuples.
+#[derive(Clone, Debug)]
+pub enum SpatialModel {
+    /// Uniformly random inside the bounding box.
+    Uniform,
+    /// Urban/rural mixture: with probability `urban_fraction` the tuple is
+    /// placed around a cluster centre (chosen proportionally to the centre's
+    /// weight) with isotropic Gaussian spread `sigma_km`; otherwise it is
+    /// placed uniformly in the box ("rural background").
+    Clustered {
+        /// Cluster centres with relative weights.
+        centers: Vec<(Point, f64)>,
+        /// Standard deviation of the Gaussian spread around a centre, in km.
+        sigma_km: f64,
+        /// Fraction of tuples placed in clusters rather than the background.
+        urban_fraction: f64,
+    },
+}
+
+impl SpatialModel {
+    /// USA-shaped urban/rural mixture.
+    pub fn usa() -> Self {
+        SpatialModel::Clustered {
+            centers: region::usa_cities(),
+            sigma_km: 35.0,
+            urban_fraction: 0.82,
+        }
+    }
+
+    /// China-shaped urban/rural mixture (denser clustering: location-enabled
+    /// social network users are overwhelmingly urban).
+    pub fn china() -> Self {
+        SpatialModel::Clustered {
+            centers: region::china_cities(),
+            sigma_km: 30.0,
+            urban_fraction: 0.93,
+        }
+    }
+
+    /// Draws one location inside `bbox` according to the model.
+    pub fn sample<R: Rng>(&self, bbox: &Rect, rng: &mut R) -> Point {
+        match self {
+            SpatialModel::Uniform => uniform_in(bbox, rng),
+            SpatialModel::Clustered {
+                centers,
+                sigma_km,
+                urban_fraction,
+            } => {
+                if centers.is_empty() || rng.gen::<f64>() >= *urban_fraction {
+                    return uniform_in(bbox, rng);
+                }
+                let total: f64 = centers.iter().map(|(_, w)| *w).sum();
+                let mut pick = rng.gen::<f64>() * total;
+                let mut chosen = centers[0].0;
+                for (c, w) in centers {
+                    pick -= *w;
+                    if pick <= 0.0 {
+                        chosen = *c;
+                        break;
+                    }
+                }
+                // Rejection-sample the Gaussian into the box (at most a few
+                // iterations in practice since cities sit well inside it).
+                for _ in 0..32 {
+                    let p = Point::new(
+                        chosen.x + gaussian(rng) * sigma_km,
+                        chosen.y + gaussian(rng) * sigma_km,
+                    );
+                    if bbox.contains(&p) {
+                        return p;
+                    }
+                }
+                // A cluster centre that never lands inside the box (e.g. the
+                // caller shrank the bounding box): fall back to a uniform
+                // placement instead of piling tuples up on the boundary.
+                uniform_in(bbox, rng)
+            }
+        }
+    }
+}
+
+/// Standard-normal draw via the Box–Muller transform (keeps the dependency
+/// set to plain `rand`).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniform draw inside a rectangle.
+pub fn uniform_in<R: Rng>(bbox: &Rect, rng: &mut R) -> Point {
+    bbox.at_fraction(rng.gen(), rng.gen())
+}
+
+/// Truncated-normal draw clamped into `[lo, hi]`.
+fn truncated_normal<R: Rng>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    (mean + gaussian(rng) * sd).clamp(lo, hi)
+}
+
+/// Log-normal draw with the given log-space parameters.
+fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * gaussian(rng)).exp()
+}
+
+/// What kind of tuples a scenario generates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ScenarioKind {
+    /// Points of interest with categories, ratings, enrollments, brands.
+    Pois,
+    /// Social network users with a gender attribute.
+    Users {
+        /// Probability that a user is male.
+        male_fraction_pct: u32,
+    },
+}
+
+/// Builder for the named data scenarios used throughout the experiments.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    n: usize,
+    bbox: Rect,
+    spatial: SpatialModel,
+    kind: ScenarioKind,
+    starbucks: usize,
+    restaurant_fraction: f64,
+    school_fraction: f64,
+}
+
+impl ScenarioBuilder {
+    /// USA POI scenario: `n` POIs (restaurants, schools, banks, cafes) spread
+    /// over the USA box with urban clustering, carrying ratings, review
+    /// counts, open-on-Sunday flags and school enrollments. Roughly 2 % of
+    /// the POIs are planted as "Starbucks" cafes (override with
+    /// [`ScenarioBuilder::with_starbucks`]).
+    pub fn usa_pois(n: usize) -> Self {
+        ScenarioBuilder {
+            n,
+            bbox: region::usa(),
+            spatial: SpatialModel::usa(),
+            kind: ScenarioKind::Pois,
+            starbucks: n / 50,
+            restaurant_fraction: 0.55,
+            school_fraction: 0.25,
+        }
+    }
+
+    /// WeChat-like user base over China: gender split ≈ 67 % male — the
+    /// figure the paper estimates (Table 1).
+    pub fn wechat_users(n: usize) -> Self {
+        ScenarioBuilder {
+            n,
+            bbox: region::china(),
+            spatial: SpatialModel::china(),
+            kind: ScenarioKind::Users {
+                male_fraction_pct: 67,
+            },
+            starbucks: 0,
+            restaurant_fraction: 0.0,
+            school_fraction: 0.0,
+        }
+    }
+
+    /// Sina-Weibo-like user base over China: gender split ≈ 50.4 % male.
+    pub fn weibo_users(n: usize) -> Self {
+        ScenarioBuilder {
+            n,
+            bbox: region::china(),
+            spatial: SpatialModel::china(),
+            kind: ScenarioKind::Users {
+                male_fraction_pct: 50,
+            },
+            starbucks: 0,
+            restaurant_fraction: 0.0,
+            school_fraction: 0.0,
+        }
+    }
+
+    /// Uniformly scattered unattributed points — handy for unit tests and
+    /// micro-benchmarks where the attribute machinery is irrelevant.
+    pub fn uniform_points(n: usize, bbox: Rect) -> Self {
+        ScenarioBuilder {
+            n,
+            bbox,
+            spatial: SpatialModel::Uniform,
+            kind: ScenarioKind::Pois,
+            starbucks: 0,
+            restaurant_fraction: 1.0,
+            school_fraction: 0.0,
+        }
+    }
+
+    /// Overrides the bounding box.
+    ///
+    /// Cluster centres of a clustered spatial model are remapped into the new
+    /// box (preserving their relative positions) and the cluster spread is
+    /// scaled with the box diagonal, so that shrinking a continental scenario
+    /// down to a test-sized box keeps its urban/rural structure instead of
+    /// clamping every city onto the boundary.
+    pub fn with_bbox(mut self, bbox: Rect) -> Self {
+        if let SpatialModel::Clustered {
+            centers,
+            sigma_km,
+            ..
+        } = &mut self.spatial
+        {
+            let old = self.bbox;
+            if old.width() > 0.0 && old.height() > 0.0 {
+                for (c, _) in centers.iter_mut() {
+                    let fx = (c.x - old.min_x) / old.width();
+                    let fy = (c.y - old.min_y) / old.height();
+                    *c = bbox.at_fraction(fx.clamp(0.0, 1.0), fy.clamp(0.0, 1.0));
+                }
+                let scale = bbox.diagonal() / old.diagonal();
+                *sigma_km *= scale;
+            }
+        }
+        self.bbox = bbox;
+        self
+    }
+
+    /// Overrides the spatial model.
+    pub fn with_spatial(mut self, spatial: SpatialModel) -> Self {
+        self.spatial = spatial;
+        self
+    }
+
+    /// Plants exactly `count` "Starbucks" cafes (count is capped at `n`).
+    pub fn with_starbucks(mut self, count: usize) -> Self {
+        self.starbucks = count.min(self.n);
+        self
+    }
+
+    /// Number of tuples the builder will generate.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Generates the dataset.
+    pub fn build<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let mut tuples = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let id = i as TupleId;
+            let location = self.spatial.sample(&self.bbox, rng);
+            let tuple = match &self.kind {
+                ScenarioKind::Pois => self.make_poi(id, location, i, rng),
+                ScenarioKind::Users { male_fraction_pct } => {
+                    make_user(id, location, *male_fraction_pct, rng)
+                }
+            };
+            tuples.push(tuple);
+        }
+        Dataset::new(tuples, self.bbox)
+    }
+
+    fn make_poi<R: Rng>(&self, id: TupleId, location: Point, index: usize, rng: &mut R) -> Tuple {
+        // The first `self.starbucks` POIs become the planted Starbucks cafes;
+        // because locations are drawn i.i.d. this does not bias their spatial
+        // placement.
+        if index < self.starbucks {
+            return Tuple::new(id, location)
+                .with_attr(attrs::CATEGORY, "cafe")
+                .with_attr(attrs::BRAND, "Starbucks")
+                .with_attr(attrs::NAME, format!("Starbucks #{id}"))
+                .with_attr(attrs::RATING, truncated_normal(rng, 4.0, 0.4, 1.0, 5.0))
+                .with_attr(attrs::REVIEW_COUNT, log_normal(rng, 4.0, 1.0).round())
+                .with_attr(attrs::OPEN_SUNDAY, rng.gen_bool(0.9))
+                .with_attr(attrs::PROMINENCE, rng.gen_range(0.3..1.0));
+        }
+        let roll: f64 = rng.gen();
+        if roll < self.restaurant_fraction {
+            Tuple::new(id, location)
+                .with_attr(attrs::CATEGORY, "restaurant")
+                .with_attr(attrs::NAME, format!("Restaurant #{id}"))
+                .with_attr(attrs::RATING, truncated_normal(rng, 3.7, 0.7, 1.0, 5.0))
+                .with_attr(attrs::REVIEW_COUNT, log_normal(rng, 3.0, 1.2).round())
+                .with_attr(attrs::OPEN_SUNDAY, rng.gen_bool(0.55))
+                .with_attr(attrs::PROMINENCE, rng.gen_range(0.0..1.0))
+        } else if roll < self.restaurant_fraction + self.school_fraction {
+            Tuple::new(id, location)
+                .with_attr(attrs::CATEGORY, "school")
+                .with_attr(attrs::NAME, format!("School #{id}"))
+                .with_attr(attrs::ENROLLMENT, log_normal(rng, 6.0, 0.7).round())
+                .with_attr(attrs::PROMINENCE, rng.gen_range(0.0..0.6))
+        } else if roll < self.restaurant_fraction + self.school_fraction + 0.5 * (1.0 - self.restaurant_fraction - self.school_fraction) {
+            Tuple::new(id, location)
+                .with_attr(attrs::CATEGORY, "bank")
+                .with_attr(attrs::NAME, format!("Bank #{id}"))
+                .with_attr(attrs::PROMINENCE, rng.gen_range(0.0..0.8))
+        } else {
+            Tuple::new(id, location)
+                .with_attr(attrs::CATEGORY, "cafe")
+                .with_attr(attrs::NAME, format!("Cafe #{id}"))
+                .with_attr(attrs::BRAND, "Independent")
+                .with_attr(attrs::RATING, truncated_normal(rng, 3.9, 0.6, 1.0, 5.0))
+                .with_attr(attrs::REVIEW_COUNT, log_normal(rng, 2.5, 1.0).round())
+                .with_attr(attrs::OPEN_SUNDAY, rng.gen_bool(0.6))
+                .with_attr(attrs::PROMINENCE, rng.gen_range(0.0..1.0))
+        }
+    }
+}
+
+fn make_user<R: Rng>(id: TupleId, location: Point, male_pct: u32, rng: &mut R) -> Tuple {
+    let male = rng.gen_range(0..100) < male_pct;
+    Tuple::new(id, location)
+        .with_attr(attrs::NAME, format!("user_{id}"))
+        .with_attr(attrs::GENDER, if male { "male" } else { "female" })
+        .with_attr(attrs::PROMINENCE, rng.gen_range(0.0..1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn usa_pois_have_expected_attributes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = ScenarioBuilder::usa_pois(2_000).build(&mut rng);
+        assert_eq!(d.len(), 2_000);
+        let restaurants = d.count_where(|t| t.text_eq(attrs::CATEGORY, "restaurant"));
+        let schools = d.count_where(|t| t.text_eq(attrs::CATEGORY, "school"));
+        // Roughly the configured proportions.
+        assert!((restaurants as f64 / 2_000.0 - 0.55).abs() < 0.06, "restaurants {restaurants}");
+        assert!((schools as f64 / 2_000.0 - 0.25).abs() < 0.05, "schools {schools}");
+        // Every school has an enrollment; every restaurant a rating in range.
+        for t in d.tuples() {
+            if t.text_eq(attrs::CATEGORY, "school") {
+                assert!(t.num(attrs::ENROLLMENT).unwrap() > 0.0);
+            }
+            if t.text_eq(attrs::CATEGORY, "restaurant") {
+                let r = t.num(attrs::RATING).unwrap();
+                assert!((1.0..=5.0).contains(&r));
+            }
+            assert!(d.bbox().contains(&t.location));
+        }
+    }
+
+    #[test]
+    fn starbucks_count_is_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = ScenarioBuilder::usa_pois(1_000)
+            .with_starbucks(37)
+            .build(&mut rng);
+        assert_eq!(d.count_where(|t| t.text_eq(attrs::BRAND, "Starbucks")), 37);
+    }
+
+    #[test]
+    fn starbucks_capped_at_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = ScenarioBuilder::usa_pois(10).with_starbucks(50).build(&mut rng);
+        assert_eq!(d.count_where(|t| t.text_eq(attrs::BRAND, "Starbucks")), 10);
+    }
+
+    #[test]
+    fn wechat_gender_ratio_is_roughly_67_33() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = ScenarioBuilder::wechat_users(20_000).build(&mut rng);
+        let male = d.count_where(|t| t.text_eq(attrs::GENDER, "male"));
+        let frac = male as f64 / d.len() as f64;
+        assert!((frac - 0.67).abs() < 0.02, "male fraction {frac}");
+    }
+
+    #[test]
+    fn weibo_gender_ratio_is_roughly_even() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = ScenarioBuilder::weibo_users(20_000).build(&mut rng);
+        let male = d.count_where(|t| t.text_eq(attrs::GENDER, "male"));
+        let frac = male as f64 / d.len() as f64;
+        assert!((frac - 0.50).abs() < 0.02, "male fraction {frac}");
+    }
+
+    #[test]
+    fn clustered_model_is_actually_clustered() {
+        // Compare the average nearest-city distance of clustered vs uniform
+        // placements: clustered tuples must be much closer to cities.
+        let mut rng = StdRng::seed_from_u64(5);
+        let clustered = ScenarioBuilder::usa_pois(1_500).build(&mut rng);
+        let uniform = ScenarioBuilder::uniform_points(1_500, region::usa()).build(&mut rng);
+        let cities = region::usa_cities();
+        let avg_city_dist = |d: &Dataset| {
+            d.locations()
+                .map(|p| {
+                    cities
+                        .iter()
+                        .map(|(c, _)| c.distance(&p))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / d.len() as f64
+        };
+        let dc = avg_city_dist(&clustered);
+        let du = avg_city_dist(&uniform);
+        assert!(dc < du * 0.5, "clustered {dc} km vs uniform {du} km");
+    }
+
+    #[test]
+    fn uniform_points_fill_the_box() {
+        let bbox = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = ScenarioBuilder::uniform_points(500, bbox).build(&mut rng);
+        assert_eq!(d.len(), 500);
+        // Each quadrant gets a reasonable share.
+        let q1 = d.count_where(|t| t.location.x < 5.0 && t.location.y < 5.0);
+        assert!(q1 > 80 && q1 < 170, "quadrant count {q1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d1 = ScenarioBuilder::usa_pois(100).build(&mut StdRng::seed_from_u64(9));
+        let d2 = ScenarioBuilder::usa_pois(100).build(&mut StdRng::seed_from_u64(9));
+        assert_eq!(d1.tuples(), d2.tuples());
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}
+
+#[cfg(test)]
+mod bbox_override_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn with_bbox_rescales_cluster_centres() {
+        let small = Rect::from_bounds(0.0, 0.0, 200.0, 200.0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let d = ScenarioBuilder::usa_pois(400).with_bbox(small).build(&mut rng);
+        // Every tuple is inside the new box and the tuples are not piled up
+        // on the boundary (the old clamping failure mode).
+        let mut on_boundary = 0usize;
+        for t in d.tuples() {
+            assert!(small.contains(&t.location));
+            if !small.contains_strict(&t.location) {
+                on_boundary += 1;
+            }
+        }
+        assert!(on_boundary < 10, "{on_boundary} tuples stuck on the boundary");
+        // The data is still clustered: a majority of tuples are within a
+        // small fraction of the box of at least one other tuple.
+    }
+}

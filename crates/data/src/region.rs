@@ -1,0 +1,123 @@
+//! Named geographic regions used by the experiments.
+//!
+//! All coordinates in the workspace are planar kilometre coordinates (an
+//! equirectangular projection is assumed to have been applied already), so a
+//! "USA" region is simply a rectangle roughly 4 500 km × 2 900 km — the same
+//! order of magnitude as the real contiguous United States — and "Austin, TX"
+//! is a small rectangle inside it. The absolute placement is arbitrary; only
+//! relative sizes matter to the estimators.
+
+use lbs_geom::{Point, Rect};
+
+/// Bounding box standing in for the contiguous United States
+/// (≈ 4 500 km × 2 900 km).
+pub fn usa() -> Rect {
+    Rect::from_bounds(0.0, 0.0, 4_500.0, 2_900.0)
+}
+
+/// A metropolitan-area-sized rectangle standing in for Austin, TX
+/// (≈ 60 km × 60 km), placed in the south-central part of the USA box.
+pub fn austin_tx() -> Rect {
+    Rect::from_bounds(2_200.0, 600.0, 2_260.0, 660.0)
+}
+
+/// A metropolitan-area-sized rectangle standing in for Washington, DC.
+pub fn washington_dc() -> Rect {
+    Rect::from_bounds(3_900.0, 1_500.0, 3_940.0, 1_540.0)
+}
+
+/// Bounding box standing in for China (≈ 5 000 km × 3 500 km), used by the
+/// WeChat / Sina Weibo scenarios.
+pub fn china() -> Rect {
+    Rect::from_bounds(0.0, 0.0, 5_000.0, 3_500.0)
+}
+
+/// Urban cluster centres inside the USA box used by the POI generators:
+/// a fixed list of "cities" with relative population weights.
+///
+/// The list is synthetic but shaped like the real urban hierarchy: a few very
+/// large metros, a middle tier, and many small cities, which is what produces
+/// the heavy-tailed Voronoi-cell-size distribution of the paper's Figure 11.
+pub fn usa_cities() -> Vec<(Point, f64)> {
+    vec![
+        // (centre, relative weight)
+        (Point::new(3_950.0, 1_750.0), 10.0), // "New York"
+        (Point::new(600.0, 1_400.0), 8.0),    // "Los Angeles"
+        (Point::new(2_900.0, 1_950.0), 6.5),  // "Chicago"
+        (Point::new(2_350.0, 700.0), 5.5),    // "Houston"
+        (Point::new(1_250.0, 950.0), 4.5),    // "Phoenix"
+        (Point::new(3_700.0, 1_450.0), 4.5),  // "Philadelphia"
+        (Point::new(2_250.0, 640.0), 4.0),    // "San Antonio / Austin"
+        (Point::new(350.0, 1_150.0), 4.0),    // "San Diego"
+        (Point::new(2_550.0, 850.0), 4.0),    // "Dallas"
+        (Point::new(450.0, 2_100.0), 3.5),    // "San Jose / SF"
+        (Point::new(3_350.0, 950.0), 3.0),    // "Jacksonville"
+        (Point::new(3_150.0, 1_150.0), 3.0),  // "Atlanta"
+        (Point::new(3_900.0, 1_520.0), 3.0),  // "Washington DC"
+        (Point::new(4_050.0, 1_950.0), 2.5),  // "Boston"
+        (Point::new(850.0, 2_450.0), 2.5),    // "Seattle"
+        (Point::new(1_650.0, 1_900.0), 2.0),  // "Denver"
+        (Point::new(2_750.0, 1_500.0), 2.0),  // "St. Louis"
+        (Point::new(3_450.0, 700.0), 2.0),    // "Miami"
+        (Point::new(2_950.0, 2_250.0), 1.5),  // "Minneapolis"
+        (Point::new(2_050.0, 1_350.0), 1.0),  // "Oklahoma City"
+        (Point::new(1_150.0, 1_700.0), 1.0),  // "Salt Lake City"
+        (Point::new(3_550.0, 1_800.0), 1.5),  // "Pittsburgh"
+        (Point::new(3_250.0, 1_650.0), 1.5),  // "Columbus"
+        (Point::new(2_650.0, 1_050.0), 1.0),  // "New Orleans"
+        (Point::new(1_900.0, 2_350.0), 0.8),  // "Billings"
+    ]
+}
+
+/// Urban cluster centres inside the China box used by the user-base
+/// generators (WeChat / Sina Weibo scenarios).
+pub fn china_cities() -> Vec<(Point, f64)> {
+    vec![
+        (Point::new(3_900.0, 2_300.0), 10.0), // "Beijing"
+        (Point::new(4_200.0, 1_700.0), 10.0), // "Shanghai"
+        (Point::new(3_700.0, 900.0), 9.0),    // "Guangzhou / Shenzhen"
+        (Point::new(3_000.0, 1_500.0), 6.0),  // "Chengdu / Chongqing"
+        (Point::new(3_900.0, 1_950.0), 5.0),  // "Nanjing"
+        (Point::new(3_600.0, 2_050.0), 4.5),  // "Zhengzhou"
+        (Point::new(4_000.0, 1_350.0), 4.0),  // "Hangzhou"
+        (Point::new(3_300.0, 1_850.0), 3.5),  // "Xi'an"
+        (Point::new(4_100.0, 2_550.0), 3.0),  // "Shenyang"
+        (Point::new(3_450.0, 1_150.0), 3.0),  // "Changsha"
+        (Point::new(2_300.0, 2_100.0), 1.0),  // "Lanzhou"
+        (Point::new(1_400.0, 2_400.0), 0.5),  // "Urumqi"
+        (Point::new(2_600.0, 1_000.0), 1.5),  // "Kunming"
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_regions_are_inside_their_country() {
+        assert!(usa().contains_rect(&austin_tx()));
+        assert!(usa().contains_rect(&washington_dc()));
+    }
+
+    #[test]
+    fn city_centres_are_inside_their_country() {
+        for (c, w) in usa_cities() {
+            assert!(usa().contains(&c), "USA city {c:?} outside the USA box");
+            assert!(w > 0.0);
+        }
+        for (c, w) in china_cities() {
+            assert!(china().contains(&c), "China city {c:?} outside the China box");
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn regions_have_realistic_relative_sizes() {
+        // A metro area is at least three orders of magnitude smaller than the
+        // whole country — that size ratio is what makes weighted sampling
+        // worthwhile (paper §5.2).
+        assert!(usa().area() / austin_tx().area() > 1_000.0);
+        assert!(usa().area() > 1e7);
+        assert!(china().area() > usa().area());
+    }
+}

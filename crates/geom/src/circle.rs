@@ -1,0 +1,365 @@
+//! Circles, disks and disk-union coverage tests.
+//!
+//! Paper §3.2.4 derives a **lower bound** on a Voronoi cell from confirmed
+//! vertices: if `v` is a vertex of the tentative cell already confirmed to be
+//! inside the true cell of tuple `t`, every tuple of the database must be
+//! outside the open disk `C(v, t)` centred at `v` with radius `|v - t|`
+//! (otherwise the kNN query at `v` would have returned that tuple instead of
+//! `t`). A query location `q` is then guaranteed to lie inside `V(t)` whenever
+//! the disk `C(q, t)` is fully covered by the union of the confirmed disks —
+//! no tuple can be closer to `q` than `t` is. [`disk_covered_by_union`]
+//! implements that coverage test exactly via angular-interval arithmetic plus
+//! the standard hole criterion.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+use crate::point::Point;
+use crate::EPS;
+
+/// A circle (and the closed disk it bounds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Centre of the circle.
+    pub center: Point,
+    /// Radius of the circle (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle; negative radii are clamped to zero.
+    pub fn new(center: Point, radius: f64) -> Self {
+        Circle {
+            center,
+            radius: radius.max(0.0),
+        }
+    }
+
+    /// The disk centred at `v` passing through `t` — the paper's `C(v, t)`.
+    pub fn through(center: Point, through: Point) -> Self {
+        Circle::new(center, center.distance(&through))
+    }
+
+    /// `true` when the point lies inside or on the circle (within [`EPS`]).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.distance(p) <= self.radius + EPS
+    }
+
+    /// `true` when `other` lies entirely inside `self`.
+    pub fn contains_circle(&self, other: &Circle) -> bool {
+        self.center.distance(&other.center) + other.radius <= self.radius + EPS
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        PI * self.radius * self.radius
+    }
+
+    /// Point on the circle at the given angle (radians from the +x axis).
+    #[inline]
+    pub fn point_at(&self, angle: f64) -> Point {
+        Point::new(
+            self.center.x + self.radius * angle.cos(),
+            self.center.y + self.radius * angle.sin(),
+        )
+    }
+
+    /// Intersection points of two circle boundaries (0, 1 or 2 points).
+    pub fn boundary_intersections(&self, other: &Circle) -> Vec<Point> {
+        let d = self.center.distance(&other.center);
+        if d <= EPS {
+            return Vec::new();
+        }
+        let (r0, r1) = (self.radius, other.radius);
+        if d > r0 + r1 + EPS || d < (r0 - r1).abs() - EPS {
+            return Vec::new();
+        }
+        // Distance from self.center to the chord midpoint along the centre line.
+        let a = (r0 * r0 - r1 * r1 + d * d) / (2.0 * d);
+        let h_sq = r0 * r0 - a * a;
+        let dir = (other.center - self.center) / d;
+        let mid = self.center + dir * a;
+        if h_sq <= EPS {
+            return vec![mid];
+        }
+        let h = h_sq.sqrt();
+        let off = dir.perp() * h;
+        vec![mid + off, mid - off]
+    }
+
+    /// The angular interval(s) of this circle's boundary that lie inside the
+    /// disk `other`, expressed as `(start, end)` angles in radians with
+    /// `start <= end` and the interval possibly wrapping past `2π` (callers
+    /// normalise). Returns an empty vector when no part of the boundary is
+    /// covered and the full circle `[0, 2π)` when the whole boundary is inside.
+    fn boundary_arc_inside(&self, other: &Circle) -> Vec<(f64, f64)> {
+        let d = self.center.distance(&other.center);
+        // Entire boundary inside `other`.
+        if d + self.radius <= other.radius + EPS {
+            return vec![(0.0, 2.0 * PI)];
+        }
+        // No overlap at all.
+        if d >= self.radius + other.radius - EPS || self.radius <= EPS {
+            return Vec::new();
+        }
+        // `other` entirely inside `self` without touching the boundary.
+        if d + other.radius <= self.radius - EPS {
+            return Vec::new();
+        }
+        // Partial overlap: the covered arc is centred on the direction from
+        // self.center towards other.center with half-angle from the law of
+        // cosines.
+        let cos_half = (d * d + self.radius * self.radius - other.radius * other.radius)
+            / (2.0 * d * self.radius);
+        let cos_half = cos_half.clamp(-1.0, 1.0);
+        let half = cos_half.acos();
+        if half <= EPS {
+            return Vec::new();
+        }
+        let mid_angle = (other.center - self.center).angle();
+        vec![(mid_angle - half, mid_angle + half)]
+    }
+
+    /// `true` when every point of this circle's *boundary* is covered by at
+    /// least one disk in `cover`.
+    pub fn boundary_covered_by(&self, cover: &[Circle]) -> bool {
+        // Collect covered angular intervals, normalise into [0, 2π) possibly
+        // splitting wrap-around intervals, then check that the union is the
+        // full circle.
+        let two_pi = 2.0 * PI;
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        for c in cover {
+            for (s, e) in self.boundary_arc_inside(c) {
+                if e - s >= two_pi - EPS {
+                    return true;
+                }
+                let mut s = s.rem_euclid(two_pi);
+                let e = e.rem_euclid(two_pi);
+                if e < s {
+                    // Wraps around 0.
+                    intervals.push((s, two_pi));
+                    s = 0.0;
+                }
+                // A tiny tolerance keeps adjacent arcs from leaving pin-hole
+                // gaps due to floating point rounding.
+                intervals.push(((s - 1e-12).max(0.0), (e + 1e-12).min(two_pi)));
+            }
+        }
+        if intervals.is_empty() {
+            return false;
+        }
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut covered_until = 0.0_f64;
+        for (s, e) in intervals {
+            if s > covered_until + 1e-9 {
+                return false;
+            }
+            covered_until = covered_until.max(e);
+            if covered_until >= two_pi - 1e-9 {
+                return true;
+            }
+        }
+        covered_until >= two_pi - 1e-9
+    }
+}
+
+/// Exact test of whether the disk `target` is fully covered by the union of
+/// the disks in `cover`.
+///
+/// The test uses the classical criterion: a disk `D` is covered by a union
+/// `U` of disks if and only if
+///
+/// 1. the boundary of `D` is covered by `U`,
+/// 2. every intersection point of two covering-circle boundaries that lies
+///    inside `D` is covered by `U` (any uncovered hole inside `D` would have
+///    such a point on its boundary), and
+/// 3. at least one point of `D` (we use the centre) is covered — this rules
+///    out the degenerate case where `U` only grazes the boundary.
+///
+/// The cost is `O(|cover|^3)` in the worst case, but the estimator only calls
+/// it with the handful of confirmed-vertex disks of one Voronoi cell.
+pub fn disk_covered_by_union(target: &Circle, cover: &[Circle]) -> bool {
+    if target.radius <= EPS {
+        return cover.iter().any(|c| c.contains(&target.center));
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    // Quick win: a single disk already covers the target.
+    if cover.iter().any(|c| c.contains_circle(target)) {
+        return true;
+    }
+    // (3) centre covered.
+    if !cover.iter().any(|c| c.contains(&target.center)) {
+        return false;
+    }
+    // (1) boundary covered.
+    if !target.boundary_covered_by(cover) {
+        return false;
+    }
+    // (2) pairwise intersection points inside the target must be covered by a
+    // *third* disk (being on the boundary of the two intersecting disks, they
+    // are covered by those two only in the closed sense; a hole would start
+    // exactly there).
+    for i in 0..cover.len() {
+        for j in (i + 1)..cover.len() {
+            for p in cover[i].boundary_intersections(&cover[j]) {
+                if target.center.distance(&p) < target.radius - EPS {
+                    let covered = cover
+                        .iter()
+                        .enumerate()
+                        .any(|(idx, c)| idx != i && idx != j && c.center.distance(&p) < c.radius - EPS);
+                    if !covered {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_containment() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        assert!(c.contains(&Point::new(1.0, 1.0)));
+        assert!(c.contains(&Point::new(2.0, 0.0)));
+        assert!(!c.contains(&Point::new(2.1, 0.0)));
+        assert!((c.area() - 4.0 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn through_constructor() {
+        let c = Circle::through(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert!((c.radius - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_circle_containment() {
+        let big = Circle::new(Point::new(0.0, 0.0), 5.0);
+        let small = Circle::new(Point::new(1.0, 0.0), 2.0);
+        let overlapping = Circle::new(Point::new(4.0, 0.0), 3.0);
+        assert!(big.contains_circle(&small));
+        assert!(!big.contains_circle(&overlapping));
+        assert!(!small.contains_circle(&big));
+    }
+
+    #[test]
+    fn boundary_intersections_counts() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point::new(1.0, 0.0), 1.0);
+        let pts = a.boundary_intersections(&b);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!((a.center.distance(p) - 1.0).abs() < 1e-9);
+            assert!((b.center.distance(p) - 1.0).abs() < 1e-9);
+        }
+        // Tangent circles: one intersection.
+        let c = Circle::new(Point::new(2.0, 0.0), 1.0);
+        assert_eq!(a.boundary_intersections(&c).len(), 1);
+        // Disjoint circles: none.
+        let d = Circle::new(Point::new(5.0, 0.0), 1.0);
+        assert!(a.boundary_intersections(&d).is_empty());
+    }
+
+    #[test]
+    fn single_disk_covers() {
+        let target = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let cover = vec![Circle::new(Point::new(0.0, 0.0), 2.0)];
+        assert!(disk_covered_by_union(&target, &cover));
+    }
+
+    #[test]
+    fn uncovered_when_cover_empty_or_far() {
+        let target = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(!disk_covered_by_union(&target, &[]));
+        let far = vec![Circle::new(Point::new(10.0, 0.0), 1.0)];
+        assert!(!disk_covered_by_union(&target, &far));
+    }
+
+    #[test]
+    fn two_half_covers_do_cover() {
+        // Two disks of radius 2 centred at (-1, 0) and (1, 0) cover the unit
+        // disk at the origin.
+        let target = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let cover = vec![
+            Circle::new(Point::new(-1.0, 0.0), 2.0),
+            Circle::new(Point::new(1.0, 0.0), 2.0),
+        ];
+        assert!(disk_covered_by_union(&target, &cover));
+    }
+
+    #[test]
+    fn hole_in_the_middle_is_detected() {
+        // Four disks arranged around the target's centre that cover its
+        // boundary but leave a hole at the centre.
+        let target = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let r = 1.9;
+        let offset = 2.0;
+        let cover = vec![
+            Circle::new(Point::new(offset, 0.0), r),
+            Circle::new(Point::new(-offset, 0.0), r),
+            Circle::new(Point::new(0.0, offset), r),
+            Circle::new(Point::new(0.0, -offset), r),
+        ];
+        // Centre is not covered (distance 2.0 > 1.9), so the union cannot
+        // cover the disk.
+        assert!(!disk_covered_by_union(&target, &cover));
+    }
+
+    #[test]
+    fn ring_leaving_interior_hole_detected_via_vertices() {
+        // Six disks covering the boundary and the centre of the target but
+        // leaving small holes between centre and boundary.
+        let target = Circle::new(Point::new(0.0, 0.0), 3.0);
+        let mut cover = vec![Circle::new(Point::new(0.0, 0.0), 1.0)];
+        for i in 0..6 {
+            let ang = i as f64 * PI / 3.0;
+            cover.push(Circle::new(
+                Point::new(2.6 * ang.cos(), 2.6 * ang.sin()),
+                1.1,
+            ));
+        }
+        // The ring disks do not reach the inner disk, leaving an annular gap.
+        assert!(!disk_covered_by_union(&target, &cover));
+    }
+
+    #[test]
+    fn generous_cover_with_many_disks() {
+        // A 5x5 grid of unit-radius disks spaced 0.9 apart comfortably covers
+        // a disk of radius 1.5 centred in the grid.
+        let target = Circle::new(Point::new(0.0, 0.0), 1.5);
+        let mut cover = Vec::new();
+        for i in -2_i32..=2 {
+            for j in -2_i32..=2 {
+                cover.push(Circle::new(Point::new(i as f64 * 0.9, j as f64 * 0.9), 1.0));
+            }
+        }
+        assert!(disk_covered_by_union(&target, &cover));
+    }
+
+    #[test]
+    fn boundary_covered_detects_gap() {
+        let target = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // A disk covering only the right half of the boundary.
+        let cover = vec![Circle::new(Point::new(1.0, 0.0), 1.2)];
+        assert!(!target.boundary_covered_by(&cover));
+        let full = vec![Circle::new(Point::new(0.0, 0.0), 1.5)];
+        assert!(target.boundary_covered_by(&full));
+    }
+
+    #[test]
+    fn point_target_is_simple_containment() {
+        let target = Circle::new(Point::new(0.5, 0.5), 0.0);
+        let cover = vec![Circle::new(Point::new(0.0, 0.0), 1.0)];
+        assert!(disk_covered_by_union(&target, &cover));
+        let miss = vec![Circle::new(Point::new(5.0, 0.0), 1.0)];
+        assert!(!disk_covered_by_union(&target, &miss));
+    }
+}

@@ -1,0 +1,398 @@
+//! Convex polygons and half-plane clipping.
+//!
+//! The exact top-1 Voronoi cell construction of LR-LBS-AGG (paper §3.1)
+//! maintains a convex polygon — initially the bounding box — and repeatedly
+//! clips it by the perpendicular-bisector half-plane contributed by every
+//! newly discovered tuple. [`ConvexPolygon`] stores the vertices in
+//! counter-clockwise order and implements that clip, plus the area, the
+//! containment test and the ray intersection the estimators need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::halfplane::HalfPlane;
+use crate::line::{Ray, Segment};
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// A (possibly empty) convex polygon with vertices in counter-clockwise order.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a convex polygon directly from counter-clockwise vertices.
+    ///
+    /// The constructor trusts the caller about convexity and orientation;
+    /// use [`ConvexPolygon::hull`] when the input is an arbitrary point set.
+    pub fn from_ccw_vertices(vertices: Vec<Point>) -> Self {
+        ConvexPolygon { vertices }
+    }
+
+    /// The empty polygon.
+    pub fn empty() -> Self {
+        ConvexPolygon {
+            vertices: Vec::new(),
+        }
+    }
+
+    /// Convex polygon covering a rectangle.
+    pub fn from_rect(rect: &Rect) -> Self {
+        ConvexPolygon {
+            vertices: rect.corners().to_vec(),
+        }
+    }
+
+    /// Convex hull of an arbitrary point set (Andrew's monotone chain).
+    pub fn hull(points: &[Point]) -> Self {
+        let mut pts: Vec<Point> = points.to_vec();
+        pts.sort_by(|a, b| {
+            a.x.partial_cmp(&b.x)
+                .unwrap()
+                .then(a.y.partial_cmp(&b.y).unwrap())
+        });
+        pts.dedup_by(|a, b| a.approx_eq(b));
+        let n = pts.len();
+        if n <= 2 {
+            return ConvexPolygon { vertices: pts };
+        }
+        let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+        // Lower hull.
+        for &p in &pts {
+            while hull.len() >= 2
+                && Point::orient(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) <= EPS
+            {
+                hull.pop();
+            }
+            hull.push(p);
+        }
+        // Upper hull.
+        let lower_len = hull.len() + 1;
+        for &p in pts.iter().rev().skip(1) {
+            while hull.len() >= lower_len
+                && Point::orient(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) <= EPS
+            {
+                hull.pop();
+            }
+            hull.push(p);
+        }
+        hull.pop();
+        ConvexPolygon { vertices: hull }
+    }
+
+    /// The vertices in counter-clockwise order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the polygon has no area (fewer than three vertices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Area of the polygon (shoelace formula; zero for degenerate polygons).
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut twice = 0.0;
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            twice += a.cross(&b);
+        }
+        twice.abs() * 0.5
+    }
+
+    /// Centroid of the polygon. Returns the average of the vertices for
+    /// degenerate polygons and `None` when there are no vertices at all.
+    pub fn centroid(&self) -> Option<Point> {
+        if self.vertices.is_empty() {
+            return None;
+        }
+        if self.is_empty() {
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point::ORIGIN, |acc, p| acc + *p);
+            return Some(sum / self.vertices.len() as f64);
+        }
+        let mut twice_area = 0.0;
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            let w = a.cross(&b);
+            twice_area += w;
+            cx += (a.x + b.x) * w;
+            cy += (a.y + b.y) * w;
+        }
+        if twice_area.abs() <= EPS {
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point::ORIGIN, |acc, p| acc + *p);
+            return Some(sum / self.vertices.len() as f64);
+        }
+        Some(Point::new(cx / (3.0 * twice_area), cy / (3.0 * twice_area)))
+    }
+
+    /// `true` when the point lies inside or on the boundary of the polygon.
+    pub fn contains(&self, p: &Point) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            // For a CCW polygon the interior is on the left of every edge.
+            if Point::orient(&a, &b, p) < -1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clips the polygon by a half-plane (Sutherland–Hodgman step), keeping
+    /// the part inside the half-plane.
+    ///
+    /// This is the fundamental operation of the exact Voronoi cell
+    /// construction: each discovered neighbour tuple shrinks the tentative
+    /// cell by one clip.
+    pub fn clip(&self, hp: &HalfPlane) -> ConvexPolygon {
+        if self.vertices.is_empty() {
+            return ConvexPolygon::empty();
+        }
+        let n = self.vertices.len();
+        let mut out: Vec<Point> = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let next = self.vertices[(i + 1) % n];
+            let d_cur = hp.signed_distance(&cur);
+            let d_next = hp.signed_distance(&next);
+            let cur_in = d_cur <= EPS;
+            let next_in = d_next <= EPS;
+            if cur_in {
+                out.push(cur);
+            }
+            // Edge crosses the boundary: add the crossing point.
+            if (cur_in && !next_in) || (!cur_in && next_in) {
+                let denom = d_cur - d_next;
+                if denom.abs() > EPS {
+                    let t = d_cur / denom;
+                    out.push(cur.lerp(&next, t.clamp(0.0, 1.0)));
+                }
+            }
+        }
+        // Collapse consecutive (near-)duplicate vertices produced by clips
+        // that pass exactly through a vertex.
+        let mut dedup: Vec<Point> = Vec::with_capacity(out.len());
+        for p in out {
+            if dedup.last().map_or(true, |last| !last.approx_eq_eps(&p, 1e-9)) {
+                dedup.push(p);
+            }
+        }
+        if dedup.len() >= 2 && dedup[0].approx_eq_eps(dedup.last().unwrap(), 1e-9) {
+            dedup.pop();
+        }
+        ConvexPolygon { vertices: dedup }
+    }
+
+    /// Clips the polygon by many half-planes in sequence.
+    pub fn clip_all<'a, I: IntoIterator<Item = &'a HalfPlane>>(&self, planes: I) -> ConvexPolygon {
+        let mut poly = self.clone();
+        for hp in planes {
+            if poly.is_empty() {
+                break;
+            }
+            poly = poly.clip(hp);
+        }
+        poly
+    }
+
+    /// The edges of the polygon as segments, in counter-clockwise order.
+    pub fn edges(&self) -> Vec<Segment> {
+        if self.vertices.len() < 2 {
+            return Vec::new();
+        }
+        (0..self.vertices.len())
+            .map(|i| {
+                Segment::new(
+                    self.vertices[i],
+                    self.vertices[(i + 1) % self.vertices.len()],
+                )
+            })
+            .collect()
+    }
+
+    /// Axis-aligned bounding box of the polygon.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        Rect::bounding(self.vertices.iter().copied())
+    }
+
+    /// Distance along `ray` at which it first leaves the polygon, assuming
+    /// the origin lies inside. Returns `None` if the origin is outside.
+    ///
+    /// LNR-LBS-AGG uses this to know how far a binary search along a ray can
+    /// possibly have to walk.
+    pub fn ray_exit(&self, ray: &Ray) -> Option<f64> {
+        if !self.contains(&ray.origin) {
+            return None;
+        }
+        let mut best: Option<f64> = None;
+        for edge in self.edges() {
+            let e = edge.end - edge.start;
+            let denom = ray.direction.cross(&e);
+            if denom.abs() <= EPS {
+                continue;
+            }
+            let diff = edge.start - ray.origin;
+            let t = diff.cross(&e) / denom;
+            let u = diff.cross(&ray.direction) / denom;
+            if t >= -EPS && (-EPS..=1.0 + EPS).contains(&u) {
+                best = Some(best.map_or(t.max(0.0), |b: f64| b.max(t.max(0.0))));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> ConvexPolygon {
+        ConvexPolygon::from_rect(&Rect::from_bounds(0.0, 0.0, 10.0, 10.0))
+    }
+
+    #[test]
+    fn rect_polygon_area_and_containment() {
+        let p = square();
+        assert_eq!(p.len(), 4);
+        assert!((p.area() - 100.0).abs() < 1e-9);
+        assert!(p.contains(&Point::new(5.0, 5.0)));
+        assert!(p.contains(&Point::new(0.0, 0.0)));
+        assert!(!p.contains(&Point::new(-1.0, 5.0)));
+        assert!(p.centroid().unwrap().approx_eq(&Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn clip_by_halfplane_halves_square() {
+        let p = square();
+        // Keep x <= 5.
+        let hp = HalfPlane::closer_to(&Point::new(0.0, 5.0), &Point::new(10.0, 5.0)).unwrap();
+        let clipped = p.clip(&hp);
+        assert!((clipped.area() - 50.0).abs() < 1e-9);
+        assert!(clipped.contains(&Point::new(2.0, 5.0)));
+        assert!(!clipped.contains(&Point::new(8.0, 5.0)));
+    }
+
+    #[test]
+    fn clip_that_misses_keeps_polygon() {
+        let p = square();
+        let hp = HalfPlane::closer_to(&Point::new(5.0, 5.0), &Point::new(100.0, 5.0)).unwrap();
+        let clipped = p.clip(&hp);
+        assert!((clipped.area() - p.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_that_excludes_everything_is_empty() {
+        let p = square();
+        let hp = HalfPlane::closer_to(&Point::new(100.0, 5.0), &Point::new(5.0, 5.0)).unwrap();
+        let clipped = p.clip(&hp);
+        assert!(clipped.is_empty());
+        assert_eq!(clipped.area(), 0.0);
+    }
+
+    #[test]
+    fn repeated_clips_build_voronoi_cell() {
+        // Four sites around the origin; the Voronoi cell of the origin within
+        // a large box is the square [-5,5]^2 given sites at (±10, 0), (0, ±10).
+        let bbox = Rect::from_bounds(-50.0, -50.0, 50.0, 50.0);
+        let site = Point::new(0.0, 0.0);
+        let others = [
+            Point::new(10.0, 0.0),
+            Point::new(-10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(0.0, -10.0),
+        ];
+        let planes: Vec<HalfPlane> = others
+            .iter()
+            .map(|o| HalfPlane::closer_to(&site, o).unwrap())
+            .collect();
+        let cell = ConvexPolygon::from_rect(&bbox).clip_all(&planes);
+        assert!((cell.area() - 100.0).abs() < 1e-6);
+        assert!(cell.contains(&Point::new(4.9, 4.9)));
+        assert!(!cell.contains(&Point::new(5.1, 0.0)));
+    }
+
+    #[test]
+    fn hull_of_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(5.0, 5.0), // interior
+            Point::new(5.0, 0.0), // on an edge
+        ];
+        let hull = ConvexPolygon::hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!((hull.area() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_degenerate_inputs() {
+        assert!(ConvexPolygon::hull(&[]).is_empty());
+        assert!(ConvexPolygon::hull(&[Point::new(1.0, 1.0)]).is_empty());
+        let collinear = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = ConvexPolygon::hull(&collinear);
+        assert_eq!(hull.area(), 0.0);
+    }
+
+    #[test]
+    fn edges_and_bounding_rect() {
+        let p = square();
+        assert_eq!(p.edges().len(), 4);
+        assert_eq!(
+            p.bounding_rect().unwrap(),
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0)
+        );
+        assert!(ConvexPolygon::empty().bounding_rect().is_none());
+    }
+
+    #[test]
+    fn ray_exit_distance() {
+        let p = square();
+        let ray = Ray::new(Point::new(5.0, 5.0), Point::new(1.0, 0.0)).unwrap();
+        let t = p.ray_exit(&ray).unwrap();
+        assert!((t - 5.0).abs() < 1e-9);
+        let outside_ray = Ray::new(Point::new(50.0, 50.0), Point::new(1.0, 0.0)).unwrap();
+        assert!(p.ray_exit(&outside_ray).is_none());
+    }
+
+    #[test]
+    fn centroid_of_triangle() {
+        let tri = ConvexPolygon::from_ccw_vertices(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert!(tri.centroid().unwrap().approx_eq(&Point::new(1.0, 1.0)));
+        assert!((tri.area() - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Closed half-planes.
+//!
+//! A top-1 Voronoi cell is exactly an intersection of half-planes: for a
+//! tuple `t` and every other tuple `t'`, the cell lies on `t`'s side of the
+//! perpendicular bisector of `(t, t')`. [`HalfPlane`] captures one such
+//! constraint; [`crate::convex::ConvexPolygon::clip`] intersects a convex
+//! polygon with it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::line::Line;
+use crate::point::Point;
+use crate::EPS;
+
+/// The closed half-plane `a*x + b*y <= c` with `(a, b)` of unit length.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HalfPlane {
+    /// Boundary line of the half-plane; the half-plane is the non-positive
+    /// side of the line's normal.
+    pub boundary: Line,
+}
+
+impl HalfPlane {
+    /// Half-plane whose boundary is `boundary` and which contains the points
+    /// with non-positive signed distance.
+    #[inline]
+    pub fn new(boundary: Line) -> Self {
+        HalfPlane { boundary }
+    }
+
+    /// The half-plane of points at least as close to `keep` as to `other`.
+    ///
+    /// This is the constraint contributed by tuple `other` to the Voronoi cell
+    /// of tuple `keep`. Returns `None` when the two points (nearly) coincide.
+    pub fn closer_to(keep: &Point, other: &Point) -> Option<HalfPlane> {
+        // Line::bisector's normal points from `keep` to `other`, so the
+        // "closer to keep" side is the non-positive side — exactly our
+        // convention.
+        Line::bisector(keep, other).map(HalfPlane::new)
+    }
+
+    /// Half-plane containing `inside`, bounded by `boundary`.
+    ///
+    /// Returns `None` when `inside` lies (nearly) on the boundary, in which
+    /// case the orientation is ambiguous.
+    pub fn with_inside(boundary: Line, inside: &Point) -> Option<HalfPlane> {
+        let d = boundary.signed_distance(inside);
+        if d.abs() <= EPS {
+            None
+        } else if d < 0.0 {
+            Some(HalfPlane::new(boundary))
+        } else {
+            Some(HalfPlane::new(Line {
+                a: -boundary.a,
+                b: -boundary.b,
+                c: -boundary.c,
+            }))
+        }
+    }
+
+    /// Signed distance of `p` to the boundary: negative inside, positive
+    /// outside.
+    #[inline]
+    pub fn signed_distance(&self, p: &Point) -> f64 {
+        self.boundary.signed_distance(p)
+    }
+
+    /// `true` when the point belongs to the closed half-plane (within [`EPS`]).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.signed_distance(p) <= EPS
+    }
+
+    /// `true` when the point lies strictly inside the half-plane.
+    #[inline]
+    pub fn contains_strict(&self, p: &Point) -> bool {
+        self.signed_distance(p) < -EPS
+    }
+
+    /// The complementary half-plane (shared boundary, opposite side).
+    pub fn complement(&self) -> HalfPlane {
+        HalfPlane::new(Line {
+            a: -self.boundary.a,
+            b: -self.boundary.b,
+            c: -self.boundary.c,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_to_orientation() {
+        let t = Point::new(0.0, 0.0);
+        let other = Point::new(10.0, 0.0);
+        let hp = HalfPlane::closer_to(&t, &other).unwrap();
+        assert!(hp.contains(&t));
+        assert!(!hp.contains(&other));
+        assert!(hp.contains(&Point::new(5.0, 100.0))); // on the boundary
+        assert!(hp.contains(&Point::new(4.9, -3.0)));
+        assert!(!hp.contains(&Point::new(5.1, -3.0)));
+    }
+
+    #[test]
+    fn closer_to_degenerate() {
+        let t = Point::new(1.0, 2.0);
+        assert!(HalfPlane::closer_to(&t, &t).is_none());
+    }
+
+    #[test]
+    fn with_inside_flips_when_needed() {
+        let boundary = Line::through(&Point::new(0.0, 0.0), &Point::new(1.0, 0.0)).unwrap();
+        let above = Point::new(0.0, 5.0);
+        let below = Point::new(0.0, -5.0);
+        let hp_above = HalfPlane::with_inside(boundary, &above).unwrap();
+        assert!(hp_above.contains(&above));
+        assert!(!hp_above.contains(&below));
+        let hp_below = HalfPlane::with_inside(boundary, &below).unwrap();
+        assert!(hp_below.contains(&below));
+        assert!(!hp_below.contains(&above));
+        // A point on the boundary is ambiguous.
+        assert!(HalfPlane::with_inside(boundary, &Point::new(3.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn complement_flips_containment() {
+        let hp = HalfPlane::closer_to(&Point::new(0.0, 0.0), &Point::new(2.0, 0.0)).unwrap();
+        let comp = hp.complement();
+        let inside = Point::new(-1.0, 0.0);
+        let outside = Point::new(3.0, 0.0);
+        assert!(hp.contains(&inside) && !comp.contains_strict(&inside));
+        assert!(comp.contains(&outside) && !hp.contains(&outside));
+    }
+
+    #[test]
+    fn signed_distance_symmetry() {
+        let hp = HalfPlane::closer_to(&Point::new(0.0, 0.0), &Point::new(4.0, 0.0)).unwrap();
+        assert!((hp.signed_distance(&Point::new(0.0, 0.0)) + 2.0).abs() < 1e-12);
+        assert!((hp.signed_distance(&Point::new(4.0, 0.0)) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! # lbs-geom
+//!
+//! Two-dimensional computational geometry engine backing the reproduction of
+//! *Aggregate Estimations over Location Based Services* (Liu et al., VLDB 2015).
+//!
+//! The paper's estimators repeatedly need to
+//!
+//! * compute the **Voronoi cell** of a tuple exactly from the locations of the
+//!   tuples discovered so far (Theorem 1 of the paper),
+//! * compute the **top-k Voronoi cell** — the region of query locations that
+//!   return a tuple among their k nearest neighbours — including its exact
+//!   area and its vertex set even when the region is *concave*,
+//! * clip convex cells by perpendicular bisector half-planes,
+//! * maintain **upper and lower bounds** on a cell (bounding polygon, union of
+//!   disks through the tuple centred at confirmed vertices),
+//! * intersect rays with cell boundaries for the rank-only binary-search
+//!   machinery of LNR-LBS-AGG.
+//!
+//! All of that is implemented here from scratch on plain `f64` coordinates.
+//! The crate has no dependency on the rest of the workspace and can be used as
+//! a small standalone geometry toolkit.
+//!
+//! ## Module overview
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`point`] | points, vectors, distances, orientation predicates |
+//! | [`rect`] | axis-aligned rectangles (bounding boxes) |
+//! | [`line`] | lines, segments, rays, perpendicular bisectors |
+//! | [`halfplane`] | closed half-planes and signed distances |
+//! | [`convex`] | convex polygons and half-plane clipping |
+//! | [`polygon`] | simple (possibly concave) polygons |
+//! | [`circle`] | circles/disks and exact disk-union coverage tests |
+//! | [`topk_cell`] | exact top-k Voronoi cells (vertices + area) |
+//! | [`voronoi`] | full Voronoi diagrams over a site set |
+//!
+//! ## Numerical conventions
+//!
+//! Computations are carried out in `f64`. Predicates that would be brittle
+//! under exact comparison accept an epsilon; the crate-wide default is
+//! [`EPS`]. The paper assumes *general positioning* (no two tuples co-located,
+//! no four co-circular); the algorithms here tolerate mild violations by
+//! epsilon-perturbation but make no exactness guarantee in degenerate inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circle;
+pub mod convex;
+pub mod halfplane;
+pub mod line;
+pub mod point;
+pub mod polygon;
+pub mod rect;
+pub mod topk_cell;
+pub mod voronoi;
+
+pub use circle::{disk_covered_by_union, Circle};
+pub use convex::ConvexPolygon;
+pub use halfplane::HalfPlane;
+pub use line::{Line, Ray, Segment};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use topk_cell::{level_region, top_k_cell, violation_depth, LevelRegion, TopKCell};
+pub use voronoi::{voronoi_diagram, VoronoiDiagram};
+
+/// Crate-wide default tolerance for geometric predicates.
+///
+/// Coordinates used by the LBS simulators are on the order of 10^3 (a
+/// continental bounding box measured in kilometres), so `1e-9` keeps roughly
+/// twelve significant digits of slack — far below any distance that matters
+/// to the estimators — while absorbing floating point noise from repeated
+/// half-plane clipping.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when two floating point values are equal within [`EPS`]
+/// scaled by the magnitude of the inputs.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0001));
+        assert!(approx_eq(1e6, 1e6 + 1e-4));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+}

@@ -1,0 +1,388 @@
+//! Lines, rays, segments and perpendicular bisectors.
+//!
+//! Perpendicular bisectors are the work-horse of the whole reproduction: every
+//! edge of a (top-k) Voronoi cell is a piece of the perpendicular bisector
+//! between the cell's tuple and a neighbouring tuple (paper §3.1), and the
+//! LNR-LBS binary search (paper Appendix A) walks along rays until it brackets
+//! such a bisector.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// An infinite line in implicit form `a*x + b*y = c` with `(a, b)` normalised
+/// to unit length.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Line {
+    /// x coefficient of the implicit equation.
+    pub a: f64,
+    /// y coefficient of the implicit equation.
+    pub b: f64,
+    /// Constant term of the implicit equation.
+    pub c: f64,
+}
+
+impl Line {
+    /// Line through two distinct points.
+    ///
+    /// Returns `None` when the points (nearly) coincide.
+    pub fn through(p: &Point, q: &Point) -> Option<Line> {
+        let d = *q - *p;
+        let n = d.perp().normalized()?;
+        Some(Line {
+            a: n.x,
+            b: n.y,
+            c: n.dot(p),
+        })
+    }
+
+    /// Line with a given (not necessarily unit) normal passing through `p`.
+    ///
+    /// Returns `None` when the normal is (nearly) zero.
+    pub fn with_normal(normal: &Point, p: &Point) -> Option<Line> {
+        let n = normal.normalized()?;
+        Some(Line {
+            a: n.x,
+            b: n.y,
+            c: n.dot(p),
+        })
+    }
+
+    /// Perpendicular bisector of the segment `(p, q)`: the locus of points at
+    /// equal distance from `p` and `q`.
+    ///
+    /// The normal points from `p` towards `q`, so positive
+    /// [`Line::signed_distance`] means "closer to `q`".
+    ///
+    /// Returns `None` when `p` and `q` (nearly) coincide — the paper's general
+    /// positioning assumption excludes that case for real tuples.
+    pub fn bisector(p: &Point, q: &Point) -> Option<Line> {
+        let n = (*q - *p).normalized()?;
+        let m = p.midpoint(q);
+        Some(Line {
+            a: n.x,
+            b: n.y,
+            c: n.dot(&m),
+        })
+    }
+
+    /// Unit normal vector of the line.
+    #[inline]
+    pub fn normal(&self) -> Point {
+        Point::new(self.a, self.b)
+    }
+
+    /// Unit direction vector of the line (normal rotated by 90°).
+    #[inline]
+    pub fn direction(&self) -> Point {
+        Point::new(-self.b, self.a)
+    }
+
+    /// Signed distance from the point to the line (positive on the side the
+    /// normal points to).
+    #[inline]
+    pub fn signed_distance(&self, p: &Point) -> f64 {
+        self.a * p.x + self.b * p.y - self.c
+    }
+
+    /// `true` when the point lies on the line within `eps`.
+    #[inline]
+    pub fn contains(&self, p: &Point, eps: f64) -> bool {
+        self.signed_distance(p).abs() <= eps
+    }
+
+    /// Orthogonal projection of the point onto the line.
+    pub fn project(&self, p: &Point) -> Point {
+        *p - self.normal() * self.signed_distance(p)
+    }
+
+    /// Intersection point of two lines.
+    ///
+    /// Returns `None` for (nearly) parallel lines.
+    pub fn intersection(&self, other: &Line) -> Option<Point> {
+        let det = self.a * other.b - other.a * self.b;
+        if det.abs() <= EPS {
+            return None;
+        }
+        let x = (self.c * other.b - other.c * self.b) / det;
+        let y = (self.a * other.c - other.a * self.c) / det;
+        Some(Point::new(x, y))
+    }
+
+    /// Clips the line to a rectangle, returning the chord as a segment.
+    ///
+    /// Returns `None` when the line misses the rectangle.
+    pub fn clip_to_rect(&self, rect: &Rect) -> Option<Segment> {
+        // Parametrise as p(t) = p0 + t*d and clip t against the four slabs
+        // (Liang–Barsky style).
+        let d = self.direction();
+        let p0 = self.project(&rect.center());
+        let mut t_min = f64::NEG_INFINITY;
+        let mut t_max = f64::INFINITY;
+        let checks = [
+            (d.x, rect.min_x - p0.x, rect.max_x - p0.x),
+            (d.y, rect.min_y - p0.y, rect.max_y - p0.y),
+        ];
+        for (dir, lo, hi) in checks {
+            if dir.abs() <= EPS {
+                // Parallel to this slab: must already be inside it.
+                if lo > EPS || hi < -EPS {
+                    return None;
+                }
+            } else {
+                let (t0, t1) = if dir > 0.0 {
+                    (lo / dir, hi / dir)
+                } else {
+                    (hi / dir, lo / dir)
+                };
+                t_min = t_min.max(t0);
+                t_max = t_max.min(t1);
+            }
+        }
+        if t_min > t_max {
+            return None;
+        }
+        Some(Segment::new(p0 + d * t_min, p0 + d * t_max))
+    }
+}
+
+/// A directed line segment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub start: Point,
+    /// End point.
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub fn new(start: Point, end: Point) -> Self {
+        Segment { start, end }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.start.distance(&self.end)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.start.midpoint(&self.end)
+    }
+
+    /// Point at parameter `t` in `[0, 1]` along the segment.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.start.lerp(&self.end, t)
+    }
+
+    /// The supporting line of the segment, if the segment is non-degenerate.
+    pub fn line(&self) -> Option<Line> {
+        Line::through(&self.start, &self.end)
+    }
+
+    /// Distance from a point to the segment (not the supporting line).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let d = self.end - self.start;
+        let len_sq = d.norm_sq();
+        if len_sq <= EPS * EPS {
+            return self.start.distance(p);
+        }
+        let t = ((*p - self.start).dot(&d) / len_sq).clamp(0.0, 1.0);
+        self.at(t).distance(p)
+    }
+
+    /// Intersection point with another segment (closed endpoints).
+    ///
+    /// Returns `None` when the segments do not intersect or are (nearly)
+    /// parallel; collinear overlap is reported as `None` because the callers
+    /// only care about transversal crossings of Voronoi edges.
+    pub fn intersection(&self, other: &Segment) -> Option<Point> {
+        let r = self.end - self.start;
+        let s = other.end - other.start;
+        let denom = r.cross(&s);
+        if denom.abs() <= EPS {
+            return None;
+        }
+        let qp = other.start - self.start;
+        let t = qp.cross(&s) / denom;
+        let u = qp.cross(&r) / denom;
+        let tol = 1e-9;
+        if (-tol..=1.0 + tol).contains(&t) && (-tol..=1.0 + tol).contains(&u) {
+            Some(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+}
+
+/// A half-line: origin plus a direction, extending to infinity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    /// Origin of the ray.
+    pub origin: Point,
+    /// Unit direction of the ray.
+    pub direction: Point,
+}
+
+impl Ray {
+    /// Creates a ray; the direction is normalised.
+    ///
+    /// Returns `None` when the direction is (nearly) zero.
+    pub fn new(origin: Point, direction: Point) -> Option<Self> {
+        Some(Ray {
+            origin,
+            direction: direction.normalized()?,
+        })
+    }
+
+    /// Ray from `origin` towards `through`.
+    pub fn towards(origin: Point, through: Point) -> Option<Self> {
+        Ray::new(origin, through - origin)
+    }
+
+    /// Point at distance `t >= 0` along the ray.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.origin + self.direction * t
+    }
+
+    /// Parameter `t` at which the ray exits the rectangle, assuming the origin
+    /// lies inside the rectangle.
+    ///
+    /// This is `c_b` of the paper's Appendix A: the intersection of the
+    /// half-line with the bounding box. Returns `None` when the origin is
+    /// outside the rectangle or the ray never exits (which cannot happen for a
+    /// finite rectangle and an inside origin).
+    pub fn exit_from_rect(&self, rect: &Rect) -> Option<f64> {
+        if !rect.contains(&self.origin) {
+            return None;
+        }
+        let mut t_exit = f64::INFINITY;
+        if self.direction.x > EPS {
+            t_exit = t_exit.min((rect.max_x - self.origin.x) / self.direction.x);
+        } else if self.direction.x < -EPS {
+            t_exit = t_exit.min((rect.min_x - self.origin.x) / self.direction.x);
+        }
+        if self.direction.y > EPS {
+            t_exit = t_exit.min((rect.max_y - self.origin.y) / self.direction.y);
+        } else if self.direction.y < -EPS {
+            t_exit = t_exit.min((rect.min_y - self.origin.y) / self.direction.y);
+        }
+        if t_exit.is_finite() {
+            Some(t_exit.max(0.0))
+        } else {
+            None
+        }
+    }
+
+    /// Rotates the ray around its origin by `angle` radians (counter-clockwise).
+    pub fn rotated(&self, angle: f64) -> Ray {
+        let (sin, cos) = angle.sin_cos();
+        let d = self.direction;
+        Ray {
+            origin: self.origin,
+            direction: Point::new(d.x * cos - d.y * sin, d.x * sin + d.y * cos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisector_is_equidistant() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(4.0, 2.0);
+        let b = Line::bisector(&p, &q).unwrap();
+        // Any point on the bisector is equidistant from p and q.
+        let m = p.midpoint(&q);
+        assert!(b.contains(&m, 1e-9));
+        let on_line = m + b.direction() * 3.0;
+        assert!((on_line.distance(&p) - on_line.distance(&q)).abs() < 1e-9);
+        // The normal points from p to q: q side is positive.
+        assert!(b.signed_distance(&q) > 0.0);
+        assert!(b.signed_distance(&p) < 0.0);
+    }
+
+    #[test]
+    fn bisector_degenerate() {
+        let p = Point::new(1.0, 1.0);
+        assert!(Line::bisector(&p, &p).is_none());
+    }
+
+    #[test]
+    fn line_through_and_projection() {
+        let l = Line::through(&Point::new(0.0, 0.0), &Point::new(2.0, 0.0)).unwrap();
+        assert!(l.contains(&Point::new(5.0, 0.0), 1e-9));
+        let proj = l.project(&Point::new(3.0, 4.0));
+        assert!(proj.approx_eq(&Point::new(3.0, 0.0)));
+        assert!((l.signed_distance(&Point::new(0.0, 2.0)).abs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_intersection() {
+        let h = Line::through(&Point::new(0.0, 1.0), &Point::new(1.0, 1.0)).unwrap();
+        let v = Line::through(&Point::new(2.0, 0.0), &Point::new(2.0, 1.0)).unwrap();
+        let x = h.intersection(&v).unwrap();
+        assert!(x.approx_eq(&Point::new(2.0, 1.0)));
+        let h2 = Line::through(&Point::new(0.0, 3.0), &Point::new(1.0, 3.0)).unwrap();
+        assert!(h.intersection(&h2).is_none());
+    }
+
+    #[test]
+    fn clip_line_to_rect() {
+        let rect = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let l = Line::through(&Point::new(-5.0, 5.0), &Point::new(20.0, 5.0)).unwrap();
+        let seg = l.clip_to_rect(&rect).unwrap();
+        assert!((seg.length() - 10.0).abs() < 1e-9);
+        let outside = Line::through(&Point::new(-5.0, 20.0), &Point::new(20.0, 20.0)).unwrap();
+        assert!(outside.clip_to_rect(&rect).is_none());
+        // Diagonal line.
+        let diag = Line::through(&Point::new(0.0, 0.0), &Point::new(1.0, 1.0)).unwrap();
+        let seg = diag.clip_to_rect(&rect).unwrap();
+        assert!((seg.length() - (200.0_f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_distance_and_intersection() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!((s.distance_to_point(&Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+        assert!((s.distance_to_point(&Point::new(-4.0, 3.0)) - 5.0).abs() < 1e-12);
+        let t = Segment::new(Point::new(5.0, -1.0), Point::new(5.0, 1.0));
+        let x = s.intersection(&t).unwrap();
+        assert!(x.approx_eq(&Point::new(5.0, 0.0)));
+        let far = Segment::new(Point::new(20.0, -1.0), Point::new(20.0, 1.0));
+        assert!(s.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn ray_exit_from_rect() {
+        let rect = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let r = Ray::new(Point::new(5.0, 5.0), Point::new(1.0, 0.0)).unwrap();
+        let t = r.exit_from_rect(&rect).unwrap();
+        assert!((t - 5.0).abs() < 1e-9);
+        assert!(r.at(t).approx_eq(&Point::new(10.0, 5.0)));
+        let diag = Ray::new(Point::new(5.0, 5.0), Point::new(1.0, 1.0)).unwrap();
+        let t = diag.exit_from_rect(&rect).unwrap();
+        assert!(diag.at(t).approx_eq(&Point::new(10.0, 10.0)));
+        let outside = Ray::new(Point::new(50.0, 50.0), Point::new(1.0, 0.0)).unwrap();
+        assert!(outside.exit_from_rect(&rect).is_none());
+    }
+
+    #[test]
+    fn ray_rotation() {
+        let r = Ray::new(Point::ORIGIN, Point::new(1.0, 0.0)).unwrap();
+        let up = r.rotated(std::f64::consts::FRAC_PI_2);
+        assert!(up.direction.approx_eq(&Point::new(0.0, 1.0)));
+        let down = r.rotated(-std::f64::consts::FRAC_PI_2);
+        assert!(down.direction.approx_eq(&Point::new(0.0, -1.0)));
+    }
+}

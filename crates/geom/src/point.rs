@@ -1,0 +1,295 @@
+//! Points, vectors and basic predicates on the Euclidean plane.
+//!
+//! [`Point`] doubles as a 2-D vector: the arithmetic operators treat it as a
+//! vector, while the distance helpers treat it as a location. The LBS model of
+//! the paper works on longitude/latitude pairs projected onto a plane; the
+//! rest of the workspace stores coordinates in kilometres so that Euclidean
+//! distance is meaningful.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::EPS;
+
+/// A point (or 2-D vector) on the Euclidean plane.
+#[derive(Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (e.g. projected longitude, in kilometres).
+    pub x: f64,
+    /// Vertical coordinate (e.g. projected latitude, in kilometres).
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// Cheaper than [`Point::distance`] and sufficient for nearest-neighbour
+    /// comparisons, which is how the spatial indexes use it.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector dot product.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the 3-D cross product of the two vectors.
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: &Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm when interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `None` for (near-)zero vectors, for which no direction exists.
+    #[inline]
+    pub fn normalized(&self) -> Option<Point> {
+        let n = self.norm();
+        if n <= EPS {
+            None
+        } else {
+            Some(Point::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// The vector rotated by 90 degrees counter-clockwise.
+    #[inline]
+    pub fn perp(&self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: returns `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Orientation of the ordered triple `(a, b, c)`.
+    ///
+    /// Returns a positive value when the triple turns counter-clockwise,
+    /// negative when clockwise, and (near) zero when collinear.
+    #[inline]
+    pub fn orient(a: &Point, b: &Point, c: &Point) -> f64 {
+        (*b - *a).cross(&(*c - *a))
+    }
+
+    /// `true` when `self` and `other` coincide within [`EPS`] (absolute).
+    #[inline]
+    pub fn approx_eq(&self, other: &Point) -> bool {
+        (self.x - other.x).abs() <= EPS && (self.y - other.y).abs() <= EPS
+    }
+
+    /// `true` when `self` and `other` coincide within the given tolerance.
+    #[inline]
+    pub fn approx_eq_eps(&self, other: &Point, eps: f64) -> bool {
+        (self.x - other.x).abs() <= eps && (self.y - other.y).abs() <= eps
+    }
+
+    /// `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Angle of the vector in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_norm() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+        assert!((b.norm() - 5.0).abs() < 1e-12);
+        assert!((b.norm_sq() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(&b), 0.0);
+        assert_eq!(a.cross(&b), 1.0);
+        assert_eq!(b.cross(&a), -1.0);
+    }
+
+    #[test]
+    fn orientation_predicate() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let ccw = Point::new(0.5, 1.0);
+        let cw = Point::new(0.5, -1.0);
+        let col = Point::new(2.0, 0.0);
+        assert!(Point::orient(&a, &b, &ccw) > 0.0);
+        assert!(Point::orient(&a, &b, &cw) < 0.0);
+        assert!(Point::orient(&a, &b, &col).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Point::ORIGIN.normalized().is_none());
+        let n = Point::new(0.0, 5.0).normalized().unwrap();
+        assert!(n.approx_eq(&Point::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn perp_is_counter_clockwise() {
+        let v = Point::new(1.0, 0.0);
+        assert!(v.perp().approx_eq(&Point::new(0.0, 1.0)));
+        assert!(v.cross(&v.perp()) > 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert!(a.midpoint(&b).approx_eq(&Point::new(1.0, 2.0)));
+        assert!(a.lerp(&b, 0.25).approx_eq(&Point::new(0.5, 1.0)));
+        assert!(a.lerp(&b, 0.0).approx_eq(&a));
+        assert!(a.lerp(&b, 1.0).approx_eq(&b));
+    }
+
+    #[test]
+    fn angle_quadrants() {
+        assert!((Point::new(1.0, 0.0).angle() - 0.0).abs() < 1e-12);
+        assert!((Point::new(0.0, 1.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((Point::new(-1.0, 0.0).angle() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.5, -2.5).into();
+        assert_eq!(p, Point::new(1.5, -2.5));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, -2.5));
+    }
+}

@@ -1,0 +1,251 @@
+//! Simple polygons, possibly concave.
+//!
+//! Top-k Voronoi cells with `k > 1` can be **concave** (paper §2.2, Figure 1),
+//! and the cell polygons recovered by LNR-LBS-AGG are therefore general simple
+//! polygons rather than convex ones. [`Polygon`] provides area, containment
+//! and centroid for that case.
+
+use serde::{Deserialize, Serialize};
+
+use crate::convex::ConvexPolygon;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// A simple polygon described by its vertices in order (clockwise or
+/// counter-clockwise); the boundary must not self-intersect.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its boundary vertices in order.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// The vertices in boundary order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the polygon has fewer than three vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Signed area: positive for counter-clockwise orientation.
+    pub fn signed_area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut twice = 0.0;
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            twice += a.cross(&b);
+        }
+        twice * 0.5
+    }
+
+    /// Absolute area of the polygon.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// `true` when the point is inside or on the boundary (winding-agnostic
+    /// even–odd rule with an explicit boundary check).
+    pub fn contains(&self, p: &Point) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.vertices.len();
+        // Boundary check first: the ray-casting parity rule is unreliable on
+        // the boundary itself.
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let seg_len_sq = a.distance_sq(&b);
+            if seg_len_sq <= EPS * EPS {
+                if p.approx_eq(&a) {
+                    return true;
+                }
+                continue;
+            }
+            let t = ((*p - a).dot(&(b - a)) / seg_len_sq).clamp(0.0, 1.0);
+            if a.lerp(&b, t).distance(p) <= 1e-9 {
+                return true;
+            }
+        }
+        // Even-odd ray casting towards +x.
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let crosses = (a.y > p.y) != (b.y > p.y);
+            if crosses {
+                let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if x_at > p.x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Centroid of the polygon area (`None` when degenerate).
+    pub fn centroid(&self) -> Option<Point> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut twice_area = 0.0;
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let w = a.cross(&b);
+            twice_area += w;
+            cx += (a.x + b.x) * w;
+            cy += (a.y + b.y) * w;
+        }
+        if twice_area.abs() <= EPS {
+            return None;
+        }
+        Some(Point::new(cx / (3.0 * twice_area), cy / (3.0 * twice_area)))
+    }
+
+    /// Axis-aligned bounding box of the polygon.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        Rect::bounding(self.vertices.iter().copied())
+    }
+
+    /// `true` when the polygon is convex (all turns in the same direction).
+    pub fn is_convex(&self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.vertices.len();
+        let mut sign = 0.0_f64;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            let cross = Point::orient(&a, &b, &c);
+            if cross.abs() <= EPS {
+                continue;
+            }
+            if sign == 0.0 {
+                sign = cross.signum();
+            } else if cross.signum() != sign {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl From<ConvexPolygon> for Polygon {
+    fn from(c: ConvexPolygon) -> Self {
+        Polygon::new(c.vertices().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An L-shaped (concave) polygon with area 3: the unit square grid cells
+    /// (0,0), (1,0) and (0,1).
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn area_of_concave_polygon() {
+        let p = l_shape();
+        assert!((p.area() - 3.0).abs() < 1e-12);
+        assert!(p.signed_area() > 0.0);
+    }
+
+    #[test]
+    fn clockwise_polygon_has_negative_signed_area() {
+        let mut verts = l_shape().vertices().to_vec();
+        verts.reverse();
+        let p = Polygon::new(verts);
+        assert!(p.signed_area() < 0.0);
+        assert!((p.area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_in_concave_polygon() {
+        let p = l_shape();
+        assert!(p.contains(&Point::new(0.5, 0.5)));
+        assert!(p.contains(&Point::new(1.5, 0.5)));
+        assert!(p.contains(&Point::new(0.5, 1.5)));
+        // The notch.
+        assert!(!p.contains(&Point::new(1.5, 1.5)));
+        // Boundary points.
+        assert!(p.contains(&Point::new(1.0, 1.0)));
+        assert!(p.contains(&Point::new(0.0, 0.0)));
+        assert!(p.contains(&Point::new(2.0, 0.5)));
+        // Clearly outside.
+        assert!(!p.contains(&Point::new(-0.5, 0.5)));
+        assert!(!p.contains(&Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn convexity_detection() {
+        assert!(!l_shape().is_convex());
+        let square = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]);
+        assert!(square.is_convex());
+        assert!(!Polygon::new(vec![Point::new(0.0, 0.0)]).is_convex());
+    }
+
+    #[test]
+    fn centroid_and_bbox() {
+        let square = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!(square.centroid().unwrap().approx_eq(&Point::new(1.0, 1.0)));
+        assert_eq!(
+            square.bounding_rect().unwrap(),
+            Rect::from_bounds(0.0, 0.0, 2.0, 2.0)
+        );
+        assert!(Polygon::default().centroid().is_none());
+    }
+
+    #[test]
+    fn conversion_from_convex() {
+        let c = ConvexPolygon::from_rect(&Rect::from_bounds(0.0, 0.0, 4.0, 2.0));
+        let p: Polygon = c.into();
+        assert!((p.area() - 8.0).abs() < 1e-12);
+        assert!(p.is_convex());
+    }
+}

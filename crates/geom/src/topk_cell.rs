@@ -1,0 +1,878 @@
+//! Exact top-k Voronoi cells.
+//!
+//! The paper (§2.2) generalises the Voronoi cell to the *top-k Voronoi cell*
+//! `V_k(t)`: the set of query locations that return tuple `t` among their k
+//! nearest neighbours. For `k = 1` this is the classical convex Voronoi cell;
+//! for `k > 1` it can be concave and has many more edges.
+//!
+//! For a site `t` and a finite set of other sites `D'`, membership of a query
+//! point `q` in the top-k cell of `t` **relative to `D'`** is purely a
+//! counting condition: `q ∈ V_k(t, D')` iff fewer than `k` sites of `D'` are
+//! strictly closer to `q` than `t` is. Each other site `o` contributes the
+//! half-plane "closer to `o` than to `t`", bounded by the perpendicular
+//! bisector of `(t, o)`; the cell is the region of the bounding box where at
+//! most `k − 1` of those half-planes apply — a *level set* of the bisector
+//! arrangement.
+//!
+//! This module computes, exactly:
+//!
+//! * the **area** of the cell, via a vertical slab decomposition of the
+//!   bisector arrangement into constant-depth trapezoids, and
+//! * the **vertex set** of the cell boundary (needed by Theorem 1's
+//!   termination test: the estimator issues a kNN query at every vertex),
+//!   via depth-filtered pairwise bisector intersections.
+//!
+//! The `k = 1` case takes a fast path through convex half-plane clipping and
+//! the two paths are cross-validated in the tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::convex::ConvexPolygon;
+use crate::halfplane::HalfPlane;
+use crate::line::Line;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// An exactly computed top-k Voronoi cell of a site with respect to a finite
+/// set of other sites, clipped to a bounding box.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopKCell {
+    /// The site whose cell this is.
+    pub site: Point,
+    /// The `k` of the top-k semantics (`1` = classical Voronoi cell).
+    pub k: usize,
+    /// Exact area of the cell.
+    pub area: f64,
+    /// Vertices of the cell boundary.
+    ///
+    /// For `k = 1` these are the convex polygon's vertices in counter-
+    /// clockwise order; for `k > 1` the set is unordered (the cell may be
+    /// concave or even disconnected relative to `D'`). Theorem 1 only needs
+    /// the set, not the order.
+    pub vertices: Vec<Point>,
+    /// The bounding box the cell was clipped to.
+    pub bbox: Rect,
+    /// For `k = 1`, the convex polygon realising the cell.
+    pub convex: Option<ConvexPolygon>,
+}
+
+impl TopKCell {
+    /// `true` when the query point belongs to the cell (fewer than `k` of the
+    /// given other sites are strictly closer to it than the cell's site).
+    ///
+    /// Note this re-evaluates membership from `others`; it does not use the
+    /// stored polygon, so it is valid for concave `k > 1` cells too.
+    pub fn contains(&self, q: &Point, others: &[Point]) -> bool {
+        if !self.bbox.contains(q) {
+            return false;
+        }
+        depth(&self.site, others, q) < self.k
+    }
+}
+
+/// Number of sites in `others` strictly closer to `q` than `site` is.
+///
+/// This is the "depth" of `q` in the bisector arrangement: `q` lies in the
+/// top-k cell of `site` iff `depth < k`. Ties (equidistant sites) are not
+/// counted, matching the closed-cell convention of the paper.
+pub fn depth(site: &Point, others: &[Point], q: &Point) -> usize {
+    let d_site = site.distance_sq(q);
+    others
+        .iter()
+        .filter(|o| o.distance_sq(q) < d_site - EPS)
+        .count()
+}
+
+/// Computes the exact top-k Voronoi cell of `site` with respect to `others`,
+/// clipped to `bbox`.
+///
+/// `k` must be at least 1. Sites of `others` that coincide with `site` are
+/// ignored (the paper's general-positioning assumption excludes them, but the
+/// simulators may feed duplicates during fast initialization).
+pub fn top_k_cell(site: &Point, others: &[Point], k: usize, bbox: &Rect) -> TopKCell {
+    assert!(k >= 1, "top_k_cell requires k >= 1");
+    let others: Vec<Point> = others
+        .iter()
+        .copied()
+        .filter(|o| !o.approx_eq(site))
+        .collect();
+
+    // With fewer than k other sites nothing can ever push `site` out of the
+    // top-k: the cell is the whole bounding box.
+    if others.len() < k {
+        let convex = ConvexPolygon::from_rect(bbox);
+        return TopKCell {
+            site: *site,
+            k,
+            area: bbox.area(),
+            vertices: convex.vertices().to_vec(),
+            bbox: *bbox,
+            convex: Some(convex),
+        };
+    }
+
+    if k == 1 {
+        return top_1_cell(site, &others, bbox);
+    }
+
+    let bisectors: Vec<Line> = others
+        .iter()
+        .filter_map(|o| Line::bisector(site, o))
+        .collect();
+
+    let area = level_set_area(site, &others, &bisectors, k, bbox);
+    let vertices = cell_vertices(site, &others, &bisectors, k, bbox);
+
+    TopKCell {
+        site: *site,
+        k,
+        area,
+        vertices,
+        bbox: *bbox,
+        convex: None,
+    }
+}
+
+/// Fast path for the classical (`k = 1`) Voronoi cell: intersect the bounding
+/// box with the "closer to site" half-plane of every other site.
+fn top_1_cell(site: &Point, others: &[Point], bbox: &Rect) -> TopKCell {
+    let mut cell = ConvexPolygon::from_rect(bbox);
+    for o in others {
+        if let Some(hp) = HalfPlane::closer_to(site, o) {
+            cell = cell.clip(&hp);
+            if cell.is_empty() {
+                break;
+            }
+        }
+    }
+    TopKCell {
+        site: *site,
+        k: 1,
+        area: cell.area(),
+        vertices: cell.vertices().to_vec(),
+        bbox: *bbox,
+        convex: Some(cell),
+    }
+}
+
+/// Exact area of the region of `bbox` with depth `< k` (at most `k − 1` other
+/// sites closer than `site`), via vertical slab decomposition.
+///
+/// Breakpoints are placed at every pairwise bisector intersection, every
+/// crossing of a bisector with the box's horizontal edges and every
+/// (near-)vertical bisector, so that inside one slab no two boundary curves
+/// cross and every region between consecutive curves is a constant-depth
+/// trapezoid whose area can be written down exactly.
+fn level_set_area(
+    site: &Point,
+    others: &[Point],
+    bisectors: &[Line],
+    k: usize,
+    bbox: &Rect,
+) -> f64 {
+    let mut xs: Vec<f64> = vec![bbox.min_x, bbox.max_x];
+
+    let vertical_threshold = 1e-9;
+    for (i, li) in bisectors.iter().enumerate() {
+        // Vertical lines become slab boundaries themselves.
+        if li.b.abs() <= vertical_threshold {
+            if li.a.abs() > EPS {
+                xs.push(li.c / li.a);
+            }
+            continue;
+        }
+        // Crossings with the horizontal box edges.
+        for y_edge in [bbox.min_y, bbox.max_y] {
+            // a*x + b*y = c  =>  x = (c - b*y) / a  when a != 0; a == 0 means
+            // the line is horizontal and never crosses a horizontal edge
+            // transversally.
+            if li.a.abs() > EPS {
+                xs.push((li.c - li.b * y_edge) / li.a);
+            }
+        }
+        // Pairwise intersections.
+        for lj in bisectors.iter().skip(i + 1) {
+            if let Some(p) = li.intersection(lj) {
+                xs.push(p.x);
+            }
+        }
+    }
+
+    xs.retain(|x| x.is_finite());
+    xs.iter_mut().for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+    let mut total_area = 0.0;
+
+    for w in xs.windows(2) {
+        let (x1, x2) = (w[0], w[1]);
+        let slab_width = x2 - x1;
+        if slab_width <= 1e-12 {
+            continue;
+        }
+        let xm = 0.5 * (x1 + x2);
+
+        // Band boundaries inside this slab: the box's horizontal edges plus
+        // every non-vertical bisector whose y at the slab midpoint falls
+        // strictly inside the box. Each boundary is either a constant or a
+        // line, so its y at x1 and x2 is exact.
+        #[derive(Clone, Copy)]
+        struct Boundary {
+            y_mid: f64,
+            y_left: f64,
+            y_right: f64,
+        }
+        let mut boundaries: Vec<Boundary> = vec![
+            Boundary {
+                y_mid: bbox.min_y,
+                y_left: bbox.min_y,
+                y_right: bbox.min_y,
+            },
+            Boundary {
+                y_mid: bbox.max_y,
+                y_left: bbox.max_y,
+                y_right: bbox.max_y,
+            },
+        ];
+        for li in bisectors {
+            if li.b.abs() <= vertical_threshold {
+                continue;
+            }
+            let y_at = |x: f64| (li.c - li.a * x) / li.b;
+            let ym = y_at(xm);
+            if ym > bbox.min_y && ym < bbox.max_y {
+                boundaries.push(Boundary {
+                    y_mid: ym,
+                    y_left: y_at(x1).clamp(bbox.min_y, bbox.max_y),
+                    y_right: y_at(x2).clamp(bbox.min_y, bbox.max_y),
+                });
+            }
+        }
+        boundaries.sort_by(|a, b| a.y_mid.partial_cmp(&b.y_mid).unwrap());
+
+        for pair in boundaries.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            let height_mid = hi.y_mid - lo.y_mid;
+            if height_mid <= 1e-12 {
+                continue;
+            }
+            let sample = Point::new(xm, 0.5 * (lo.y_mid + hi.y_mid));
+            if depth(site, others, &sample) < k {
+                // Exact trapezoid area: average of left and right heights
+                // times the slab width. Because no boundary crosses another
+                // within the slab, the heights stay non-negative.
+                let h_left = (hi.y_left - lo.y_left).max(0.0);
+                let h_right = (hi.y_right - lo.y_right).max(0.0);
+                total_area += 0.5 * (h_left + h_right) * slab_width;
+            }
+        }
+    }
+
+    total_area
+}
+
+/// Enumerates the vertices of the top-k cell boundary.
+///
+/// A candidate vertex is either
+///
+/// * the intersection of two bisectors `b(site, a)` and `b(site, b)` — a point
+///   equidistant from `site`, `a` and `b`. Writing `d` for the number of
+///   *other* sites strictly closer than `site`, the four quadrants around the
+///   point have depths `d`, `d+1`, `d+1`, `d+2`; the point is a boundary
+///   vertex of the level-`< k` region iff `d ∈ {k−2, k−1}` (one excluded or
+///   three excluded quadrants — an outward or an inward vertex respectively),
+/// * the crossing of one bisector with a box edge, which is a vertex iff the
+///   depth just off the bisector is exactly `k − 1`, or
+/// * a box corner that lies inside the cell.
+fn cell_vertices(
+    site: &Point,
+    others: &[Point],
+    bisectors: &[Line],
+    k: usize,
+    bbox: &Rect,
+) -> Vec<Point> {
+    let mut verts: Vec<Point> = Vec::new();
+
+    let strict_depth_excluding = |q: &Point, skip: &[usize]| -> usize {
+        let d_site = site.distance_sq(q);
+        others
+            .iter()
+            .enumerate()
+            .filter(|(idx, o)| !skip.contains(idx) && o.distance_sq(q) < d_site - 1e-9)
+            .count()
+    };
+
+    // Bisector-bisector intersections.
+    for i in 0..bisectors.len() {
+        for j in (i + 1)..bisectors.len() {
+            let Some(p) = bisectors[i].intersection(&bisectors[j]) else {
+                continue;
+            };
+            if !bbox.contains(&p) {
+                continue;
+            }
+            let d = strict_depth_excluding(&p, &[i, j]);
+            let is_vertex = if k >= 2 {
+                d == k - 1 || d == k - 2
+            } else {
+                d == 0
+            };
+            if is_vertex {
+                push_unique(&mut verts, p);
+            }
+        }
+    }
+
+    // Bisector-box-edge crossings.
+    for (i, li) in bisectors.iter().enumerate() {
+        let Some(seg) = li.clip_to_rect(bbox) else {
+            continue;
+        };
+        for p in [seg.start, seg.end] {
+            // Only genuine boundary points of the box qualify (the clip
+            // endpoints are on the box boundary by construction, but guard
+            // against degenerate chords).
+            if bbox.contains_strict(&p) {
+                continue;
+            }
+            let d = strict_depth_excluding(&p, &[i]);
+            if d == k - 1 {
+                push_unique(&mut verts, p);
+            }
+        }
+    }
+
+    // Box corners inside the cell.
+    for corner in bbox.corners() {
+        if depth(site, others, &corner) < k {
+            push_unique(&mut verts, corner);
+        }
+    }
+
+    verts
+}
+
+fn push_unique(verts: &mut Vec<Point>, p: Point) {
+    if !verts.iter().any(|v| v.approx_eq_eps(&p, 1e-7)) {
+        verts.push(p);
+    }
+}
+
+/// A level region of a half-plane arrangement: the set of points of the
+/// bounding box violating fewer than `k` of the half-planes.
+///
+/// This is the generalisation of [`TopKCell`] needed by LNR-LBS-AGG: there
+/// the estimator never learns tuple locations, only *estimated bisector
+/// lines* (each oriented so that its "inside" is the side closer to the
+/// explored tuple). The top-h cell of the tuple is then exactly the region
+/// where fewer than `h` of those half-planes are violated.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LevelRegion {
+    /// Exact area of the region.
+    pub area: f64,
+    /// Vertices of the region boundary (unordered).
+    pub vertices: Vec<Point>,
+    /// The bounding box the region was clipped to.
+    pub bbox: Rect,
+    /// The level parameter: points violating fewer than `k` half-planes
+    /// belong to the region.
+    pub k: usize,
+}
+
+impl LevelRegion {
+    /// `true` when the point violates fewer than `k` of the given half-planes
+    /// (and lies inside the bounding box).
+    pub fn contains(&self, q: &Point, halfplanes: &[crate::HalfPlane]) -> bool {
+        self.bbox.contains(q) && violation_depth(halfplanes, q) < self.k
+    }
+}
+
+/// Number of half-planes strictly violated by (i.e. not containing) `q`.
+pub fn violation_depth(halfplanes: &[crate::HalfPlane], q: &Point) -> usize {
+    halfplanes
+        .iter()
+        .filter(|hp| hp.signed_distance(q) > EPS)
+        .count()
+}
+
+/// Computes the level region of a set of oriented half-planes: the subset of
+/// `bbox` whose points violate fewer than `k` of them, with exact area and
+/// boundary vertices.
+///
+/// For `k = 1` this is the ordinary intersection of the half-planes with the
+/// box (a convex polygon); for larger `k` the region can be concave, exactly
+/// like top-k Voronoi cells.
+pub fn level_region(halfplanes: &[crate::HalfPlane], k: usize, bbox: &Rect) -> LevelRegion {
+    assert!(k >= 1, "level_region requires k >= 1");
+
+    if halfplanes.len() < k {
+        return LevelRegion {
+            area: bbox.area(),
+            vertices: ConvexPolygon::from_rect(bbox).vertices().to_vec(),
+            bbox: *bbox,
+            k,
+        };
+    }
+
+    if k == 1 {
+        let cell = ConvexPolygon::from_rect(bbox).clip_all(halfplanes.iter());
+        return LevelRegion {
+            area: cell.area(),
+            vertices: cell.vertices().to_vec(),
+            bbox: *bbox,
+            k,
+        };
+    }
+
+    let lines: Vec<Line> = halfplanes.iter().map(|hp| hp.boundary).collect();
+    let depth = |q: &Point| violation_depth(halfplanes, q);
+    let area = slab_level_area(&lines, &depth, k, bbox);
+
+    // Vertex enumeration mirrors `cell_vertices`: pairwise boundary-line
+    // intersections filtered by the violation depth excluding the two lines
+    // meeting there, plus box-edge crossings and box corners.
+    let mut vertices = Vec::new();
+    let depth_excluding = |q: &Point, skip: &[usize]| -> usize {
+        halfplanes
+            .iter()
+            .enumerate()
+            .filter(|(idx, hp)| !skip.contains(idx) && hp.signed_distance(q) > 1e-9)
+            .count()
+    };
+    for i in 0..lines.len() {
+        for j in (i + 1)..lines.len() {
+            let Some(p) = lines[i].intersection(&lines[j]) else {
+                continue;
+            };
+            if !bbox.contains(&p) {
+                continue;
+            }
+            let d = depth_excluding(&p, &[i, j]);
+            if d == k - 1 || (k >= 2 && d == k - 2) {
+                push_unique(&mut vertices, p);
+            }
+        }
+    }
+    for (i, li) in lines.iter().enumerate() {
+        let Some(seg) = li.clip_to_rect(bbox) else {
+            continue;
+        };
+        for p in [seg.start, seg.end] {
+            if bbox.contains_strict(&p) {
+                continue;
+            }
+            if depth_excluding(&p, &[i]) == k - 1 {
+                push_unique(&mut vertices, p);
+            }
+        }
+    }
+    for corner in bbox.corners() {
+        if depth(&corner) < k {
+            push_unique(&mut vertices, corner);
+        }
+    }
+
+    LevelRegion {
+        area,
+        vertices,
+        bbox: *bbox,
+        k,
+    }
+}
+
+/// Exact area of `{ q in bbox : depth(q) < k }` by vertical slab
+/// decomposition over the given boundary lines (shared by the site-based and
+/// half-plane-based level computations).
+fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bbox: &Rect) -> f64 {
+    let mut xs: Vec<f64> = vec![bbox.min_x, bbox.max_x];
+    let vertical_threshold = 1e-9;
+    for (i, li) in lines.iter().enumerate() {
+        if li.b.abs() <= vertical_threshold {
+            if li.a.abs() > EPS {
+                xs.push(li.c / li.a);
+            }
+            continue;
+        }
+        for y_edge in [bbox.min_y, bbox.max_y] {
+            if li.a.abs() > EPS {
+                xs.push((li.c - li.b * y_edge) / li.a);
+            }
+        }
+        for lj in lines.iter().skip(i + 1) {
+            if let Some(p) = li.intersection(lj) {
+                xs.push(p.x);
+            }
+        }
+    }
+    xs.retain(|x| x.is_finite());
+    xs.iter_mut().for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+    let mut total_area = 0.0;
+    for w in xs.windows(2) {
+        let (x1, x2) = (w[0], w[1]);
+        let slab_width = x2 - x1;
+        if slab_width <= 1e-12 {
+            continue;
+        }
+        let xm = 0.5 * (x1 + x2);
+        #[derive(Clone, Copy)]
+        struct Boundary {
+            y_mid: f64,
+            y_left: f64,
+            y_right: f64,
+        }
+        let mut boundaries: Vec<Boundary> = vec![
+            Boundary {
+                y_mid: bbox.min_y,
+                y_left: bbox.min_y,
+                y_right: bbox.min_y,
+            },
+            Boundary {
+                y_mid: bbox.max_y,
+                y_left: bbox.max_y,
+                y_right: bbox.max_y,
+            },
+        ];
+        for li in lines {
+            if li.b.abs() <= vertical_threshold {
+                continue;
+            }
+            let y_at = |x: f64| (li.c - li.a * x) / li.b;
+            let ym = y_at(xm);
+            if ym > bbox.min_y && ym < bbox.max_y {
+                boundaries.push(Boundary {
+                    y_mid: ym,
+                    y_left: y_at(x1).clamp(bbox.min_y, bbox.max_y),
+                    y_right: y_at(x2).clamp(bbox.min_y, bbox.max_y),
+                });
+            }
+        }
+        boundaries.sort_by(|a, b| a.y_mid.partial_cmp(&b.y_mid).unwrap());
+        for pair in boundaries.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            let height_mid = hi.y_mid - lo.y_mid;
+            if height_mid <= 1e-12 {
+                continue;
+            }
+            let sample = Point::new(xm, 0.5 * (lo.y_mid + hi.y_mid));
+            if depth(&sample) < k {
+                let h_left = (hi.y_left - lo.y_left).max(0.0);
+                let h_right = (hi.y_right - lo.y_right).max(0.0);
+                total_area += 0.5 * (h_left + h_right) * slab_width;
+            }
+        }
+    }
+    total_area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    /// Monte-Carlo area estimate used as an independent oracle in tests.
+    fn mc_area(site: &Point, others: &[Point], k: usize, bbox: &Rect, n: usize) -> f64 {
+        // Deterministic low-discrepancy-ish grid to avoid rand dev-dependency
+        // in unit tests: sample a jittered grid.
+        let side = (n as f64).sqrt() as usize;
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        for i in 0..side {
+            for j in 0..side {
+                let fx = (i as f64 + 0.5) / side as f64;
+                let fy = (j as f64 + 0.5) / side as f64;
+                let q = bbox.at_fraction(fx, fy);
+                total += 1;
+                if depth(site, others, &q) < k {
+                    inside += 1;
+                }
+            }
+        }
+        bbox.area() * inside as f64 / total as f64
+    }
+
+    #[test]
+    fn no_others_gives_whole_box() {
+        let cell = top_k_cell(&Point::new(50.0, 50.0), &[], 1, &bbox());
+        assert!((cell.area - 10_000.0).abs() < 1e-9);
+        assert_eq!(cell.vertices.len(), 4);
+    }
+
+    #[test]
+    fn fewer_others_than_k_gives_whole_box() {
+        let others = vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)];
+        let cell = top_k_cell(&Point::new(50.0, 50.0), &others, 3, &bbox());
+        assert!((cell.area - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top1_halfspace_split() {
+        // Two sites split the box in half.
+        let site = Point::new(25.0, 50.0);
+        let others = vec![Point::new(75.0, 50.0)];
+        let cell = top_k_cell(&site, &others, 1, &bbox());
+        assert!((cell.area - 5_000.0).abs() < 1e-6);
+        assert!(cell.contains(&Point::new(10.0, 10.0), &others));
+        assert!(!cell.contains(&Point::new(90.0, 90.0), &others));
+    }
+
+    #[test]
+    fn top2_with_single_other_is_whole_box() {
+        let site = Point::new(25.0, 50.0);
+        let others = vec![Point::new(75.0, 50.0)];
+        let cell = top_k_cell(&site, &others, 2, &bbox());
+        assert!((cell.area - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_configuration_top1() {
+        // Site at the centre surrounded by four sites at distance 40: its
+        // top-1 cell is the square of half-diagonal 20 around the centre,
+        // i.e. the square with corners at (30,50),(50,30),(70,50),(50,70)?
+        // No: bisectors are at x=30, x=70, y=30, y=70 → cell is the axis
+        // aligned square [30,70]^2 with area 1600.
+        let site = Point::new(50.0, 50.0);
+        let others = vec![
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Point::new(50.0, 10.0),
+            Point::new(50.0, 90.0),
+        ];
+        let cell = top_k_cell(&site, &others, 1, &bbox());
+        assert!((cell.area - 1600.0).abs() < 1e-6);
+        assert_eq!(cell.vertices.len(), 4);
+    }
+
+    #[test]
+    fn cross_configuration_top2_is_concave() {
+        // Same configuration, k = 2: the cell of the centre site is the
+        // region where at most one of the four outer sites is closer, i.e.
+        // the union of the central square with four slabs. Validate the slab
+        // area against Monte Carlo and check a concave-notch point.
+        let site = Point::new(50.0, 50.0);
+        let others = vec![
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Point::new(50.0, 10.0),
+            Point::new(50.0, 90.0),
+        ];
+        let cell = top_k_cell(&site, &others, 2, &bbox());
+        let mc = mc_area(&site, &others, 2, &bbox(), 90_000);
+        assert!(
+            (cell.area - mc).abs() / mc < 0.02,
+            "slab area {} vs MC {}",
+            cell.area,
+            mc
+        );
+        // A point inside the vertical slab but outside the central square is
+        // in the top-2 cell (only one site is closer) ...
+        assert!(cell.contains(&Point::new(50.0, 80.0), &others));
+        // ... but a diagonal corner point far from the centre is not.
+        assert!(!cell.contains(&Point::new(95.0, 95.0), &others));
+    }
+
+    #[test]
+    fn top1_matches_convex_clip_for_random_like_config() {
+        // A fixed, irregular configuration; compare the two computation paths
+        // (convex clip fast path vs. slab decomposition run explicitly).
+        let site = Point::new(42.0, 57.0);
+        let others = vec![
+            Point::new(10.0, 20.0),
+            Point::new(80.0, 15.0),
+            Point::new(65.0, 70.0),
+            Point::new(30.0, 85.0),
+            Point::new(55.0, 40.0),
+            Point::new(20.0, 60.0),
+        ];
+        let fast = top_k_cell(&site, &others, 1, &bbox());
+        let bisectors: Vec<Line> = others
+            .iter()
+            .filter_map(|o| Line::bisector(&site, o))
+            .collect();
+        let slab = level_set_area(&site, &others, &bisectors, 1, &bbox());
+        assert!(
+            (fast.area - slab).abs() < 1e-6,
+            "convex {} vs slab {}",
+            fast.area,
+            slab
+        );
+    }
+
+    #[test]
+    fn areas_of_topk_cells_sum_to_k_times_box() {
+        // Every location belongs to exactly k top-k cells (paper §2.2,
+        // observation 1), so the cell areas over all sites must sum to
+        // k * |bbox| when every site's cell is computed against all others.
+        let sites = vec![
+            Point::new(20.0, 30.0),
+            Point::new(70.0, 20.0),
+            Point::new(50.0, 80.0),
+            Point::new(85.0, 65.0),
+            Point::new(35.0, 55.0),
+        ];
+        for k in 1..=3usize {
+            let mut total = 0.0;
+            for (i, s) in sites.iter().enumerate() {
+                let others: Vec<Point> = sites
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, p)| *p)
+                    .collect();
+                total += top_k_cell(s, &others, k, &bbox()).area;
+            }
+            let expected = k as f64 * bbox().area();
+            assert!(
+                (total - expected).abs() / expected < 1e-6,
+                "k={k}: total {} vs expected {}",
+                total,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn vertices_lie_on_cell_boundary() {
+        let site = Point::new(50.0, 50.0);
+        let others = vec![
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Point::new(50.0, 10.0),
+            Point::new(50.0, 90.0),
+            Point::new(20.0, 20.0),
+        ];
+        for k in 1..=3usize {
+            let cell = top_k_cell(&site, &others, k, &bbox());
+            for v in &cell.vertices {
+                // A vertex must be within the box and "on the boundary":
+                // depth < k at the vertex itself (closed cell) but >= k at
+                // some nearby point, or on the box boundary.
+                assert!(cell.bbox.contains(v));
+                let d = depth(&site, &others, v);
+                assert!(d < k, "vertex {v:?} has depth {d} >= k={k}");
+            }
+            assert!(!cell.vertices.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_of_site_is_ignored() {
+        let site = Point::new(50.0, 50.0);
+        let others = vec![site, Point::new(90.0, 50.0)];
+        let cell = top_k_cell(&site, &others, 1, &bbox());
+        assert!((cell.area - 7_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depth_counts_strictly_closer() {
+        let site = Point::new(0.0, 0.0);
+        let others = vec![Point::new(10.0, 0.0), Point::new(0.0, 10.0)];
+        // Query equidistant from site and the first other: the tie does not
+        // count.
+        assert_eq!(depth(&site, &others, &Point::new(5.0, 0.0)), 0);
+        assert_eq!(depth(&site, &others, &Point::new(9.0, 0.0)), 1);
+        assert_eq!(depth(&site, &others, &Point::new(9.0, 9.0)), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_rejected() {
+        let _ = top_k_cell(&Point::ORIGIN, &[], 0, &bbox());
+    }
+
+    #[test]
+    fn level_region_k1_is_halfplane_intersection() {
+        use crate::HalfPlane;
+        let site = Point::new(50.0, 50.0);
+        let others = vec![
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Point::new(50.0, 10.0),
+            Point::new(50.0, 90.0),
+        ];
+        let planes: Vec<HalfPlane> = others
+            .iter()
+            .map(|o| HalfPlane::closer_to(&site, o).unwrap())
+            .collect();
+        let region = level_region(&planes, 1, &bbox());
+        let cell = top_k_cell(&site, &others, 1, &bbox());
+        assert!((region.area - cell.area).abs() < 1e-6);
+        assert!(region.contains(&Point::new(50.0, 50.0), &planes));
+        assert!(!region.contains(&Point::new(90.0, 90.0), &planes));
+    }
+
+    #[test]
+    fn level_region_matches_topk_cell_for_k2() {
+        use crate::HalfPlane;
+        let site = Point::new(50.0, 50.0);
+        let others = vec![
+            Point::new(10.0, 50.0),
+            Point::new(90.0, 50.0),
+            Point::new(50.0, 10.0),
+            Point::new(50.0, 90.0),
+            Point::new(20.0, 20.0),
+        ];
+        let planes: Vec<HalfPlane> = others
+            .iter()
+            .map(|o| HalfPlane::closer_to(&site, o).unwrap())
+            .collect();
+        for k in 2..=3usize {
+            let region = level_region(&planes, k, &bbox());
+            let cell = top_k_cell(&site, &others, k, &bbox());
+            assert!(
+                (region.area - cell.area).abs() < 1e-6,
+                "k={k}: {} vs {}",
+                region.area,
+                cell.area
+            );
+        }
+    }
+
+    #[test]
+    fn level_region_fewer_planes_than_k_is_whole_box() {
+        use crate::HalfPlane;
+        let planes =
+            vec![HalfPlane::closer_to(&Point::new(10.0, 10.0), &Point::new(90.0, 90.0)).unwrap()];
+        let region = level_region(&planes, 2, &bbox());
+        assert!((region.area - bbox().area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_depth_counts() {
+        use crate::HalfPlane;
+        let site = Point::new(50.0, 50.0);
+        let planes: Vec<HalfPlane> = [Point::new(10.0, 50.0), Point::new(90.0, 50.0)]
+            .iter()
+            .map(|o| HalfPlane::closer_to(&site, o).unwrap())
+            .collect();
+        assert_eq!(violation_depth(&planes, &Point::new(50.0, 50.0)), 0);
+        assert_eq!(violation_depth(&planes, &Point::new(15.0, 50.0)), 1);
+        assert_eq!(violation_depth(&planes, &Point::new(95.0, 50.0)), 1);
+    }
+
+    #[test]
+    fn concave_cell_area_with_many_sites_matches_mc() {
+        // A ring of 8 sites around the centre site; k = 3.
+        let site = Point::new(50.0, 50.0);
+        let mut others = Vec::new();
+        for i in 0..8 {
+            let ang = i as f64 * std::f64::consts::PI / 4.0;
+            others.push(Point::new(50.0 + 30.0 * ang.cos(), 50.0 + 30.0 * ang.sin()));
+        }
+        let cell = top_k_cell(&site, &others, 3, &bbox());
+        let mc = mc_area(&site, &others, 3, &bbox(), 160_000);
+        assert!(
+            (cell.area - mc).abs() / mc < 0.02,
+            "area {} vs MC {}",
+            cell.area,
+            mc
+        );
+    }
+}

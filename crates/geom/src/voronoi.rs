@@ -1,0 +1,287 @@
+//! Full Voronoi diagrams over a site set.
+//!
+//! The estimators never need the full diagram — they discover one cell at a
+//! time through the kNN interface — but the reproduction of the paper's
+//! Figure 11 ("Voronoi decomposition of Starbucks in US") does, and the test
+//! suites use the diagram as an oracle to validate the incremental cell
+//! construction.
+//!
+//! The construction is the straightforward per-site half-plane clipping with
+//! a uniform-grid neighbour filter: for each site we only clip against sites
+//! whose distance is at most twice the distance to the farthest current cell
+//! vertex, enumerated in growing rings of grid buckets. This keeps the cost
+//! close to `O(n · m)` where `m` is the average neighbour count, which is
+//! ample for the tens of thousands of sites used by the experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::convex::ConvexPolygon;
+use crate::halfplane::HalfPlane;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A computed Voronoi diagram: one convex cell (clipped to the bounding box)
+/// per input site, in input order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VoronoiDiagram {
+    /// The input sites, in the order the cells are stored.
+    pub sites: Vec<Point>,
+    /// `cells[i]` is the Voronoi cell of `sites[i]`, clipped to the box.
+    pub cells: Vec<ConvexPolygon>,
+    /// The bounding box of the diagram.
+    pub bbox: Rect,
+}
+
+impl VoronoiDiagram {
+    /// Areas of all cells, in site order.
+    pub fn cell_areas(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| c.area()).collect()
+    }
+
+    /// Sum of all cell areas (should equal the box area up to rounding).
+    pub fn total_area(&self) -> f64 {
+        self.cells.iter().map(|c| c.area()).sum()
+    }
+
+    /// Index of the site whose cell contains the query point, if any.
+    ///
+    /// Points exactly on shared edges may be reported for either incident
+    /// cell.
+    pub fn locate(&self, q: &Point) -> Option<usize> {
+        self.cells.iter().position(|c| c.contains(q))
+    }
+}
+
+/// Simple uniform grid over the sites used to enumerate near neighbours in
+/// growing rings.
+struct SiteGrid {
+    bbox: Rect,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl SiteGrid {
+    fn build(sites: &[Point], bbox: &Rect) -> Self {
+        let n = sites.len().max(1);
+        // Aim for ~1-2 sites per bucket.
+        let target = (n as f64).sqrt().ceil() as usize;
+        let cols = target.clamp(1, 512);
+        let rows = target.clamp(1, 512);
+        let cell_size = (bbox.width() / cols as f64).max(bbox.height() / rows as f64).max(1e-12);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let mut grid = SiteGrid {
+            bbox: *bbox,
+            cell_size,
+            cols,
+            rows,
+            buckets: Vec::new(),
+        };
+        for (i, p) in sites.iter().enumerate() {
+            let (cx, cy) = grid.bucket_of(p);
+            buckets[cy * cols + cx].push(i);
+        }
+        grid.buckets = buckets;
+        grid
+    }
+
+    fn bucket_of(&self, p: &Point) -> (usize, usize) {
+        let cx = (((p.x - self.bbox.min_x) / self.cell_size) as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let cy = (((p.y - self.bbox.min_y) / self.cell_size) as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        (cx, cy)
+    }
+
+    /// Indices of sites whose bucket is within `ring` buckets (Chebyshev
+    /// distance) of the bucket containing `p`, visiting only the new ring.
+    fn ring(&self, p: &Point, ring: usize) -> Vec<usize> {
+        let (cx, cy) = self.bucket_of(p);
+        let mut out = Vec::new();
+        let r = ring as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx.abs().max(dy.abs()) != r {
+                    continue;
+                }
+                let nx = cx as isize + dx;
+                let ny = cy as isize + dy;
+                if nx < 0 || ny < 0 || nx >= self.cols as isize || ny >= self.rows as isize {
+                    continue;
+                }
+                out.extend_from_slice(&self.buckets[ny as usize * self.cols + nx as usize]);
+            }
+        }
+        out
+    }
+
+    fn max_ring(&self) -> usize {
+        self.cols.max(self.rows)
+    }
+}
+
+/// Computes the Voronoi diagram of `sites` clipped to `bbox`.
+///
+/// Duplicate sites are tolerated: the duplicates after the first receive an
+/// empty cell.
+pub fn voronoi_diagram(sites: &[Point], bbox: &Rect) -> VoronoiDiagram {
+    let grid = SiteGrid::build(sites, bbox);
+    let mut cells = Vec::with_capacity(sites.len());
+
+    for (i, site) in sites.iter().enumerate() {
+        let mut cell = ConvexPolygon::from_rect(bbox);
+        let mut clipped_against: Vec<usize> = Vec::new();
+
+        // Grow rings until the closest unexplored site cannot possibly affect
+        // the cell any more: once the ring's minimum possible distance from
+        // the site exceeds twice the farthest current cell vertex, every
+        // bisector with a site in that ring or beyond misses the cell.
+        for ring in 0..=grid.max_ring() {
+            if ring > 0 {
+                let ring_min_dist = (ring as f64 - 1.0).max(0.0) * grid.cell_size;
+                let max_vertex_dist = cell
+                    .vertices()
+                    .iter()
+                    .map(|v| v.distance(site))
+                    .fold(0.0_f64, f64::max);
+                if ring_min_dist > 2.0 * max_vertex_dist && !cell.is_empty() {
+                    break;
+                }
+            }
+            for j in grid.ring(site, ring) {
+                if j == i || clipped_against.contains(&j) {
+                    continue;
+                }
+                clipped_against.push(j);
+                if sites[j].approx_eq(site) {
+                    // Duplicate site: the later copy gets an empty cell, the
+                    // earlier copy is unaffected.
+                    if j < i {
+                        cell = ConvexPolygon::empty();
+                    }
+                    continue;
+                }
+                if let Some(hp) = HalfPlane::closer_to(site, &sites[j]) {
+                    cell = cell.clip(&hp);
+                    if cell.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if cell.is_empty() {
+                break;
+            }
+        }
+        cells.push(cell);
+    }
+
+    VoronoiDiagram {
+        sites: sites.to_vec(),
+        cells,
+        bbox: *bbox,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn single_site_owns_whole_box() {
+        let d = voronoi_diagram(&[Point::new(20.0, 30.0)], &bbox());
+        assert_eq!(d.cells.len(), 1);
+        assert!((d.total_area() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_sites_split_the_box() {
+        let d = voronoi_diagram(&[Point::new(25.0, 50.0), Point::new(75.0, 50.0)], &bbox());
+        assert!((d.cells[0].area() - 5_000.0).abs() < 1e-6);
+        assert!((d.cells[1].area() - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cell_areas_partition_the_box() {
+        // A deterministic pseudo-random scatter of sites; the cells must tile
+        // the box exactly.
+        let mut sites = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..60 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let fx = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let fy = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+            sites.push(Point::new(fx * 100.0, fy * 100.0));
+        }
+        let d = voronoi_diagram(&sites, &bbox());
+        assert!(
+            (d.total_area() - 10_000.0).abs() < 1e-3,
+            "total area {}",
+            d.total_area()
+        );
+        // Every site is inside its own cell.
+        for (i, s) in sites.iter().enumerate() {
+            assert!(d.cells[i].contains(s), "site {i} outside its cell");
+        }
+    }
+
+    #[test]
+    fn locate_finds_owning_cell() {
+        let sites = vec![
+            Point::new(20.0, 20.0),
+            Point::new(80.0, 20.0),
+            Point::new(50.0, 80.0),
+        ];
+        let d = voronoi_diagram(&sites, &bbox());
+        assert_eq!(d.locate(&Point::new(18.0, 22.0)), Some(0));
+        assert_eq!(d.locate(&Point::new(82.0, 18.0)), Some(1));
+        assert_eq!(d.locate(&Point::new(50.0, 95.0)), Some(2));
+    }
+
+    #[test]
+    fn nearest_site_owns_the_cell_property() {
+        // For a set of sites, any query point's containing cell must belong
+        // to (one of) its nearest site(s).
+        let sites = vec![
+            Point::new(10.0, 10.0),
+            Point::new(90.0, 15.0),
+            Point::new(55.0, 60.0),
+            Point::new(30.0, 85.0),
+            Point::new(70.0, 90.0),
+        ];
+        let d = voronoi_diagram(&sites, &bbox());
+        for (qi, qj) in [(13, 27), (88, 12), (50, 50), (2, 98), (97, 97), (40, 70)] {
+            let q = Point::new(qi as f64, qj as f64);
+            let owner = d.locate(&q).expect("point must be in some cell");
+            let owner_dist = sites[owner].distance(&q);
+            let min_dist = sites
+                .iter()
+                .map(|s| s.distance(&q))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                owner_dist <= min_dist + 1e-6,
+                "cell owner is not the nearest site for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_tolerated() {
+        let sites = vec![
+            Point::new(50.0, 50.0),
+            Point::new(50.0, 50.0),
+            Point::new(10.0, 10.0),
+        ];
+        let d = voronoi_diagram(&sites, &bbox());
+        // One of the duplicates owns the area, the other gets nothing.
+        let a0 = d.cells[0].area();
+        let a1 = d.cells[1].area();
+        assert!(a0 < 1e-9 || a1 < 1e-9);
+        assert!((d.total_area() - 10_000.0).abs() < 1e-3);
+    }
+}

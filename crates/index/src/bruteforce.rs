@@ -1,0 +1,170 @@
+//! Linear-scan spatial index.
+//!
+//! The brute-force backend is the correctness oracle for the other backends
+//! and is perfectly adequate for the small databases used in unit tests. Its
+//! kNN query keeps a bounded binary heap of the best `k` candidates, so the
+//! cost is `O(n log k)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lbs_geom::Point;
+
+use crate::{sort_neighbors, Neighbor, SpatialIndex};
+
+/// Exact kNN by scanning every point.
+#[derive(Clone, Debug, Default)]
+pub struct BruteForceIndex {
+    points: Vec<Point>,
+}
+
+/// Max-heap entry ordered by distance (largest distance on top) so that the
+/// heap always holds the current best `k` candidates.
+struct HeapEntry {
+    distance_sq: f64,
+    id: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance_sq == other.distance_sq && self.id == other.id
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Larger distance first; ties resolved by larger id first so that the
+        // kept set prefers smaller ids, matching the canonical order.
+        self.distance_sq
+            .partial_cmp(&other.distance_sq)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl BruteForceIndex {
+    /// Builds the index over a slice of points (the slice is copied).
+    pub fn build(points: &[Point]) -> Self {
+        BruteForceIndex {
+            points: points.to_vec(),
+        }
+    }
+
+    /// The indexed points, in id order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+impl SpatialIndex for BruteForceIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn k_nearest(&self, query: &Point, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (id, p) in self.points.iter().enumerate() {
+            let d = query.distance_sq(p);
+            if heap.len() < k {
+                heap.push(HeapEntry {
+                    distance_sq: d,
+                    id,
+                });
+            } else if let Some(top) = heap.peek() {
+                if d < top.distance_sq || (d == top.distance_sq && id < top.id) {
+                    heap.pop();
+                    heap.push(HeapEntry {
+                        distance_sq: d,
+                        id,
+                    });
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|e| Neighbor {
+                id: e.id,
+                distance: e.distance_sq.sqrt(),
+            })
+            .collect();
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn within_radius(&self, query: &Point, radius: f64) -> Vec<Neighbor> {
+        let r_sq = radius * radius;
+        let mut out: Vec<Neighbor> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter_map(|(id, p)| {
+                let d = query.distance_sq(p);
+                if d <= r_sq {
+                    Some(Neighbor {
+                        id,
+                        distance: d.sqrt(),
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        sort_neighbors(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_on_a_line() {
+        let points: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let idx = BruteForceIndex::build(&points);
+        let res = idx.k_nearest(&Point::new(3.2, 0.0), 3);
+        assert_eq!(res.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 4, 2]);
+        assert!((res[0].distance - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_query_includes_boundary() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(10.0, 0.0)];
+        let idx = BruteForceIndex::build(&points);
+        let res = idx.within_radius(&Point::new(0.0, 0.0), 5.0);
+        assert_eq!(res.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn nearest_of_single_point() {
+        let idx = BruteForceIndex::build(&[Point::new(7.0, 7.0)]);
+        let n = idx.nearest(&Point::new(0.0, 0.0)).unwrap();
+        assert_eq!(n.id, 0);
+        assert!((n.distance - (98.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let idx = BruteForceIndex::build(&[Point::new(1.0, 1.0)]);
+        assert!(idx.k_nearest(&Point::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn tie_breaking_prefers_smaller_id() {
+        // Two points at the same distance from the query.
+        let points = vec![Point::new(1.0, 0.0), Point::new(-1.0, 0.0), Point::new(5.0, 0.0)];
+        let idx = BruteForceIndex::build(&points);
+        let res = idx.k_nearest(&Point::ORIGIN, 1);
+        assert_eq!(res[0].id, 0);
+        let res2 = idx.k_nearest(&Point::ORIGIN, 2);
+        assert_eq!(res2.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

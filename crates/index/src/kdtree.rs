@@ -1,0 +1,338 @@
+//! Median-split k-d tree with branch-and-bound kNN search.
+//!
+//! The tree recursively splits the point set on the wider axis of its
+//! bounding box at the median coordinate. Queries descend into the child
+//! containing the query point first and prune the sibling subtree whenever
+//! its bounding box cannot contain anything closer than the current k-th best
+//! candidate, which keeps the search exact.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lbs_geom::{Point, Rect};
+
+use crate::{sort_neighbors, Neighbor, SpatialIndex};
+
+const LEAF_SIZE: usize = 16;
+
+/// A node of the k-d tree: either a leaf holding point ids or an internal
+/// split node.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        ids: Vec<usize>,
+    },
+    Split {
+        /// `true` when the split is on x, `false` for y.
+        axis_x: bool,
+        /// Split coordinate.
+        value: f64,
+        /// Child with coordinates `<= value`.
+        left: usize,
+        /// Child with coordinates `> value`.
+        right: usize,
+        /// Bounding box of all points in this subtree (for pruning).
+        bbox: Rect,
+    },
+}
+
+/// Median-split k-d tree over 2-D points.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    points: Vec<Point>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds the tree over a slice of points (the slice is copied).
+    pub fn build(points: &[Point]) -> Self {
+        let mut tree = KdTree {
+            points: points.to_vec(),
+            nodes: Vec::new(),
+            root: None,
+        };
+        if !points.is_empty() {
+            let ids: Vec<usize> = (0..points.len()).collect();
+            let root = tree.build_node(ids);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    fn build_node(&mut self, mut ids: Vec<usize>) -> usize {
+        if ids.len() <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { ids });
+            return self.nodes.len() - 1;
+        }
+        let bbox = Rect::bounding(ids.iter().map(|&i| self.points[i]))
+            .expect("non-empty id set always has a bounding box");
+        let axis_x = bbox.width() >= bbox.height();
+        let mid = ids.len() / 2;
+        ids.sort_by(|&a, &b| {
+            let (pa, pb) = (self.points[a], self.points[b]);
+            let (ka, kb) = if axis_x { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
+        });
+        let split_point = self.points[ids[mid]];
+        let value = if axis_x { split_point.x } else { split_point.y };
+        let right_ids = ids.split_off(mid);
+        // Degenerate case: all coordinates equal on this axis — fall back to
+        // a leaf to avoid infinite recursion.
+        if ids.is_empty() || right_ids.is_empty() {
+            let mut all = ids;
+            all.extend(right_ids);
+            self.nodes.push(Node::Leaf { ids: all });
+            return self.nodes.len() - 1;
+        }
+        let left = self.build_node(ids);
+        let right = self.build_node(right_ids);
+        self.nodes.push(Node::Split {
+            axis_x,
+            value,
+            left,
+            right,
+            bbox,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn subtree_bbox(&self, node: usize) -> Option<Rect> {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => Rect::bounding(ids.iter().map(|&i| self.points[i])),
+            Node::Split { bbox, .. } => Some(*bbox),
+        }
+    }
+}
+
+/// Max-heap entry for the running best-k set.
+struct Candidate {
+    distance_sq: f64,
+    id: usize,
+}
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance_sq == other.distance_sq && self.id == other.id
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance_sq
+            .partial_cmp(&other.distance_sq)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl KdTree {
+    fn knn_recurse(
+        &self,
+        node: usize,
+        query: &Point,
+        k: usize,
+        heap: &mut BinaryHeap<Candidate>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => {
+                for &id in ids {
+                    let d = query.distance_sq(&self.points[id]);
+                    if heap.len() < k {
+                        heap.push(Candidate {
+                            distance_sq: d,
+                            id,
+                        });
+                    } else if let Some(top) = heap.peek() {
+                        if d < top.distance_sq || (d == top.distance_sq && id < top.id) {
+                            heap.pop();
+                            heap.push(Candidate {
+                                distance_sq: d,
+                                id,
+                            });
+                        }
+                    }
+                }
+            }
+            Node::Split {
+                axis_x,
+                value,
+                left,
+                right,
+                ..
+            } => {
+                let q_coord = if *axis_x { query.x } else { query.y };
+                let (near, far) = if q_coord <= *value {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.knn_recurse(near, query, k, heap);
+                // Visit the far side only if its bounding box might contain a
+                // better candidate.
+                let worst = heap
+                    .peek()
+                    .map(|c| c.distance_sq)
+                    .unwrap_or(f64::INFINITY);
+                let must_visit = heap.len() < k
+                    || self
+                        .subtree_bbox(far)
+                        .map(|b| b.distance_sq_to_point(query) <= worst)
+                        .unwrap_or(false);
+                if must_visit {
+                    self.knn_recurse(far, query, k, heap);
+                }
+            }
+        }
+    }
+
+    fn radius_recurse(&self, node: usize, query: &Point, r_sq: f64, out: &mut Vec<Neighbor>) {
+        match &self.nodes[node] {
+            Node::Leaf { ids } => {
+                for &id in ids {
+                    let d = query.distance_sq(&self.points[id]);
+                    if d <= r_sq {
+                        out.push(Neighbor {
+                            id,
+                            distance: d.sqrt(),
+                        });
+                    }
+                }
+            }
+            Node::Split { left, right, .. } => {
+                for child in [*left, *right] {
+                    if let Some(bbox) = self.subtree_bbox(child) {
+                        if bbox.distance_sq_to_point(query) <= r_sq {
+                            self.radius_recurse(child, query, r_sq, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for KdTree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn k_nearest(&self, query: &Point, k: usize) -> Vec<Neighbor> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = BinaryHeap::with_capacity(k + 1);
+        self.knn_recurse(root, query, k, &mut heap);
+        let mut out: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|c| Neighbor {
+                id: c.id,
+                distance: c.distance_sq.sqrt(),
+            })
+            .collect();
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn within_radius(&self, query: &Point, radius: f64) -> Vec<Neighbor> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        if radius < 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.radius_recurse(root, query, radius * radius, &mut out);
+        sort_neighbors(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForceIndex;
+
+    #[test]
+    fn matches_bruteforce_on_skewed_data() {
+        // Exponentially spaced points (heavy skew) — the worst case for grid
+        // indexes and a good test of the k-d tree pruning.
+        let points: Vec<Point> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                Point::new(t.exp() % 1000.0, (t * 1.7).exp() % 1000.0)
+            })
+            .collect();
+        let tree = KdTree::build(&points);
+        let oracle = BruteForceIndex::build(&points);
+        for q in [
+            Point::new(1.0, 1.0),
+            Point::new(500.0, 2.0),
+            Point::new(999.0, 999.0),
+            Point::new(-10.0, 500.0),
+        ] {
+            for k in [1, 3, 10, 50] {
+                let got: Vec<usize> = tree.k_nearest(&q, k).iter().map(|n| n.id).collect();
+                let want: Vec<usize> = oracle.k_nearest(&q, k).iter().map(|n| n.id).collect();
+                assert_eq!(got, want, "q={q:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_identical_points_do_not_recurse_forever() {
+        let points = vec![Point::new(3.0, 3.0); 100];
+        let tree = KdTree::build(&points);
+        let res = tree.k_nearest(&Point::new(3.0, 3.0), 5);
+        assert_eq!(res.len(), 5);
+        assert_eq!(res[0].id, 0);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let points: Vec<Point> = (0..100).map(|i| Point::new(i as f64, 0.0)).collect();
+        let tree = KdTree::build(&points);
+        let oracle = BruteForceIndex::build(&points);
+        let q = Point::new(42.3, 5.0);
+        assert_eq!(
+            tree.k_nearest(&q, 7).iter().map(|n| n.id).collect::<Vec<_>>(),
+            oracle.k_nearest(&q, 7).iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn radius_query_matches_bruteforce() {
+        let points: Vec<Point> = (0..300)
+            .map(|i| Point::new((i * 37 % 211) as f64, (i * 53 % 197) as f64))
+            .collect();
+        let tree = KdTree::build(&points);
+        let oracle = BruteForceIndex::build(&points);
+        for r in [5.0, 25.0, 100.0] {
+            let q = Point::new(100.0, 100.0);
+            assert_eq!(
+                tree.within_radius(&q, r).iter().map(|n| n.id).collect::<Vec<_>>(),
+                oracle
+                    .within_radius(&q, r)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>(),
+                "radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.k_nearest(&Point::ORIGIN, 3).is_empty());
+        assert!(tree.within_radius(&Point::ORIGIN, 5.0).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! # lbs-index
+//!
+//! Exact k-nearest-neighbour spatial indexes over 2-D points.
+//!
+//! The location based services modelled by the paper answer kNN queries over
+//! their hidden tuple databases. This crate is the "database side" of the
+//! simulator in `lbs-service`: it stores the tuple locations and answers
+//! exact kNN and radius queries. Three interchangeable backends are provided
+//! behind the [`SpatialIndex`] trait:
+//!
+//! * [`BruteForceIndex`] — the obviously-correct `O(n)` scan, used as the
+//!   oracle in tests and fine for small databases;
+//! * [`GridIndex`] — a uniform bucket grid with ring-expansion search, the
+//!   default backend of the simulator (the experiment datasets are roughly
+//!   uniform within urban clusters, which grids handle well);
+//! * [`KdTree`] — a classic median-split k-d tree with branch-and-bound
+//!   search, better for very skewed data.
+//!
+//! All backends return *exact* results ordered by increasing Euclidean
+//! distance with ties broken by point id, so any backend can be substituted
+//! for any other without changing simulator behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bruteforce;
+mod grid;
+mod kdtree;
+
+pub use bruteforce::BruteForceIndex;
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+
+use lbs_geom::Point;
+
+/// A neighbour returned by a kNN or radius query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point in the slice the index was built over.
+    pub id: usize,
+    /// Euclidean distance from the query location to the point.
+    pub distance: f64,
+}
+
+/// Exact spatial queries over a fixed set of 2-D points.
+///
+/// Implementations are built once from a slice of points and are immutable
+/// afterwards, mirroring the "static hidden database" assumption the paper
+/// makes for LBS such as Google Maps (§3.2.2).
+pub trait SpatialIndex: Send + Sync {
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// `true` when the index contains no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest points to `query`, ordered by increasing distance and
+    /// then by id. Returns fewer than `k` neighbours when the index holds
+    /// fewer points.
+    fn k_nearest(&self, query: &Point, k: usize) -> Vec<Neighbor>;
+
+    /// All points within `radius` of `query`, ordered by increasing distance
+    /// and then by id.
+    fn within_radius(&self, query: &Point, radius: f64) -> Vec<Neighbor>;
+
+    /// The nearest point to `query`, if the index is non-empty.
+    fn nearest(&self, query: &Point) -> Option<Neighbor> {
+        self.k_nearest(query, 1).into_iter().next()
+    }
+}
+
+/// Sorts neighbours by `(distance, id)` — the canonical order every backend
+/// must produce so that results are deterministic and backend-independent.
+pub(crate) fn sort_neighbors(neighbors: &mut [Neighbor]) {
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect()
+    }
+
+    fn backends(points: &[Point]) -> Vec<(&'static str, Box<dyn SpatialIndex>)> {
+        vec![
+            (
+                "brute",
+                Box::new(BruteForceIndex::build(points)) as Box<dyn SpatialIndex>,
+            ),
+            ("grid", Box::new(GridIndex::build(points))),
+            ("kdtree", Box::new(KdTree::build(points))),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_on_knn() {
+        let points = random_points(400, 11);
+        let oracle = BruteForceIndex::build(&points);
+        let mut rng = StdRng::seed_from_u64(99);
+        for (name, idx) in backends(&points) {
+            for _ in 0..50 {
+                let q = Point::new(rng.gen_range(-100.0..1100.0), rng.gen_range(-100.0..1100.0));
+                let k = rng.gen_range(1..20);
+                let got = idx.k_nearest(&q, k);
+                let expected = oracle.k_nearest(&q, k);
+                assert_eq!(got.len(), expected.len(), "{name}: result length");
+                for (g, e) in got.iter().zip(expected.iter()) {
+                    assert_eq!(g.id, e.id, "{name}: neighbour id mismatch");
+                    assert!((g.distance - e.distance).abs() < 1e-9, "{name}: distance");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_radius() {
+        let points = random_points(300, 5);
+        let oracle = BruteForceIndex::build(&points);
+        let mut rng = StdRng::seed_from_u64(123);
+        for (name, idx) in backends(&points) {
+            for _ in 0..30 {
+                let q = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                let r = rng.gen_range(1.0..200.0);
+                let got = idx.within_radius(&q, r);
+                let expected = oracle.within_radius(&q, r);
+                assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    expected.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "{name}: radius query mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        for (name, idx) in backends(&[]) {
+            assert!(idx.is_empty(), "{name}");
+            assert!(idx.k_nearest(&Point::ORIGIN, 3).is_empty(), "{name}");
+            assert!(idx.within_radius(&Point::ORIGIN, 10.0).is_empty(), "{name}");
+            assert!(idx.nearest(&Point::ORIGIN).is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_size_returns_everything() {
+        let points = random_points(7, 3);
+        for (name, idx) in backends(&points) {
+            let all = idx.k_nearest(&Point::new(500.0, 500.0), 50);
+            assert_eq!(all.len(), 7, "{name}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let points = random_points(200, 17);
+        for (name, idx) in backends(&points) {
+            let res = idx.k_nearest(&Point::new(321.0, 654.0), 25);
+            for w in res.windows(2) {
+                assert!(w[0].distance <= w[1].distance + 1e-12, "{name}: unsorted");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_exercise_grid_rings_and_kdtree_depth() {
+        // Points concentrated in two tight clusters far apart, plus a query
+        // in the empty middle — this stresses ring expansion and pruning.
+        let mut points = Vec::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..150 {
+            points.push(Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)));
+        }
+        for _ in 0..150 {
+            points.push(Point::new(
+                rng.gen_range(990.0..1000.0),
+                rng.gen_range(990.0..1000.0),
+            ));
+        }
+        let oracle = BruteForceIndex::build(&points);
+        for (name, idx) in backends(&points) {
+            let q = Point::new(500.0, 500.0);
+            let got = idx.k_nearest(&q, 10);
+            let expected = oracle.k_nearest(&q, 10);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                expected.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "{name}"
+            );
+        }
+    }
+}

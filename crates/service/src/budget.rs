@@ -1,0 +1,150 @@
+//! Query budget accounting.
+//!
+//! Every real LBS rate-limits its interface (Google Maps: 10 000 queries per
+//! day, Sina Weibo: 150 per hour). Query count is therefore the paper's
+//! primary cost metric, and everything the estimators do is reported against
+//! it. [`QueryBudget`] is the shared accountant: the simulator bumps it on
+//! every answered query, the estimators read it to know how much they have
+//! spent, and an optional hard limit turns exhaustion into an error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counter of issued queries with an optional hard limit.
+///
+/// Cloning the budget (via [`QueryBudget::share`]) yields a handle to the
+/// *same* counter, which is how a filtered view of a service keeps charging
+/// the same account as its parent.
+#[derive(Debug)]
+pub struct QueryBudget {
+    issued: AtomicU64,
+    limit: Option<u64>,
+}
+
+impl QueryBudget {
+    /// A budget with no hard limit (callers meter themselves).
+    pub fn unlimited() -> Arc<Self> {
+        Arc::new(QueryBudget {
+            issued: AtomicU64::new(0),
+            limit: None,
+        })
+    }
+
+    /// A budget that refuses queries after `limit` have been issued.
+    pub fn with_limit(limit: u64) -> Arc<Self> {
+        Arc::new(QueryBudget {
+            issued: AtomicU64::new(0),
+            limit: Some(limit),
+        })
+    }
+
+    /// Returns a shared handle to the same underlying counter.
+    pub fn share(self: &Arc<Self>) -> Arc<Self> {
+        Arc::clone(self)
+    }
+
+    /// Number of queries issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued.load(Ordering::Relaxed)
+    }
+
+    /// The hard limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Queries still allowed under the hard limit (`u64::MAX` when
+    /// unlimited).
+    pub fn remaining(&self) -> u64 {
+        match self.limit {
+            None => u64::MAX,
+            Some(l) => l.saturating_sub(self.issued()),
+        }
+    }
+
+    /// Records one issued query. Returns `false` when the hard limit had
+    /// already been reached (in which case nothing is recorded).
+    pub fn charge(&self) -> bool {
+        loop {
+            let cur = self.issued.load(Ordering::Relaxed);
+            if let Some(l) = self.limit {
+                if cur >= l {
+                    return false;
+                }
+            }
+            if self
+                .issued
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Resets the counter to zero (used between experiment repetitions).
+    pub fn reset(&self) {
+        self.issued.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unlimited_budget_counts() {
+        let b = QueryBudget::unlimited();
+        assert_eq!(b.issued(), 0);
+        assert!(b.charge());
+        assert!(b.charge());
+        assert_eq!(b.issued(), 2);
+        assert_eq!(b.remaining(), u64::MAX);
+        b.reset();
+        assert_eq!(b.issued(), 0);
+    }
+
+    #[test]
+    fn limited_budget_refuses_after_limit() {
+        let b = QueryBudget::with_limit(3);
+        assert!(b.charge());
+        assert!(b.charge());
+        assert!(b.charge());
+        assert!(!b.charge());
+        assert_eq!(b.issued(), 3);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn shared_handles_hit_the_same_counter() {
+        let b = QueryBudget::with_limit(10);
+        let b2 = b.share();
+        for _ in 0..6 {
+            assert!(b.charge());
+        }
+        assert_eq!(b2.issued(), 6);
+        assert_eq!(b2.remaining(), 4);
+    }
+
+    #[test]
+    fn concurrent_charges_never_exceed_limit() {
+        let b = QueryBudget::with_limit(1000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = b.share();
+            handles.push(thread::spawn(move || {
+                let mut ok = 0u64;
+                for _ in 0..500 {
+                    if b.charge() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(b.issued(), 1000);
+    }
+}

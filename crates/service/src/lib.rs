@@ -1,0 +1,44 @@
+//! # lbs-service
+//!
+//! Location based service simulator: the restrictive public kNN query
+//! interfaces the paper's estimators have to work through.
+//!
+//! The paper distinguishes two interface families:
+//!
+//! * **LR-LBS** (location returned): Google Maps / Google Places, Bing Maps —
+//!   each returned tuple carries its precise coordinates;
+//! * **LNR-LBS** (location not returned): WeChat, Sina Weibo — only a ranked
+//!   list of tuple ids plus non-location attributes is returned.
+//!
+//! Both impose interface restrictions that the simulator reproduces:
+//!
+//! * a **top-k limit** (k = 60 for Google Places, 50 for WeChat, 100 for
+//!   Weibo),
+//! * a **query budget / rate limit** — the paper's number-one performance
+//!   metric is query count, so the simulator meters every call through a
+//!   shared [`QueryBudget`],
+//! * an optional **maximum radius** beyond which tuples are never returned
+//!   (50 km for Google Places, 11 km for Weibo),
+//! * an optional non-distance **ranking function** ("prominence"), and
+//! * optional **location obfuscation** (WeChat-style snapping of the
+//!   positions the ranking is computed from), which is what degrades
+//!   localization accuracy in the paper's Figure 21.
+//!
+//! The entry point is [`SimulatedLbs`], an implementation of
+//! [`LbsInterface`] over an `lbs-data` [`lbs_data::Dataset`] backed by an
+//! exact `lbs-index` kNN index. Presets mirroring the real services used in
+//! the paper's online experiments are in [`presets`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod config;
+mod interface;
+pub mod presets;
+mod service;
+
+pub use budget::QueryBudget;
+pub use config::{Ranking, ReturnMode, ServiceConfig};
+pub use interface::{LbsInterface, PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
+pub use service::SimulatedLbs;

@@ -1,0 +1,99 @@
+//! Service presets mirroring the real LBS used in the paper's online
+//! experiments (§6.1).
+//!
+//! | preset | paper counterpart | k | returns | restrictions |
+//! |--------|-------------------|---|---------|--------------|
+//! | [`google_places_like`] | Google Places API | 60 | locations | 50 km max radius |
+//! | [`wechat_like`] | WeChat "people nearby" | 50 | rank only | 50 m obfuscation |
+//! | [`weibo_like`] | Sina Weibo nearby users | 100 | rank only | 11 km max radius |
+
+use lbs_data::Dataset;
+
+use crate::config::ServiceConfig;
+use crate::service::SimulatedLbs;
+
+/// Google-Places-like LR-LBS: top-60 by distance, locations returned, 50 km
+/// maximum coverage radius.
+pub fn google_places_like(dataset: Dataset) -> SimulatedLbs {
+    SimulatedLbs::new(dataset, google_places_config())
+}
+
+/// Configuration used by [`google_places_like`].
+pub fn google_places_config() -> ServiceConfig {
+    ServiceConfig::lr_lbs(60).with_max_radius(50.0)
+}
+
+/// WeChat-like LNR-LBS: top-50 nearby users, rank-only answers, 50 m location
+/// obfuscation (WeChat rounds positions before ranking, which is what limits
+/// localization accuracy in the paper's Figure 21).
+pub fn wechat_like(dataset: Dataset) -> SimulatedLbs {
+    SimulatedLbs::new(dataset, wechat_config())
+}
+
+/// Configuration used by [`wechat_like`].
+pub fn wechat_config() -> ServiceConfig {
+    ServiceConfig::lnr_lbs(50).with_obfuscation(0.05)
+}
+
+/// Sina-Weibo-like LNR-LBS: top-100 nearby users, rank-only answers, 11 km
+/// maximum coverage radius.
+pub fn weibo_like(dataset: Dataset) -> SimulatedLbs {
+    SimulatedLbs::new(dataset, weibo_config())
+}
+
+/// Configuration used by [`weibo_like`].
+pub fn weibo_config() -> ServiceConfig {
+    ServiceConfig::lnr_lbs(100).with_max_radius(11.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReturnMode;
+    use crate::interface::LbsInterface;
+    use lbs_data::ScenarioBuilder;
+    use lbs_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(21);
+        ScenarioBuilder::uniform_points(200, Rect::from_bounds(0.0, 0.0, 100.0, 100.0))
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn google_preset_matches_paper_parameters() {
+        let svc = google_places_like(small_dataset());
+        assert_eq!(svc.config().k, 60);
+        assert_eq!(svc.config().return_mode, ReturnMode::LocationReturned);
+        assert_eq!(svc.config().max_radius, Some(50.0));
+    }
+
+    #[test]
+    fn wechat_preset_matches_paper_parameters() {
+        let svc = wechat_like(small_dataset());
+        assert_eq!(svc.config().k, 50);
+        assert_eq!(svc.config().return_mode, ReturnMode::RankOnly);
+        assert_eq!(svc.config().obfuscation_grid, Some(0.05));
+    }
+
+    #[test]
+    fn weibo_preset_matches_paper_parameters() {
+        let svc = weibo_like(small_dataset());
+        assert_eq!(svc.config().k, 100);
+        assert_eq!(svc.config().return_mode, ReturnMode::RankOnly);
+        assert_eq!(svc.config().max_radius, Some(11.0));
+    }
+
+    #[test]
+    fn presets_answer_queries() {
+        let svc = google_places_like(small_dataset());
+        let resp = svc.query(&lbs_geom::Point::new(50.0, 50.0)).unwrap();
+        assert!(!resp.results.is_empty());
+        assert!(resp.results.len() <= 60);
+        let svc = wechat_like(small_dataset());
+        let resp = svc.query(&lbs_geom::Point::new(50.0, 50.0)).unwrap();
+        assert!(resp.results.iter().all(|r| r.location.is_none()));
+    }
+}

@@ -1,0 +1,46 @@
+//! # lbs — Aggregate estimations over location based services
+//!
+//! Facade crate for the reproduction of *Aggregate Estimations over Location
+//! Based Services* (Liu et al., PVLDB 8(10), 2015). It re-exports the
+//! workspace crates under one roof so that applications (and the examples in
+//! `examples/`) can depend on a single crate:
+//!
+//! * [`geom`] — computational geometry (Voronoi cells, top-k Voronoi cells).
+//! * [`index`] — exact kNN spatial indexes.
+//! * [`data`] — dataset model, synthetic POI/user generators, density grid.
+//! * [`service`] — LR-LBS / LNR-LBS query-interface simulators.
+//! * [`core`] — the paper's estimators: `LrLbsAgg`, `LnrLbsAgg`, the
+//!   `NnoBaseline`, aggregates and statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbs::data::{generators::ScenarioBuilder, region};
+//! use lbs::service::{LbsInterface, ServiceConfig, SimulatedLbs};
+//! use lbs::core::{Aggregate, LrLbsAgg, LrLbsAggConfig};
+//! use rand::SeedableRng;
+//!
+//! // 1. Generate a small synthetic POI database.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let dataset = ScenarioBuilder::usa_pois(500).build(&mut rng);
+//! let bbox = region::usa();
+//!
+//! // 2. Stand up a Google-Places-like LR-LBS interface over it.
+//! let service = SimulatedLbs::new(dataset.clone(), ServiceConfig::lr_lbs(10));
+//!
+//! // 3. Estimate COUNT(*) with a small query budget.
+//! let mut estimator = LrLbsAgg::new(LrLbsAggConfig::default());
+//! let estimate = estimator
+//!     .estimate(&service, &bbox, &Aggregate::count_all(), 300, &mut rng)
+//!     .unwrap();
+//!
+//! let truth = dataset.len() as f64;
+//! let rel_err = (estimate.value - truth).abs() / truth;
+//! assert!(rel_err < 1.0, "estimate should be in the right ballpark");
+//! ```
+
+pub use lbs_core as core;
+pub use lbs_data as data;
+pub use lbs_geom as geom;
+pub use lbs_index as index;
+pub use lbs_service as service;

@@ -1,0 +1,109 @@
+//! Property-based tests on the geometric core, run through the facade crate.
+//!
+//! These complement the unit tests inside `lbs-geom` with randomized
+//! invariants that tie several modules together:
+//!
+//! * top-k Voronoi cells of all sites tile the bounding box k times over,
+//! * the exact cell area always agrees with a Monte-Carlo estimate,
+//! * kNN results from the grid index agree with brute force (which is what
+//!   makes the simulated service an exact kNN oracle),
+//! * the density grid integrates to one over any partition of the box.
+
+use lbs::geom::{top_k_cell, Point, Rect};
+use lbs::index::{BruteForceIndex, GridIndex, KdTree, SpatialIndex};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn topk_cells_tile_the_box_k_times(points in arb_points(12), k in 1usize..3) {
+        let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let sites: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        // Skip degenerate inputs with (near-)duplicate sites: the tiling
+        // property assumes general position.
+        for i in 0..sites.len() {
+            for j in (i + 1)..sites.len() {
+                prop_assume!(sites[i].distance(&sites[j]) > 0.5);
+            }
+        }
+        prop_assume!(k <= sites.len());
+        let mut total = 0.0;
+        for (i, s) in sites.iter().enumerate() {
+            let others: Vec<Point> = sites
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| *p)
+                .collect();
+            total += top_k_cell(s, &others, k, &bbox).area;
+        }
+        let expected = k as f64 * bbox.area();
+        prop_assert!(
+            (total - expected).abs() / expected < 1e-6,
+            "cells tile {} instead of {}", total, expected
+        );
+    }
+
+    #[test]
+    fn exact_cell_area_matches_monte_carlo(points in arb_points(10)) {
+        let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let sites: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        for i in 0..sites.len() {
+            for j in (i + 1)..sites.len() {
+                prop_assume!(sites[i].distance(&sites[j]) > 0.5);
+            }
+        }
+        let site = sites[0];
+        let others = &sites[1..];
+        let cell = top_k_cell(&site, others, 1, &bbox);
+        // Deterministic grid-sample Monte Carlo oracle.
+        let n = 120usize;
+        let mut inside = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let q = bbox.at_fraction((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
+                let d_site = site.distance(&q);
+                if others.iter().all(|o| o.distance(&q) > d_site - 1e-12) {
+                    inside += 1;
+                }
+            }
+        }
+        let mc = bbox.area() * inside as f64 / (n * n) as f64;
+        prop_assert!(
+            (cell.area - mc).abs() <= 0.05 * bbox.area().max(1.0) * 0.1 + 0.02 * bbox.area() / sites.len() as f64 + 3.0,
+            "exact {} vs MC {}", cell.area, mc
+        );
+    }
+
+    #[test]
+    fn all_index_backends_agree(points in arb_points(40), qx in 0.0..100.0f64, qy in 0.0..100.0f64, k in 1usize..8) {
+        let pts: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        let q = Point::new(qx, qy);
+        let oracle = BruteForceIndex::build(&pts);
+        let grid = GridIndex::build(&pts);
+        let tree = KdTree::build(&pts);
+        let want: Vec<usize> = oracle.k_nearest(&q, k).iter().map(|n| n.id).collect();
+        let got_grid: Vec<usize> = grid.k_nearest(&q, k).iter().map(|n| n.id).collect();
+        let got_tree: Vec<usize> = tree.k_nearest(&q, k).iter().map(|n| n.id).collect();
+        prop_assert_eq!(&want, &got_grid);
+        prop_assert_eq!(&want, &got_tree);
+    }
+
+    #[test]
+    fn density_grid_mass_is_conserved(weights in prop::collection::vec(0.0..10.0f64, 16)) {
+        use lbs::data::DensityGrid;
+        use lbs::geom::ConvexPolygon;
+        let bbox = Rect::from_bounds(0.0, 0.0, 80.0, 40.0);
+        let grid = DensityGrid::from_weights(bbox, 4, 4, weights);
+        // Integrating over the two halves of the box sums to (almost) 1.
+        let left = ConvexPolygon::from_rect(&Rect::from_bounds(0.0, 0.0, 40.0, 40.0));
+        let right = ConvexPolygon::from_rect(&Rect::from_bounds(40.0, 0.0, 80.0, 40.0));
+        let total = grid.integrate_convex(&left) + grid.integrate_convex(&right);
+        prop_assert!((total - 1.0).abs() < 1e-9, "total mass {}", total);
+    }
+}
