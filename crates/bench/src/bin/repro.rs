@@ -21,7 +21,12 @@ struct Options {
     out_dir: PathBuf,
 }
 
-fn parse_args() -> Result<Options, String> {
+enum Command {
+    Run(Options),
+    Help,
+}
+
+fn parse_args() -> Result<Command, String> {
     let mut experiments: Vec<String> = Vec::new();
     let mut scale = Scale::Small;
     let mut seed = 2015u64; // the paper's publication year, for determinism
@@ -50,7 +55,7 @@ fn parse_args() -> Result<Options, String> {
                 out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--help" | "-h" => {
-                return Err(usage());
+                return Ok(Command::Help);
             }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -58,12 +63,12 @@ fn parse_args() -> Result<Options, String> {
     if experiments.is_empty() {
         experiments = all_experiment_ids().iter().map(|s| s.to_string()).collect();
     }
-    Ok(Options {
+    Ok(Command::Run(Options {
         experiments,
         scale,
         seed,
         out_dir,
-    })
+    }))
 }
 
 fn usage() -> String {
@@ -76,7 +81,11 @@ fn usage() -> String {
 
 fn main() -> ExitCode {
     let options = match parse_args() {
-        Ok(o) => o,
+        Ok(Command::Run(o)) => o,
+        Ok(Command::Help) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);

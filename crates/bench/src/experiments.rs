@@ -18,8 +18,8 @@ use lbs_core::lnr::cell::LnrExploreConfig;
 use lbs_core::lnr::locate::LocateConfig;
 use lbs_core::lnr::{explore_cell as lnr_explore_cell, infer_position, RankOracle};
 use lbs_core::{
-    Aggregate, Estimate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig,
-    NnoBaseline, NnoConfig, Selection,
+    Aggregate, Estimate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig, NnoBaseline,
+    NnoConfig, Selection,
 };
 use lbs_data::{attrs, Dataset, DensityGrid, ScenarioBuilder};
 use lbs_geom::{voronoi_diagram, Point, Rect};
@@ -27,6 +27,10 @@ use lbs_service::{PassThroughFilter, ServiceConfig, SimulatedLbs};
 
 use crate::result::{ExperimentResult, Row};
 use crate::scale::Scale;
+
+/// Labelled estimator runs compared within one experiment: each closure maps
+/// a repetition seed to a finished [`Estimate`].
+type NamedRuns<'a> = Vec<(&'a str, Box<dyn Fn(u64) -> Estimate + 'a>)>;
 
 /// Identifiers of every experiment the harness can run, in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
@@ -166,11 +170,25 @@ fn cost_error_comparison(
             run_nno(&lr, &region, &agg, budget, seed ^ s)
         });
         let (lr_err, lr_cost) = mean_rel_error(scale, truth, |s| {
-            run_lr(&lr, &region, &agg, budget, seed ^ s, LrLbsAggConfig::default())
+            run_lr(
+                &lr,
+                &region,
+                &agg,
+                budget,
+                seed ^ s,
+                LrLbsAggConfig::default(),
+            )
         });
         let lnr_budget = budget * (scale.lnr_budget() / scale.lr_budget()).max(1);
         let (lnr_err, lnr_cost) = mean_rel_error(scale, truth, |s| {
-            run_lnr(&lnr, &region, &agg, lnr_budget, seed ^ s, LnrLbsAggConfig::default())
+            run_lnr(
+                &lnr,
+                &region,
+                &agg,
+                lnr_budget,
+                seed ^ s,
+                LnrLbsAggConfig::default(),
+            )
         });
         result.push(
             Row::new()
@@ -206,7 +224,11 @@ pub fn fig11_voronoi_decomposition(scale: Scale, seed: u64) -> ExperimentResult 
     areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
     let mut result = ExperimentResult::new("fig11", "Voronoi decomposition of Starbucks in US");
-    result.note(format!("{} Starbucks cells over {:.0} km²", areas.len(), dataset.bbox().area()));
+    result.note(format!(
+        "{} Starbucks cells over {:.0} km²",
+        areas.len(),
+        dataset.bbox().area()
+    ));
     let percentile = |p: f64| -> f64 {
         if areas.is_empty() {
             return 0.0;
@@ -220,10 +242,17 @@ pub fn fig11_voronoi_decomposition(scale: Scale, seed: u64) -> ExperimentResult 
         ("median", percentile(0.50)),
         ("p90", percentile(0.90)),
         ("max", percentile(1.0)),
-        ("mean", areas.iter().sum::<f64>() / areas.len().max(1) as f64),
+        (
+            "mean",
+            areas.iter().sum::<f64>() / areas.len().max(1) as f64,
+        ),
     ];
     for (name, value) in stats {
-        result.push(Row::new().with("statistic", name).with_f64("cell area km^2", value));
+        result.push(
+            Row::new()
+                .with("statistic", name)
+                .with_f64("cell area km^2", value),
+        );
     }
     let spread = percentile(1.0) / percentile(0.10).max(1e-9);
     result.push(
@@ -248,7 +277,14 @@ pub fn fig12_convergence(scale: Scale, seed: u64) -> ExperimentResult {
     let lr = lr_service(&dataset, 10);
     let lnr = lnr_service(&dataset, 10);
 
-    let lr_est = run_lr(&lr, &region, &agg, scale.lr_budget(), seed, LrLbsAggConfig::default());
+    let lr_est = run_lr(
+        &lr,
+        &region,
+        &agg,
+        scale.lr_budget(),
+        seed,
+        LrLbsAggConfig::default(),
+    );
     let nno_est = run_nno(&lr, &region, &agg, scale.lr_budget(), seed + 1);
     let lnr_est = run_lnr(
         &lnr,
@@ -259,7 +295,8 @@ pub fn fig12_convergence(scale: Scale, seed: u64) -> ExperimentResult {
         LnrLbsAggConfig::default(),
     );
 
-    let mut result = ExperimentResult::new("fig12", "Unbiasedness of estimators (COUNT restaurants)");
+    let mut result =
+        ExperimentResult::new("fig12", "Unbiasedness of estimators (COUNT restaurants)");
     result.note(format!("ground truth {truth:.0}"));
     for (name, est) in [
         ("LR-LBS-NNO", &nno_est),
@@ -297,11 +334,13 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
     let lnr = lnr_service(&dataset, 10);
     let budget = scale.lr_budget();
 
-    let mut result =
-        ExperimentResult::new("fig13", "Impact of sampling strategy (COUNT schools, US-census weighting)");
+    let mut result = ExperimentResult::new(
+        "fig13",
+        "Impact of sampling strategy (COUNT schools, US-census weighting)",
+    );
     result.note(format!("ground truth {truth:.0}, budget {budget}"));
 
-    let configs: Vec<(&str, Box<dyn Fn(u64) -> Estimate>)> = vec![
+    let configs: NamedRuns<'_> = vec![
         (
             "LR-LBS-AGG (uniform)",
             Box::new(|s| run_lr(&lr, &region, &agg, budget, s, LrLbsAggConfig::default())),
@@ -325,7 +364,14 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
         (
             "LNR-LBS-AGG (uniform)",
             Box::new(|s| {
-                run_lnr(&lnr, &region, &agg, scale.lnr_budget(), s, LnrLbsAggConfig::default())
+                run_lnr(
+                    &lnr,
+                    &region,
+                    &agg,
+                    scale.lnr_budget(),
+                    s,
+                    LnrLbsAggConfig::default(),
+                )
             }),
         ),
         (
@@ -452,8 +498,10 @@ pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
     let budget = scale.lr_budget();
     let agg = Aggregate::count_schools();
 
-    let mut result =
-        ExperimentResult::new("fig18", "Varying database size (COUNT schools, fixed budget)");
+    let mut result = ExperimentResult::new(
+        "fig18",
+        "Varying database size (COUNT schools, fixed budget)",
+    );
     result.note(format!("budget {budget} per run"));
     let mut rng = StdRng::seed_from_u64(seed + 99);
     for fraction in [0.25, 0.5, 0.75, 1.0] {
@@ -465,13 +513,28 @@ pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
         let truth = agg.ground_truth(&subset, &region);
         let lr = lr_service(&subset, 10);
         let lnr = lnr_service(&subset, 10);
-        let (nno_err, _) =
-            mean_rel_error(scale, truth, |s| run_nno(&lr, &region, &agg, budget, seed ^ s));
+        let (nno_err, _) = mean_rel_error(scale, truth, |s| {
+            run_nno(&lr, &region, &agg, budget, seed ^ s)
+        });
         let (lr_err, _) = mean_rel_error(scale, truth, |s| {
-            run_lr(&lr, &region, &agg, budget, seed ^ s, LrLbsAggConfig::default())
+            run_lr(
+                &lr,
+                &region,
+                &agg,
+                budget,
+                seed ^ s,
+                LrLbsAggConfig::default(),
+            )
         });
         let (lnr_err, _) = mean_rel_error(scale, truth, |s| {
-            run_lnr(&lnr, &region, &agg, scale.lnr_budget(), seed ^ s, LnrLbsAggConfig::default())
+            run_lnr(
+                &lnr,
+                &region,
+                &agg,
+                scale.lnr_budget(),
+                seed ^ s,
+                LnrLbsAggConfig::default(),
+            )
         });
         result.push(
             Row::new()
@@ -499,7 +562,8 @@ pub fn fig19_varying_k(scale: Scale, seed: u64) -> ExperimentResult {
     let service = lr_service(&dataset, 10);
     let budget = scale.lr_budget();
 
-    let mut result = ExperimentResult::new("fig19", "Varying k: fixed top-h versus adaptive selection");
+    let mut result =
+        ExperimentResult::new("fig19", "Varying k: fixed top-h versus adaptive selection");
     result.note(format!("ground truth {truth:.0}, budget {budget}"));
     let mut configs: Vec<(String, LrLbsAggConfig)> = (1..=5usize)
         .map(|h| (format!("fixed h={h}"), LrLbsAggConfig::fixed_h(h)))
@@ -510,7 +574,14 @@ pub fn fig19_varying_k(scale: Scale, seed: u64) -> ExperimentResult {
         let mut samples_sum = 0u64;
         let mut cost_sum = 0u64;
         for rep in 0..scale.repetitions() {
-            let est = run_lr(&service, &region, &agg, budget, seed ^ (500 + rep as u64), cfg.clone());
+            let est = run_lr(
+                &service,
+                &region,
+                &agg,
+                budget,
+                seed ^ (500 + rep as u64),
+                cfg.clone(),
+            );
             err_sum += est.relative_error(truth);
             samples_sum += est.samples;
             cost_sum += est.query_cost;
@@ -521,7 +592,10 @@ pub fn fig19_varying_k(scale: Scale, seed: u64) -> ExperimentResult {
                 .with("configuration", name)
                 .with("rel error", format!("{:.3}", err_sum / reps))
                 .with_f64("samples", samples_sum as f64 / reps)
-                .with_f64("queries per sample", cost_sum as f64 / samples_sum.max(1) as f64),
+                .with_f64(
+                    "queries per sample",
+                    cost_sum as f64 / samples_sum.max(1) as f64,
+                ),
         );
     }
     result
@@ -541,7 +615,8 @@ pub fn fig20_error_reduction_ablation(scale: Scale, seed: u64) -> ExperimentResu
     let service = lr_service(&dataset, 10);
     let budget = scale.lr_budget();
 
-    let mut result = ExperimentResult::new("fig20", "Query savings of the error-reduction strategies");
+    let mut result =
+        ExperimentResult::new("fig20", "Query savings of the error-reduction strategies");
     result.note("level 0: none; +fast init; +history; +adaptive h; +MC bounds".to_string());
     for level in 0..=4usize {
         let mut err_sum = 0.0;
@@ -577,7 +652,8 @@ pub fn fig20_error_reduction_ablation(scale: Scale, seed: u64) -> ExperimentResu
 /// Google-Places-like interface (treated as rank-only, no obfuscation) and a
 /// WeChat-like interface (with location obfuscation).
 pub fn fig21_localization_accuracy(scale: Scale, seed: u64) -> ExperimentResult {
-    let mut result = ExperimentResult::new("fig21", "Localization accuracy of tuple-position inference");
+    let mut result =
+        ExperimentResult::new("fig21", "Localization accuracy of tuple-position inference");
     let buckets = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
 
     let mut run_service = |name: &str, dataset: &Dataset, config: ServiceConfig| {
@@ -593,7 +669,8 @@ pub fn fig21_localization_accuracy(scale: Scale, seed: u64) -> ExperimentResult 
                 delta_prime: delta * 10.0,
                 ..LnrExploreConfig::default()
             };
-            let cell = match lnr_explore_cell(&mut oracle, t.id, t.location, &region, &explore_cfg) {
+            let cell = match lnr_explore_cell(&mut oracle, t.id, t.location, &region, &explore_cfg)
+            {
                 Ok(c) => c,
                 Err(_) => {
                     failures += 1;
@@ -656,14 +733,20 @@ pub fn fig21_localization_accuracy(scale: Scale, seed: u64) -> ExperimentResult 
 /// simulated Google Places / WeChat / Sina Weibo services, with the planted
 /// ground truth that the real experiments could only approximate externally.
 pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
-    let mut result = ExperimentResult::new("table1", "Summary of online experiments (simulated services)");
+    let mut result = ExperimentResult::new(
+        "table1",
+        "Summary of online experiments (simulated services)",
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // --- Google Places: COUNT of Starbucks (pass-through selection). -------
     let pois = usa_dataset(scale, seed);
     let region = pois.bbox();
     let budget = scale.lr_budget();
-    let google = SimulatedLbs::new(pois.clone(), ServiceConfig::lr_lbs(10).with_max_radius(region.diagonal()));
+    let google = SimulatedLbs::new(
+        pois.clone(),
+        ServiceConfig::lr_lbs(10).with_max_radius(region.diagonal()),
+    );
     let starbucks_truth = pois.count_where(|t| t.text_eq(attrs::BRAND, "Starbucks")) as f64;
     let filtered = google.filtered(&PassThroughFilter::equals(attrs::BRAND, "Starbucks"));
     let est = run_lr(
@@ -680,7 +763,10 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
             .with("aggregate", "COUNT(Starbucks in US)")
             .with_f64("estimate", est.value)
             .with_f64("ground truth", starbucks_truth)
-            .with("rel error", format!("{:.3}", est.relative_error(starbucks_truth)))
+            .with(
+                "rel error",
+                format!("{:.3}", est.relative_error(starbucks_truth)),
+            )
             .with("budget", est.query_cost),
     );
 
@@ -719,7 +805,10 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
             .with("aggregate", "COUNT(restaurants open Sundays, metro region)")
             .with_f64("estimate", est.value)
             .with_f64("ground truth", sunday_truth)
-            .with("rel error", format!("{:.3}", est.relative_error(sunday_truth.max(1.0))))
+            .with(
+                "rel error",
+                format!("{:.3}", est.relative_error(sunday_truth.max(1.0))),
+            )
             .with("budget", est.query_cost),
     );
 
@@ -761,7 +850,10 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
                 .with("aggregate", "COUNT(users)")
                 .with_f64("estimate", count_est.value)
                 .with_f64("ground truth", count_truth)
-                .with("rel error", format!("{:.3}", count_est.relative_error(count_truth)))
+                .with(
+                    "rel error",
+                    format!("{:.3}", count_est.relative_error(count_truth)),
+                )
                 .with("budget", count_est.query_cost),
         );
         result.push(
@@ -772,7 +864,10 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
                 .with_f64("ground truth", ratio_truth)
                 .with(
                     "rel error",
-                    format!("{:.3}", (ratio_est - ratio_truth).abs() / ratio_truth.max(1e-9)),
+                    format!(
+                        "{:.3}",
+                        (ratio_est - ratio_truth).abs() / ratio_truth.max(1e-9)
+                    ),
                 )
                 .with("budget", male_est.query_cost),
         );
@@ -817,7 +912,10 @@ mod tests {
             .find(|r| r.get("statistic") == Some("max/p10 spread"))
             .expect("spread row present");
         let spread: f64 = spread_row.get("cell area km^2").unwrap().parse().unwrap();
-        assert!(spread > 3.0, "urban/rural spread should be pronounced, got {spread}");
+        assert!(
+            spread > 3.0,
+            "urban/rural spread should be pronounced, got {spread}"
+        );
     }
 
     #[test]

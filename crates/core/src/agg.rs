@@ -77,7 +77,7 @@ impl Selection {
         match self {
             Selection::All => true,
             Selection::TextEquals { attr, value } => tuple.text_eq(attr, value),
-            Selection::AtLeast { attr, min } => tuple.num(attr).map_or(false, |v| v >= *min),
+            Selection::AtLeast { attr, min } => tuple.num(attr).is_some_and(|v| v >= *min),
             Selection::Flag { attr, expected } => tuple.flag(attr) == Some(*expected),
             Selection::InRegion(rect) => rect.contains(&tuple.location),
             Selection::And(parts) => parts.iter().all(|p| p.matches_tuple(tuple)),
@@ -90,7 +90,11 @@ impl Selection {
     /// returned location for LR-LBS, an inferred position for LNR-LBS, or
     /// `None` when unknown. Returns `None` when the condition needs a
     /// location but none is available — the caller then has to infer one.
-    pub fn matches_returned(&self, tuple: &ReturnedTuple, location: Option<&Point>) -> Option<bool> {
+    pub fn matches_returned(
+        &self,
+        tuple: &ReturnedTuple,
+        location: Option<&Point>,
+    ) -> Option<bool> {
         match self {
             Selection::All => Some(true),
             Selection::TextEquals { attr, value } => Some(
@@ -99,9 +103,7 @@ impl Selection {
                     .map(|t| t.eq_ignore_ascii_case(value))
                     .unwrap_or(false),
             ),
-            Selection::AtLeast { attr, min } => {
-                Some(tuple.num(attr).map_or(false, |v| v >= *min))
-            }
+            Selection::AtLeast { attr, min } => Some(tuple.num(attr).is_some_and(|v| v >= *min)),
             Selection::Flag { attr, expected } => Some(tuple.flag(attr) == Some(*expected)),
             Selection::InRegion(rect) => location.map(|loc| rect.contains(loc)),
             Selection::And(parts) => {

@@ -63,8 +63,7 @@ impl NnoBaseline {
             "LR-LBS-NNO requires a location-returned interface"
         );
         let start_cost = service.queries_issued();
-        let budget_left =
-            |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
+        let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
 
         let mut numerator = RunningStats::new();
         let mut denominator = RunningStats::new();
@@ -185,7 +184,9 @@ mod tests {
 
     fn dataset(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        ScenarioBuilder::usa_pois(n).with_bbox(region()).build(&mut rng)
+        ScenarioBuilder::usa_pois(n)
+            .with_bbox(region())
+            .build(&mut rng)
     }
 
     #[test]
@@ -196,7 +197,13 @@ mod tests {
         let mut est = NnoBaseline::new(NnoConfig::default());
         let mut rng = StdRng::seed_from_u64(2);
         let out = est
-            .estimate(&service, &region(), &Aggregate::count_all(), 3_000, &mut rng)
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                3_000,
+                &mut rng,
+            )
             .unwrap();
         // The baseline is noisy and biased; only require the right order of
         // magnitude (the comparison experiments quantify the gap).
@@ -219,11 +226,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut ours = LrLbsAgg::new(LrLbsAggConfig::default());
         let ours_out = ours
-            .estimate(&service, &region(), &Aggregate::count_all(), budget, &mut rng)
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                budget,
+                &mut rng,
+            )
             .unwrap();
         let mut baseline = NnoBaseline::new(NnoConfig::default());
         let base_out = baseline
-            .estimate(&service, &region(), &Aggregate::count_all(), budget, &mut rng)
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                budget,
+                &mut rng,
+            )
             .unwrap();
         // With the same budget the paper's estimator should be at least as
         // accurate (almost always strictly better).

@@ -164,6 +164,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(EstimateError::NoSamples.to_string().contains("budget"));
-        assert!(EstimateError::Service("boom".into()).to_string().contains("boom"));
+        assert!(EstimateError::Service("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -95,7 +95,12 @@ impl<'a, S: LbsInterface + ?Sized> RankOracle<'a, S> {
     /// that is present; when both are missing the location is treated as
     /// being on `other`'s side (the conservative choice for edge searches
     /// walking away from the target).
-    pub fn prefers(&mut self, other: TupleId, target: TupleId, q: &Point) -> Result<bool, QueryError> {
+    pub fn prefers(
+        &mut self,
+        other: TupleId,
+        target: TupleId,
+        q: &Point,
+    ) -> Result<bool, QueryError> {
         let ids = self.full_ids(q)?;
         let pos_other = ids.iter().position(|id| *id == other);
         let pos_target = ids.iter().position(|id| *id == target);
@@ -181,6 +186,7 @@ fn bracket_pairwise<S: lbs_service::LbsInterface + ?Sized>(
 /// the primitive behind the §4.2 concavity repair: it pins down the edge
 /// contributed by one specific neighbour even when the plain top-h
 /// membership predicate would flip on a different edge first.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's primitive: endpoints, pair, precisions
 pub fn find_bisector<S: lbs_service::LbsInterface + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
@@ -213,10 +219,7 @@ pub fn find_bisector<S: lbs_service::LbsInterface + ?Sized>(
     }
     let angle = (delta_prime / r).asin();
     for rotated in [ray.rotated(angle), ray.rotated(-angle)] {
-        let far_t = rotated
-            .exit_from_rect(bbox)
-            .unwrap_or(r * 1.5)
-            .min(r * 1.5);
+        let far_t = rotated.exit_from_rect(bbox).unwrap_or(r * 1.5).min(r * 1.5);
         let far = rotated.at(far_t);
         if !oracle.prefers(other, target, &far)? {
             continue;
@@ -469,7 +472,10 @@ mod tests {
         assert!(fine_cost > coarse_cost);
         // 1000x finer precision should cost only ~10 extra bisection steps
         // per bracket, nowhere near 1000x.
-        assert!(fine_cost < coarse_cost + 45, "fine {fine_cost} coarse {coarse_cost}");
+        assert!(
+            fine_cost < coarse_cost + 45,
+            "fine {fine_cost} coarse {coarse_cost}"
+        );
     }
 
     #[test]

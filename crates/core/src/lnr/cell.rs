@@ -82,9 +82,9 @@ pub fn explore_cell<S: lbs_service::LbsInterface + ?Sized>(
     let mut vertex_answers: Vec<(Point, Vec<TupleId>, bool)> = Vec::new();
 
     let add_edge = |edge: EdgeEstimate,
-                        halfplanes: &mut Vec<HalfPlane>,
-                        edges: &mut Vec<EdgeEstimate>,
-                        edge_for_tuple: &mut HashMap<TupleId, usize>|
+                    halfplanes: &mut Vec<HalfPlane>,
+                    edges: &mut Vec<EdgeEstimate>,
+                    edge_for_tuple: &mut HashMap<TupleId, usize>|
      -> bool {
         // Orient the half-plane so that the point just inside the cell is on
         // its "inside".
@@ -352,7 +352,11 @@ mod tests {
             errors[1] <= errors[0] + 1e-9,
             "finer delta should not be worse: {errors:?}"
         );
-        assert!(errors[1] < 0.04, "fine-delta error too large: {}", errors[1]);
+        assert!(
+            errors[1] < 0.04,
+            "fine-delta error too large: {}",
+            errors[1]
+        );
     }
 
     #[test]

@@ -100,8 +100,7 @@ impl LnrLbsAgg {
         let h = self.config.h.clamp(1, service.config().k.max(1));
         let needs_location = aggregate.needs_location();
         let start_cost = service.queries_issued();
-        let budget_left =
-            |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
+        let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
 
         let mut numerator = RunningStats::new();
         let mut denominator = RunningStats::new();
@@ -126,19 +125,15 @@ impl LnrLbsAgg {
                         || returned.location.is_none()
                 );
                 let mut oracle = RankOracle::new(service, h);
-                let cell = match explore_cell(
-                    &mut oracle,
-                    returned.id,
-                    q,
-                    region,
-                    &self.explore_config(),
-                ) {
-                    Ok(c) => c,
-                    Err(QueryError::BudgetExhausted { .. }) => {
-                        aborted = true;
-                        break;
-                    }
-                };
+                let cell =
+                    match explore_cell(&mut oracle, returned.id, q, region, &self.explore_config())
+                    {
+                        Ok(c) => c,
+                        Err(QueryError::BudgetExhausted { .. }) => {
+                            aborted = true;
+                            break;
+                        }
+                    };
 
                 let probability = match &sampler {
                     QuerySampler::Uniform { bbox } => cell.region.area / bbox.area(),
@@ -234,7 +229,9 @@ mod tests {
 
     fn dataset(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        ScenarioBuilder::usa_pois(n).with_bbox(region()).build(&mut rng)
+        ScenarioBuilder::usa_pois(n)
+            .with_bbox(region())
+            .build(&mut rng)
     }
 
     #[test]
@@ -248,7 +245,13 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(2);
         let out = est
-            .estimate(&service, &region(), &Aggregate::count_all(), 6_000, &mut rng)
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                6_000,
+                &mut rng,
+            )
             .unwrap();
         let rel = out.relative_error(truth);
         assert!(rel < 0.5, "relative error {rel} (estimate {})", out.value);
@@ -318,7 +321,13 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(8);
         let out = est
-            .estimate(&service, &region(), &Aggregate::count_all(), 4_000, &mut rng)
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                4_000,
+                &mut rng,
+            )
             .unwrap();
         assert!(out.relative_error(truth) < 0.6);
     }
@@ -329,7 +338,13 @@ mod tests {
         let service = SimulatedLbs::new(d, ServiceConfig::lnr_lbs(5).with_query_limit(2));
         let mut est = LnrLbsAgg::new(LnrLbsAggConfig::default());
         let mut rng = StdRng::seed_from_u64(10);
-        let res = est.estimate(&service, &region(), &Aggregate::count_all(), 1_000, &mut rng);
+        let res = est.estimate(
+            &service,
+            &region(),
+            &Aggregate::count_all(),
+            1_000,
+            &mut rng,
+        );
         assert!(matches!(res, Err(EstimateError::NoSamples)));
     }
 }

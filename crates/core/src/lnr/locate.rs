@@ -145,11 +145,12 @@ fn vertex_ray<S: lbs_service::LbsInterface + ?Sized>(
     // Probe just outside each edge (and inside the other) to learn the
     // neighbouring tuples t2 and t3.
     let step = config.probe_step;
-    let probe_outside = |hp_out: &lbs_geom::HalfPlane, hp_in: &lbs_geom::HalfPlane, s: f64| -> Point {
-        // Move outward across hp_out and slightly inward w.r.t. hp_in so the
-        // probe does not accidentally leave through the other edge.
-        *v + hp_out.boundary.normal() * s - hp_in.boundary.normal() * (s * 0.5)
-    };
+    let probe_outside =
+        |hp_out: &lbs_geom::HalfPlane, hp_in: &lbs_geom::HalfPlane, s: f64| -> Point {
+            // Move outward across hp_out and slightly inward w.r.t. hp_in so the
+            // probe does not accidentally leave through the other edge.
+            *v + hp_out.boundary.normal() * s - hp_in.boundary.normal() * (s * 0.5)
+        };
     let q2 = probe_outside(d1, d3, step);
     let q3 = probe_outside(d3, d1, step);
     let t2 = oracle.top_ids(&q2)?.first().copied();
@@ -297,7 +298,7 @@ mod tests {
         // With WeChat-style obfuscation the service ranks by snapped
         // positions, so the inferred position approximates the snapped
         // location — the error is bounded by the obfuscation grid size.
-        let pts = vec![
+        let pts = [
             (50.0, 50.0),
             (20.0, 45.0),
             (75.0, 55.0),

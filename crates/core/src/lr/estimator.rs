@@ -208,16 +208,18 @@ impl LrLbsAgg {
             let chosen_h: Vec<usize> = resp
                 .results
                 .iter()
-                .map(|returned| match (&self.config.weighted_sampler, returned.location) {
-                    (Some(_), _) | (_, None) => 1,
-                    (None, Some(location)) => self.config.h_selection.choose(
-                        &location,
-                        k,
-                        region,
-                        &self.history,
-                        self.config.history_neighbor_limit,
-                    ),
-                })
+                .map(
+                    |returned| match (&self.config.weighted_sampler, returned.location) {
+                        (Some(_), _) | (_, None) => 1,
+                        (None, Some(location)) => self.config.h_selection.choose(
+                            &location,
+                            k,
+                            region,
+                            &self.history,
+                            self.config.history_neighbor_limit,
+                        ),
+                    },
+                )
                 .collect();
 
             for (returned, &h) in resp.results.iter().zip(chosen_h.iter()) {
@@ -261,7 +263,9 @@ impl LrLbsAgg {
                     (CellEstimate::MonteCarlo { .. }, QuerySampler::Weighted { .. }) => 0.0,
                 };
 
-                let num = aggregate.numerator(returned, Some(&location)).unwrap_or(0.0);
+                let num = aggregate
+                    .numerator(returned, Some(&location))
+                    .unwrap_or(0.0);
                 let den = aggregate
                     .denominator(returned, Some(&location))
                     .unwrap_or(0.0);
@@ -323,7 +327,9 @@ mod tests {
 
     fn dataset(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        ScenarioBuilder::usa_pois(n).with_bbox(region()).build(&mut rng)
+        ScenarioBuilder::usa_pois(n)
+            .with_bbox(region())
+            .build(&mut rng)
     }
 
     #[test]
@@ -334,12 +340,22 @@ mod tests {
         let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
         let mut rng = StdRng::seed_from_u64(2);
         let out = est
-            .estimate(&service, &region(), &Aggregate::count_all(), 2_500, &mut rng)
+            .estimate(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                2_500,
+                &mut rng,
+            )
             .unwrap();
         assert!(out.samples > 5);
         assert!(out.query_cost >= 2_500);
         let rel = out.relative_error(truth);
-        assert!(rel < 0.35, "relative error {rel} (estimate {} truth {truth})", out.value);
+        assert!(
+            rel < 0.35,
+            "relative error {rel} (estimate {} truth {truth})",
+            out.value
+        );
     }
 
     #[test]
@@ -366,25 +382,36 @@ mod tests {
     fn sum_and_avg_estimates_work() {
         let d = dataset(150, 5);
         let sum_truth = Aggregate::sum_school_enrollment().ground_truth(&d, &region());
-        let avg_agg = Aggregate::avg_where(attrs::RATING, Selection::TextEquals {
-            attr: attrs::CATEGORY.into(),
-            value: "restaurant".into(),
-        });
+        let avg_agg = Aggregate::avg_where(
+            attrs::RATING,
+            Selection::TextEquals {
+                attr: attrs::CATEGORY.into(),
+                value: "restaurant".into(),
+            },
+        );
         let avg_truth = avg_agg.ground_truth(&d, &region());
         let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(10));
         let mut rng = StdRng::seed_from_u64(6);
 
         let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        // SUM(enrollment) has heavy-tailed Horvitz–Thompson contributions
+        // (one school in a tiny Voronoi cell can dominate a sample), so it
+        // needs a larger budget than COUNT before a single fixed-seed run is
+        // reliably within tolerance.
         let sum_out = est
             .estimate(
                 &service,
                 &region(),
                 &Aggregate::sum_school_enrollment(),
-                2_000,
+                8_000,
                 &mut rng,
             )
             .unwrap();
-        assert!(sum_out.relative_error(sum_truth) < 0.6, "SUM rel err too high");
+        assert!(
+            sum_out.relative_error(sum_truth) < 0.6,
+            "SUM rel err too high: {} vs truth {sum_truth}",
+            sum_out.value
+        );
 
         let avg_out = est
             .estimate(&service, &region(), &avg_agg, 2_000, &mut rng)

@@ -162,6 +162,7 @@ fn quantize(p: &Point) -> (i64, i64) {
 /// The function returns the volume estimate plus the query cost; it never
 /// returns a biased volume — when it cannot afford exactness it switches to
 /// the unbiased Monte-Carlo escape instead.
+#[allow(clippy::too_many_arguments)] // the paper's Algorithm 2 signature: site, level, region, state
 pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
     service: &S,
     site_id: TupleId,
@@ -479,9 +480,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Shared history across explorations — that is the point of §3.2.2.
         let mut history = History::new();
-        let mut config = ExploreConfig::default();
         // Disable the MC escape so the outcome stays exactly comparable.
-        config.use_mc_bounds = false;
+        let config = ExploreConfig {
+            use_mc_bounds: false,
+            ..ExploreConfig::default()
+        };
         for (i, site) in sites.iter().enumerate() {
             let out = explore_cell(
                 &service,
@@ -532,8 +535,10 @@ mod tests {
         }
         let mut cost_hist = 0u64;
         let mut shared = History::new();
-        let mut cfg = ExploreConfig::default();
-        cfg.use_mc_bounds = false;
+        let cfg = ExploreConfig {
+            use_mc_bounds: false,
+            ..ExploreConfig::default()
+        };
         for (i, site) in sites.iter().enumerate().take(12) {
             let out = explore_cell(
                 &service,
@@ -625,7 +630,8 @@ mod tests {
         for seed in 0..n {
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             let mut h = History::new();
-            let out = explore_cell(&service, 7, site, 1, &region(), &mut h, &cfg, &mut rng).unwrap();
+            let out =
+                explore_cell(&service, 7, site, 1, &region(), &mut h, &cfg, &mut rng).unwrap();
             sum += out.estimate.inverse_probability_uniform(&region());
         }
         let mean = sum / n as f64;

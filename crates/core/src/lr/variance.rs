@@ -128,7 +128,10 @@ mod tests {
     fn adaptive_with_no_history_is_conservative() {
         let h = History::new();
         let policy = HSelection::default();
-        assert_eq!(policy.choose(&Point::new(50.0, 50.0), 10, &region(), &h, 32), 1);
+        assert_eq!(
+            policy.choose(&Point::new(50.0, 50.0), 10, &region(), &h, 32),
+            1
+        );
     }
 
     #[test]
@@ -140,7 +143,10 @@ mod tests {
             lambda0: Some(200.0),
         };
         let h_dense = policy.choose(&site, 3, &region(), &dense, 64);
-        assert!(h_dense >= 2, "dense area should allow h >= 2, got {h_dense}");
+        assert!(
+            h_dense >= 2,
+            "dense area should allow h >= 2, got {h_dense}"
+        );
         // Sparse neighbourhood: even the top-2 cell exceeds the threshold.
         let sparse = dense_history_around(site, 40.0);
         let h_sparse = policy.choose(&site, 3, &region(), &sparse, 64);
@@ -171,6 +177,9 @@ mod tests {
     fn adaptive_with_k1_is_always_one() {
         let hist = dense_history_around(Point::new(50.0, 50.0), 2.0);
         let policy = HSelection::default();
-        assert_eq!(policy.choose(&Point::new(50.0, 50.0), 1, &region(), &hist, 64), 1);
+        assert_eq!(
+            policy.choose(&Point::new(50.0, 50.0), 1, &region(), &hist, 64),
+            1
+        );
     }
 }

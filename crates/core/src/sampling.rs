@@ -80,10 +80,9 @@ impl QuerySampler {
     pub fn cell_probability(&self, cell: &TopKCell) -> Option<f64> {
         match self {
             QuerySampler::Uniform { bbox } => Some(cell.area / bbox.area()),
-            QuerySampler::Weighted { grid } => cell
-                .convex
-                .as_ref()
-                .map(|poly| grid.integrate_convex(poly)),
+            QuerySampler::Weighted { grid } => {
+                cell.convex.as_ref().map(|poly| grid.integrate_convex(poly))
+            }
         }
     }
 

@@ -222,6 +222,71 @@ mod tests {
     }
 
     #[test]
+    fn merge_agrees_with_single_pass_on_concatenated_stream() {
+        // Parallel Welford: pushing stream A then stream B into one
+        // accumulator must agree with push(A) ∥ push(B) followed by merge,
+        // for uneven split sizes and adversarial magnitudes.
+        let splits: &[(usize, usize)] = &[(0, 5), (1, 1), (1, 9), (7, 3), (50, 1), (33, 67)];
+        for &(na, nb) in splits {
+            let stream: Vec<f64> = (0..na + nb)
+                .map(|i| 1e6 + ((i * 2_654_435_761) % 1_000) as f64 * 0.25 - 125.0)
+                .collect();
+            let mut whole = RunningStats::new();
+            for &x in &stream {
+                whole.push(x);
+            }
+            let mut a = RunningStats::new();
+            let mut b = RunningStats::new();
+            for &x in &stream[..na] {
+                a.push(x);
+            }
+            for &x in &stream[na..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count(), "split ({na},{nb})");
+            assert!(
+                (a.mean() - whole.mean()).abs() <= 1e-9 * whole.mean().abs(),
+                "split ({na},{nb}): merged mean {} vs single-pass {}",
+                a.mean(),
+                whole.mean()
+            );
+            match (a.sample_variance(), whole.sample_variance()) {
+                (Some(va), Some(vw)) => assert!(
+                    (va - vw).abs() <= 1e-9 * vw.abs().max(1.0),
+                    "split ({na},{nb}): merged variance {va} vs single-pass {vw}"
+                ),
+                (None, None) => {}
+                (va, vw) => panic!("split ({na},{nb}): variance {va:?} vs {vw:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_interval_collapses_below_two_observations() {
+        // n = 0: no standard error; the interval must collapse to the (zero)
+        // point estimate rather than go NaN or infinite.
+        let empty = RunningStats::new();
+        assert_eq!(empty.confidence_interval(1.96), (0.0, 0.0));
+        assert_eq!(empty.confidence_interval(0.0), (0.0, 0.0));
+
+        // n = 1: variance is undefined under Bessel's correction, so the
+        // interval collapses to the single observation at any z.
+        let mut one = RunningStats::new();
+        one.push(-7.25);
+        for z in [0.0, 1.0, 1.96, 2.58, 100.0] {
+            assert_eq!(one.confidence_interval(z), (-7.25, -7.25));
+        }
+
+        // n = 2 is the first width-bearing interval, and it is symmetric.
+        let mut two = one.clone();
+        two.push(-3.25);
+        let (lo, hi) = two.confidence_interval(1.96);
+        assert!(lo < two.mean() && two.mean() < hi);
+        assert!(((two.mean() - lo) - (hi - two.mean())).abs() < 1e-12);
+    }
+
+    #[test]
     fn relative_error_conventions() {
         assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
         assert!((relative_error(90.0, 100.0) - 0.1).abs() < 1e-12);

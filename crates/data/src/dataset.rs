@@ -169,7 +169,10 @@ mod tests {
     fn ground_truth_aggregates() {
         let d = toy();
         assert_eq!(d.len(), 3);
-        assert_eq!(d.count_where(|t| t.text_eq(attrs::CATEGORY, "restaurant")), 2);
+        assert_eq!(
+            d.count_where(|t| t.text_eq(attrs::CATEGORY, "restaurant")),
+            2
+        );
         assert_eq!(
             d.sum_where(attrs::RATING, |t| t.text_eq(attrs::CATEGORY, "restaurant")),
             7.0
@@ -178,7 +181,10 @@ mod tests {
             d.avg_where(attrs::RATING, |t| t.text_eq(attrs::CATEGORY, "restaurant")),
             Some(3.5)
         );
-        assert_eq!(d.avg_where(attrs::RATING, |t| t.text_eq(attrs::CATEGORY, "bank")), None);
+        assert_eq!(
+            d.avg_where(attrs::RATING, |t| t.text_eq(attrs::CATEGORY, "bank")),
+            None
+        );
         assert_eq!(d.sum_where(attrs::ENROLLMENT, |_| true), 500.0);
     }
 
@@ -203,7 +209,10 @@ mod tests {
     #[test]
     fn tight_bbox_and_margin() {
         let d = Dataset::with_tight_bbox(
-            vec![Tuple::new(0, Point::new(5.0, 5.0)), Tuple::new(1, Point::new(9.0, 7.0))],
+            vec![
+                Tuple::new(0, Point::new(5.0, 5.0)),
+                Tuple::new(1, Point::new(9.0, 7.0)),
+            ],
             2.0,
         );
         assert_eq!(d.bbox(), Rect::from_bounds(3.0, 3.0, 11.0, 9.0));

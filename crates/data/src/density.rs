@@ -276,7 +276,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..200 {
             let p = g.sample(&mut rng);
-            assert!(p.x >= 50.0 && p.y >= 50.0, "sample {p:?} outside heavy cell");
+            assert!(
+                p.x >= 50.0 && p.y >= 50.0,
+                "sample {p:?} outside heavy cell"
+            );
         }
     }
 
@@ -341,7 +344,8 @@ mod tests {
         let mut sum = 0.0;
         for i in 0..n {
             for j in 0..n {
-                let p = bbox().at_fraction((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
+                let p =
+                    bbox().at_fraction((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
                 sum += g.pdf(&p);
             }
         }

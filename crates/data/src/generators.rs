@@ -226,9 +226,7 @@ impl ScenarioBuilder {
     /// clamping every city onto the boundary.
     pub fn with_bbox(mut self, bbox: Rect) -> Self {
         if let SpatialModel::Clustered {
-            centers,
-            sigma_km,
-            ..
+            centers, sigma_km, ..
         } = &mut self.spatial
         {
             let old = self.bbox;
@@ -309,7 +307,11 @@ impl ScenarioBuilder {
                 .with_attr(attrs::NAME, format!("School #{id}"))
                 .with_attr(attrs::ENROLLMENT, log_normal(rng, 6.0, 0.7).round())
                 .with_attr(attrs::PROMINENCE, rng.gen_range(0.0..0.6))
-        } else if roll < self.restaurant_fraction + self.school_fraction + 0.5 * (1.0 - self.restaurant_fraction - self.school_fraction) {
+        } else if roll
+            < self.restaurant_fraction
+                + self.school_fraction
+                + 0.5 * (1.0 - self.restaurant_fraction - self.school_fraction)
+        {
             Tuple::new(id, location)
                 .with_attr(attrs::CATEGORY, "bank")
                 .with_attr(attrs::NAME, format!("Bank #{id}"))
@@ -349,8 +351,14 @@ mod tests {
         let restaurants = d.count_where(|t| t.text_eq(attrs::CATEGORY, "restaurant"));
         let schools = d.count_where(|t| t.text_eq(attrs::CATEGORY, "school"));
         // Roughly the configured proportions.
-        assert!((restaurants as f64 / 2_000.0 - 0.55).abs() < 0.06, "restaurants {restaurants}");
-        assert!((schools as f64 / 2_000.0 - 0.25).abs() < 0.05, "schools {schools}");
+        assert!(
+            (restaurants as f64 / 2_000.0 - 0.55).abs() < 0.06,
+            "restaurants {restaurants}"
+        );
+        assert!(
+            (schools as f64 / 2_000.0 - 0.25).abs() < 0.05,
+            "schools {schools}"
+        );
         // Every school has an enrollment; every restaurant a rating in range.
         for t in d.tuples() {
             if t.text_eq(attrs::CATEGORY, "school") {
@@ -376,7 +384,9 @@ mod tests {
     #[test]
     fn starbucks_capped_at_n() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = ScenarioBuilder::usa_pois(10).with_starbucks(50).build(&mut rng);
+        let d = ScenarioBuilder::usa_pois(10)
+            .with_starbucks(50)
+            .build(&mut rng);
         assert_eq!(d.count_where(|t| t.text_eq(attrs::BRAND, "Starbucks")), 10);
     }
 
@@ -462,7 +472,9 @@ mod bbox_override_tests {
     fn with_bbox_rescales_cluster_centres() {
         let small = Rect::from_bounds(0.0, 0.0, 200.0, 200.0);
         let mut rng = StdRng::seed_from_u64(77);
-        let d = ScenarioBuilder::usa_pois(400).with_bbox(small).build(&mut rng);
+        let d = ScenarioBuilder::usa_pois(400)
+            .with_bbox(small)
+            .build(&mut rng);
         // Every tuple is inside the new box and the tuples are not piled up
         // on the boundary (the old clamping failure mode).
         let mut on_boundary = 0usize;
@@ -472,7 +484,10 @@ mod bbox_override_tests {
                 on_boundary += 1;
             }
         }
-        assert!(on_boundary < 10, "{on_boundary} tuples stuck on the boundary");
+        assert!(
+            on_boundary < 10,
+            "{on_boundary} tuples stuck on the boundary"
+        );
         // The data is still clustered: a majority of tuples are within a
         // small fraction of the box of at least one other tuple.
     }

@@ -106,7 +106,10 @@ mod tests {
             assert!(w > 0.0);
         }
         for (c, w) in china_cities() {
-            assert!(china().contains(&c), "China city {c:?} outside the China box");
+            assert!(
+                china().contains(&c),
+                "China city {c:?} outside the China box"
+            );
             assert!(w > 0.0);
         }
     }

@@ -207,10 +207,9 @@ pub fn disk_covered_by_union(target: &Circle, cover: &[Circle]) -> bool {
         for j in (i + 1)..cover.len() {
             for p in cover[i].boundary_intersections(&cover[j]) {
                 if target.center.distance(&p) < target.radius - EPS {
-                    let covered = cover
-                        .iter()
-                        .enumerate()
-                        .any(|(idx, c)| idx != i && idx != j && c.center.distance(&p) < c.radius - EPS);
+                    let covered = cover.iter().enumerate().any(|(idx, c)| {
+                        idx != i && idx != j && c.center.distance(&p) < c.radius - EPS
+                    });
                     if !covered {
                         return false;
                     }

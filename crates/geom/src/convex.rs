@@ -120,10 +120,7 @@ impl ConvexPolygon {
             return None;
         }
         if self.is_empty() {
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, p| acc + *p);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, p| acc + *p);
             return Some(sum / self.vertices.len() as f64);
         }
         let mut twice_area = 0.0;
@@ -138,10 +135,7 @@ impl ConvexPolygon {
             cy += (a.y + b.y) * w;
         }
         if twice_area.abs() <= EPS {
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, p| acc + *p);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, p| acc + *p);
             return Some(sum / self.vertices.len() as f64);
         }
         Some(Point::new(cx / (3.0 * twice_area), cy / (3.0 * twice_area)))
@@ -198,7 +192,10 @@ impl ConvexPolygon {
         // that pass exactly through a vertex.
         let mut dedup: Vec<Point> = Vec::with_capacity(out.len());
         for p in out {
-            if dedup.last().map_or(true, |last| !last.approx_eq_eps(&p, 1e-9)) {
+            if dedup
+                .last()
+                .map_or(true, |last| !last.approx_eq_eps(&p, 1e-9))
+            {
                 dedup.push(p);
             }
         }

@@ -317,7 +317,9 @@ mod tests {
     #[test]
     fn clamp_and_fraction() {
         let r = unit();
-        assert!(r.clamp(&Point::new(2.0, -1.0)).approx_eq(&Point::new(1.0, 0.0)));
+        assert!(r
+            .clamp(&Point::new(2.0, -1.0))
+            .approx_eq(&Point::new(1.0, 0.0)));
         assert!(r.at_fraction(0.5, 0.25).approx_eq(&Point::new(0.5, 0.25)));
     }
 

@@ -200,7 +200,8 @@ fn level_set_area(
     }
 
     xs.retain(|x| x.is_finite());
-    xs.iter_mut().for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
+    xs.iter_mut()
+        .for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
@@ -507,7 +508,8 @@ fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bb
         }
     }
     xs.retain(|x| x.is_finite());
-    xs.iter_mut().for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
+    xs.iter_mut()
+        .for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
@@ -710,7 +712,7 @@ mod tests {
         // Every location belongs to exactly k top-k cells (paper §2.2,
         // observation 1), so the cell areas over all sites must sum to
         // k * |bbox| when every site's cell is computed against all others.
-        let sites = vec![
+        let sites = [
             Point::new(20.0, 30.0),
             Point::new(70.0, 20.0),
             Point::new(50.0, 80.0),

@@ -69,7 +69,9 @@ impl SiteGrid {
         let target = (n as f64).sqrt().ceil() as usize;
         let cols = target.clamp(1, 512);
         let rows = target.clamp(1, 512);
-        let cell_size = (bbox.width() / cols as f64).max(bbox.height() / rows as f64).max(1e-12);
+        let cell_size = (bbox.width() / cols as f64)
+            .max(bbox.height() / rows as f64)
+            .max(1e-12);
         let mut buckets = vec![Vec::new(); cols * rows];
         let mut grid = SiteGrid {
             bbox: *bbox,
@@ -212,9 +214,13 @@ mod tests {
         let mut sites = Vec::new();
         let mut x = 7u64;
         for _ in 0..60 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let fx = ((x >> 11) as f64) / ((1u64 << 53) as f64);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let fy = ((x >> 11) as f64) / ((1u64 << 53) as f64);
             sites.push(Point::new(fx * 100.0, fy * 100.0));
         }

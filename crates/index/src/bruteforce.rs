@@ -74,17 +74,11 @@ impl SpatialIndex for BruteForceIndex {
         for (id, p) in self.points.iter().enumerate() {
             let d = query.distance_sq(p);
             if heap.len() < k {
-                heap.push(HeapEntry {
-                    distance_sq: d,
-                    id,
-                });
+                heap.push(HeapEntry { distance_sq: d, id });
             } else if let Some(top) = heap.peek() {
                 if d < top.distance_sq || (d == top.distance_sq && id < top.id) {
                     heap.pop();
-                    heap.push(HeapEntry {
-                        distance_sq: d,
-                        id,
-                    });
+                    heap.push(HeapEntry { distance_sq: d, id });
                 }
             }
         }
@@ -137,7 +131,11 @@ mod tests {
 
     #[test]
     fn radius_query_includes_boundary() {
-        let points = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(10.0, 0.0)];
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
         let idx = BruteForceIndex::build(&points);
         let res = idx.within_radius(&Point::new(0.0, 0.0), 5.0);
         assert_eq!(res.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1]);
@@ -160,7 +158,11 @@ mod tests {
     #[test]
     fn tie_breaking_prefers_smaller_id() {
         // Two points at the same distance from the query.
-        let points = vec![Point::new(1.0, 0.0), Point::new(-1.0, 0.0), Point::new(5.0, 0.0)];
+        let points = vec![
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(5.0, 0.0),
+        ];
         let idx = BruteForceIndex::build(&points);
         let res = idx.k_nearest(&Point::ORIGIN, 1);
         assert_eq!(res[0].id, 0);

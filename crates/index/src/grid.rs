@@ -219,11 +219,18 @@ mod tests {
         let q = Point::new(40.0, 40.0);
         let want: Vec<usize> = oracle.k_nearest(&q, 5).iter().map(|n| n.id).collect();
         assert_eq!(
-            coarse.k_nearest(&q, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
+            coarse
+                .k_nearest(&q, 5)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>(),
             want
         );
         assert_eq!(
-            fine.k_nearest(&q, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
+            fine.k_nearest(&q, 5)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>(),
             want
         );
     }
@@ -233,7 +240,10 @@ mod tests {
         let points = vec![Point::new(5.0, 5.0); 10];
         let grid = GridIndex::build(&points);
         let res = grid.k_nearest(&Point::new(5.0, 5.0), 4);
-        assert_eq!(res.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            res.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]

@@ -131,29 +131,17 @@ impl Ord for Candidate {
 }
 
 impl KdTree {
-    fn knn_recurse(
-        &self,
-        node: usize,
-        query: &Point,
-        k: usize,
-        heap: &mut BinaryHeap<Candidate>,
-    ) {
+    fn knn_recurse(&self, node: usize, query: &Point, k: usize, heap: &mut BinaryHeap<Candidate>) {
         match &self.nodes[node] {
             Node::Leaf { ids } => {
                 for &id in ids {
                     let d = query.distance_sq(&self.points[id]);
                     if heap.len() < k {
-                        heap.push(Candidate {
-                            distance_sq: d,
-                            id,
-                        });
+                        heap.push(Candidate { distance_sq: d, id });
                     } else if let Some(top) = heap.peek() {
                         if d < top.distance_sq || (d == top.distance_sq && id < top.id) {
                             heap.pop();
-                            heap.push(Candidate {
-                                distance_sq: d,
-                                id,
-                            });
+                            heap.push(Candidate { distance_sq: d, id });
                         }
                     }
                 }
@@ -174,10 +162,7 @@ impl KdTree {
                 self.knn_recurse(near, query, k, heap);
                 // Visit the far side only if its bounding box might contain a
                 // better candidate.
-                let worst = heap
-                    .peek()
-                    .map(|c| c.distance_sq)
-                    .unwrap_or(f64::INFINITY);
+                let worst = heap.peek().map(|c| c.distance_sq).unwrap_or(f64::INFINITY);
                 let must_visit = heap.len() < k
                     || self
                         .subtree_bbox(far)
@@ -302,8 +287,15 @@ mod tests {
         let oracle = BruteForceIndex::build(&points);
         let q = Point::new(42.3, 5.0);
         assert_eq!(
-            tree.k_nearest(&q, 7).iter().map(|n| n.id).collect::<Vec<_>>(),
-            oracle.k_nearest(&q, 7).iter().map(|n| n.id).collect::<Vec<_>>()
+            tree.k_nearest(&q, 7)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>(),
+            oracle
+                .k_nearest(&q, 7)
+                .iter()
+                .map(|n| n.id)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -317,7 +309,10 @@ mod tests {
         for r in [5.0, 25.0, 100.0] {
             let q = Point::new(100.0, 100.0);
             assert_eq!(
-                tree.within_radius(&q, r).iter().map(|n| n.id).collect::<Vec<_>>(),
+                tree.within_radius(&q, r)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>(),
                 oracle
                     .within_radius(&q, r)
                     .iter()

@@ -183,7 +183,10 @@ mod tests {
         let mut points = Vec::new();
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..150 {
-            points.push(Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)));
+            points.push(Point::new(
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+            ));
         }
         for _ in 0..150 {
             points.push(Point::new(

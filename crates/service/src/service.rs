@@ -21,9 +21,7 @@ use lbs_index::{GridIndex, SpatialIndex};
 
 use crate::budget::QueryBudget;
 use crate::config::{Ranking, ReturnMode, ServiceConfig};
-use crate::interface::{
-    LbsInterface, PassThroughFilter, QueryError, QueryResponse, ReturnedTuple,
-};
+use crate::interface::{LbsInterface, PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
 
 /// A simulated LBS over a synthetic dataset.
 #[derive(Clone)]
@@ -147,9 +145,7 @@ impl SimulatedLbs {
                 // whole database; a pool of 4k candidates approximates that
                 // closely because prominence can only promote tuples by a
                 // bounded amount of distance (`weight` km per unit).
-                let pool = self
-                    .index
-                    .k_nearest(location, (self.config.k * 4).max(32));
+                let pool = self.index.k_nearest(location, (self.config.k * 4).max(32));
                 let mut scored: Vec<(usize, f64)> = pool
                     .into_iter()
                     .map(|n| {
@@ -251,9 +247,12 @@ mod tests {
                 let id = (j * 3 + i) as TupleId;
                 let category = if id % 2 == 0 { "restaurant" } else { "school" };
                 tuples.push(
-                    Tuple::new(id, Point::new(10.0 + i as f64 * 10.0, 10.0 + j as f64 * 10.0))
-                        .with_attr(attrs::CATEGORY, category)
-                        .with_attr(attrs::PROMINENCE, (id as f64) / 10.0),
+                    Tuple::new(
+                        id,
+                        Point::new(10.0 + i as f64 * 10.0, 10.0 + j as f64 * 10.0),
+                    )
+                    .with_attr(attrs::CATEGORY, category)
+                    .with_attr(attrs::PROMINENCE, (id as f64) / 10.0),
                 );
             }
         }
@@ -356,7 +355,14 @@ mod tests {
         // With weight 0 the ordering is by pure distance again.
         let cfg0 = ServiceConfig::lr_lbs(3).with_ranking(Ranking::Prominence { weight: 0.0 });
         let svc0 = SimulatedLbs::new(toy_dataset(), cfg0);
-        assert_eq!(svc0.query(&Point::new(11.0, 11.0)).unwrap().top().unwrap().id, 0);
+        assert_eq!(
+            svc0.query(&Point::new(11.0, 11.0))
+                .unwrap()
+                .top()
+                .unwrap()
+                .id,
+            0
+        );
     }
 
     #[test]

@@ -58,14 +58,21 @@ fn run(label: &str, obfuscation: Option<f64>, targets: usize) {
     println!("  located            : {located}");
     println!("  within 100 m       : {within_100m}");
     if located > 0 {
-        println!("  mean error         : {:.0} m", 1000.0 * error_sum / located as f64);
+        println!(
+            "  mean error         : {:.0} m",
+            1000.0 * error_sum / located as f64
+        );
     }
     println!("  queries spent      : {}", service.queries_issued());
 }
 
 fn main() {
     println!("Position inference through a rank-only kNN interface\n");
-    run("No obfuscation (Google-Places-like, treated as LNR)", None, 15);
+    run(
+        "No obfuscation (Google-Places-like, treated as LNR)",
+        None,
+        15,
+    );
     println!();
     run("50 m obfuscation (WeChat-like)", Some(0.05), 15);
     println!();

@@ -19,14 +19,23 @@ fn main() {
     let dataset = ScenarioBuilder::usa_pois(1_200).build(&mut rng);
     let region = dataset.bbox();
     let truth = dataset.len() as f64;
-    println!("hidden database: {truth} POIs over {:.0} km²", region.area());
+    println!(
+        "hidden database: {truth} POIs over {:.0} km²",
+        region.area()
+    );
 
     // 1) A Google-Maps-like interface: top-10 nearest tuples, locations
     //    returned. LR-LBS-AGG computes exact Voronoi cells and is unbiased.
     let lr_service = SimulatedLbs::new(dataset.clone(), ServiceConfig::lr_lbs(10));
     let mut lr = LrLbsAgg::new(LrLbsAggConfig::default());
     let estimate = lr
-        .estimate(&lr_service, &region, &Aggregate::count_all(), 2_000, &mut rng)
+        .estimate(
+            &lr_service,
+            &region,
+            &Aggregate::count_all(),
+            2_000,
+            &mut rng,
+        )
         .expect("estimation succeeds");
     println!(
         "LR-LBS-AGG : COUNT(*) ≈ {:.0}  (95% CI {:.0}..{:.0}, {} queries, rel err {:.1}%)",
@@ -45,7 +54,13 @@ fn main() {
         ..LnrLbsAggConfig::default()
     });
     let estimate = lnr
-        .estimate(&lnr_service, &region, &Aggregate::count_all(), 4_000, &mut rng)
+        .estimate(
+            &lnr_service,
+            &region,
+            &Aggregate::count_all(),
+            4_000,
+            &mut rng,
+        )
         .expect("estimation succeeds");
     println!(
         "LNR-LBS-AGG: COUNT(*) ≈ {:.0}  ({} queries, rel err {:.1}%)",

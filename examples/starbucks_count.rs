@@ -42,7 +42,10 @@ fn main() {
     println!("COUNT(Starbucks in US)");
     println!("  estimate     : {:.0}", estimate.value);
     println!("  ground truth : {truth:.0}");
-    println!("  rel. error   : {:.1}%", 100.0 * estimate.relative_error(truth));
+    println!(
+        "  rel. error   : {:.1}%",
+        100.0 * estimate.relative_error(truth)
+    );
     println!("  query cost   : {}", estimate.query_cost);
 
     // The same machinery also answers selection conditions the service does

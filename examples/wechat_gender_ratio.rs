@@ -23,10 +23,7 @@ fn main() {
     let male_truth = users.count_where(|t| t.text_eq(attrs::GENDER, "male")) as f64;
 
     // Rank-only interface: top-10 nearby users, 50 m location obfuscation.
-    let wechat = SimulatedLbs::new(
-        users,
-        ServiceConfig::lnr_lbs(10).with_obfuscation(0.05),
-    );
+    let wechat = SimulatedLbs::new(users, ServiceConfig::lnr_lbs(10).with_obfuscation(0.05));
 
     let config = LnrLbsAggConfig {
         delta: 1.0, // km; the aggregate does not need fine cell edges

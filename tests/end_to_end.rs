@@ -12,7 +12,9 @@ use rand::SeedableRng;
 fn small_world(seed: u64, n: usize) -> (lbs::data::Dataset, Rect) {
     let mut rng = StdRng::seed_from_u64(seed);
     let region = Rect::from_bounds(0.0, 0.0, 300.0, 300.0);
-    let dataset = ScenarioBuilder::usa_pois(n).with_bbox(region).build(&mut rng);
+    let dataset = ScenarioBuilder::usa_pois(n)
+        .with_bbox(region)
+        .build(&mut rng);
     (dataset, region)
 }
 
@@ -89,7 +91,9 @@ fn post_processed_selection_and_avg_ratio() {
     let service = SimulatedLbs::new(dataset, ServiceConfig::lr_lbs(10));
     let mut estimator = LrLbsAgg::new(LrLbsAggConfig::default());
     let mut rng = StdRng::seed_from_u64(8);
-    let estimate = estimator.estimate(&service, &region, &agg, 2_000, &mut rng).unwrap();
+    let estimate = estimator
+        .estimate(&service, &region, &agg, 2_000, &mut rng)
+        .unwrap();
     assert!(
         estimate.relative_error(truth) < 0.2,
         "AVG estimate {} vs truth {truth}",

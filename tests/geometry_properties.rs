@@ -8,30 +8,40 @@
 //! * kNN results from the grid index agree with brute force (which is what
 //!   makes the simulated service an exact kNN oracle),
 //! * the density grid integrates to one over any partition of the box.
+//!
+//! The offline build environment has no `proptest`, so each property is
+//! exercised over a deterministic batch of seeded-RNG cases; failures
+//! report the seed so a case can be replayed in isolation.
 
-use lbs::geom::{top_k_cell, Point, Rect};
+use lbs::data::DensityGrid;
+use lbs::geom::{top_k_cell, ConvexPolygon, Point, Rect};
 use lbs::index::{BruteForceIndex, GridIndex, KdTree, SpatialIndex};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..max)
+const CASES: u64 = 24;
+
+/// Random sites in the 100x100 box, rejection-sampled so that every pair is
+/// at least `min_sep` apart (the tiling property assumes general position).
+fn separated_points(rng: &mut StdRng, min: usize, max: usize, min_sep: f64) -> Vec<Point> {
+    let n = rng.gen_range(min..max);
+    let mut sites: Vec<Point> = Vec::with_capacity(n);
+    while sites.len() < n {
+        let cand = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+        if sites.iter().all(|s| s.distance(&cand) > min_sep) {
+            sites.push(cand);
+        }
+    }
+    sites
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn topk_cells_tile_the_box_k_times(points in arb_points(12), k in 1usize..3) {
-        let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
-        let sites: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
-        // Skip degenerate inputs with (near-)duplicate sites: the tiling
-        // property assumes general position.
-        for i in 0..sites.len() {
-            for j in (i + 1)..sites.len() {
-                prop_assume!(sites[i].distance(&sites[j]) > 0.5);
-            }
-        }
-        prop_assume!(k <= sites.len());
+#[test]
+fn topk_cells_tile_the_box_k_times() {
+    let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA11CE + case);
+        let sites = separated_points(&mut rng, 3, 12, 0.5);
+        let k = rng.gen_range(1..3usize).min(sites.len());
         let mut total = 0.0;
         for (i, s) in sites.iter().enumerate() {
             let others: Vec<Point> = sites
@@ -43,21 +53,19 @@ proptest! {
             total += top_k_cell(s, &others, k, &bbox).area;
         }
         let expected = k as f64 * bbox.area();
-        prop_assert!(
+        assert!(
             (total - expected).abs() / expected < 1e-6,
-            "cells tile {} instead of {}", total, expected
+            "case {case}: cells tile {total} instead of {expected}"
         );
     }
+}
 
-    #[test]
-    fn exact_cell_area_matches_monte_carlo(points in arb_points(10)) {
-        let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
-        let sites: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
-        for i in 0..sites.len() {
-            for j in (i + 1)..sites.len() {
-                prop_assume!(sites[i].distance(&sites[j]) > 0.5);
-            }
-        }
+#[test]
+fn exact_cell_area_matches_monte_carlo() {
+    let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB0B + case);
+        let sites = separated_points(&mut rng, 3, 10, 0.5);
         let site = sites[0];
         let others = &sites[1..];
         let cell = top_k_cell(&site, others, 1, &bbox);
@@ -74,36 +82,57 @@ proptest! {
             }
         }
         let mc = bbox.area() * inside as f64 / (n * n) as f64;
-        prop_assert!(
-            (cell.area - mc).abs() <= 0.05 * bbox.area().max(1.0) * 0.1 + 0.02 * bbox.area() / sites.len() as f64 + 3.0,
-            "exact {} vs MC {}", cell.area, mc
+        let tolerance =
+            0.05 * bbox.area().max(1.0) * 0.1 + 0.02 * bbox.area() / sites.len() as f64 + 3.0;
+        assert!(
+            (cell.area - mc).abs() <= tolerance,
+            "case {case}: exact {} vs MC {mc}",
+            cell.area
         );
     }
+}
 
-    #[test]
-    fn all_index_backends_agree(points in arb_points(40), qx in 0.0..100.0f64, qy in 0.0..100.0f64, k in 1usize..8) {
-        let pts: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
-        let q = Point::new(qx, qy);
+#[test]
+fn all_index_backends_agree() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE + case);
+        let n = rng.gen_range(3..40usize);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let q = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+        let k = rng.gen_range(1..8usize);
         let oracle = BruteForceIndex::build(&pts);
         let grid = GridIndex::build(&pts);
         let tree = KdTree::build(&pts);
         let want: Vec<usize> = oracle.k_nearest(&q, k).iter().map(|n| n.id).collect();
         let got_grid: Vec<usize> = grid.k_nearest(&q, k).iter().map(|n| n.id).collect();
         let got_tree: Vec<usize> = tree.k_nearest(&q, k).iter().map(|n| n.id).collect();
-        prop_assert_eq!(&want, &got_grid);
-        prop_assert_eq!(&want, &got_tree);
+        assert_eq!(
+            want, got_grid,
+            "case {case}: grid disagrees with brute force"
+        );
+        assert_eq!(
+            want, got_tree,
+            "case {case}: kd-tree disagrees with brute force"
+        );
     }
+}
 
-    #[test]
-    fn density_grid_mass_is_conserved(weights in prop::collection::vec(0.0..10.0f64, 16)) {
-        use lbs::data::DensityGrid;
-        use lbs::geom::ConvexPolygon;
+#[test]
+fn density_grid_mass_is_conserved() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD15C + case);
+        let weights: Vec<f64> = (0..16).map(|_| rng.gen_range(0.0..10.0)).collect();
         let bbox = Rect::from_bounds(0.0, 0.0, 80.0, 40.0);
         let grid = DensityGrid::from_weights(bbox, 4, 4, weights);
         // Integrating over the two halves of the box sums to (almost) 1.
         let left = ConvexPolygon::from_rect(&Rect::from_bounds(0.0, 0.0, 40.0, 40.0));
         let right = ConvexPolygon::from_rect(&Rect::from_bounds(40.0, 0.0, 80.0, 40.0));
         let total = grid.integrate_convex(&left) + grid.integrate_convex(&right);
-        prop_assert!((total - 1.0).abs() < 1e-9, "total mass {}", total);
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "case {case}: total mass {total}"
+        );
     }
 }

@@ -1,0 +1,253 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the benchmark-harness surface the workspace uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`criterion_group!`],
+//! [`criterion_main!`] — as a plain wall-clock timing loop. There is no
+//! statistical analysis, outlier detection, or HTML report; each benchmark
+//! prints its mean iteration time to stdout. Swapping upstream criterion
+//! back in requires no source changes in the benches.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box` (upstream deprecated
+/// it in favour of `std::hint::black_box`, which it also forwards to).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub performs no hypothesis test.
+    pub fn significance_level(self, _sl: f64) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub performs no comparison.
+    pub fn noise_threshold(self, _threshold: f64) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub takes no CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the default warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the default measurement duration cap.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_bench(&id.into(), sample_size, warm_up, measurement, f);
+        self
+    }
+
+    /// Upstream prints a summary here; the stub prints per-bench lines only.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration cap for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times `f` and prints the mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the stub; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measuring: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` once per invocation, accumulating elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        if self.measuring {
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run un-timed until the warm-up budget is spent.
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        measuring: false,
+    };
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+
+    // Measurement: up to `sample_size` timed samples within the time cap.
+    b.measuring = true;
+    let measure_start = Instant::now();
+    while (b.iters as usize) < sample_size && measure_start.elapsed() < measurement {
+        f(&mut b);
+    }
+
+    let mean = if b.iters > 0 {
+        b.total / u32::try_from(b.iters).unwrap_or(u32::MAX)
+    } else {
+        Duration::ZERO
+    };
+    println!("{id:<40} time: {mean:>12.3?}  (samples: {})", b.iters);
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 10);
+    }
+}

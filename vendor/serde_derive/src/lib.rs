@@ -1,0 +1,445 @@
+//! Offline subset of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for non-generic structs and enums.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against `proc_macro` alone — no `syn`/`quote`. It parses just enough of
+//! the item grammar to recover the type name, the struct fields, or the enum
+//! variants, then emits impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (which are `Value`-tree based, far simpler
+//! than upstream's visitor machinery).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde's default representation).
+//!
+//! Unsupported (fails with a compile error rather than silently
+//! mis-serializing): generic parameters and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_str(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attribute sequences starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_str(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances to the token after the next top-level `,`, treating `<...>` as
+/// nested (type arguments contain commas). Returns `tokens.len()` if no
+/// separator remains.
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                // `->` never appears in field position; `<`/`>` outside an
+                // operator context here are generic brackets.
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth = angle_depth.saturating_sub(1);
+                } else if c == ',' && angle_depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_str(&tokens[i]).ok_or_else(|| {
+            format!("serde_derive stub: expected field name, found `{}`", tokens[i])
+        })?;
+        i += 1;
+        if i >= tokens.len() || !is_punct(&tokens[i], ':') {
+            return Err(format!("serde_derive stub: expected `:` after field `{name}`"));
+        }
+        names.push(name);
+        i = skip_past_comma(&tokens, i + 1);
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(group: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_past_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(group: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_str(&tokens[i]).ok_or_else(|| {
+            format!("serde_derive stub: expected variant name, found `{}`", tokens[i])
+        })?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        i = skip_past_comma(&tokens, i);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = ident_str(tokens.get(i).ok_or("serde_derive stub: empty input")?)
+        .ok_or("serde_derive stub: expected `struct` or `enum`")?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("serde_derive stub: cannot derive for `{kind}` items"));
+    }
+    i += 1;
+
+    let name = ident_str(tokens.get(i).ok_or("serde_derive stub: missing type name")?)
+        .ok_or("serde_derive stub: missing type name")?;
+    i += 1;
+
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported; \
+             write the impls by hand or drop the derive"
+        ));
+    }
+
+    if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(&g.stream())?,
+            }),
+            _ => Err(format!("serde_derive stub: malformed enum `{name}`")),
+        }
+    } else {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Fields::Unit,
+            None => Fields::Unit,
+            _ => return Err(format!("serde_derive stub: malformed struct `{name}`")),
+        };
+        Ok(Item::Struct { name, fields })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn map_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| map_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![{}]),",
+                            map_entry(vname, "::serde::Serialize::to_value(f0)")
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![{}]),",
+                                binders.join(", "),
+                                map_entry(
+                                    vname,
+                                    &format!(
+                                        "::serde::Value::Seq(::std::vec![{}])",
+                                        items.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                        Fields::Named(field_names) => {
+                            let entries: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    map_entry(f, &format!("::serde::Serialize::to_value({f})"))
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![{}]),",
+                                field_names.join(", "),
+                                map_entry(
+                                    vname,
+                                    &format!(
+                                        "::serde::Value::Map(::std::vec![{}])",
+                                        entries.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::__private::field(value, \"{name}\", \"{f}\")?")
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::__private::element(items, \"{name}\", {k})?"))
+                        .collect();
+                    format!(
+                        "match value {{ \
+                             ::serde::Value::Seq(items) => \
+                                 ::std::result::Result::Ok({name}({})), \
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"{name}: expected sequence\")), \
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::__private::element(items, \"{name}\", {k})?")
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => match inner {{ \
+                                 ::serde::Value::Seq(items) => \
+                                     return ::std::result::Result::Ok({name}::{vname}({})), \
+                                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"{name}::{vname}: expected sequence\")), \
+                             }},",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let inits: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__private::field(inner, \"{name}\", \"{f}\")?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok(\
+                                 {name}::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let ::serde::Value::Str(tag) = value {{ \
+                     match tag.as_str() {{ {} _ => {{}} }} \
+                 }} \
+                 if let ::serde::Value::Map(entries) = value {{ \
+                     if entries.len() == 1 {{ \
+                         let (tag, inner) = &entries[0]; \
+                         match tag.as_str() {{ {} _ => {{}} }} \
+                     }} \
+                 }} \
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                     \"{name}: unrecognised enum encoding\"))",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let generated = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::std::compile_error!({msg:?});"),
+    };
+    generated
+        .parse()
+        .expect("serde_derive stub produced invalid Rust; this is a bug in the stub")
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
