@@ -1,23 +1,38 @@
 //! `repro` — regenerate the paper's tables and figures from the command line.
 //!
 //! ```text
-//! repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N] [--out DIR]
+//! repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N]
+//!       [--threads N] [--out DIR]
 //! ```
 //!
 //! Results are printed as text tables and written as CSV files under the
-//! output directory (default `bench-results/`).
+//! output directory (default `bench-results/`). Every run also writes
+//! `BENCH_repro.json` there: a machine-readable summary with per-experiment
+//! wall time, the deepest query cost exercised and the mean relative error
+//! (see `EXPERIMENTS.md` for the field-by-field description).
+//!
+//! `--threads N` fans the estimator samples of every experiment across `N`
+//! worker threads (`0` = all cores). Results are **bit-identical for every
+//! thread count** — the flag only changes wall-clock time. When more than
+//! one thread is requested, the run additionally times a serial-versus-
+//! parallel COUNT probe and records the measured speedup (plus a determinism
+//! check) in `BENCH_repro.json`.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lbs_bench::{all_experiment_ids, run_experiment, Scale};
+use lbs_bench::{
+    all_experiment_ids, report::run_speedup_probe, run_experiment_threaded, BenchRecord,
+    BenchReport, Scale,
+};
 
 struct Options {
     experiments: Vec<String>,
     scale: Scale,
     seed: u64,
+    threads: usize,
     out_dir: PathBuf,
 }
 
@@ -30,6 +45,7 @@ fn parse_args() -> Result<Command, String> {
     let mut experiments: Vec<String> = Vec::new();
     let mut scale = Scale::Small;
     let mut seed = 2015u64; // the paper's publication year, for determinism
+    let mut threads = 1usize;
     let mut out_dir = PathBuf::from("bench-results");
 
     let mut args = env::args().skip(1);
@@ -51,6 +67,12 @@ fn parse_args() -> Result<Command, String> {
                 let value = args.next().ok_or("--seed needs a value")?;
                 seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
             }
+            "--threads" | "-t" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                threads = value
+                    .parse()
+                    .map_err(|_| format!("bad thread count `{value}`"))?;
+            }
             "--out" | "-o" => {
                 out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
@@ -67,13 +89,17 @@ fn parse_args() -> Result<Command, String> {
         experiments,
         scale,
         seed,
+        threads,
         out_dir,
     }))
 }
 
 fn usage() -> String {
     format!(
-        "usage: repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N] [--out DIR]\n\
+        "usage: repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N]\n\
+         \x20            [--threads N] [--out DIR]\n\
+         --threads N  run estimator samples on N worker threads (0 = all cores);\n\
+         \x20            results are bit-identical for every N\n\
          experiments: {}",
         all_experiment_ids().join(", ")
     )
@@ -103,22 +129,57 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "Reproducing {} experiment(s) at {:?} scale (seed {})\n",
+        "Reproducing {} experiment(s) at {:?} scale (seed {}, {} thread(s))\n",
         options.experiments.len(),
         options.scale,
-        options.seed
+        options.seed,
+        options.threads,
     );
+    let mut report = BenchReport::new(options.scale, options.seed, options.threads);
     for id in &options.experiments {
         let started = std::time::Instant::now();
-        let result = run_experiment(id, options.scale, options.seed);
+        let result = run_experiment_threaded(id, options.scale, options.seed, options.threads);
+        let wall_time_s = started.elapsed().as_secs_f64();
         println!("{}", result.to_table());
-        println!("  ({:.1?})\n", started.elapsed());
+        println!("  ({wall_time_s:.1}s)\n");
+        report
+            .experiments
+            .push(BenchRecord::from_result(&result, wall_time_s));
         let path = options.out_dir.join(format!("{id}.csv"));
         if let Err(e) = fs::write(&path, result.to_csv()) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
-    println!("CSV files written to {}", options.out_dir.display());
+
+    if options.threads != 1 {
+        println!("Timing the serial-versus-parallel COUNT probe...");
+        // Resolve `0 = all cores` the same way the experiments do, so the
+        // probe measures the thread count the run actually used.
+        let probe_threads = lbs_core::SampleDriver::new(options.threads)
+            .threads()
+            .max(2);
+        let probe = run_speedup_probe(options.scale, options.seed, probe_threads);
+        println!(
+            "  serial {:.2}s, {} threads {:.2}s -> speedup {:.2}x ({} CPU(s) available, deterministic: {})\n",
+            probe.serial_wall_s,
+            probe.threads,
+            probe.parallel_wall_s,
+            probe.speedup,
+            probe.available_parallelism,
+            probe.deterministic,
+        );
+        report.speedup = Some(probe);
+    }
+
+    let json_path = options.out_dir.join("BENCH_repro.json");
+    if let Err(e) = fs::write(&json_path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "CSV files and BENCH_repro.json written to {}",
+        options.out_dir.display()
+    );
     ExitCode::SUCCESS
 }

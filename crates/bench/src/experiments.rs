@@ -9,7 +9,10 @@
 //!   and by roughly what factor). `EXPERIMENTS.md` documents the mapping.
 //! * Every configuration is repeated [`Scale::repetitions`] times with
 //!   different seeds and the mean relative error is reported.
-//! * All experiments are deterministic given `(scale, seed)`.
+//! * All experiments are deterministic given `(scale, seed)` — including
+//!   across thread counts: every estimator run goes through the
+//!   [`SampleDriver`], whose results are bit-identical whether it fans out to
+//!   1 worker or 64 (`repro --threads N` only changes wall-clock time).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +22,7 @@ use lbs_core::lnr::locate::LocateConfig;
 use lbs_core::lnr::{explore_cell as lnr_explore_cell, infer_position, RankOracle};
 use lbs_core::{
     Aggregate, Estimate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig, NnoBaseline,
-    NnoConfig, Selection,
+    NnoConfig, SampleDriver, Selection,
 };
 use lbs_data::{attrs, Dataset, DensityGrid, ScenarioBuilder};
 use lbs_geom::{voronoi_diagram, Point, Rect};
@@ -40,25 +43,44 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
     ]
 }
 
-/// Runs one experiment by id.
+/// Runs one experiment by id on a single worker thread.
 ///
 /// # Panics
 /// Panics when the id is unknown; use [`all_experiment_ids`] to enumerate
 /// valid ones.
 pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> ExperimentResult {
+    run_experiment_threaded(id, scale, seed, 1)
+}
+
+/// Runs one experiment by id, fanning estimator samples across `threads`
+/// worker threads (`repro --threads N`).
+///
+/// The result is bit-identical for every `threads` value — only the wall
+/// clock changes. `threads == 0` means "use all available cores".
+///
+/// # Panics
+/// Panics when the id is unknown; use [`all_experiment_ids`] to enumerate
+/// valid ones.
+pub fn run_experiment_threaded(
+    id: &str,
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+) -> ExperimentResult {
+    let driver = SampleDriver::new(threads);
     match id {
         "fig11" => fig11_voronoi_decomposition(scale, seed),
-        "fig12" => fig12_convergence(scale, seed),
-        "fig13" => fig13_sampling_strategy(scale, seed),
-        "fig14" => fig14_count_schools(scale, seed),
-        "fig15" => fig15_count_restaurants(scale, seed),
-        "fig16" => fig16_sum_enrollment(scale, seed),
-        "fig17" => fig17_avg_rating_region(scale, seed),
-        "fig18" => fig18_database_size(scale, seed),
-        "fig19" => fig19_varying_k(scale, seed),
-        "fig20" => fig20_error_reduction_ablation(scale, seed),
+        "fig12" => fig12_convergence(scale, seed, &driver),
+        "fig13" => fig13_sampling_strategy(scale, seed, &driver),
+        "fig14" => fig14_count_schools(scale, seed, &driver),
+        "fig15" => fig15_count_restaurants(scale, seed, &driver),
+        "fig16" => fig16_sum_enrollment(scale, seed, &driver),
+        "fig17" => fig17_avg_rating_region(scale, seed, &driver),
+        "fig18" => fig18_database_size(scale, seed, &driver),
+        "fig19" => fig19_varying_k(scale, seed, &driver),
+        "fig20" => fig20_error_reduction_ablation(scale, seed, &driver),
         "fig21" => fig21_localization_accuracy(scale, seed),
-        "table1" => table1_online_experiments(scale, seed),
+        "table1" => table1_online_experiments(scale, seed, &driver),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -95,10 +117,10 @@ fn run_lr(
     budget: u64,
     seed: u64,
     config: LrLbsAggConfig,
+    driver: &SampleDriver,
 ) -> Estimate {
     let mut est = LrLbsAgg::new(config);
-    let mut rng = StdRng::seed_from_u64(seed);
-    est.estimate(service, region, agg, budget, &mut rng)
+    est.estimate_parallel(service, region, agg, budget, seed, driver)
         .expect("LR estimation should produce at least one sample")
 }
 
@@ -109,12 +131,12 @@ fn run_lnr(
     budget: u64,
     seed: u64,
     mut config: LnrLbsAggConfig,
+    driver: &SampleDriver,
 ) -> Estimate {
     config.delta = lnr_delta(region);
     config.delta_prime = config.delta * 10.0;
     let mut est = LnrLbsAgg::new(config);
-    let mut rng = StdRng::seed_from_u64(seed);
-    est.estimate(service, region, agg, budget, &mut rng)
+    est.estimate_parallel(service, region, agg, budget, seed, driver)
         .expect("LNR estimation should produce at least one sample")
 }
 
@@ -124,10 +146,10 @@ fn run_nno(
     agg: &Aggregate,
     budget: u64,
     seed: u64,
+    driver: &SampleDriver,
 ) -> Estimate {
     let mut est = NnoBaseline::new(NnoConfig::default());
-    let mut rng = StdRng::seed_from_u64(seed);
-    est.estimate(service, region, agg, budget, &mut rng)
+    est.estimate_parallel(service, region, agg, budget, seed, driver)
         .expect("baseline estimation should produce at least one sample")
 }
 
@@ -152,6 +174,7 @@ fn cost_error_comparison(
     seed: u64,
     agg: Aggregate,
     region_override: Option<Rect>,
+    driver: &SampleDriver,
 ) -> ExperimentResult {
     let dataset = usa_dataset(scale, seed);
     let region = region_override.unwrap_or_else(|| dataset.bbox());
@@ -167,7 +190,7 @@ fn cost_error_comparison(
 
     for budget in scale.budget_ladder() {
         let (nno_err, nno_cost) = mean_rel_error(scale, truth, |s| {
-            run_nno(&lr, &region, &agg, budget, seed ^ s)
+            run_nno(&lr, &region, &agg, budget, seed ^ s, driver)
         });
         let (lr_err, lr_cost) = mean_rel_error(scale, truth, |s| {
             run_lr(
@@ -177,6 +200,7 @@ fn cost_error_comparison(
                 budget,
                 seed ^ s,
                 LrLbsAggConfig::default(),
+                driver,
             )
         });
         let lnr_budget = budget * (scale.lnr_budget() / scale.lr_budget()).max(1);
@@ -188,6 +212,7 @@ fn cost_error_comparison(
                 lnr_budget,
                 seed ^ s,
                 LnrLbsAggConfig::default(),
+                driver,
             )
         });
         result.push(
@@ -269,7 +294,7 @@ pub fn fig11_voronoi_decomposition(scale: Scale, seed: u64) -> ExperimentResult 
 
 /// Figure 12: running COUNT(restaurants) estimate versus query cost for the
 /// three algorithms against the ground truth.
-pub fn fig12_convergence(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig12_convergence(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     let dataset = usa_dataset(scale, seed);
     let region = dataset.bbox();
     let agg = Aggregate::count_restaurants();
@@ -284,8 +309,9 @@ pub fn fig12_convergence(scale: Scale, seed: u64) -> ExperimentResult {
         scale.lr_budget(),
         seed,
         LrLbsAggConfig::default(),
+        driver,
     );
-    let nno_est = run_nno(&lr, &region, &agg, scale.lr_budget(), seed + 1);
+    let nno_est = run_nno(&lr, &region, &agg, scale.lr_budget(), seed + 1, driver);
     let lnr_est = run_lnr(
         &lnr,
         &region,
@@ -293,6 +319,7 @@ pub fn fig12_convergence(scale: Scale, seed: u64) -> ExperimentResult {
         scale.lnr_budget(),
         seed + 2,
         LnrLbsAggConfig::default(),
+        driver,
     );
 
     let mut result =
@@ -324,7 +351,7 @@ pub fn fig12_convergence(scale: Scale, seed: u64) -> ExperimentResult {
 
 /// Figure 13: COUNT(schools) with uniform versus density-weighted query
 /// sampling, for both LR-LBS-AGG and LNR-LBS-AGG.
-pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig13_sampling_strategy(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     let dataset = usa_dataset(scale, seed);
     let region = dataset.bbox();
     let agg = Aggregate::count_schools();
@@ -343,7 +370,17 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
     let configs: NamedRuns<'_> = vec![
         (
             "LR-LBS-AGG (uniform)",
-            Box::new(|s| run_lr(&lr, &region, &agg, budget, s, LrLbsAggConfig::default())),
+            Box::new(|s| {
+                run_lr(
+                    &lr,
+                    &region,
+                    &agg,
+                    budget,
+                    s,
+                    LrLbsAggConfig::default(),
+                    driver,
+                )
+            }),
         ),
         (
             "LR-LBS-AGG-US (weighted)",
@@ -358,6 +395,7 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
                         weighted_sampler: Some(grid.clone()),
                         ..LrLbsAggConfig::default()
                     },
+                    driver,
                 )
             }),
         ),
@@ -371,6 +409,7 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
                     scale.lnr_budget(),
                     s,
                     LnrLbsAggConfig::default(),
+                    driver,
                 )
             }),
         ),
@@ -387,6 +426,7 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
                         weighted_sampler: Some(grid.clone()),
                         ..LnrLbsAggConfig::default()
                     },
+                    driver,
                 )
             }),
         ),
@@ -408,7 +448,7 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64) -> ExperimentResult {
 // ---------------------------------------------------------------------------
 
 /// Figure 14: COUNT(schools) in the US.
-pub fn fig14_count_schools(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig14_count_schools(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     cost_error_comparison(
         "fig14",
         "COUNT(schools): relative error at each query budget",
@@ -416,11 +456,12 @@ pub fn fig14_count_schools(scale: Scale, seed: u64) -> ExperimentResult {
         seed,
         Aggregate::count_schools(),
         None,
+        driver,
     )
 }
 
 /// Figure 15: COUNT(restaurants) in the US.
-pub fn fig15_count_restaurants(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig15_count_restaurants(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     cost_error_comparison(
         "fig15",
         "COUNT(restaurants): relative error at each query budget",
@@ -428,11 +469,12 @@ pub fn fig15_count_restaurants(scale: Scale, seed: u64) -> ExperimentResult {
         seed,
         Aggregate::count_restaurants(),
         None,
+        driver,
     )
 }
 
 /// Figure 16: SUM(enrollment) over schools in the US.
-pub fn fig16_sum_enrollment(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig16_sum_enrollment(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     cost_error_comparison(
         "fig16",
         "SUM(school enrollment): relative error at each query budget",
@@ -440,12 +482,13 @@ pub fn fig16_sum_enrollment(scale: Scale, seed: u64) -> ExperimentResult {
         seed,
         Aggregate::sum_school_enrollment(),
         None,
+        driver,
     )
 }
 
 /// Figure 17: AVG(restaurant rating) inside a metropolitan sub-region
 /// ("Austin, TX" in the paper).
-pub fn fig17_avg_rating_region(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig17_avg_rating_region(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     let dataset = usa_dataset(scale, seed);
     let bbox = dataset.bbox();
     // At reduced scales the literal Austin box holds too few POIs to define a
@@ -475,6 +518,7 @@ pub fn fig17_avg_rating_region(scale: Scale, seed: u64) -> ExperimentResult {
         seed,
         agg,
         None,
+        driver,
     );
     result.note(format!(
         "sub-region {:.0} km x {:.0} km",
@@ -492,7 +536,7 @@ pub fn fig17_avg_rating_region(scale: Scale, seed: u64) -> ExperimentResult {
 /// is subsampled to 25/50/75/100 % (the paper fixes the error and reports the
 /// cost; the cost ladder of fig14 plus this transposed view carries the same
 /// conclusion — database size barely matters for a sampling approach).
-pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig18_database_size(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     let full = usa_dataset(scale, seed);
     let region = full.bbox();
     let budget = scale.lr_budget();
@@ -514,7 +558,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
         let lr = lr_service(&subset, 10);
         let lnr = lnr_service(&subset, 10);
         let (nno_err, _) = mean_rel_error(scale, truth, |s| {
-            run_nno(&lr, &region, &agg, budget, seed ^ s)
+            run_nno(&lr, &region, &agg, budget, seed ^ s, driver)
         });
         let (lr_err, _) = mean_rel_error(scale, truth, |s| {
             run_lr(
@@ -524,6 +568,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
                 budget,
                 seed ^ s,
                 LrLbsAggConfig::default(),
+                driver,
             )
         });
         let (lnr_err, _) = mean_rel_error(scale, truth, |s| {
@@ -534,6 +579,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
                 scale.lnr_budget(),
                 seed ^ s,
                 LnrLbsAggConfig::default(),
+                driver,
             )
         });
         result.push(
@@ -554,7 +600,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64) -> ExperimentResult {
 
 /// Figure 19: COUNT(schools) accuracy and per-sample cost when LR-LBS-AGG
 /// uses a fixed top-h level of 1..5 versus the adaptive selection rule.
-pub fn fig19_varying_k(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig19_varying_k(scale: Scale, seed: u64, driver: &SampleDriver) -> ExperimentResult {
     let dataset = usa_dataset(scale, seed);
     let region = dataset.bbox();
     let agg = Aggregate::count_schools();
@@ -581,6 +627,7 @@ pub fn fig19_varying_k(scale: Scale, seed: u64) -> ExperimentResult {
                 budget,
                 seed ^ (500 + rep as u64),
                 cfg.clone(),
+                driver,
             );
             err_sum += est.relative_error(truth);
             samples_sum += est.samples;
@@ -607,7 +654,11 @@ pub fn fig19_varying_k(scale: Scale, seed: u64) -> ExperimentResult {
 
 /// Figure 20: LR-LBS-AGG with the error-reduction techniques enabled one by
 /// one (level 0 = none, level 4 = all).
-pub fn fig20_error_reduction_ablation(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn fig20_error_reduction_ablation(
+    scale: Scale,
+    seed: u64,
+    driver: &SampleDriver,
+) -> ExperimentResult {
     let dataset = usa_dataset(scale, seed);
     let region = dataset.bbox();
     let agg = Aggregate::count_schools();
@@ -629,6 +680,7 @@ pub fn fig20_error_reduction_ablation(scale: Scale, seed: u64) -> ExperimentResu
                 budget,
                 seed ^ (900 + rep as u64),
                 LrLbsAggConfig::ablation_level(level),
+                driver,
             );
             err_sum += est.relative_error(truth);
             samples_sum += est.samples;
@@ -732,7 +784,11 @@ pub fn fig21_localization_accuracy(scale: Scale, seed: u64) -> ExperimentResult 
 /// Table 1: the paper's online demonstrations, reproduced against the
 /// simulated Google Places / WeChat / Sina Weibo services, with the planted
 /// ground truth that the real experiments could only approximate externally.
-pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
+pub fn table1_online_experiments(
+    scale: Scale,
+    seed: u64,
+    driver: &SampleDriver,
+) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "table1",
         "Summary of online experiments (simulated services)",
@@ -756,6 +812,7 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
         budget,
         seed + 11,
         LrLbsAggConfig::default(),
+        driver,
     );
     result.push(
         Row::new()
@@ -798,6 +855,7 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
         budget,
         seed + 13,
         LrLbsAggConfig::default(),
+        driver,
     );
     result.push(
         Row::new()
@@ -825,6 +883,7 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
             scale.lnr_budget(),
             seed + 17,
             LnrLbsAggConfig::default(),
+            driver,
         );
         let male_agg = Aggregate::count_where(Selection::TextEquals {
             attr: attrs::GENDER.to_string(),
@@ -837,6 +896,7 @@ pub fn table1_online_experiments(scale: Scale, seed: u64) -> ExperimentResult {
             scale.lnr_budget(),
             seed + 19,
             LnrLbsAggConfig::default(),
+            driver,
         );
         let ratio_est = if count_est.value > 0.0 {
             100.0 * male_est.value / count_est.value
@@ -919,8 +979,24 @@ mod tests {
     }
 
     #[test]
+    fn experiments_are_bit_identical_across_thread_counts() {
+        // The acceptance gate of the parallel driver at the harness level:
+        // the same experiment, seed and scale must render byte-identical CSV
+        // whether the samples ran on 1 thread or on 8.
+        for id in ["fig12", "fig20"] {
+            let serial = run_experiment_threaded(id, Scale::Micro, 2015, 1);
+            let parallel = run_experiment_threaded(id, Scale::Micro, 2015, 8);
+            assert_eq!(
+                serial.to_csv(),
+                parallel.to_csv(),
+                "{id} differs between 1 and 8 threads"
+            );
+        }
+    }
+
+    #[test]
     fn fig20_full_config_beats_plain_baseline() {
-        let res = fig20_error_reduction_ablation(Scale::Tiny, 3);
+        let res = fig20_error_reduction_ablation(Scale::Tiny, 3, &SampleDriver::serial());
         let err_of = |variant: &str| -> f64 {
             res.rows
                 .iter()

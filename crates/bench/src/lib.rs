@@ -14,15 +14,20 @@
 //! not Google Maps or WeChat — but the *shape* of each result (which
 //! algorithm wins, roughly by how much, how cost scales with k, database
 //! size or precision) is the reproduction target. `EXPERIMENTS.md` at the
-//! repository root records the paper-reported versus measured values.
+//! repository root maps every paper artefact to its function in
+//! [`experiments`], explains how to read the transposed cost/accuracy
+//! tables, and documents the `BENCH_repro.json` summary (see [`report`])
+//! that every `repro` run emits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod result;
 pub mod scale;
 
-pub use experiments::{all_experiment_ids, run_experiment};
+pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
+pub use report::{BenchRecord, BenchReport, SpeedupReport};
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;

@@ -1,0 +1,219 @@
+//! Machine-readable run reports (`BENCH_repro.json`).
+//!
+//! Every `repro` invocation writes one [`BenchReport`] next to its CSV
+//! output: per-experiment wall time, the deepest query cost exercised, the
+//! mean relative error, and — when `--threads` asks for more than one worker
+//! — a serial-versus-parallel speedup probe with a determinism check. The
+//! file is the machine-readable trajectory of the reproduction: successive
+//! runs can be diffed to spot performance or accuracy regressions.
+//!
+//! `EXPERIMENTS.md` at the repository root documents every field.
+
+use serde::{Deserialize, Serialize};
+
+use lbs_core::{Aggregate, LrLbsAgg, LrLbsAggConfig, SampleDriver};
+use lbs_service::{ServiceConfig, SimulatedLbs};
+
+use crate::result::ExperimentResult;
+use crate::scale::Scale;
+
+/// Summary of one experiment run, as recorded in `BENCH_repro.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Experiment identifier (`fig11` … `table1`).
+    pub id: String,
+    /// Human-readable title (matches the paper artefact).
+    pub title: String,
+    /// Wall-clock seconds the experiment took.
+    pub wall_time_s: f64,
+    /// Number of result rows produced.
+    pub rows: usize,
+    /// Deepest query cost reported by any row
+    /// ([`ExperimentResult::max_reported_cost`]); `None` for experiments
+    /// without a cost axis.
+    pub max_query_cost: Option<u64>,
+    /// Mean of the reported relative errors
+    /// ([`ExperimentResult::mean_reported_rel_error`]); `None` for
+    /// experiments without an error axis.
+    pub mean_rel_error: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Builds a record from a finished experiment and its measured wall
+    /// time.
+    pub fn from_result(result: &ExperimentResult, wall_time_s: f64) -> Self {
+        BenchRecord {
+            id: result.id.clone(),
+            title: result.title.clone(),
+            wall_time_s,
+            rows: result.rows.len(),
+            max_query_cost: result.max_reported_cost(),
+            mean_rel_error: result.mean_reported_rel_error(),
+        }
+    }
+}
+
+/// Serial-versus-parallel probe of the sample driver.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// What was measured (a COUNT estimation over the experiment dataset).
+    pub probe: String,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Query budget of each run.
+    pub query_budget: u64,
+    /// Wall-clock seconds with 1 worker thread.
+    pub serial_wall_s: f64,
+    /// Wall-clock seconds with `threads` worker threads.
+    pub parallel_wall_s: f64,
+    /// `serial_wall_s / parallel_wall_s`.
+    pub speedup: f64,
+    /// `true` when the serial and parallel runs produced bit-identical
+    /// estimates and confidence intervals (they must, by the driver's
+    /// determinism contract).
+    pub deterministic: bool,
+    /// CPUs the OS reported as available (speedups are bounded by this).
+    pub available_parallelism: usize,
+}
+
+/// The complete content of `BENCH_repro.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Format version of this file.
+    pub schema_version: u32,
+    /// Scale preset the run used.
+    pub scale: Scale,
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Worker threads of the run.
+    pub threads: usize,
+    /// Per-experiment summaries, in run order.
+    pub experiments: Vec<BenchRecord>,
+    /// Present when the run was asked for more than one thread.
+    pub speedup: Option<SpeedupReport>,
+}
+
+impl BenchReport {
+    /// Creates an empty report shell.
+    pub fn new(scale: Scale, seed: u64, threads: usize) -> Self {
+        BenchReport {
+            schema_version: 1,
+            scale,
+            seed,
+            threads,
+            experiments: Vec::new(),
+            speedup: None,
+        }
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Runs the serial-versus-parallel speedup probe: one COUNT estimation over
+/// the standard experiment dataset, once with 1 worker and once with
+/// `threads` workers, verifying that the two estimates are bit-identical.
+///
+/// The probe is the parallel-scaling acceptance check of the sample driver;
+/// `repro --threads N` (N > 1) runs it automatically and records the result
+/// in `BENCH_repro.json`. Speedups are bounded by
+/// `available_parallelism` — on a single-core machine the expected value
+/// is ~1.0.
+pub fn run_speedup_probe(scale: Scale, seed: u64, threads: usize) -> SpeedupReport {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = lbs_data::ScenarioBuilder::usa_pois(scale.poi_count())
+        .with_starbucks(scale.poi_count() / 40)
+        .build(&mut rng);
+    let region = dataset.bbox();
+    let service = SimulatedLbs::new(dataset, ServiceConfig::lr_lbs(10));
+    let budget = scale.lr_budget();
+    let agg = Aggregate::count_schools();
+
+    let timed_run = |worker_threads: usize| {
+        let driver = SampleDriver::new(worker_threads);
+        let mut estimator = LrLbsAgg::new(LrLbsAggConfig::default());
+        let started = std::time::Instant::now();
+        let estimate = estimator
+            .estimate_parallel(&service, &region, &agg, budget, seed, &driver)
+            .expect("speedup probe must produce samples");
+        (started.elapsed().as_secs_f64(), estimate)
+    };
+
+    let (serial_wall_s, serial) = timed_run(1);
+    let (parallel_wall_s, parallel) = timed_run(threads);
+
+    SpeedupReport {
+        probe: "LR-LBS-AGG COUNT(schools) over the fig11/fig14 USA dataset".to_string(),
+        threads,
+        query_budget: budget,
+        serial_wall_s,
+        parallel_wall_s,
+        speedup: serial_wall_s / parallel_wall_s.max(1e-9),
+        deterministic: serial.value == parallel.value
+            && serial.ci95 == parallel.ci95
+            && serial.samples == parallel.samples
+            && serial.query_cost == parallel.query_cost,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Row;
+
+    #[test]
+    fn record_captures_result_metrics() {
+        let mut result = ExperimentResult::new("fig14", "COUNT(schools)");
+        result.push(
+            Row::new()
+                .with("budget", 600)
+                .with("LR cost", 640)
+                .with("LR-LBS-AGG rel err", "0.2"),
+        );
+        let record = BenchRecord::from_result(&result, 1.5);
+        assert_eq!(record.id, "fig14");
+        assert_eq!(record.rows, 1);
+        assert_eq!(record.max_query_cost, Some(640));
+        assert!((record.mean_rel_error.unwrap() - 0.2).abs() < 1e-12);
+        assert!((record.wall_time_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new(Scale::Tiny, 2015, 4);
+        report.experiments.push(BenchRecord {
+            id: "fig11".into(),
+            title: "Voronoi".into(),
+            wall_time_s: 0.25,
+            rows: 7,
+            max_query_cost: None,
+            mean_rel_error: None,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\""));
+        assert!(json.contains("fig11"));
+        let back: BenchReport = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.experiments.len(), 1);
+        assert_eq!(back.seed, 2015);
+        assert!(back.speedup.is_none());
+    }
+
+    #[test]
+    fn speedup_probe_is_deterministic_across_thread_counts() {
+        let probe = run_speedup_probe(Scale::Micro, 7, 2);
+        assert!(
+            probe.deterministic,
+            "1-thread and 2-thread probe runs must agree bitwise"
+        );
+        assert!(probe.serial_wall_s > 0.0 && probe.parallel_wall_s > 0.0);
+        assert_eq!(probe.threads, 2);
+    }
+}

@@ -103,6 +103,58 @@ impl ExperimentResult {
         out
     }
 
+    /// The largest query cost reported anywhere in the rows, scanned from
+    /// columns whose name mentions `cost` or `budget`.
+    ///
+    /// This is the summary statistic `BENCH_repro.json` records per
+    /// experiment: "how deep into its query ladder did this run go". A sum
+    /// would double count (convergence traces report *running* costs), so
+    /// the maximum is the meaningful scalar. `None` when no row carries a
+    /// parseable cost.
+    pub fn max_reported_cost(&self) -> Option<u64> {
+        let mut max: Option<u64> = None;
+        for row in &self.rows {
+            for (column, value) in &row.cells {
+                let name = column.to_ascii_lowercase();
+                if !(name.contains("cost") || name.contains("budget")) {
+                    continue;
+                }
+                if let Ok(v) = value.parse::<f64>() {
+                    if v.is_finite() && v >= 0.0 {
+                        let v = v.round() as u64;
+                        max = Some(max.map_or(v, |m| m.max(v)));
+                    }
+                }
+            }
+        }
+        max
+    }
+
+    /// Mean of every relative-error cell in the rows, scanned from columns
+    /// whose name mentions `rel err`/`rel error`.
+    ///
+    /// `None` for experiments that do not report relative errors (e.g. the
+    /// Voronoi-decomposition statistics of Figure 11).
+    pub fn mean_reported_rel_error(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for row in &self.rows {
+            for (column, value) in &row.cells {
+                let name = column.to_ascii_lowercase();
+                if !(name.contains("rel err") || name.contains("rel error")) {
+                    continue;
+                }
+                if let Ok(v) = value.parse::<f64>() {
+                    if v.is_finite() {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
     /// Renders the result as an aligned text table (for terminal output).
     pub fn to_table(&self) -> String {
         let columns = self.columns();
@@ -173,5 +225,33 @@ mod tests {
         let res = ExperimentResult::new("fig0", "empty");
         assert!(res.to_table().contains("no rows"));
         assert_eq!(res.to_csv(), "\n");
+    }
+
+    #[test]
+    fn metric_extraction_scans_cost_and_error_columns() {
+        let mut res = ExperimentResult::new("figX", "metrics");
+        res.push(
+            Row::new()
+                .with("budget", 500)
+                .with("LR cost", 620)
+                .with("LR-LBS-AGG rel err", "0.250")
+                .with("LNR-LBS-AGG rel err", "0.750"),
+        );
+        res.push(
+            Row::new()
+                .with("budget", 1000)
+                .with("LR cost", 1100)
+                .with("LR-LBS-AGG rel err", "0.100")
+                .with("LNR-LBS-AGG rel err", "0.300"),
+        );
+        assert_eq!(res.max_reported_cost(), Some(1100));
+        let mean = res.mean_reported_rel_error().unwrap();
+        assert!((mean - 0.35).abs() < 1e-12, "mean was {mean}");
+
+        // Non-numeric and absent columns degrade gracefully.
+        let mut none = ExperimentResult::new("fig0", "no metrics");
+        none.push(Row::new().with("statistic", "median"));
+        assert_eq!(none.max_reported_cost(), None);
+        assert_eq!(none.mean_reported_rel_error(), None);
     }
 }

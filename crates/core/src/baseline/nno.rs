@@ -4,9 +4,10 @@
 use rand::Rng;
 
 use lbs_geom::{Point, Rect};
-use lbs_service::{LbsInterface, QueryError, ReturnMode};
+use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
+use crate::driver::{SampleDriver, SampleOutcome};
 use crate::estimate::{Estimate, EstimateError, TracePoint};
 use crate::stats::RunningStats;
 
@@ -69,77 +70,16 @@ impl NnoBaseline {
         let mut denominator = RunningStats::new();
         let mut trace = Vec::new();
 
-        'outer: while budget_left(service) > 0 {
-            let q = region.at_fraction(rng.gen(), rng.gen());
-            let resp = match service.query(&q) {
-                Ok(r) => r,
-                Err(QueryError::BudgetExhausted { .. }) => break,
-            };
-            let Some(top) = resp.top().cloned() else {
-                numerator.push(0.0);
-                denominator.push(0.0);
-                continue;
-            };
-            let Some(site) = top.location else {
-                numerator.push(0.0);
-                denominator.push(0.0);
-                continue;
-            };
-
-            // Step 1: find a square that (heuristically) covers the cell.
-            let mut radius = (region.diagonal() * self.config.initial_radius_fraction)
-                .max(q.distance(&site))
-                .max(1e-6);
-            let mut doublings = 0;
-            loop {
-                let mut all_escaped = true;
-                for dir in [
-                    Point::new(1.0, 0.0),
-                    Point::new(-1.0, 0.0),
-                    Point::new(0.0, 1.0),
-                    Point::new(0.0, -1.0),
-                ] {
-                    let probe = region.clamp(&(site + dir * radius));
-                    let r = match service.query(&probe) {
-                        Ok(r) => r,
-                        Err(QueryError::BudgetExhausted { .. }) => break 'outer,
-                    };
-                    if r.top().map(|t| t.id) == Some(top.id) {
-                        all_escaped = false;
-                    }
-                }
-                if all_escaped || doublings >= self.config.max_doublings {
-                    break;
-                }
-                radius *= 2.0;
-                doublings += 1;
-            }
-
-            // Step 2: Monte-Carlo the cell area inside the square.
-            let square = Rect::centered(site, radius)
-                .intersection(region)
-                .unwrap_or(*region);
-            let mut hits = 0usize;
-            for _ in 0..self.config.mc_points {
-                let p = square.at_fraction(rng.gen(), rng.gen());
-                let r = match service.query(&p) {
-                    Ok(r) => r,
-                    Err(QueryError::BudgetExhausted { .. }) => break 'outer,
+        while budget_left(service) > 0 {
+            // An `Err` means the sample hit the service's hard limit; the
+            // partial sample is discarded.
+            let (num_contrib, den_contrib) =
+                match Self::sample_once(&self.config, service, region, aggregate, rng) {
+                    Ok(contribution) => contribution,
+                    Err(QueryError::BudgetExhausted { .. }) => break,
                 };
-                if r.top().map(|t| t.id) == Some(top.id) {
-                    hits += 1;
-                }
-            }
-            // Continuity correction: a zero-hit estimate would blow the
-            // contribution up to infinity.
-            let fraction = (hits.max(1) as f64) / self.config.mc_points as f64;
-            let area = fraction * square.area();
-            let inverse_p = region.area() / area;
-
-            let num = aggregate.numerator(&top, Some(&site)).unwrap_or(0.0);
-            let den = aggregate.denominator(&top, Some(&site)).unwrap_or(0.0);
-            numerator.push(num * inverse_p);
-            denominator.push(den * inverse_p);
+            numerator.push(num_contrib);
+            denominator.push(den_contrib);
 
             if self.config.trace_every > 0 && numerator.count() % self.config.trace_every == 0 {
                 let current = if aggregate.is_ratio() {
@@ -167,6 +107,132 @@ impl NnoBaseline {
         } else {
             Estimate::from_stats(&numerator, cost, trace)
         })
+    }
+
+    /// Estimates `aggregate` over `region` in parallel, fanning samples out
+    /// across the [`SampleDriver`]'s worker threads.
+    ///
+    /// Bit-identical for any thread count given the same `root_seed` (see
+    /// [`crate::driver`]); the baseline's samples are fully independent, so
+    /// only the wave-boundary budget enforcement differs from
+    /// [`NnoBaseline::estimate`].
+    pub fn estimate_parallel<S: LbsInterface + ?Sized>(
+        &mut self,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        query_budget: u64,
+        root_seed: u64,
+        driver: &SampleDriver,
+    ) -> Result<Estimate, EstimateError> {
+        assert_eq!(
+            service.config().return_mode,
+            ReturnMode::LocationReturned,
+            "LR-LBS-NNO requires a location-returned interface"
+        );
+        let config = self.config.clone();
+        let outcome = driver.run(
+            query_budget,
+            root_seed,
+            aggregate.is_ratio(),
+            &mut (),
+            |_| (),
+            |_state, _index, rng| {
+                let metered = QueryCounter::new(service);
+                let (num, den) = Self::sample_once(&config, &metered, region, aggregate, rng)?;
+                Ok(SampleOutcome {
+                    numerator: num,
+                    denominator: den,
+                    queries: metered.taken(),
+                })
+            },
+            |_, _| {},
+        );
+
+        if outcome.numerator.count() == 0 {
+            return Err(EstimateError::NoSamples);
+        }
+        Ok(if aggregate.is_ratio() {
+            Estimate::ratio_from_stats(
+                &outcome.numerator,
+                &outcome.denominator,
+                outcome.queries,
+                outcome.trace,
+            )
+        } else {
+            Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
+        })
+    }
+
+    /// Runs one independent baseline sample and returns its
+    /// `(numerator, denominator)` contribution.
+    ///
+    /// Shared loop body of [`NnoBaseline::estimate`] and
+    /// [`NnoBaseline::estimate_parallel`]; an `Err` means the sample hit the
+    /// service's hard query limit.
+    fn sample_once<S: LbsInterface + ?Sized, R: Rng>(
+        config: &NnoConfig,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        rng: &mut R,
+    ) -> Result<(f64, f64), QueryError> {
+        let q = region.at_fraction(rng.gen(), rng.gen());
+        let resp = service.query(&q)?;
+        let Some(top) = resp.top().cloned() else {
+            return Ok((0.0, 0.0));
+        };
+        let Some(site) = top.location else {
+            return Ok((0.0, 0.0));
+        };
+
+        // Step 1: find a square that (heuristically) covers the cell.
+        let mut radius = (region.diagonal() * config.initial_radius_fraction)
+            .max(q.distance(&site))
+            .max(1e-6);
+        let mut doublings = 0;
+        loop {
+            let mut all_escaped = true;
+            for dir in [
+                Point::new(1.0, 0.0),
+                Point::new(-1.0, 0.0),
+                Point::new(0.0, 1.0),
+                Point::new(0.0, -1.0),
+            ] {
+                let probe = region.clamp(&(site + dir * radius));
+                let r = service.query(&probe)?;
+                if r.top().map(|t| t.id) == Some(top.id) {
+                    all_escaped = false;
+                }
+            }
+            if all_escaped || doublings >= config.max_doublings {
+                break;
+            }
+            radius *= 2.0;
+            doublings += 1;
+        }
+
+        // Step 2: Monte-Carlo the cell area inside the square.
+        let square = Rect::centered(site, radius)
+            .intersection(region)
+            .unwrap_or(*region);
+        let mut hits = 0usize;
+        for _ in 0..config.mc_points {
+            let p = square.at_fraction(rng.gen(), rng.gen());
+            let r = service.query(&p)?;
+            if r.top().map(|t| t.id) == Some(top.id) {
+                hits += 1;
+            }
+        }
+        // Continuity correction: a zero-hit estimate would blow the
+        // contribution up to infinity.
+        let fraction = (hits.max(1) as f64) / config.mc_points as f64;
+        let area = fraction * square.area();
+        let inverse_p = region.area() / area;
+
+        let num = aggregate.numerator(&top, Some(&site)).unwrap_or(0.0);
+        let den = aggregate.denominator(&top, Some(&site)).unwrap_or(0.0);
+        Ok((num * inverse_p, den * inverse_p))
     }
 }
 

@@ -1,0 +1,538 @@
+//! Parallel sample driver: deterministic fan-out of estimator samples.
+//!
+//! Every estimator in this crate has the same outer shape — draw independent
+//! query-location samples, compute one Horvitz–Thompson contribution per
+//! sample, and average them with [`RunningStats`]. The samples are
+//! embarrassingly parallel, and [`SampleDriver`] is the shared engine that
+//! runs them across [`std::thread::scope`] workers while keeping the result
+//! **bit-identical regardless of thread count**:
+//!
+//! * every sample has a global index `i` and its own private
+//!   [`rand::rngs::StdRng`] seeded from `(root_seed, i)` via [`sample_seed`],
+//!   so the random stream a sample consumes does not depend on which worker
+//!   runs it;
+//! * samples are grouped into fixed-size chunks of [`CHUNK_SAMPLES`]
+//!   (independent of the thread count); each chunk accumulates its own
+//!   [`RunningStats`] by pushing its samples in index order;
+//! * after a wave completes, chunk accumulators are merged through the
+//!   parallel-Welford [`RunningStats::merge`] **in chunk-index order**, so
+//!   the floating-point reduction tree is the same for 1 thread and for 64;
+//! * the soft query budget is enforced at deterministic wave boundaries:
+//!   wave sizes are computed only from the budget and the per-sample costs
+//!   observed so far, never from timing or thread count.
+//!
+//! Estimator state that samples want to share (the LR estimator's
+//! [`crate::lr::History`]) is handled with a fork/absorb protocol: each chunk
+//! forks a private copy of the master state, and the driver hands the forks
+//! back for absorption in chunk order at every wave boundary — again a
+//! deterministic merge.
+//!
+//! The one thing that cannot be made deterministic is a *hard* service
+//! limit ([`lbs_service::QueryBudget::limit`]): which concurrent query hits
+//! the wall depends on scheduling. When a sample aborts this way the driver
+//! discards that sample and every later-indexed one from the wave, mirroring
+//! the serial estimators, but run-to-run determinism is only guaranteed for
+//! services without a hard limit (or with one that is never reached).
+//!
+//! ```
+//! use lbs_core::driver::SampleDriver;
+//! use lbs_core::{Aggregate, LrLbsAgg, LrLbsAggConfig};
+//! use lbs_data::ScenarioBuilder;
+//! use lbs_service::{ServiceConfig, SimulatedLbs};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let dataset = ScenarioBuilder::usa_pois(60).build(&mut rng);
+//! let region = dataset.bbox();
+//! let service = SimulatedLbs::new(dataset, ServiceConfig::lr_lbs(5));
+//!
+//! // The same root seed gives bit-identical estimates at any thread count.
+//! let run = |threads| {
+//!     let mut estimator = LrLbsAgg::new(LrLbsAggConfig::default());
+//!     estimator
+//!         .estimate_parallel(
+//!             &service,
+//!             &region,
+//!             &Aggregate::count_all(),
+//!             150,
+//!             7,
+//!             &SampleDriver::new(threads),
+//!         )
+//!         .unwrap()
+//! };
+//! let serial = run(1);
+//! let parallel = run(2);
+//! assert_eq!(serial.value, parallel.value);
+//! assert_eq!(serial.ci95, parallel.ci95);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lbs_service::QueryError;
+
+use crate::estimate::TracePoint;
+use crate::stats::RunningStats;
+
+/// Samples per deterministic work chunk.
+///
+/// A chunk is the unit of scheduling *and* of floating-point accumulation:
+/// its samples are always pushed in index order into one accumulator, and
+/// chunk accumulators are always merged in chunk order. The value is fixed —
+/// it must not depend on the thread count, or determinism across thread
+/// counts would be lost.
+pub const CHUNK_SAMPLES: u64 = 8;
+
+/// Hard cap on the samples of a single wave (bounds the memory for chunk
+/// results and forked states).
+const MAX_WAVE_SAMPLES: u64 = 4096;
+
+/// Derives the seed of one sample's private RNG from the run's root seed and
+/// the sample's global index.
+///
+/// The mixing is a SplitMix64 finalizer over the pair, so neighbouring
+/// indices produce uncorrelated streams. The function is pure: the same
+/// `(root_seed, index)` always yields the same seed, which is the foundation
+/// of the driver's determinism.
+///
+/// ```
+/// use lbs_core::driver::sample_seed;
+/// assert_eq!(sample_seed(42, 7), sample_seed(42, 7));
+/// assert_ne!(sample_seed(42, 7), sample_seed(42, 8));
+/// assert_ne!(sample_seed(42, 7), sample_seed(43, 7));
+/// ```
+pub fn sample_seed(root_seed: u64, sample_index: u64) -> u64 {
+    let mut z = root_seed ^ sample_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one completed sample contributes to the estimate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SampleOutcome {
+    /// Horvitz–Thompson numerator contribution of this sample.
+    pub numerator: f64,
+    /// Denominator contribution (used by ratio aggregates such as AVG).
+    pub denominator: f64,
+    /// kNN queries this sample issued, counted locally (e.g. through
+    /// [`lbs_service::QueryCounter`]).
+    pub queries: u64,
+}
+
+/// The merged result of a driver run.
+#[derive(Clone, Debug, Default)]
+pub struct DriverOutcome {
+    /// Per-sample numerator contributions.
+    pub numerator: RunningStats,
+    /// Per-sample denominator contributions.
+    pub denominator: RunningStats,
+    /// Total queries issued by the completed samples.
+    ///
+    /// Under a *hard* service limit this can be lower than what the
+    /// service's own `queries_issued()` ledger shows: queries burned by the
+    /// aborted sample and by discarded later-indexed chunks are real but
+    /// produced no contribution, so they are not attributed to the
+    /// estimate. The service ledger stays authoritative for billing.
+    pub queries: u64,
+    /// One trace point per completed chunk, in index order (running
+    /// estimate versus cumulative query cost).
+    pub trace: Vec<TracePoint>,
+    /// `true` when the run stopped because the service's hard limit was hit
+    /// rather than because the soft budget was spent.
+    pub exhausted: bool,
+}
+
+/// Result of one chunk of samples, produced by a worker thread.
+struct ChunkResult<B> {
+    chunk: u64,
+    state: B,
+    numerator: RunningStats,
+    denominator: RunningStats,
+    queries: u64,
+    aborted: bool,
+}
+
+/// Fans estimator samples out across scoped worker threads.
+///
+/// See the [module documentation](self) for the determinism contract. The
+/// driver is cheap to construct and stateless between runs; thread count is
+/// its only knob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleDriver {
+    threads: usize,
+}
+
+impl Default for SampleDriver {
+    fn default() -> Self {
+        SampleDriver::serial()
+    }
+}
+
+impl SampleDriver {
+    /// A driver that runs every sample on one worker thread.
+    ///
+    /// Results are bit-identical to any other thread count; this is the
+    /// baseline the determinism tests compare against.
+    pub fn serial() -> Self {
+        SampleDriver { threads: 1 }
+    }
+
+    /// A driver with the given number of worker threads.
+    ///
+    /// `0` means "use [`std::thread::available_parallelism`]".
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        SampleDriver { threads }
+    }
+
+    /// The number of worker threads the driver fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs budget-bounded sampling and merges the results.
+    ///
+    /// * `query_budget` — soft budget; the driver stops scheduling new waves
+    ///   once the completed samples have spent it (the wave in flight is
+    ///   allowed to finish, so the actual cost can exceed the budget, exactly
+    ///   like the serial estimators' in-flight sample).
+    /// * `root_seed` — root of the per-sample seed derivation.
+    /// * `is_ratio` — whether trace points report `num/den` instead of the
+    ///   numerator mean.
+    /// * `master` — shared estimator state (e.g. the LR history); workers
+    ///   never touch it directly.
+    /// * `fork` — clones a private per-chunk state off the master.
+    /// * `sample` — runs one sample: gets the chunk state, the global sample
+    ///   index and the sample's private RNG. An `Err` means the sample could
+    ///   not complete (hard service limit); the driver then stops.
+    /// * `absorb` — merges the per-chunk states back into the master at each
+    ///   wave boundary, in chunk order.
+    #[allow(clippy::too_many_arguments)] // the estimator-facing facade; each argument is one role
+    pub fn run<St, B, G, F, A>(
+        &self,
+        query_budget: u64,
+        root_seed: u64,
+        is_ratio: bool,
+        master: &mut St,
+        fork: G,
+        sample: F,
+        absorb: A,
+    ) -> DriverOutcome
+    where
+        St: Sync,
+        B: Send,
+        G: Fn(&St) -> B + Sync,
+        F: Fn(&mut B, u64, &mut StdRng) -> Result<SampleOutcome, QueryError> + Sync,
+        A: Fn(&mut St, Vec<B>),
+    {
+        let mut outcome = DriverOutcome::default();
+        let mut next_index = 0u64;
+
+        while outcome.queries < query_budget {
+            let wave = Self::wave_size(query_budget, outcome.queries, next_index);
+            let chunks = self.run_wave(&*master, next_index, wave, root_seed, &fork, &sample);
+
+            let mut wave_queries = 0u64;
+            let mut wave_aborted = false;
+            let mut states = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                outcome.numerator.merge(&chunk.numerator);
+                outcome.denominator.merge(&chunk.denominator);
+                wave_queries += chunk.queries;
+                wave_aborted |= chunk.aborted;
+                states.push(chunk.state);
+                // One trace point per chunk keeps the convergence trace
+                // (paper Figure 12) fine-grained even though budget checks
+                // only happen at wave boundaries.
+                if chunk.numerator.count() > 0 {
+                    let estimate = if is_ratio {
+                        if outcome.denominator.mean().abs() > f64::EPSILON {
+                            outcome.numerator.mean() / outcome.denominator.mean()
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        outcome.numerator.mean()
+                    };
+                    outcome.trace.push(TracePoint {
+                        query_cost: outcome.queries + wave_queries,
+                        estimate,
+                    });
+                }
+            }
+            outcome.queries += wave_queries;
+            next_index += wave;
+            absorb(master, states);
+
+            if wave_aborted {
+                outcome.exhausted = true;
+                break;
+            }
+            if wave_queries == 0 {
+                // No sample issued a query: the service answers for free and
+                // the soft budget can never be spent. Bail out rather than
+                // loop forever.
+                break;
+            }
+        }
+        outcome
+    }
+
+    /// Deterministic wave sizing: a function of the budget and of the costs
+    /// observed so far only — never of thread count or timing.
+    fn wave_size(query_budget: u64, spent: u64, samples_so_far: u64) -> u64 {
+        if samples_so_far == 0 {
+            // No cost information yet: open with a small probing wave that
+            // still gives every worker a chunk at common thread counts.
+            (query_budget / 64).clamp(CHUNK_SAMPLES, 8 * CHUNK_SAMPLES)
+        } else {
+            let per_sample = (spent as f64 / samples_so_far as f64).max(1.0);
+            let remaining = query_budget.saturating_sub(spent);
+            ((remaining as f64 / per_sample).ceil() as u64).clamp(1, MAX_WAVE_SAMPLES)
+        }
+    }
+
+    /// Runs one wave of `count` samples starting at global index `start` and
+    /// returns the per-chunk results sorted by chunk index, truncated after
+    /// the first aborted chunk.
+    fn run_wave<St, B, G, F>(
+        &self,
+        master: &St,
+        start: u64,
+        count: u64,
+        root_seed: u64,
+        fork: &G,
+        sample: &F,
+    ) -> Vec<ChunkResult<B>>
+    where
+        St: Sync,
+        B: Send,
+        G: Fn(&St) -> B + Sync,
+        F: Fn(&mut B, u64, &mut StdRng) -> Result<SampleOutcome, QueryError> + Sync,
+    {
+        let n_chunks = count.div_ceil(CHUNK_SAMPLES);
+        let cursor = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let results: Mutex<Vec<ChunkResult<B>>> = Mutex::new(Vec::with_capacity(n_chunks as usize));
+        let workers = self.threads.min(n_chunks as usize).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let lo = start + chunk * CHUNK_SAMPLES;
+                    let hi = (lo + CHUNK_SAMPLES).min(start + count);
+                    let mut state = fork(master);
+                    let mut numerator = RunningStats::new();
+                    let mut denominator = RunningStats::new();
+                    let mut queries = 0u64;
+                    let mut aborted = false;
+                    for index in lo..hi {
+                        let mut rng = StdRng::seed_from_u64(sample_seed(root_seed, index));
+                        match sample(&mut state, index, &mut rng) {
+                            Ok(out) => {
+                                numerator.push(out.numerator);
+                                denominator.push(out.denominator);
+                                queries += out.queries;
+                            }
+                            Err(QueryError::BudgetExhausted { .. }) => {
+                                aborted = true;
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    results.lock().unwrap().push(ChunkResult {
+                        chunk,
+                        state,
+                        numerator,
+                        denominator,
+                        queries,
+                        aborted,
+                    });
+                });
+            }
+        });
+
+        let mut chunks = results.into_inner().unwrap();
+        chunks.sort_by_key(|c| c.chunk);
+        // A hard-limit abort invalidates every later chunk: the serial
+        // estimators stop at the first failed sample, and keeping
+        // later-indexed survivors would make the sample set depend on
+        // scheduling more than it has to.
+        if let Some(first_aborted) = chunks.iter().position(|c| c.aborted) {
+            chunks.truncate(first_aborted + 1);
+        }
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake sample: value derived from the index, cost 3.
+    fn fake_sample(index: u64) -> SampleOutcome {
+        SampleOutcome {
+            numerator: (index as f64).sin() * 10.0,
+            denominator: 1.0,
+            queries: 3,
+        }
+    }
+
+    fn run_fake(threads: usize, budget: u64) -> DriverOutcome {
+        SampleDriver::new(threads).run(
+            budget,
+            99,
+            false,
+            &mut (),
+            |_| (),
+            |_, index, _| Ok(fake_sample(index)),
+            |_, _| {},
+        )
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let baseline = run_fake(1, 500);
+        for threads in [2, 3, 8] {
+            let other = run_fake(threads, 500);
+            assert_eq!(baseline.numerator, other.numerator, "threads {threads}");
+            assert_eq!(baseline.denominator, other.denominator);
+            assert_eq!(baseline.queries, other.queries);
+            assert_eq!(baseline.trace, other.trace);
+        }
+    }
+
+    #[test]
+    fn budget_is_filled_but_not_wildly_overshot() {
+        let out = run_fake(4, 600);
+        assert!(out.queries >= 600, "soft budget must be spent");
+        // Every sample costs 3 queries; the driver should land within one
+        // wave of the target.
+        assert!(out.queries < 600 + 3 * MAX_WAVE_SAMPLES);
+        assert_eq!(out.queries, 3 * out.numerator.count());
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn zero_cost_samples_terminate() {
+        let out = SampleDriver::serial().run(
+            100,
+            1,
+            false,
+            &mut (),
+            |_| (),
+            |_, _, _| {
+                Ok(SampleOutcome {
+                    numerator: 1.0,
+                    denominator: 1.0,
+                    queries: 0,
+                })
+            },
+            |_, _| {},
+        );
+        assert!(out.numerator.count() > 0);
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn abort_truncates_later_chunks_and_reports_exhaustion() {
+        // Samples past index 20 fail; everything from index 20 on must be
+        // dropped regardless of thread count.
+        let run = |threads: usize| {
+            SampleDriver::new(threads).run(
+                10_000,
+                5,
+                false,
+                &mut (),
+                |_| (),
+                |_, index, _| {
+                    if index >= 20 {
+                        Err(QueryError::BudgetExhausted {
+                            issued: 60,
+                            limit: 60,
+                        })
+                    } else {
+                        Ok(fake_sample(index))
+                    }
+                },
+                |_, _| {},
+            )
+        };
+        let serial = run(1);
+        assert!(serial.exhausted);
+        assert_eq!(serial.numerator.count(), 20);
+        let parallel = run(8);
+        assert!(parallel.exhausted);
+        // Chunks after the first aborted one are discarded, so no sample at
+        // index >= 20 can ever contribute; with the abort landing exactly on
+        // a chunk boundary the counts agree bitwise too.
+        assert_eq!(parallel.numerator, serial.numerator);
+    }
+
+    #[test]
+    fn absorb_sees_states_in_chunk_order() {
+        // Each chunk state records the first index it served; absorb must
+        // receive them ordered even with many threads racing.
+        let mut collected: Vec<u64> = Vec::new();
+        SampleDriver::new(8).run(
+            240,
+            3,
+            false,
+            &mut collected,
+            |_| u64::MAX,
+            |state, index, _| {
+                if *state == u64::MAX {
+                    *state = index;
+                }
+                Ok(fake_sample(index))
+            },
+            |acc, states| acc.extend(states),
+        );
+        let mut sorted = collected.clone();
+        sorted.sort_unstable();
+        assert_eq!(collected, sorted, "chunk states must arrive in index order");
+        assert!(!collected.is_empty());
+    }
+
+    #[test]
+    fn trace_costs_are_monotone() {
+        let out = run_fake(4, 2_000);
+        assert!(!out.trace.is_empty());
+        for window in out.trace.windows(2) {
+            assert!(window[0].query_cost < window[1].query_cost);
+        }
+    }
+
+    #[test]
+    fn sample_seed_is_stable_and_spreads() {
+        // Pin a few values so the derivation can never silently change — a
+        // change would alter every reproduced number in the repository.
+        assert_eq!(sample_seed(0, 0), 0);
+        let mut seen = std::collections::HashSet::new();
+        for root in 0..8u64 {
+            for index in 0..64u64 {
+                seen.insert(sample_seed(root, index));
+            }
+        }
+        assert_eq!(seen.len(), 8 * 64, "seed collisions in a tiny grid");
+    }
+}

@@ -18,8 +18,10 @@
 //!
 //! Supporting modules: [`agg`] (aggregate specifications and selection
 //! conditions), [`stats`] (sample statistics, confidence intervals),
-//! [`sampling`] (uniform and density-weighted query samplers), and
-//! [`estimate`] (estimator output types).
+//! [`sampling`] (uniform and density-weighted query samplers), [`estimate`]
+//! (estimator output types), and [`driver`] (the parallel sample driver —
+//! deterministic multi-threaded fan-out of estimator samples, exposed on
+//! every estimator as `estimate_parallel`).
 //!
 //! The estimators are generic over [`lbs_service::LbsInterface`]; they never
 //! see the underlying dataset.
@@ -29,6 +31,7 @@
 
 pub mod agg;
 pub mod baseline;
+pub mod driver;
 pub mod estimate;
 pub mod lnr;
 pub mod lr;
@@ -37,6 +40,7 @@ pub mod stats;
 
 pub use agg::{AggFunction, Aggregate, Selection};
 pub use baseline::{NnoBaseline, NnoConfig};
+pub use driver::{DriverOutcome, SampleDriver, SampleOutcome};
 pub use estimate::{Estimate, EstimateError, TracePoint};
 pub use lnr::{LnrLbsAgg, LnrLbsAggConfig, LocatedTuple};
 pub use lr::{HSelection, LrLbsAgg, LrLbsAggConfig};

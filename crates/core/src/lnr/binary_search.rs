@@ -8,7 +8,7 @@
 //! edge error is bounded by the paper's Theorem 3 and can be made arbitrarily
 //! small by shrinking `δ` and `δ′` at `O(log(b/δ))` queries per edge.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use lbs_data::TupleId;
 use lbs_geom::{Line, Point, Ray, Rect};
@@ -25,7 +25,9 @@ pub struct RankOracle<'a, S: LbsInterface + ?Sized = dyn LbsInterface> {
     queries: u64,
     /// Every tuple id ever observed in an answer, with one location where it
     /// was observed (used by the concavity repair and position inference).
-    companions: HashMap<TupleId, Point>,
+    /// Ordered map: the concavity repair iterates it, and the probe order
+    /// must be deterministic for bit-identical estimates across runs.
+    companions: BTreeMap<TupleId, Point>,
 }
 
 impl<'a, S: LbsInterface + ?Sized> RankOracle<'a, S> {
@@ -36,7 +38,7 @@ impl<'a, S: LbsInterface + ?Sized> RankOracle<'a, S> {
             h,
             cache: HashMap::new(),
             queries: 0,
-            companions: HashMap::new(),
+            companions: BTreeMap::new(),
         }
     }
 
@@ -52,7 +54,7 @@ impl<'a, S: LbsInterface + ?Sized> RankOracle<'a, S> {
 
     /// Every tuple id observed so far, with one query location where it
     /// appeared.
-    pub fn companions(&self) -> &HashMap<TupleId, Point> {
+    pub fn companions(&self) -> &BTreeMap<TupleId, Point> {
         &self.companions
     }
 

@@ -11,9 +11,10 @@
 use rand::Rng;
 
 use lbs_geom::{ConvexPolygon, Rect};
-use lbs_service::{LbsInterface, QueryError, ReturnMode};
+use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
+use crate::driver::{SampleDriver, SampleOutcome};
 use crate::estimate::{Estimate, EstimateError, TracePoint};
 use crate::sampling::QuerySampler;
 use crate::stats::RunningStats;
@@ -107,81 +108,21 @@ impl LnrLbsAgg {
         let mut trace: Vec<TracePoint> = Vec::new();
 
         while budget_left(service) > 0 {
-            let q = sampler.sample(rng);
-            let resp = match service.query(&q) {
-                Ok(r) => r,
+            // An `Err` means the sample hit the service's hard limit; the
+            // partial sample is discarded.
+            let (num_contrib, den_contrib) = match Self::sample_once(
+                &self.explore_config(),
+                &sampler,
+                h,
+                needs_location,
+                service,
+                region,
+                aggregate,
+                rng,
+            ) {
+                Ok(contribution) => contribution,
                 Err(QueryError::BudgetExhausted { .. }) => break,
             };
-
-            let mut num_contrib = 0.0;
-            let mut den_contrib = 0.0;
-            let mut aborted = false;
-
-            for returned in resp.results.iter().filter(|r| r.rank <= h) {
-                // Ignore any location the service may have returned: this
-                // estimator must work from ranks alone.
-                debug_assert!(
-                    service.config().return_mode == ReturnMode::LocationReturned
-                        || returned.location.is_none()
-                );
-                let mut oracle = RankOracle::new(service, h);
-                let cell =
-                    match explore_cell(&mut oracle, returned.id, q, region, &self.explore_config())
-                    {
-                        Ok(c) => c,
-                        Err(QueryError::BudgetExhausted { .. }) => {
-                            aborted = true;
-                            break;
-                        }
-                    };
-
-                let probability = match &sampler {
-                    QuerySampler::Uniform { bbox } => cell.region.area / bbox.area(),
-                    QuerySampler::Weighted { grid } => {
-                        // h = 1 ⇒ the level region is convex; rebuild its
-                        // polygon from the vertex set to integrate exactly.
-                        let hull = ConvexPolygon::hull(&cell.region.vertices);
-                        grid.integrate_convex(&hull)
-                    }
-                };
-                if probability <= f64::EPSILON {
-                    continue;
-                }
-
-                // Location-dependent selection conditions need an inferred
-                // position (§4.3); infer it lazily and only when required.
-                let location = if needs_location {
-                    let mut locate_oracle = RankOracle::new(service, 1);
-                    match infer_position(
-                        &mut locate_oracle,
-                        returned.id,
-                        &cell,
-                        region,
-                        &LocateConfig::default(),
-                    ) {
-                        Ok(p) => p,
-                        Err(QueryError::BudgetExhausted { .. }) => {
-                            aborted = true;
-                            break;
-                        }
-                    }
-                } else {
-                    None
-                };
-
-                let num = aggregate
-                    .numerator(returned, location.as_ref())
-                    .unwrap_or(0.0);
-                let den = aggregate
-                    .denominator(returned, location.as_ref())
-                    .unwrap_or(0.0);
-                num_contrib += num / probability;
-                den_contrib += den / probability;
-            }
-
-            if aborted {
-                break;
-            }
             numerator.push(num_contrib);
             denominator.push(den_contrib);
 
@@ -211,6 +152,147 @@ impl LnrLbsAgg {
         } else {
             Estimate::from_stats(&numerator, cost, trace)
         })
+    }
+
+    /// Estimates `aggregate` over `region` in parallel, fanning samples out
+    /// across the [`SampleDriver`]'s worker threads.
+    ///
+    /// Bit-identical for any thread count given the same `root_seed` (see
+    /// [`crate::driver`]). LNR samples carry no cross-sample state — each one
+    /// builds its own [`RankOracle`] — so unlike the LR estimator there is no
+    /// fork/absorb tradeoff; only the wave-boundary budget enforcement
+    /// differs from [`LnrLbsAgg::estimate`].
+    pub fn estimate_parallel<S: LbsInterface + ?Sized>(
+        &mut self,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        query_budget: u64,
+        root_seed: u64,
+        driver: &SampleDriver,
+    ) -> Result<Estimate, EstimateError> {
+        let sampler = match (&self.config.weighted_sampler, self.config.h) {
+            (Some(grid), 1) => QuerySampler::weighted(grid.clone()),
+            _ => QuerySampler::uniform(*region),
+        };
+        let h = self.config.h.clamp(1, service.config().k.max(1));
+        let needs_location = aggregate.needs_location();
+        let explore_config = self.explore_config();
+
+        let outcome = driver.run(
+            query_budget,
+            root_seed,
+            aggregate.is_ratio(),
+            &mut (),
+            |_| (),
+            |_state, _index, rng| {
+                let metered = QueryCounter::new(service);
+                let (num, den) = Self::sample_once(
+                    &explore_config,
+                    &sampler,
+                    h,
+                    needs_location,
+                    &metered,
+                    region,
+                    aggregate,
+                    rng,
+                )?;
+                Ok(SampleOutcome {
+                    numerator: num,
+                    denominator: den,
+                    queries: metered.taken(),
+                })
+            },
+            |_, _| {},
+        );
+
+        if outcome.numerator.count() == 0 {
+            return Err(EstimateError::NoSamples);
+        }
+        Ok(if aggregate.is_ratio() {
+            Estimate::ratio_from_stats(
+                &outcome.numerator,
+                &outcome.denominator,
+                outcome.queries,
+                outcome.trace,
+            )
+        } else {
+            Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
+        })
+    }
+
+    /// Runs one independent sample through the rank-only machinery and
+    /// returns its Horvitz–Thompson `(numerator, denominator)` contribution.
+    ///
+    /// Shared loop body of [`LnrLbsAgg::estimate`] and
+    /// [`LnrLbsAgg::estimate_parallel`]; an `Err` means the sample hit the
+    /// service's hard query limit.
+    #[allow(clippy::too_many_arguments)] // shared loop body; mirrors Algorithm 6's state
+    fn sample_once<S: LbsInterface + ?Sized, R: Rng>(
+        explore_config: &LnrExploreConfig,
+        sampler: &QuerySampler,
+        h: usize,
+        needs_location: bool,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        rng: &mut R,
+    ) -> Result<(f64, f64), QueryError> {
+        let q = sampler.sample(rng);
+        let resp = service.query(&q)?;
+
+        let mut num_contrib = 0.0;
+        let mut den_contrib = 0.0;
+
+        for returned in resp.results.iter().filter(|r| r.rank <= h) {
+            // Ignore any location the service may have returned: this
+            // estimator must work from ranks alone.
+            debug_assert!(
+                service.config().return_mode == ReturnMode::LocationReturned
+                    || returned.location.is_none()
+            );
+            let mut oracle = RankOracle::new(service, h);
+            let cell = explore_cell(&mut oracle, returned.id, q, region, explore_config)?;
+
+            let probability = match sampler {
+                QuerySampler::Uniform { bbox } => cell.region.area / bbox.area(),
+                QuerySampler::Weighted { grid } => {
+                    // h = 1 ⇒ the level region is convex; rebuild its
+                    // polygon from the vertex set to integrate exactly.
+                    let hull = ConvexPolygon::hull(&cell.region.vertices);
+                    grid.integrate_convex(&hull)
+                }
+            };
+            if probability <= f64::EPSILON {
+                continue;
+            }
+
+            // Location-dependent selection conditions need an inferred
+            // position (§4.3); infer it lazily and only when required.
+            let location = if needs_location {
+                let mut locate_oracle = RankOracle::new(service, 1);
+                infer_position(
+                    &mut locate_oracle,
+                    returned.id,
+                    &cell,
+                    region,
+                    &LocateConfig::default(),
+                )?
+            } else {
+                None
+            };
+
+            let num = aggregate
+                .numerator(returned, location.as_ref())
+                .unwrap_or(0.0);
+            let den = aggregate
+                .denominator(returned, location.as_ref())
+                .unwrap_or(0.0);
+            num_contrib += num / probability;
+            den_contrib += den / probability;
+        }
+
+        Ok((num_contrib, den_contrib))
     }
 }
 

@@ -11,9 +11,10 @@
 use rand::Rng;
 
 use lbs_geom::Rect;
-use lbs_service::{LbsInterface, QueryError, ReturnMode};
+use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
+use crate::driver::{SampleDriver, SampleOutcome};
 use crate::estimate::{Estimate, EstimateError, TracePoint};
 use crate::sampling::QuerySampler;
 use crate::stats::RunningStats;
@@ -189,96 +190,22 @@ impl LrLbsAgg {
         let mut trace: Vec<TracePoint> = Vec::new();
 
         while budget_left(service) > 0 {
-            let q = sampler.sample(rng);
-            let resp = match service.query(&q) {
-                Ok(r) => r,
+            // An `Err` means the sample hit the service's hard limit; it is
+            // discarded rather than recorded as a partial (biased)
+            // contribution.
+            let (num_contrib, den_contrib) = match Self::sample_once(
+                &self.config,
+                &sampler,
+                k,
+                service,
+                region,
+                aggregate,
+                &mut self.history,
+                rng,
+            ) {
+                Ok(contribution) => contribution,
                 Err(QueryError::BudgetExhausted { .. }) => break,
             };
-
-            let mut num_contrib = 0.0;
-            let mut den_contrib = 0.0;
-            let mut aborted = false;
-
-            // Decide the top-h level of every returned tuple *before* any
-            // exploration of this sample. Deciding lazily would let the
-            // history gathered while exploring the rank-1 tuple influence the
-            // inclusion of the rank-2.. tuples of the same answer, which
-            // introduces a positive bias (the inclusion indicator would
-            // correlate with the current query).
-            let chosen_h: Vec<usize> = resp
-                .results
-                .iter()
-                .map(
-                    |returned| match (&self.config.weighted_sampler, returned.location) {
-                        (Some(_), _) | (_, None) => 1,
-                        (None, Some(location)) => self.config.h_selection.choose(
-                            &location,
-                            k,
-                            region,
-                            &self.history,
-                            self.config.history_neighbor_limit,
-                        ),
-                    },
-                )
-                .collect();
-
-            for (returned, &h) in resp.results.iter().zip(chosen_h.iter()) {
-                let Some(location) = returned.location else {
-                    continue;
-                };
-                // Only tuples whose rank fits within their chosen h
-                // contribute (the query point is inside their top-h cell
-                // exactly when rank <= h).
-                if returned.rank > h {
-                    continue;
-                }
-                let outcome = match explore_cell(
-                    service,
-                    returned.id,
-                    location,
-                    h,
-                    region,
-                    &mut self.history,
-                    &self.config.explore_config(),
-                    rng,
-                ) {
-                    Ok(o) => o,
-                    Err(QueryError::BudgetExhausted { .. }) => {
-                        aborted = true;
-                        break;
-                    }
-                };
-
-                let inverse_p = match (&outcome.estimate, &sampler) {
-                    (CellEstimate::Exact { cell }, s) => match s.cell_probability(cell) {
-                        Some(p) if p > 0.0 => 1.0 / p,
-                        _ => 0.0,
-                    },
-                    (mc @ CellEstimate::MonteCarlo { .. }, QuerySampler::Uniform { .. }) => {
-                        mc.inverse_probability_uniform(region)
-                    }
-                    // Weighted sampling disables the MC escape, so this arm is
-                    // unreachable in practice; contribute nothing rather than
-                    // something biased if it ever happens.
-                    (CellEstimate::MonteCarlo { .. }, QuerySampler::Weighted { .. }) => 0.0,
-                };
-
-                let num = aggregate
-                    .numerator(returned, Some(&location))
-                    .unwrap_or(0.0);
-                let den = aggregate
-                    .denominator(returned, Some(&location))
-                    .unwrap_or(0.0);
-                num_contrib += num * inverse_p;
-                den_contrib += den * inverse_p;
-            }
-
-            if aborted {
-                // The sample could not be completed within the service's hard
-                // limit; discard it rather than record a partial (biased)
-                // contribution.
-                break;
-            }
 
             numerator.push(num_contrib);
             denominator.push(den_contrib);
@@ -300,6 +227,10 @@ impl LrLbsAgg {
             }
         }
 
+        // The delta log only matters on forked histories; on this long-lived
+        // one it would just grow forever.
+        self.history.discard_delta_log();
+
         if numerator.count() == 0 {
             return Err(EstimateError::NoSamples);
         }
@@ -309,6 +240,185 @@ impl LrLbsAgg {
         } else {
             Estimate::from_stats(&numerator, cost, trace)
         })
+    }
+
+    /// Estimates `aggregate` over `region` in parallel, fanning samples out
+    /// across the [`SampleDriver`]'s worker threads.
+    ///
+    /// The result is **bit-identical for any thread count** given the same
+    /// `root_seed` (see the [`crate::driver`] module docs for the exact
+    /// contract): every sample draws its own `StdRng` seeded from
+    /// `(root_seed, sample_index)`, and per-chunk statistics are merged in a
+    /// fixed order.
+    ///
+    /// Semantics differ from [`LrLbsAgg::estimate`] in two documented ways:
+    /// the soft budget is enforced at wave boundaries instead of per sample
+    /// (so the overshoot can be a few samples rather than one), and the
+    /// §3.2.2 history is shared between concurrent samples only at those
+    /// boundaries — each worker chunk forks the history and the driver
+    /// absorbs the forks back deterministically, trading a little per-query
+    /// efficiency for wall-clock speed without giving up unbiasedness.
+    ///
+    /// Under a *hard* service limit, `query_cost` counts only the queries of
+    /// completed samples (see [`crate::driver::DriverOutcome::queries`]);
+    /// the service's own `queries_issued()` ledger remains authoritative.
+    pub fn estimate_parallel<S: LbsInterface + ?Sized>(
+        &mut self,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        query_budget: u64,
+        root_seed: u64,
+        driver: &SampleDriver,
+    ) -> Result<Estimate, EstimateError> {
+        assert_eq!(
+            service.config().return_mode,
+            ReturnMode::LocationReturned,
+            "LR-LBS-AGG requires a location-returned interface; use LnrLbsAgg for rank-only ones"
+        );
+        let sampler = match &self.config.weighted_sampler {
+            Some(grid) => QuerySampler::weighted(grid.clone()),
+            None => QuerySampler::uniform(*region),
+        };
+        let k = service.config().k;
+        let config = self.config.clone();
+        let mut master = std::mem::take(&mut self.history);
+
+        let outcome = driver.run(
+            query_budget,
+            root_seed,
+            aggregate.is_ratio(),
+            &mut master,
+            History::fork,
+            |history: &mut History, _index, rng| {
+                let metered = QueryCounter::new(service);
+                let (num, den) = Self::sample_once(
+                    &config, &sampler, k, &metered, region, aggregate, history, rng,
+                )?;
+                Ok(SampleOutcome {
+                    numerator: num,
+                    denominator: den,
+                    queries: metered.taken(),
+                })
+            },
+            |master, forks| {
+                for fork in &forks {
+                    master.absorb(fork);
+                }
+            },
+        );
+        self.history = master;
+        self.history.discard_delta_log();
+
+        if outcome.numerator.count() == 0 {
+            return Err(EstimateError::NoSamples);
+        }
+        Ok(if aggregate.is_ratio() {
+            Estimate::ratio_from_stats(
+                &outcome.numerator,
+                &outcome.denominator,
+                outcome.queries,
+                outcome.trace,
+            )
+        } else {
+            Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
+        })
+    }
+
+    /// Runs one independent sample: draws a query location, issues its kNN
+    /// query, explores the qualifying top-h cells, and returns the sample's
+    /// Horvitz–Thompson `(numerator, denominator)` contribution.
+    ///
+    /// This is the per-sample loop body shared by the serial
+    /// [`LrLbsAgg::estimate`] and the [`SampleDriver`]-based
+    /// [`LrLbsAgg::estimate_parallel`]. An `Err` means the sample hit the
+    /// service's hard query limit and no partial contribution exists.
+    #[allow(clippy::too_many_arguments)] // shared loop body; mirrors Algorithm 5's state
+    fn sample_once<S: LbsInterface + ?Sized, R: Rng>(
+        config: &LrLbsAggConfig,
+        sampler: &QuerySampler,
+        k: usize,
+        service: &S,
+        region: &Rect,
+        aggregate: &Aggregate,
+        history: &mut History,
+        rng: &mut R,
+    ) -> Result<(f64, f64), QueryError> {
+        let q = sampler.sample(rng);
+        let resp = service.query(&q)?;
+
+        let mut num_contrib = 0.0;
+        let mut den_contrib = 0.0;
+
+        // Decide the top-h level of every returned tuple *before* any
+        // exploration of this sample. Deciding lazily would let the history
+        // gathered while exploring the rank-1 tuple influence the inclusion
+        // of the rank-2.. tuples of the same answer, which introduces a
+        // positive bias (the inclusion indicator would correlate with the
+        // current query).
+        let chosen_h: Vec<usize> = resp
+            .results
+            .iter()
+            .map(
+                |returned| match (&config.weighted_sampler, returned.location) {
+                    (Some(_), _) | (_, None) => 1,
+                    (None, Some(location)) => config.h_selection.choose(
+                        &location,
+                        k,
+                        region,
+                        history,
+                        config.history_neighbor_limit,
+                    ),
+                },
+            )
+            .collect();
+
+        for (returned, &h) in resp.results.iter().zip(chosen_h.iter()) {
+            let Some(location) = returned.location else {
+                continue;
+            };
+            // Only tuples whose rank fits within their chosen h contribute
+            // (the query point is inside their top-h cell exactly when
+            // rank <= h).
+            if returned.rank > h {
+                continue;
+            }
+            let outcome = explore_cell(
+                service,
+                returned.id,
+                location,
+                h,
+                region,
+                history,
+                &config.explore_config(),
+                rng,
+            )?;
+
+            let inverse_p = match (&outcome.estimate, sampler) {
+                (CellEstimate::Exact { cell }, s) => match s.cell_probability(cell) {
+                    Some(p) if p > 0.0 => 1.0 / p,
+                    _ => 0.0,
+                },
+                (mc @ CellEstimate::MonteCarlo { .. }, QuerySampler::Uniform { .. }) => {
+                    mc.inverse_probability_uniform(region)
+                }
+                // Weighted sampling disables the MC escape, so this arm is
+                // unreachable in practice; contribute nothing rather than
+                // something biased if it ever happens.
+                (CellEstimate::MonteCarlo { .. }, QuerySampler::Weighted { .. }) => 0.0,
+            };
+
+            let num = aggregate
+                .numerator(returned, Some(&location))
+                .unwrap_or(0.0);
+            let den = aggregate
+                .denominator(returned, Some(&location))
+                .unwrap_or(0.0);
+            num_contrib += num * inverse_p;
+            den_contrib += den * inverse_p;
+        }
+
+        Ok((num_contrib, den_contrib))
     }
 }
 

@@ -15,7 +15,7 @@
 //!   down, optionally skipping trial queries that a disk-union lower bound
 //!   already answers.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use rand::Rng;
 
@@ -174,7 +174,10 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
     rng: &mut R,
 ) -> Result<ExploreOutcome, QueryError> {
     let mut queries_used: u64 = 0;
-    let mut known: HashMap<TupleId, Point> = HashMap::new();
+    // BTreeMap, not HashMap: `others` below is built by iterating this map
+    // and feeds the geometry, so the iteration order must be deterministic
+    // for estimates to be bit-identical across runs and thread counts.
+    let mut known: BTreeMap<TupleId, Point> = BTreeMap::new();
     known.insert(site_id, site);
     history.insert(site_id, site);
 

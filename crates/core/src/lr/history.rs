@@ -9,8 +9,18 @@
 //! [`History`] stores every `(tuple id, location)` pair ever returned by the
 //! LR interface plus the volumes of the cells computed so far (the latter
 //! feed the adaptive top-h selection threshold of §3.2.3).
+//!
+//! Locations live in a `BTreeMap` rather than a `HashMap` on purpose: the
+//! neighbour lists handed to the geometry code are built by iterating this
+//! map, and estimation results must be bit-identical across runs and across
+//! [`crate::driver::SampleDriver`] thread counts — which rules out the
+//! randomised iteration order of `HashMap`.
+//!
+//! For the parallel sample driver, [`History::fork`] hands each worker block
+//! a private snapshot and [`History::absorb`] merges what the block learned
+//! back into the master copy in a deterministic order.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lbs_data::TupleId;
 use lbs_geom::Point;
@@ -20,8 +30,11 @@ use crate::stats::RunningStats;
 /// Accumulated knowledge about the hidden database.
 #[derive(Clone, Debug, Default)]
 pub struct History {
-    locations: HashMap<TupleId, Point>,
+    locations: BTreeMap<TupleId, Point>,
     cell_volumes: RunningStats,
+    /// Cell volumes recorded since this history was created or forked; the
+    /// delta log that [`History::absorb`] replays into the master copy.
+    fresh_volumes: Vec<f64>,
 }
 
 impl History {
@@ -90,6 +103,47 @@ impl History {
     /// Records the volume of a cell computed during this run.
     pub fn record_cell_volume(&mut self, volume: f64) {
         self.cell_volumes.push(volume);
+        self.fresh_volumes.push(volume);
+    }
+
+    /// Snapshot for a parallel worker block: identical knowledge, empty
+    /// delta log, so that [`History::absorb`] later merges back exactly what
+    /// the block discovered.
+    pub fn fork(&self) -> History {
+        // Built by hand rather than `clone()` so the (potentially long)
+        // delta log of the parent is never copied just to be thrown away.
+        History {
+            locations: self.locations.clone(),
+            cell_volumes: self.cell_volumes.clone(),
+            fresh_volumes: Vec::new(),
+        }
+    }
+
+    /// Empties the delta log.
+    ///
+    /// Estimators call this on their long-lived top-level history at the end
+    /// of a run: that history is only ever forked *from*, never absorbed
+    /// into another one, so keeping the log would grow memory without bound
+    /// across repeated `estimate`/`estimate_parallel` calls.
+    pub fn discard_delta_log(&mut self) {
+        self.fresh_volumes.clear();
+    }
+
+    /// Merges the knowledge a forked worker history gained back into `self`.
+    ///
+    /// Locations are inserted idempotently (a tuple's location never
+    /// changes), and only the cell volumes recorded *after* the fork are
+    /// replayed, so snapshot volumes are never double counted. Absorbing
+    /// blocks in a fixed order keeps the merged state — and therefore every
+    /// estimate derived from it — bit-identical across thread counts.
+    pub fn absorb(&mut self, forked: &History) {
+        for (id, location) in &forked.locations {
+            self.locations.entry(*id).or_insert(*location);
+        }
+        for &volume in &forked.fresh_volumes {
+            self.cell_volumes.push(volume);
+            self.fresh_volumes.push(volume);
+        }
     }
 
     /// Mean volume of the cells computed so far, if any.
@@ -149,6 +203,47 @@ mod tests {
         assert!(h.nearest_distance(&site).is_none());
         h.insert(2, Point::new(8.0, 9.0));
         assert!((h.nearest_distance(&site).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_and_absorb_merge_only_fresh_knowledge() {
+        let mut master = History::new();
+        master.insert(1, Point::new(1.0, 0.0));
+        master.record_cell_volume(10.0);
+
+        // Two workers fork, learn different things, and are absorbed in
+        // order.
+        let mut a = master.fork();
+        a.insert(2, Point::new(2.0, 0.0));
+        a.record_cell_volume(20.0);
+        let mut b = master.fork();
+        b.insert(3, Point::new(3.0, 0.0));
+        b.insert(1, Point::new(99.0, 99.0)); // ignored: already known
+        b.record_cell_volume(30.0);
+
+        master.absorb(&a);
+        master.absorb(&b);
+        assert_eq!(master.len(), 3);
+        assert_eq!(master.location_of(1), Some(Point::new(1.0, 0.0)));
+        assert_eq!(master.location_of(3), Some(Point::new(3.0, 0.0)));
+        // Volumes: the snapshot volume 10 counted once, plus the two fresh
+        // ones — never the forked copies of 10.
+        assert_eq!(master.cells_recorded(), 3);
+        assert!((master.mean_cell_volume().unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_is_transitive_through_chained_forks() {
+        let mut master = History::new();
+        master.record_cell_volume(1.0);
+        let mut mid = master.fork();
+        mid.record_cell_volume(2.0);
+        let mut leaf = mid.fork();
+        leaf.record_cell_volume(3.0);
+        mid.absorb(&leaf);
+        master.absorb(&mid);
+        assert_eq!(master.cells_recorded(), 3);
+        assert!((master.mean_cell_volume().unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]

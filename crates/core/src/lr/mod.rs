@@ -24,9 +24,9 @@
 //!    disk-union lower bound that answers some trial points without queries.
 
 mod estimator;
-mod explorer;
-mod history;
-mod variance;
+pub mod explorer;
+pub mod history;
+pub mod variance;
 
 pub use estimator::{LrLbsAgg, LrLbsAggConfig};
 pub use explorer::{CellEstimate, ExploreConfig, ExploreOutcome};

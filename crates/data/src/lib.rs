@@ -22,7 +22,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`tuple`] | [`Tuple`], typed attribute values, attribute name constants |
+//! | [`mod@tuple`] | [`Tuple`], typed attribute values, attribute name constants |
 //! | [`dataset`] | [`Dataset`] container and ground-truth aggregate helpers |
 //! | [`generators`] | spatial mixtures and the named scenario builders |
 //! | [`density`] | population-density grid (census substitute) |

@@ -26,7 +26,7 @@
 //! |--------|----------|
 //! | [`point`] | points, vectors, distances, orientation predicates |
 //! | [`rect`] | axis-aligned rectangles (bounding boxes) |
-//! | [`line`] | lines, segments, rays, perpendicular bisectors |
+//! | [`mod@line`] | lines, segments, rays, perpendicular bisectors |
 //! | [`halfplane`] | closed half-planes and signed distances |
 //! | [`convex`] | convex polygons and half-plane clipping |
 //! | [`polygon`] | simple (possibly concave) polygons |

@@ -19,6 +19,11 @@
 //! All backends return *exact* results ordered by increasing Euclidean
 //! distance with ties broken by point id, so any backend can be substituted
 //! for any other without changing simulator behaviour.
+//!
+//! Every backend is immutable after `build` and `Send + Sync` (enforced by
+//! the [`SpatialIndex`] supertraits and a compile-time test), so one index
+//! can serve concurrent readers — which is what the parallel sample driver
+//! in `lbs-core` does when it fans estimator samples across threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -205,5 +210,61 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn all_backends_are_send_and_sync() {
+        // Compile-time guarantee the parallel sample driver in `lbs-core`
+        // relies on: a built index can be shared by reference across worker
+        // threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BruteForceIndex>();
+        assert_send_sync::<GridIndex>();
+        assert_send_sync::<KdTree>();
+    }
+
+    #[test]
+    fn concurrent_readers_see_identical_answers() {
+        // Smoke test for shared read access: several threads hammer the same
+        // index and every answer must match the single-threaded oracle.
+        let points = random_points(500, 77);
+        let grid = GridIndex::build(&points);
+        let kdtree = KdTree::build(&points);
+        let oracle = BruteForceIndex::build(&points);
+
+        let queries: Vec<(Point, usize)> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..200)
+                .map(|_| {
+                    (
+                        Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                        rng.gen_range(1..15),
+                    )
+                })
+                .collect()
+        };
+        let expected: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|(q, k)| oracle.k_nearest(q, *k).iter().map(|n| n.id).collect())
+            .collect();
+
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let (grid, kdtree, queries, expected) = (&grid, &kdtree, &queries, &expected);
+                scope.spawn(move || {
+                    // Each worker walks the query list from a different
+                    // offset so the threads interleave distinct probes.
+                    for i in 0..queries.len() {
+                        let slot = (i + worker * 53) % queries.len();
+                        let (q, k) = &queries[slot];
+                        let got: Vec<usize> = grid.k_nearest(q, *k).iter().map(|n| n.id).collect();
+                        assert_eq!(got, expected[slot], "grid, query {slot}");
+                        let got: Vec<usize> =
+                            kdtree.k_nearest(q, *k).iter().map(|n| n.id).collect();
+                        assert_eq!(got, expected[slot], "kdtree, query {slot}");
+                    }
+                });
+            }
+        });
     }
 }

@@ -82,6 +82,38 @@ impl QueryBudget {
         }
     }
 
+    /// Atomically charges up to `want` queries and returns how many were
+    /// granted (all of `want` when unlimited).
+    ///
+    /// This is the batch form of [`QueryBudget::charge`] for clients that
+    /// admit work in blocks (e.g. rate-limit middleware in front of a real
+    /// service); the per-query simulator path and the parallel sample
+    /// driver meter one query at a time and do not use it. It never
+    /// over-commits: the sum of all grants across threads cannot exceed the
+    /// hard limit.
+    pub fn charge_up_to(&self, want: u64) -> u64 {
+        if want == 0 {
+            return 0;
+        }
+        loop {
+            let cur = self.issued.load(Ordering::Relaxed);
+            let granted = match self.limit {
+                None => want,
+                Some(l) => want.min(l.saturating_sub(cur)),
+            };
+            if granted == 0 {
+                return 0;
+            }
+            if self
+                .issued
+                .compare_exchange(cur, cur + granted, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return granted;
+            }
+        }
+    }
+
     /// Resets the counter to zero (used between experiment repetitions).
     pub fn reset(&self) {
         self.issued.store(0, Ordering::Relaxed);
@@ -146,5 +178,47 @@ mod tests {
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 1000);
         assert_eq!(b.issued(), 1000);
+    }
+
+    #[test]
+    fn charge_up_to_grants_batches_exactly() {
+        let b = QueryBudget::with_limit(10);
+        assert_eq!(b.charge_up_to(0), 0);
+        assert_eq!(b.charge_up_to(4), 4);
+        assert_eq!(b.charge_up_to(4), 4);
+        // Only 2 left: partial grant, then nothing.
+        assert_eq!(b.charge_up_to(4), 2);
+        assert_eq!(b.charge_up_to(1), 0);
+        assert_eq!(b.issued(), 10);
+
+        let unlimited = QueryBudget::unlimited();
+        assert_eq!(unlimited.charge_up_to(1_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn concurrent_batch_draws_never_over_commit() {
+        // Mixed single and batch draws from many threads: the grand total of
+        // granted queries must equal the limit exactly — no query lost, none
+        // granted twice.
+        let b = QueryBudget::with_limit(10_000);
+        let mut handles = Vec::new();
+        for worker in 0..8u64 {
+            let b = b.share();
+            handles.push(thread::spawn(move || {
+                let mut granted = 0u64;
+                for i in 0..2_000u64 {
+                    if (worker + i) % 3 == 0 {
+                        granted += b.charge_up_to(1 + (i % 7));
+                    } else if b.charge() {
+                        granted += 1;
+                    }
+                }
+                granted
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(b.issued(), 10_000);
+        assert_eq!(b.remaining(), 0);
     }
 }

@@ -1,0 +1,139 @@
+//! Per-scope query metering.
+//!
+//! The parallel sample driver in `lbs-core` needs to know how many queries
+//! *one sample* issued, independently of what every other worker thread is
+//! doing to the shared [`crate::QueryBudget`] at the same time. Reading the
+//! global `queries_issued()` counter before and after a sample only works
+//! single-threaded; [`QueryCounter`] instead wraps the service reference
+//! handed to one sample and counts locally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lbs_geom::{Point, Rect};
+
+use crate::config::ServiceConfig;
+use crate::interface::{LbsInterface, QueryError, QueryResponse};
+
+/// A transparent [`LbsInterface`] view that counts the successful queries
+/// issued through it.
+///
+/// Failed queries (hard budget limit hit) are not counted, matching the
+/// budget semantics of [`crate::QueryBudget::charge`]: a refused query costs
+/// nothing.
+///
+/// ```
+/// use lbs_data::{Dataset, Tuple};
+/// use lbs_geom::{Point, Rect};
+/// use lbs_service::{LbsInterface, QueryCounter, ServiceConfig, SimulatedLbs};
+///
+/// let dataset = Dataset::new(
+///     vec![Tuple::new(0, Point::new(1.0, 1.0))],
+///     Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+/// );
+/// let service = SimulatedLbs::new(dataset, ServiceConfig::lr_lbs(1));
+/// let view = QueryCounter::new(&service);
+/// view.query(&Point::new(2.0, 2.0)).unwrap();
+/// view.query(&Point::new(3.0, 3.0)).unwrap();
+/// assert_eq!(view.taken(), 2);
+/// assert_eq!(service.queries_issued(), 2); // the global account agrees
+/// ```
+pub struct QueryCounter<'a, S: LbsInterface + ?Sized> {
+    inner: &'a S,
+    taken: AtomicU64,
+}
+
+impl<'a, S: LbsInterface + ?Sized> QueryCounter<'a, S> {
+    /// Wraps a service reference with a fresh local counter.
+    pub fn new(inner: &'a S) -> Self {
+        QueryCounter {
+            inner,
+            taken: AtomicU64::new(0),
+        }
+    }
+
+    /// Successful queries issued through this view.
+    pub fn taken(&self) -> u64 {
+        self.taken.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &'a S {
+        self.inner
+    }
+}
+
+impl<S: LbsInterface + ?Sized> LbsInterface for QueryCounter<'_, S> {
+    fn query(&self, location: &Point) -> Result<QueryResponse, QueryError> {
+        let response = self.inner.query(location);
+        if response.is_ok() {
+            self.taken.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    fn config(&self) -> &ServiceConfig {
+        self.inner.config()
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.inner.queries_issued()
+    }
+
+    fn bbox(&self) -> Rect {
+        self.inner.bbox()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SimulatedLbs;
+    use lbs_data::{Dataset, Tuple};
+
+    fn tiny_service(limit: Option<u64>) -> SimulatedLbs {
+        let tuples = vec![
+            Tuple::new(0, Point::new(2.0, 2.0)),
+            Tuple::new(1, Point::new(8.0, 8.0)),
+        ];
+        let dataset = Dataset::new(tuples, Rect::from_bounds(0.0, 0.0, 10.0, 10.0));
+        let mut config = ServiceConfig::lr_lbs(1);
+        if let Some(l) = limit {
+            config = config.with_query_limit(l);
+        }
+        SimulatedLbs::new(dataset, config)
+    }
+
+    #[test]
+    fn counts_only_successful_queries() {
+        let service = tiny_service(Some(2));
+        let view = QueryCounter::new(&service);
+        assert!(view.query(&Point::new(1.0, 1.0)).is_ok());
+        assert!(view.query(&Point::new(1.0, 1.0)).is_ok());
+        assert!(view.query(&Point::new(1.0, 1.0)).is_err());
+        assert_eq!(view.taken(), 2);
+        assert_eq!(view.queries_issued(), 2);
+    }
+
+    #[test]
+    fn delegates_config_and_bbox() {
+        let service = tiny_service(None);
+        let view = QueryCounter::new(&service);
+        assert_eq!(view.config().k, service.config().k);
+        assert_eq!(view.bbox(), service.bbox());
+        assert_eq!(view.inner().queries_issued(), 0);
+    }
+
+    #[test]
+    fn nested_counters_compose() {
+        let service = tiny_service(None);
+        let outer = QueryCounter::new(&service);
+        {
+            let inner = QueryCounter::new(&outer);
+            inner.query(&Point::new(1.0, 1.0)).unwrap();
+            assert_eq!(inner.taken(), 1);
+        }
+        outer.query(&Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(outer.taken(), 2);
+        assert_eq!(service.queries_issued(), 2);
+    }
+}

@@ -34,11 +34,13 @@
 
 mod budget;
 mod config;
+mod counter;
 mod interface;
 pub mod presets;
 mod service;
 
 pub use budget::QueryBudget;
 pub use config::{Ranking, ReturnMode, ServiceConfig};
+pub use counter::QueryCounter;
 pub use interface::{LbsInterface, PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
 pub use service::SimulatedLbs;

@@ -382,4 +382,67 @@ mod tests {
         let resp = svc.query(&Point::new(20.0, 20.0)).unwrap();
         assert_eq!(resp.results.len(), 9);
     }
+
+    #[test]
+    fn simulated_lbs_is_send_and_sync() {
+        // The parallel sample driver shares one `&SimulatedLbs` across all
+        // worker threads; keep that a compile-time guarantee.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulatedLbs>();
+    }
+
+    #[test]
+    fn concurrent_queries_respect_the_hard_limit_on_every_thread() {
+        // Eight threads hammer a service with a hard limit of 500 queries.
+        // The atomic budget must (a) answer exactly 500 queries in total
+        // across all threads, and (b) surface exhaustion as a QueryError on
+        // *every* thread — each worker keeps probing after its first error
+        // and must never see another success.
+        let limit = 500u64;
+        let svc = SimulatedLbs::new(
+            toy_dataset(),
+            ServiceConfig::lr_lbs(3).with_query_limit(limit),
+        );
+        let (total_ok, exhausted_threads) = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..8u64 {
+                let svc = &svc;
+                handles.push(scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut saw_exhaustion = false;
+                    // More probes than the whole limit, so even a thread that
+                    // runs alone is guaranteed to hit exhaustion.
+                    for i in 0..600u64 {
+                        let p = Point::new((worker * 7 + i) as f64 % 40.0, (i * 3) as f64 % 40.0);
+                        match svc.query(&p) {
+                            Ok(_) => {
+                                assert!(
+                                    !saw_exhaustion,
+                                    "a query succeeded after the budget was exhausted"
+                                );
+                                ok += 1;
+                            }
+                            Err(QueryError::BudgetExhausted { limit: l, .. }) => {
+                                assert_eq!(l, limit);
+                                saw_exhaustion = true;
+                            }
+                        }
+                    }
+                    (ok, saw_exhaustion)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold((0u64, 0usize), |(total, threads), (ok, saw)| {
+                    (total + ok, threads + usize::from(saw))
+                })
+        });
+        assert_eq!(total_ok, limit, "exactly `limit` queries may be answered");
+        assert_eq!(svc.queries_issued(), limit);
+        assert_eq!(
+            exhausted_threads, 8,
+            "every thread must observe BudgetExhausted"
+        );
+    }
 }

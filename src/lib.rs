@@ -38,6 +38,16 @@
 //! let rel_err = (estimate.value - truth).abs() / truth;
 //! assert!(rel_err < 1.0, "estimate should be in the right ballpark");
 //! ```
+//!
+//! ## Parallel estimation
+//!
+//! Every estimator also offers `estimate_parallel`, which fans samples
+//! across worker threads through [`core::driver::SampleDriver`] with
+//! bit-identical results at any thread count — see `ARCHITECTURE.md` for
+//! the design and `repro --threads N` for the experiment harness hook.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use lbs_core as core;
 pub use lbs_data as data;
