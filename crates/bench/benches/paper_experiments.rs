@@ -74,6 +74,106 @@ fn table1_online(c: &mut Criterion) {
     bench_experiment(c, "table1");
 }
 
+/// Geometry-level microbench: the legacy clip-everything / slab-area
+/// construction versus the pruned engine on one representative candidate
+/// set (a dense cluster around the site plus far spread — the shape the
+/// explorer feeds it).
+fn cell_construction_legacy_vs_pruned(c: &mut Criterion) {
+    use lbs_geom::{sort_by_distance, top_k_cell, top_k_cell_pruned, Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let bbox = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+    let site = Point::new(50.0, 50.0);
+    let mut rng = StdRng::seed_from_u64(2015);
+    let mut candidates: Vec<Point> = Vec::new();
+    for _ in 0..12 {
+        candidates.push(Point::new(
+            site.x + rng.gen_range(-6.0..6.0),
+            site.y + rng.gen_range(-6.0..6.0),
+        ));
+    }
+    for _ in 0..36 {
+        candidates.push(Point::new(
+            rng.gen_range(0.0..100.0),
+            rng.gen_range(0.0..100.0),
+        ));
+    }
+    sort_by_distance(&site, &mut candidates);
+
+    let mut group = c.benchmark_group("cell_construction");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for k in [1usize, 2] {
+        group.bench_function(format!("top{k}_legacy"), |b| {
+            b.iter(|| std::hint::black_box(top_k_cell(&site, &candidates, k, &bbox).area));
+        });
+        group.bench_function(format!("top{k}_pruned"), |b| {
+            b.iter(|| {
+                std::hint::black_box(top_k_cell_pruned(&site, &candidates, k, &bbox, true).0.area)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The cell-engine acceptance bench: the same LR COUNT estimation with the
+/// pruned construction + caches on (the default) versus off (the legacy
+/// path). Estimates are bit-identical between the two — the equivalence
+/// tests enforce that — so the ratio of these timings is a pure
+/// measurement of what the engine saves.
+fn cell_engine_on_vs_off(c: &mut Criterion) {
+    use lbs_core::{Aggregate, LrLbsAgg, LrLbsAggConfig, SampleDriver};
+    use lbs_data::ScenarioBuilder;
+    use lbs_service::{ServiceConfig, SimulatedLbs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let scale = Scale::Micro;
+    let mut rng = StdRng::seed_from_u64(2015);
+    let dataset = ScenarioBuilder::usa_pois(scale.poi_count())
+        .with_starbucks(scale.poi_count() / 40)
+        .build(&mut rng);
+    let region = dataset.bbox();
+    let service = SimulatedLbs::new(dataset, ServiceConfig::lr_lbs(10));
+    let budget = scale.lr_budget();
+
+    let mut group = c.benchmark_group("cell_engine");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (name, prune, cache) in [
+        ("lr_count_engine_on", true, true),
+        ("lr_count_prune_only", true, false),
+        ("lr_count_engine_off", false, false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut estimator = LrLbsAgg::new(LrLbsAggConfig {
+                    prune_cells: prune,
+                    cache_cells: cache,
+                    ..LrLbsAggConfig::default()
+                });
+                let est = estimator
+                    .estimate_parallel(
+                        &service,
+                        &region,
+                        &Aggregate::count_schools(),
+                        budget,
+                        2015,
+                        &SampleDriver::serial(),
+                    )
+                    .expect("bench estimation must succeed");
+                std::hint::black_box(est.value)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = paper_experiments;
     config = Criterion::default().significance_level(0.1).noise_threshold(0.1);
@@ -88,6 +188,8 @@ criterion_group!(
         fig19_varying_k,
         fig20_ablation,
         fig21_localization,
-        table1_online
+        table1_online,
+        cell_construction_legacy_vs_pruned,
+        cell_engine_on_vs_off
 );
 criterion_main!(paper_experiments);

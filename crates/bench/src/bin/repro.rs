@@ -24,8 +24,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lbs_bench::{
-    all_experiment_ids, report::run_speedup_probe, run_experiment_threaded, BenchRecord,
-    BenchReport, Scale,
+    all_experiment_ids,
+    report::{gate_against, run_speedup_probe},
+    run_experiment_threaded, BenchRecord, BenchReport, Scale,
 };
 
 struct Options {
@@ -34,6 +35,7 @@ struct Options {
     seed: u64,
     threads: usize,
     out_dir: PathBuf,
+    gate: Option<PathBuf>,
 }
 
 enum Command {
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Command, String> {
     let mut seed = 2015u64; // the paper's publication year, for determinism
     let mut threads = 1usize;
     let mut out_dir = PathBuf::from("bench-results");
+    let mut gate: Option<PathBuf> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +79,9 @@ fn parse_args() -> Result<Command, String> {
             "--out" | "-o" => {
                 out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
+            "--gate" | "-g" => {
+                gate = Some(PathBuf::from(args.next().ok_or("--gate needs a value")?));
+            }
             "--help" | "-h" => {
                 return Ok(Command::Help);
             }
@@ -91,15 +97,18 @@ fn parse_args() -> Result<Command, String> {
         seed,
         threads,
         out_dir,
+        gate,
     }))
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N]\n\
-         \x20            [--threads N] [--out DIR]\n\
+         \x20            [--threads N] [--out DIR] [--gate REFERENCE.json]\n\
          --threads N  run estimator samples on N worker threads (0 = all cores);\n\
          \x20            results are bit-identical for every N\n\
+         --gate FILE  after the run, diff the fresh BENCH_repro.json against the\n\
+         \x20            reference JSON and exit non-zero on a bench regression\n\
          experiments: {}",
         all_experiment_ids().join(", ")
     )
@@ -141,6 +150,9 @@ fn main() -> ExitCode {
         let result = run_experiment_threaded(id, options.scale, options.seed, options.threads);
         let wall_time_s = started.elapsed().as_secs_f64();
         println!("{}", result.to_table());
+        if let Some(line) = result.engine_summary_line() {
+            println!("  engine: {line}");
+        }
         println!("  ({wall_time_s:.1}s)\n");
         report
             .experiments
@@ -181,5 +193,35 @@ fn main() -> ExitCode {
         "CSV files and BENCH_repro.json written to {}",
         options.out_dir.display()
     );
+
+    if let Some(reference_path) = &options.gate {
+        let reference: BenchReport = match fs::read_to_string(reference_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(reference) => reference,
+            Err(e) => {
+                eprintln!(
+                    "cannot load gate reference {}: {e}",
+                    reference_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = gate_against(&report, &reference);
+        if violations.is_empty() {
+            println!(
+                "bench gate PASSED against {} ({} experiments compared)",
+                reference_path.display(),
+                reference.experiments.len()
+            );
+        } else {
+            eprintln!("bench gate FAILED against {}:", reference_path.display());
+            for violation in &violations {
+                eprintln!("  - {violation}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -21,8 +21,8 @@ use lbs_core::lnr::cell::LnrExploreConfig;
 use lbs_core::lnr::locate::LocateConfig;
 use lbs_core::lnr::{explore_cell as lnr_explore_cell, infer_position, RankOracle};
 use lbs_core::{
-    Aggregate, Estimate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig, NnoBaseline,
-    NnoConfig, SampleDriver, Selection,
+    Aggregate, EngineReport, Estimate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig,
+    NnoBaseline, NnoConfig, SampleDriver, Selection,
 };
 use lbs_data::{attrs, Dataset, DensityGrid, ScenarioBuilder};
 use lbs_geom::{voronoi_diagram, Point, Rect};
@@ -153,8 +153,14 @@ fn run_nno(
         .expect("baseline estimation should produce at least one sample")
 }
 
-/// Mean relative error of an algorithm over the scale's repetitions.
-fn mean_rel_error<F: Fn(u64) -> Estimate>(scale: Scale, truth: f64, run: F) -> (f64, u64) {
+/// Mean relative error of an algorithm over the scale's repetitions,
+/// summing each run's cell-engine counters into `engine`.
+fn mean_rel_error<F: Fn(u64) -> Estimate>(
+    scale: Scale,
+    truth: f64,
+    engine: &mut EngineReport,
+    run: F,
+) -> (f64, u64) {
     let mut err_sum = 0.0;
     let mut cost_sum = 0u64;
     let reps = scale.repetitions();
@@ -162,6 +168,7 @@ fn mean_rel_error<F: Fn(u64) -> Estimate>(scale: Scale, truth: f64, run: F) -> (
         let est = run(1_000 + rep as u64);
         err_sum += est.relative_error(truth);
         cost_sum += est.query_cost;
+        engine.add(&est.engine);
     }
     (err_sum / reps as f64, cost_sum / reps as u64)
 }
@@ -188,11 +195,12 @@ fn cost_error_comparison(
         dataset.len()
     ));
 
+    let mut engine = EngineReport::default();
     for budget in scale.budget_ladder() {
-        let (nno_err, nno_cost) = mean_rel_error(scale, truth, |s| {
+        let (nno_err, nno_cost) = mean_rel_error(scale, truth, &mut engine, |s| {
             run_nno(&lr, &region, &agg, budget, seed ^ s, driver)
         });
-        let (lr_err, lr_cost) = mean_rel_error(scale, truth, |s| {
+        let (lr_err, lr_cost) = mean_rel_error(scale, truth, &mut engine, |s| {
             run_lr(
                 &lr,
                 &region,
@@ -204,7 +212,7 @@ fn cost_error_comparison(
             )
         });
         let lnr_budget = budget * (scale.lnr_budget() / scale.lr_budget()).max(1);
-        let (lnr_err, lnr_cost) = mean_rel_error(scale, truth, |s| {
+        let (lnr_err, lnr_cost) = mean_rel_error(scale, truth, &mut engine, |s| {
             run_lnr(
                 &lnr,
                 &region,
@@ -226,6 +234,7 @@ fn cost_error_comparison(
                 .with("LNR cost", lnr_cost),
         );
     }
+    result.add_engine(&engine);
     result
 }
 
@@ -325,6 +334,9 @@ pub fn fig12_convergence(scale: Scale, seed: u64, driver: &SampleDriver) -> Expe
     let mut result =
         ExperimentResult::new("fig12", "Unbiasedness of estimators (COUNT restaurants)");
     result.note(format!("ground truth {truth:.0}"));
+    for est in [&nno_est, &lr_est, &lnr_est] {
+        result.add_engine(&est.engine);
+    }
     for (name, est) in [
         ("LR-LBS-NNO", &nno_est),
         ("LR-LBS-AGG", &lr_est),
@@ -431,8 +443,9 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64, driver: &SampleDriver) -
             }),
         ),
     ];
+    let mut engine = EngineReport::default();
     for (name, run) in configs {
-        let (err, cost) = mean_rel_error(scale, truth, |s| run(seed ^ s));
+        let (err, cost) = mean_rel_error(scale, truth, &mut engine, |s| run(seed ^ s));
         result.push(
             Row::new()
                 .with("strategy", name)
@@ -440,6 +453,7 @@ pub fn fig13_sampling_strategy(scale: Scale, seed: u64, driver: &SampleDriver) -
                 .with("rel error", format!("{err:.3}")),
         );
     }
+    result.add_engine(&engine);
     result
 }
 
@@ -548,6 +562,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64, driver: &SampleDriver) -> Ex
     );
     result.note(format!("budget {budget} per run"));
     let mut rng = StdRng::seed_from_u64(seed + 99);
+    let mut engine = EngineReport::default();
     for fraction in [0.25, 0.5, 0.75, 1.0] {
         let subset = if fraction < 1.0 {
             full.sample_fraction(fraction, &mut rng)
@@ -557,10 +572,10 @@ pub fn fig18_database_size(scale: Scale, seed: u64, driver: &SampleDriver) -> Ex
         let truth = agg.ground_truth(&subset, &region);
         let lr = lr_service(&subset, 10);
         let lnr = lnr_service(&subset, 10);
-        let (nno_err, _) = mean_rel_error(scale, truth, |s| {
+        let (nno_err, _) = mean_rel_error(scale, truth, &mut engine, |s| {
             run_nno(&lr, &region, &agg, budget, seed ^ s, driver)
         });
-        let (lr_err, _) = mean_rel_error(scale, truth, |s| {
+        let (lr_err, _) = mean_rel_error(scale, truth, &mut engine, |s| {
             run_lr(
                 &lr,
                 &region,
@@ -571,7 +586,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64, driver: &SampleDriver) -> Ex
                 driver,
             )
         });
-        let (lnr_err, _) = mean_rel_error(scale, truth, |s| {
+        let (lnr_err, _) = mean_rel_error(scale, truth, &mut engine, |s| {
             run_lnr(
                 &lnr,
                 &region,
@@ -591,6 +606,7 @@ pub fn fig18_database_size(scale: Scale, seed: u64, driver: &SampleDriver) -> Ex
                 .with("LNR-LBS-AGG rel err", format!("{lnr_err:.3}")),
         );
     }
+    result.add_engine(&engine);
     result
 }
 
@@ -615,6 +631,7 @@ pub fn fig19_varying_k(scale: Scale, seed: u64, driver: &SampleDriver) -> Experi
         .map(|h| (format!("fixed h={h}"), LrLbsAggConfig::fixed_h(h)))
         .collect();
     configs.push(("adaptive".to_string(), LrLbsAggConfig::default()));
+    let mut engine = EngineReport::default();
     for (name, cfg) in configs {
         let mut err_sum = 0.0;
         let mut samples_sum = 0u64;
@@ -632,6 +649,7 @@ pub fn fig19_varying_k(scale: Scale, seed: u64, driver: &SampleDriver) -> Experi
             err_sum += est.relative_error(truth);
             samples_sum += est.samples;
             cost_sum += est.query_cost;
+            engine.add(&est.engine);
         }
         let reps = scale.repetitions() as f64;
         result.push(
@@ -645,6 +663,7 @@ pub fn fig19_varying_k(scale: Scale, seed: u64, driver: &SampleDriver) -> Experi
                 ),
         );
     }
+    result.add_engine(&engine);
     result
 }
 
@@ -669,6 +688,7 @@ pub fn fig20_error_reduction_ablation(
     let mut result =
         ExperimentResult::new("fig20", "Query savings of the error-reduction strategies");
     result.note("level 0: none; +fast init; +history; +adaptive h; +MC bounds".to_string());
+    let mut engine = EngineReport::default();
     for level in 0..=4usize {
         let mut err_sum = 0.0;
         let mut samples_sum = 0u64;
@@ -684,6 +704,7 @@ pub fn fig20_error_reduction_ablation(
             );
             err_sum += est.relative_error(truth);
             samples_sum += est.samples;
+            engine.add(&est.engine);
         }
         let reps = scale.repetitions() as f64;
         result.push(
@@ -693,6 +714,7 @@ pub fn fig20_error_reduction_ablation(
                 .with_f64("samples within budget", samples_sum as f64 / reps),
         );
     }
+    result.add_engine(&engine);
     result
 }
 
@@ -814,6 +836,7 @@ pub fn table1_online_experiments(
         LrLbsAggConfig::default(),
         driver,
     );
+    result.add_engine(&est.engine);
     result.push(
         Row::new()
             .with("LBS", "Google-Places-like")
@@ -857,6 +880,7 @@ pub fn table1_online_experiments(
         LrLbsAggConfig::default(),
         driver,
     );
+    result.add_engine(&est.engine);
     result.push(
         Row::new()
             .with("LBS", "Google-Places-like")
@@ -898,6 +922,8 @@ pub fn table1_online_experiments(
             LnrLbsAggConfig::default(),
             driver,
         );
+        result.add_engine(&count_est.engine);
+        result.add_engine(&male_est.engine);
         let ratio_est = if count_est.value > 0.0 {
             100.0 * male_est.value / count_est.value
         } else {

@@ -11,7 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lbs_core::{Aggregate, LrLbsAgg, LrLbsAggConfig, SampleDriver};
+use lbs_core::{Aggregate, EngineReport, LrLbsAgg, LrLbsAggConfig, SampleDriver};
 use lbs_service::{ServiceConfig, SimulatedLbs};
 
 use crate::result::ExperimentResult;
@@ -36,6 +36,12 @@ pub struct BenchRecord {
     /// ([`ExperimentResult::mean_reported_rel_error`]); `None` for
     /// experiments without an error axis.
     pub mean_rel_error: Option<f64>,
+    /// Cell-engine counters summed over the experiment's estimator runs.
+    pub engine: Option<EngineReport>,
+    /// Cell-cache hit rate over all lookups, if any estimator ran.
+    pub cache_hit_rate: Option<f64>,
+    /// Mean incorporated candidates (clips) per constructed cell.
+    pub mean_clips_per_cell: Option<f64>,
 }
 
 impl BenchRecord {
@@ -49,6 +55,9 @@ impl BenchRecord {
             rows: result.rows.len(),
             max_query_cost: result.max_reported_cost(),
             mean_rel_error: result.mean_reported_rel_error(),
+            engine: result.engine,
+            cache_hit_rate: result.engine.as_ref().and_then(|e| e.cache_hit_rate()),
+            mean_clips_per_cell: result.engine.as_ref().and_then(|e| e.mean_clips_per_cell()),
         }
     }
 }
@@ -110,6 +119,106 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
     }
+}
+
+/// Relative-error headroom of [`gate_against`]: the fresh error may exceed
+/// the reference by half of itself plus this absolute slack before the gate
+/// trips (seeded runs are deterministic, but legitimate numeric changes —
+/// e.g. a different clip order — shift low-sample errors a little).
+pub const GATE_REL_ERROR_FACTOR: f64 = 1.5;
+/// Absolute relative-error slack of [`gate_against`].
+pub const GATE_REL_ERROR_SLACK: f64 = 0.08;
+/// Query-cost headroom factor of [`gate_against`].
+pub const GATE_COST_FACTOR: f64 = 1.15;
+/// Absolute query-cost slack of [`gate_against`].
+pub const GATE_COST_SLACK: u64 = 50;
+
+/// Compares a fresh `BENCH_repro.json` against a committed reference and
+/// returns the list of regressions (empty = gate passes).
+///
+/// Checks, per experiment present in the reference:
+///
+/// * the mean relative error must stay within
+///   `ref × GATE_REL_ERROR_FACTOR + GATE_REL_ERROR_SLACK`,
+/// * the deepest query cost must stay within
+///   `ref × GATE_COST_FACTOR + GATE_COST_SLACK`,
+///
+/// plus, when the fresh run carried a speedup probe, its determinism check
+/// must have passed. Wall times are machine-dependent and deliberately not
+/// gated; the bench-regression CI job uploads the fresh JSON as an artifact
+/// so they can be eyeballed.
+pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if fresh.scale != reference.scale {
+        violations.push(format!(
+            "scale mismatch: fresh {:?} vs reference {:?} — not comparable",
+            fresh.scale, reference.scale
+        ));
+        return violations;
+    }
+    if fresh.seed != reference.seed {
+        violations.push(format!(
+            "seed mismatch: fresh {} vs reference {} — not comparable",
+            fresh.seed, reference.seed
+        ));
+        return violations;
+    }
+    for reference_record in &reference.experiments {
+        let Some(record) = fresh
+            .experiments
+            .iter()
+            .find(|r| r.id == reference_record.id)
+        else {
+            violations.push(format!(
+                "experiment {} missing from fresh run",
+                reference_record.id
+            ));
+            continue;
+        };
+        match (record.mean_rel_error, reference_record.mean_rel_error) {
+            (Some(fresh_err), Some(ref_err)) => {
+                let bound = ref_err * GATE_REL_ERROR_FACTOR + GATE_REL_ERROR_SLACK;
+                if fresh_err > bound {
+                    violations.push(format!(
+                        "{}: mean relative error regressed: {fresh_err:.3} > bound {bound:.3} (reference {ref_err:.3})",
+                        record.id
+                    ));
+                }
+            }
+            // A metric the reference has but the fresh run lost (e.g. every
+            // estimate went non-finite) is itself a regression, not a pass.
+            (None, Some(ref_err)) => violations.push(format!(
+                "{}: mean relative error missing from fresh run (reference {ref_err:.3})",
+                record.id
+            )),
+            _ => {}
+        }
+        match (record.max_query_cost, reference_record.max_query_cost) {
+            (Some(fresh_cost), Some(ref_cost)) => {
+                let bound = (ref_cost as f64 * GATE_COST_FACTOR) as u64 + GATE_COST_SLACK;
+                if fresh_cost > bound {
+                    violations.push(format!(
+                        "{}: max query cost regressed: {fresh_cost} > bound {bound} (reference {ref_cost})",
+                        record.id
+                    ));
+                }
+            }
+            (None, Some(ref_cost)) => violations.push(format!(
+                "{}: max query cost missing from fresh run (reference {ref_cost})",
+                record.id
+            )),
+            _ => {}
+        }
+    }
+    if let Some(probe) = &fresh.speedup {
+        if !probe.deterministic {
+            violations.push(
+                "speedup probe: serial and parallel estimates differ — determinism regression"
+                    .to_string(),
+            );
+        }
+    }
+    violations
 }
 
 /// Runs the serial-versus-parallel speedup probe: one COUNT estimation over
@@ -196,6 +305,9 @@ mod tests {
             rows: 7,
             max_query_cost: None,
             mean_rel_error: None,
+            engine: None,
+            cache_hit_rate: None,
+            mean_clips_per_cell: None,
         });
         let json = report.to_json();
         assert!(json.contains("\"schema_version\""));
@@ -204,6 +316,87 @@ mod tests {
         assert_eq!(back.experiments.len(), 1);
         assert_eq!(back.seed, 2015);
         assert!(back.speedup.is_none());
+    }
+
+    fn record(id: &str, err: Option<f64>, cost: Option<u64>) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            title: id.into(),
+            wall_time_s: 1.0,
+            rows: 1,
+            max_query_cost: cost,
+            mean_rel_error: err,
+            engine: None,
+            cache_hit_rate: None,
+            mean_clips_per_cell: None,
+        }
+    }
+
+    #[test]
+    fn gate_passes_on_identical_reports() {
+        let mut reference = BenchReport::new(Scale::Small, 2015, 1);
+        reference
+            .experiments
+            .push(record("fig14", Some(0.3), Some(4200)));
+        let violations = gate_against(&reference, &reference);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn gate_flags_error_and_cost_regressions_and_missing_experiments() {
+        let mut reference = BenchReport::new(Scale::Small, 2015, 1);
+        reference
+            .experiments
+            .push(record("fig14", Some(0.3), Some(4200)));
+        reference.experiments.push(record("fig15", Some(0.2), None));
+        let mut fresh = BenchReport::new(Scale::Small, 2015, 1);
+        // Error way above 0.3 * 1.5 + 0.08, cost way above 4200 * 1.15 + 50.
+        fresh
+            .experiments
+            .push(record("fig14", Some(0.9), Some(9000)));
+        let violations = gate_against(&fresh, &reference);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("relative error")));
+        assert!(violations.iter().any(|v| v.contains("query cost")));
+        assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn gate_flags_metrics_lost_by_the_fresh_run() {
+        let mut reference = BenchReport::new(Scale::Small, 2015, 1);
+        reference
+            .experiments
+            .push(record("fig14", Some(0.3), Some(4200)));
+        let mut fresh = BenchReport::new(Scale::Small, 2015, 1);
+        fresh.experiments.push(record("fig14", None, None));
+        let violations = gate_against(&fresh, &reference);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| v.contains("missing from fresh run")));
+    }
+
+    #[test]
+    fn gate_rejects_incomparable_runs_and_broken_determinism() {
+        let reference = BenchReport::new(Scale::Small, 2015, 1);
+        let other_scale = BenchReport::new(Scale::Tiny, 2015, 1);
+        assert!(gate_against(&other_scale, &reference)[0].contains("scale mismatch"));
+        let other_seed = BenchReport::new(Scale::Small, 7, 1);
+        assert!(gate_against(&other_seed, &reference)[0].contains("seed mismatch"));
+        let mut broken = BenchReport::new(Scale::Small, 2015, 2);
+        broken.speedup = Some(SpeedupReport {
+            probe: "probe".into(),
+            threads: 2,
+            query_budget: 100,
+            serial_wall_s: 1.0,
+            parallel_wall_s: 0.6,
+            speedup: 1.6,
+            deterministic: false,
+            available_parallelism: 2,
+        });
+        assert!(gate_against(&broken, &reference)
+            .iter()
+            .any(|v| v.contains("determinism")));
     }
 
     #[test]

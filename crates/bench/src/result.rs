@@ -1,5 +1,6 @@
 //! Experiment result containers and rendering.
 
+use lbs_core::EngineReport;
 use serde::{Deserialize, Serialize};
 
 /// One row of an experiment result: column name → value pairs in column
@@ -55,6 +56,9 @@ pub struct ExperimentResult {
     pub notes: Vec<String>,
     /// Result rows.
     pub rows: Vec<Row>,
+    /// Cell-engine counters summed over every estimator run of the
+    /// experiment (`None` for experiments that run no estimator).
+    pub engine: Option<EngineReport>,
 }
 
 impl ExperimentResult {
@@ -65,12 +69,41 @@ impl ExperimentResult {
             title: title.to_string(),
             notes: Vec::new(),
             rows: Vec::new(),
+            engine: None,
         }
     }
 
     /// Adds a note.
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
+    }
+
+    /// Accumulates one estimator run's cell-engine counters.
+    pub fn add_engine(&mut self, report: &EngineReport) {
+        self.engine
+            .get_or_insert_with(EngineReport::default)
+            .add(report);
+    }
+
+    /// One-line cache/clip summary for console output, if any estimator ran.
+    pub fn engine_summary_line(&self) -> Option<String> {
+        let engine = self.engine.as_ref()?;
+        let hit_rate = engine
+            .cache_hit_rate()
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".to_string());
+        let clips = engine
+            .mean_clips_per_cell()
+            .map(|c| format!("{c:.1}"))
+            .unwrap_or_else(|| "n/a".to_string());
+        let pruned = engine
+            .pruned_fraction()
+            .map(|p| format!("{:.1}%", p * 100.0))
+            .unwrap_or_else(|| "n/a".to_string());
+        Some(format!(
+            "cells {} | clips/cell {} | candidates pruned {} | cache hit rate {} | mc certified {}",
+            engine.cells_built, clips, pruned, hit_rate, engine.mc_certified
+        ))
     }
 
     /// Adds a row.

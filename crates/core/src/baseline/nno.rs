@@ -3,11 +3,12 @@
 
 use rand::Rng;
 
-use lbs_geom::{Point, Rect};
+use lbs_geom::{sort_by_distance, top_k_cell_pruned, Point, Rect};
 use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
 use crate::driver::{SampleDriver, SampleOutcome};
+use crate::engine_stats::SharedEngineCounters;
 use crate::estimate::{Estimate, EstimateError, TracePoint};
 use crate::stats::RunningStats;
 
@@ -23,6 +24,13 @@ pub struct NnoConfig {
     pub max_doublings: usize,
     /// Record a trace point every this many samples (0 disables the trace).
     pub trace_every: u64,
+    /// Answer Monte-Carlo probe points geometrically when possible: a point
+    /// outside the top-1 cell of the sampled tuple with respect to the
+    /// tuples already returned this sample (a superset of the true cell)
+    /// provably has a different nearest neighbour, so the service query can
+    /// be skipped without changing the hit/miss outcome. The paper\'s NNO
+    /// locality argument, applied to the cell engine.
+    pub use_engine_prefilter: bool,
 }
 
 impl Default for NnoConfig {
@@ -32,6 +40,7 @@ impl Default for NnoConfig {
             initial_radius_fraction: 0.002,
             max_doublings: 12,
             trace_every: 1,
+            use_engine_prefilter: true,
         }
     }
 }
@@ -66,6 +75,7 @@ impl NnoBaseline {
         let start_cost = service.queries_issued();
         let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
 
+        let counters = SharedEngineCounters::new();
         let mut numerator = RunningStats::new();
         let mut denominator = RunningStats::new();
         let mut trace = Vec::new();
@@ -74,7 +84,7 @@ impl NnoBaseline {
             // An `Err` means the sample hit the service's hard limit; the
             // partial sample is discarded.
             let (num_contrib, den_contrib) =
-                match Self::sample_once(&self.config, service, region, aggregate, rng) {
+                match Self::sample_once(&self.config, service, region, aggregate, &counters, rng) {
                     Ok(contribution) => contribution,
                     Err(QueryError::BudgetExhausted { .. }) => break,
                 };
@@ -102,11 +112,13 @@ impl NnoBaseline {
             return Err(EstimateError::NoSamples);
         }
         let cost = service.queries_issued() - start_cost;
-        Ok(if aggregate.is_ratio() {
+        let mut est = if aggregate.is_ratio() {
             Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
         } else {
             Estimate::from_stats(&numerator, cost, trace)
-        })
+        };
+        est.engine = counters.report();
+        Ok(est)
     }
 
     /// Estimates `aggregate` over `region` in parallel, fanning samples out
@@ -131,6 +143,7 @@ impl NnoBaseline {
             "LR-LBS-NNO requires a location-returned interface"
         );
         let config = self.config.clone();
+        let counters = SharedEngineCounters::new();
         let outcome = driver.run(
             query_budget,
             root_seed,
@@ -139,7 +152,8 @@ impl NnoBaseline {
             |_| (),
             |_state, _index, rng| {
                 let metered = QueryCounter::new(service);
-                let (num, den) = Self::sample_once(&config, &metered, region, aggregate, rng)?;
+                let (num, den) =
+                    Self::sample_once(&config, &metered, region, aggregate, &counters, rng)?;
                 Ok(SampleOutcome {
                     numerator: num,
                     denominator: den,
@@ -152,7 +166,7 @@ impl NnoBaseline {
         if outcome.numerator.count() == 0 {
             return Err(EstimateError::NoSamples);
         }
-        Ok(if aggregate.is_ratio() {
+        let mut est = if aggregate.is_ratio() {
             Estimate::ratio_from_stats(
                 &outcome.numerator,
                 &outcome.denominator,
@@ -161,7 +175,9 @@ impl NnoBaseline {
             )
         } else {
             Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
-        })
+        };
+        est.engine = counters.report();
+        Ok(est)
     }
 
     /// Runs one independent baseline sample and returns its
@@ -175,6 +191,7 @@ impl NnoBaseline {
         service: &S,
         region: &Rect,
         aggregate: &Aggregate,
+        counters: &SharedEngineCounters,
         rng: &mut R,
     ) -> Result<(f64, f64), QueryError> {
         let q = region.at_fraction(rng.gen(), rng.gen());
@@ -185,6 +202,9 @@ impl NnoBaseline {
         let Some(site) = top.location else {
             return Ok((0.0, 0.0));
         };
+        // Every tuple location this sample sees is free knowledge for the
+        // geometric prefilter below.
+        let mut known: Vec<Point> = resp.results.iter().filter_map(|r| r.location).collect();
 
         // Step 1: find a square that (heuristically) covers the cell.
         let mut radius = (region.diagonal() * config.initial_radius_fraction)
@@ -204,6 +224,7 @@ impl NnoBaseline {
                 if r.top().map(|t| t.id) == Some(top.id) {
                     all_escaped = false;
                 }
+                known.extend(r.results.iter().filter_map(|t| t.location));
             }
             if all_escaped || doublings >= config.max_doublings {
                 break;
@@ -216,9 +237,32 @@ impl NnoBaseline {
         let square = Rect::centered(site, radius)
             .intersection(region)
             .unwrap_or(*region);
+        // The top-1 cell of the sampled tuple with respect to the tuples
+        // seen so far is a superset of its true Voronoi cell: a probe point
+        // outside it provably has a different nearest neighbour, so its
+        // service query can be skipped without changing the outcome.
+        let superset_cell = if config.use_engine_prefilter {
+            sort_by_distance(&site, &mut known);
+            // The doubling rounds largely re-return the same tuples; exact
+            // duplicates sort adjacent, and dropping them costs nothing
+            // geometrically (a repeated half-plane clip is the identity)
+            // while keeping the clip counters honest.
+            known.dedup();
+            let (cell, build) = top_k_cell_pruned(&site, &known, 1, &square, true);
+            counters.record_build(&build);
+            cell.convex
+        } else {
+            None
+        };
         let mut hits = 0usize;
         for _ in 0..config.mc_points {
             let p = square.at_fraction(rng.gen(), rng.gen());
+            if let Some(cell) = &superset_cell {
+                if !cell.contains(&p) {
+                    counters.record_mc_certified();
+                    continue;
+                }
+            }
             let r = service.query(&p)?;
             if r.top().map(|t| t.id) == Some(top.id) {
                 hits += 1;

@@ -1,0 +1,205 @@
+//! Counters of the pruned cell-geometry engine.
+//!
+//! Every estimator routes its cell constructions through
+//! [`lbs_geom::cell_engine`]; the counters here record how much work the
+//! security-radius pruning and the [`crate::lr::History`] cell cache saved.
+//! They are pure telemetry — no algorithm reads them back — so they can be
+//! summed in any order without affecting the bit-exact determinism
+//! guarantees of the estimators. `repro` surfaces them per experiment in
+//! `BENCH_repro.json` and as a one-line summary in its console output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated cell-engine counters for one estimation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Cells (or level regions) constructed through the engine.
+    pub cells_built: u64,
+    /// Candidates actually incorporated (half-plane clips performed, or
+    /// active bisectors of a concave construction).
+    pub clips: u64,
+    /// Candidates skipped under the security-radius certificate.
+    pub pruned: u64,
+    /// Cell-cache lookups that replayed a stored exploration.
+    pub cache_hits: u64,
+    /// Cell-cache lookups that fell through to a fresh exploration.
+    pub cache_misses: u64,
+    /// Adaptive-h volume-bound (λ_h) cache hits.
+    pub lambda_hits: u64,
+    /// Adaptive-h volume-bound (λ_h) cache misses.
+    pub lambda_misses: u64,
+    /// Queries re-issued while replaying a cached exploration (kept so the
+    /// cached and uncached paths stay bit-identical in cost and state).
+    pub replayed_queries: u64,
+    /// Monte-Carlo probe points the NNO baseline answered geometrically
+    /// (provably outside the top-1 cell) without spending a service query.
+    pub mc_certified: u64,
+}
+
+impl EngineReport {
+    /// Adds another report's counters into this one.
+    pub fn add(&mut self, other: &EngineReport) {
+        self.cells_built += other.cells_built;
+        self.clips += other.clips;
+        self.pruned += other.pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.lambda_hits += other.lambda_hits;
+        self.lambda_misses += other.lambda_misses;
+        self.replayed_queries += other.replayed_queries;
+        self.mc_certified += other.mc_certified;
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for deltas
+    /// between two snapshots of a long-lived accumulator.
+    pub fn since(&self, earlier: &EngineReport) -> EngineReport {
+        EngineReport {
+            cells_built: self.cells_built.saturating_sub(earlier.cells_built),
+            clips: self.clips.saturating_sub(earlier.clips),
+            pruned: self.pruned.saturating_sub(earlier.pruned),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            lambda_hits: self.lambda_hits.saturating_sub(earlier.lambda_hits),
+            lambda_misses: self.lambda_misses.saturating_sub(earlier.lambda_misses),
+            replayed_queries: self
+                .replayed_queries
+                .saturating_sub(earlier.replayed_queries),
+            mc_certified: self.mc_certified.saturating_sub(earlier.mc_certified),
+        }
+    }
+
+    /// Absorbs the counters of one geometric construction.
+    pub fn record_build(&mut self, stats: &lbs_geom::CellBuildStats) {
+        self.cells_built += 1;
+        self.clips += stats.incorporated as u64;
+        self.pruned += stats.pruned as u64;
+    }
+
+    /// Cell-cache hit rate over all lookups (`None` before any lookup).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Mean incorporated candidates (clips) per constructed cell.
+    pub fn mean_clips_per_cell(&self) -> Option<f64> {
+        (self.cells_built > 0).then(|| self.clips as f64 / self.cells_built as f64)
+    }
+
+    /// Fraction of offered candidates the certificate pruned away.
+    pub fn pruned_fraction(&self) -> Option<f64> {
+        let total = self.clips + self.pruned;
+        (total > 0).then(|| self.pruned as f64 / total as f64)
+    }
+}
+
+/// Thread-safe counter sink for estimators whose samples carry no shared
+/// state (LNR, NNO). Counter sums are order-independent, so concurrent
+/// accumulation cannot perturb the deterministic estimates.
+#[derive(Debug, Default)]
+pub struct SharedEngineCounters {
+    cells_built: AtomicU64,
+    clips: AtomicU64,
+    pruned: AtomicU64,
+    mc_certified: AtomicU64,
+}
+
+impl SharedEngineCounters {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        SharedEngineCounters::default()
+    }
+
+    /// Absorbs the counters of one geometric construction.
+    pub fn record_build(&self, stats: &lbs_geom::CellBuildStats) {
+        self.cells_built.fetch_add(1, Ordering::Relaxed);
+        self.clips
+            .fetch_add(stats.incorporated as u64, Ordering::Relaxed);
+        self.pruned
+            .fetch_add(stats.pruned as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one geometrically certified Monte-Carlo miss.
+    pub fn record_mc_certified(&self) {
+        self.mc_certified.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Absorbs an already-aggregated report (build counters only).
+    pub fn add_report(&self, report: &EngineReport) {
+        self.cells_built
+            .fetch_add(report.cells_built, Ordering::Relaxed);
+        self.clips.fetch_add(report.clips, Ordering::Relaxed);
+        self.pruned.fetch_add(report.pruned, Ordering::Relaxed);
+        self.mc_certified
+            .fetch_add(report.mc_certified, Ordering::Relaxed);
+    }
+
+    /// Snapshot as a plain report.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            cells_built: self.cells_built.load(Ordering::Relaxed),
+            clips: self.clips.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            mc_certified: self.mc_certified.load(Ordering::Relaxed),
+            ..EngineReport::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_since_are_inverse() {
+        let mut a = EngineReport {
+            cells_built: 3,
+            clips: 10,
+            pruned: 20,
+            cache_hits: 1,
+            cache_misses: 2,
+            lambda_hits: 4,
+            lambda_misses: 5,
+            replayed_queries: 6,
+            mc_certified: 7,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.since(&b), b);
+        assert_eq!(a.cells_built, 6);
+    }
+
+    #[test]
+    fn rates() {
+        let mut r = EngineReport::default();
+        assert!(r.cache_hit_rate().is_none());
+        assert!(r.mean_clips_per_cell().is_none());
+        r.cache_hits = 3;
+        r.cache_misses = 1;
+        r.cells_built = 2;
+        r.clips = 9;
+        r.pruned = 27;
+        assert!((r.cache_hit_rate().unwrap() - 0.75).abs() < 1e-12);
+        assert!((r.mean_clips_per_cell().unwrap() - 4.5).abs() < 1e-12);
+        assert!((r.pruned_fraction().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_counters_snapshot() {
+        let sink = SharedEngineCounters::new();
+        sink.record_build(&lbs_geom::CellBuildStats {
+            candidates: 10,
+            incorporated: 4,
+            pruned: 6,
+            security_radius: 1.0,
+        });
+        sink.record_mc_certified();
+        let report = sink.report();
+        assert_eq!(report.cells_built, 1);
+        assert_eq!(report.clips, 4);
+        assert_eq!(report.pruned, 6);
+        assert_eq!(report.mc_certified, 1);
+    }
+}

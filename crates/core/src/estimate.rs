@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::engine_stats::EngineReport;
 use crate::stats::{RunningStats, Summary};
 
 /// One point of the convergence trace: the running estimate after a given
@@ -37,6 +38,9 @@ pub struct Estimate {
     pub trace: Vec<TracePoint>,
     /// Summary of the per-sample estimates (for variance analysis).
     pub per_sample: Summary,
+    /// Cell-engine counters of the run (cache hits, clips, pruning) — pure
+    /// telemetry surfaced by the bench harness.
+    pub engine: EngineReport,
 }
 
 impl Estimate {
@@ -50,6 +54,7 @@ impl Estimate {
             query_cost,
             trace,
             per_sample: stats.into(),
+            engine: EngineReport::default(),
         }
     }
 
@@ -87,6 +92,7 @@ impl Estimate {
             query_cost,
             trace,
             per_sample: numerator.into(),
+            engine: EngineReport::default(),
         }
     }
 

@@ -32,6 +32,7 @@
 pub mod agg;
 pub mod baseline;
 pub mod driver;
+pub mod engine_stats;
 pub mod estimate;
 pub mod lnr;
 pub mod lr;
@@ -41,6 +42,7 @@ pub mod stats;
 pub use agg::{AggFunction, Aggregate, Selection};
 pub use baseline::{NnoBaseline, NnoConfig};
 pub use driver::{DriverOutcome, SampleDriver, SampleOutcome};
+pub use engine_stats::{EngineReport, SharedEngineCounters};
 pub use estimate::{Estimate, EstimateError, TracePoint};
 pub use lnr::{LnrLbsAgg, LnrLbsAggConfig, LocatedTuple};
 pub use lr::{HSelection, LrLbsAgg, LrLbsAggConfig};

@@ -14,7 +14,9 @@
 use std::collections::{HashMap, HashSet};
 
 use lbs_data::TupleId;
-use lbs_geom::{level_region, HalfPlane, LevelRegion, Point, Rect};
+use lbs_geom::{level_region_pruned, HalfPlane, LevelRegion, Point, Rect};
+
+use crate::engine_stats::EngineReport;
 use lbs_service::QueryError;
 
 use super::binary_search::{find_bisector, find_edge, EdgeEstimate, RankOracle};
@@ -34,6 +36,9 @@ pub struct LnrCellOutcome {
     pub confirmed_vertices: Vec<(Point, Vec<TupleId>)>,
     /// A location strictly inside the recovered cell (the seed).
     pub interior_point: Point,
+    /// Cell-engine counters of this exploration (level regions built,
+    /// half-planes incorporated versus certified away).
+    pub engine: EngineReport,
 }
 
 /// Configuration knobs of the rank-only exploration.
@@ -80,6 +85,7 @@ pub fn explore_cell<S: lbs_service::LbsInterface + ?Sized>(
     let mut confirmed: Vec<(Point, Vec<TupleId>)> = Vec::new();
     let mut tested: HashSet<(i64, i64)> = HashSet::new();
     let mut vertex_answers: Vec<(Point, Vec<TupleId>, bool)> = Vec::new();
+    let mut engine = EngineReport::default();
 
     let add_edge = |edge: EdgeEstimate,
                     halfplanes: &mut Vec<HalfPlane>,
@@ -140,7 +146,8 @@ pub fn explore_cell<S: lbs_service::LbsInterface + ?Sized>(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        let region = level_region(&halfplanes, h, bbox);
+        let (region, build) = level_region_pruned(&halfplanes, &seed, h, bbox, true);
+        engine.record_build(&build);
         let pending: Vec<Point> = region
             .vertices
             .iter()
@@ -262,13 +269,15 @@ pub fn explore_cell<S: lbs_service::LbsInterface + ?Sized>(
             continue;
         }
 
-        let region = level_region(&halfplanes, h, bbox);
+        let (region, build) = level_region_pruned(&halfplanes, &seed, h, bbox, true);
+        engine.record_build(&build);
         return Ok(LnrCellOutcome {
             region,
             halfplanes,
             edges,
             confirmed_vertices: confirmed,
             interior_point: seed,
+            engine,
         });
     }
 }

@@ -15,6 +15,7 @@ use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
 use crate::driver::{SampleDriver, SampleOutcome};
+use crate::engine_stats::SharedEngineCounters;
 use crate::estimate::{Estimate, EstimateError, TracePoint};
 use crate::sampling::QuerySampler;
 use crate::stats::RunningStats;
@@ -103,6 +104,7 @@ impl LnrLbsAgg {
         let start_cost = service.queries_issued();
         let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
 
+        let counters = SharedEngineCounters::new();
         let mut numerator = RunningStats::new();
         let mut denominator = RunningStats::new();
         let mut trace: Vec<TracePoint> = Vec::new();
@@ -118,6 +120,7 @@ impl LnrLbsAgg {
                 service,
                 region,
                 aggregate,
+                &counters,
                 rng,
             ) {
                 Ok(contribution) => contribution,
@@ -147,11 +150,13 @@ impl LnrLbsAgg {
             return Err(EstimateError::NoSamples);
         }
         let cost = service.queries_issued() - start_cost;
-        Ok(if aggregate.is_ratio() {
+        let mut est = if aggregate.is_ratio() {
             Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
         } else {
             Estimate::from_stats(&numerator, cost, trace)
-        })
+        };
+        est.engine = counters.report();
+        Ok(est)
     }
 
     /// Estimates `aggregate` over `region` in parallel, fanning samples out
@@ -178,6 +183,7 @@ impl LnrLbsAgg {
         let h = self.config.h.clamp(1, service.config().k.max(1));
         let needs_location = aggregate.needs_location();
         let explore_config = self.explore_config();
+        let counters = SharedEngineCounters::new();
 
         let outcome = driver.run(
             query_budget,
@@ -195,6 +201,7 @@ impl LnrLbsAgg {
                     &metered,
                     region,
                     aggregate,
+                    &counters,
                     rng,
                 )?;
                 Ok(SampleOutcome {
@@ -209,7 +216,7 @@ impl LnrLbsAgg {
         if outcome.numerator.count() == 0 {
             return Err(EstimateError::NoSamples);
         }
-        Ok(if aggregate.is_ratio() {
+        let mut est = if aggregate.is_ratio() {
             Estimate::ratio_from_stats(
                 &outcome.numerator,
                 &outcome.denominator,
@@ -218,7 +225,9 @@ impl LnrLbsAgg {
             )
         } else {
             Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
-        })
+        };
+        est.engine = counters.report();
+        Ok(est)
     }
 
     /// Runs one independent sample through the rank-only machinery and
@@ -236,6 +245,7 @@ impl LnrLbsAgg {
         service: &S,
         region: &Rect,
         aggregate: &Aggregate,
+        counters: &SharedEngineCounters,
         rng: &mut R,
     ) -> Result<(f64, f64), QueryError> {
         let q = sampler.sample(rng);
@@ -253,6 +263,7 @@ impl LnrLbsAgg {
             );
             let mut oracle = RankOracle::new(service, h);
             let cell = explore_cell(&mut oracle, returned.id, q, region, explore_config)?;
+            counters.add_report(&cell.engine);
 
             let probability = match sampler {
                 QuerySampler::Uniform { bbox } => cell.region.area / bbox.area(),

@@ -52,6 +52,15 @@ pub struct LrLbsAggConfig {
     pub mc_vertex_threshold: usize,
     /// Escape when a round shrinks the cell by less than this fraction.
     pub mc_min_shrink: f64,
+    /// Stop each cell construction at the security-radius certificate
+    /// instead of clipping against every known tuple. Byte-identical
+    /// estimates either way (see [`lbs_geom::cell_engine`]); off only for
+    /// the equivalence tests and benchmarks.
+    pub prune_cells: bool,
+    /// Replay finished exact cell explorations from the shared
+    /// [`History`] cell cache. A replay issues the same queries as a fresh
+    /// exploration, so estimates are byte-identical either way.
+    pub cache_cells: bool,
 }
 
 impl Default for LrLbsAggConfig {
@@ -68,6 +77,8 @@ impl Default for LrLbsAggConfig {
             max_explore_rounds: 64,
             mc_vertex_threshold: 14,
             mc_min_shrink: 0.02,
+            prune_cells: true,
+            cache_cells: true,
         }
     }
 }
@@ -127,6 +138,8 @@ impl LrLbsAggConfig {
             mc_vertex_threshold: self.mc_vertex_threshold,
             mc_min_shrink: self.mc_min_shrink,
             max_mc_trials: 4_000,
+            use_pruned_cells: self.prune_cells,
+            use_cell_cache: self.cache_cells,
         }
     }
 }
@@ -184,6 +197,7 @@ impl LrLbsAgg {
         let k = service.config().k;
         let start_cost = service.queries_issued();
         let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
+        let engine_before = self.history.engine_report();
 
         let mut numerator = RunningStats::new();
         let mut denominator = RunningStats::new();
@@ -235,11 +249,13 @@ impl LrLbsAgg {
             return Err(EstimateError::NoSamples);
         }
         let cost = service.queries_issued() - start_cost;
-        Ok(if aggregate.is_ratio() {
+        let mut est = if aggregate.is_ratio() {
             Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
         } else {
             Estimate::from_stats(&numerator, cost, trace)
-        })
+        };
+        est.engine = self.history.engine_report().since(&engine_before);
+        Ok(est)
     }
 
     /// Estimates `aggregate` over `region` in parallel, fanning samples out
@@ -283,6 +299,7 @@ impl LrLbsAgg {
         let k = service.config().k;
         let config = self.config.clone();
         let mut master = std::mem::take(&mut self.history);
+        let engine_before = master.engine_report();
 
         let outcome = driver.run(
             query_budget,
@@ -313,7 +330,7 @@ impl LrLbsAgg {
         if outcome.numerator.count() == 0 {
             return Err(EstimateError::NoSamples);
         }
-        Ok(if aggregate.is_ratio() {
+        let mut est = if aggregate.is_ratio() {
             Estimate::ratio_from_stats(
                 &outcome.numerator,
                 &outcome.denominator,
@@ -322,7 +339,9 @@ impl LrLbsAgg {
             )
         } else {
             Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
-        })
+        };
+        est.engine = self.history.engine_report().since(&engine_before);
+        Ok(est)
     }
 
     /// Runs one independent sample: draws a query location, issues its kNN
@@ -363,11 +382,13 @@ impl LrLbsAgg {
                 |returned| match (&config.weighted_sampler, returned.location) {
                     (Some(_), _) | (_, None) => 1,
                     (None, Some(location)) => config.h_selection.choose(
+                        returned.id,
                         &location,
                         k,
                         region,
                         history,
                         config.history_neighbor_limit,
+                        config.cache_cells,
                     ),
                 },
             )

@@ -20,10 +20,12 @@ use std::collections::{BTreeMap, HashSet};
 use rand::Rng;
 
 use lbs_data::TupleId;
-use lbs_geom::{disk_covered_by_union, top_k_cell, Circle, Point, Rect, TopKCell};
+use lbs_geom::{
+    disk_covered_by_union, sort_by_distance, top_k_cell_pruned, Circle, Point, Rect, TopKCell,
+};
 use lbs_service::{LbsInterface, QueryError};
 
-use super::history::History;
+use super::history::{CellCacheEntry, History};
 
 /// Configuration of one cell exploration.
 #[derive(Clone, Debug)]
@@ -50,6 +52,15 @@ pub struct ExploreConfig {
     pub mc_min_shrink: f64,
     /// Safety cap on Monte-Carlo trials.
     pub max_mc_trials: u64,
+    /// Stop each cell construction at the security-radius certificate
+    /// instead of clipping against every known tuple. Pruned and unpruned
+    /// constructions are byte-identical (see [`lbs_geom::cell_engine`]);
+    /// the flag exists so the equivalence is testable end to end.
+    pub use_pruned_cells: bool,
+    /// Replay finished exact explorations from the [`History`] cell cache.
+    /// A replay issues the same queries and leaves the same state as a
+    /// fresh exploration, so estimates are byte-identical either way.
+    pub use_cell_cache: bool,
 }
 
 impl Default for ExploreConfig {
@@ -64,6 +75,8 @@ impl Default for ExploreConfig {
             mc_vertex_threshold: 14,
             mc_min_shrink: 0.02,
             max_mc_trials: 4_000,
+            use_pruned_cells: true,
+            use_cell_cache: true,
         }
     }
 }
@@ -174,6 +187,50 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
     rng: &mut R,
 ) -> Result<ExploreOutcome, QueryError> {
     let mut queries_used: u64 = 0;
+
+    // Seed fingerprint: everything the exploration reads from the history.
+    // An exact exploration is a deterministic function of (site, h, region,
+    // seeds, nearest), which is what makes the cell cache replay sound.
+    let seeds: Vec<Point> = if config.use_history {
+        history.neighbors_of(&site, config.history_neighbor_limit)
+    } else {
+        Vec::new()
+    };
+    let nearest = if config.use_fast_init {
+        history.nearest_distance(&site)
+    } else {
+        None
+    };
+
+    if config.use_cell_cache {
+        if let Some(entry) = history.cell_cache_get(site_id, h, region, &seeds, nearest) {
+            // Replay: issue the recorded queries so the service ledger, the
+            // budget accounting and the history side-effects stay
+            // bit-identical to a fresh exploration, then hand back the
+            // stored cell without redoing any geometry.
+            history.insert(site_id, site);
+            for q in entry.queries.iter() {
+                let resp = service.query(q)?;
+                queries_used += 1;
+                for r in resp.results.iter() {
+                    if let Some(loc) = r.location {
+                        history.insert(r.id, loc);
+                    }
+                }
+            }
+            history.engine_mut().replayed_queries += queries_used;
+            history.record_cell_volume(entry.cell.area);
+            return Ok(ExploreOutcome {
+                estimate: CellEstimate::Exact {
+                    cell: entry.cell.clone(),
+                },
+                queries_used,
+                rounds: entry.rounds,
+                lower_bound_hits: 0,
+            });
+        }
+    }
+
     // BTreeMap, not HashMap: `others` below is built by iterating this map
     // and feeds the geometry, so the iteration order must be deterministic
     // for estimates to be bit-identical across runs and thread counts.
@@ -182,28 +239,26 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
     history.insert(site_id, site);
 
     if config.use_history {
-        for p in history.neighbors_of(&site, config.history_neighbor_limit) {
+        for p in seeds.iter() {
             // Ids are irrelevant for geometry; use a synthetic negative key
             // space to avoid colliding with real ids (real ids are re-added
             // when the tuples are returned by queries).
             let key = u64::MAX - known.len() as u64;
-            known.insert(key, p);
+            known.insert(key, *p);
         }
     }
 
     let mut queried: HashSet<(i64, i64)> = HashSet::new();
+    let mut query_log: Vec<Point> = Vec::new();
     let mut confirmed_vertices: Vec<Point> = Vec::new();
     let mut prev_volume = f64::INFINITY;
     let mut rounds = 0usize;
     let mut fakes: Vec<Point> = Vec::new();
 
     if config.use_fast_init && known.len() <= 1 {
-        let half = config.fast_init_half_width.unwrap_or_else(|| {
-            history
-                .nearest_distance(&site)
-                .map(|d| 3.0 * d)
-                .unwrap_or(region.diagonal() * 0.02)
-        });
+        let half = config
+            .fast_init_half_width
+            .unwrap_or_else(|| nearest.map(|d| 3.0 * d).unwrap_or(region.diagonal() * 0.02));
         fakes = Rect::centered(site, half.max(1e-6)).corners().to_vec();
     }
 
@@ -226,7 +281,11 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
         if use_fakes {
             others.extend_from_slice(&fakes);
         }
-        let cell = top_k_cell(&site, &others, h, region);
+        // Ascending distance order: what the pruned construction needs, and
+        // deterministic regardless of the map iteration above.
+        sort_by_distance(&site, &mut others);
+        let (cell, build) = top_k_cell_pruned(&site, &others, h, region, config.use_pruned_cells);
+        history.engine_mut().record_build(&build);
 
         // Which vertices still need testing?
         let pending: Vec<Point> = cell
@@ -241,6 +300,20 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
             // tuples has been queried and returned nothing new — the cell is
             // exact.
             history.record_cell_volume(cell.area);
+            if config.use_cell_cache {
+                history.cell_cache_put(
+                    site_id,
+                    h,
+                    CellCacheEntry {
+                        region: *region,
+                        seeds,
+                        nearest,
+                        cell: cell.clone(),
+                        queries: query_log,
+                        rounds,
+                    },
+                );
+            }
             return Ok(ExploreOutcome {
                 estimate: CellEstimate::Exact { cell },
                 queries_used,
@@ -294,6 +367,7 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
         let mut new_tuple_found = false;
         for v in pending {
             queried.insert(quantize(&v));
+            query_log.push(v);
             let resp = service.query(&v)?;
             queries_used += 1;
             let mut site_in_top_h = false;
@@ -409,7 +483,7 @@ fn monte_carlo_escape<S: LbsInterface + ?Sized, R: Rng>(
 mod tests {
     use super::*;
     use lbs_data::{Dataset, ScenarioBuilder, Tuple};
-    use lbs_geom::voronoi_diagram;
+    use lbs_geom::{top_k_cell, voronoi_diagram};
     use lbs_service::{ServiceConfig, SimulatedLbs};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

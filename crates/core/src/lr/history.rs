@@ -1,4 +1,4 @@
-//! History of discovered tuples (paper §3.2.2).
+//! History of discovered tuples (paper §3.2.2) plus the shared cell cache.
 //!
 //! LBS databases such as Google Maps are static over the course of an
 //! estimation run, so every tuple location discovered while computing one
@@ -10,6 +10,27 @@
 //! LR interface plus the volumes of the cells computed so far (the latter
 //! feed the adaptive top-h selection threshold of §3.2.3).
 //!
+//! On top of the paper's history, this implementation keeps a **cell cache**
+//! shared across samples: repeated samples frequently land in the cell of a
+//! tuple whose exact top-h cell was already pinned down. An exact
+//! (Theorem-1) exploration is a deterministic function of the site, the
+//! level `h`, the region, and what the history knew when it started — the
+//! seed-neighbour list and the nearest known distance — so a cache entry
+//! stores that *seed fingerprint* together with the finished cell and the
+//! exact sequence of vertex queries the exploration issued. A lookup whose
+//! fingerprint matches can replay the stored queries (keeping the service
+//! ledger, the history side-effects and therefore every downstream estimate
+//! bit-identical to an uncached run) while skipping all of the geometry.
+//! A fingerprint mismatch — the history learned a nearer tuple since the
+//! entry was stored — simply falls through to a fresh exploration, which is
+//! how entries are invalidated; [`History::version`] is bumped on every
+//! genuinely new tuple as a cheap change signal for diagnostics and tests.
+//!
+//! The adaptive-h rule of §3.2.3 computes history-only volume bounds `λ_h`
+//! for every returned tuple of every sample; those are cached the same way
+//! (fingerprint = the neighbour list the bound was computed from) in a
+//! second map, without any query log since no queries are involved.
+//!
 //! Locations live in a `BTreeMap` rather than a `HashMap` on purpose: the
 //! neighbour lists handed to the geometry code are built by iterating this
 //! map, and estimation results must be bit-identical across runs and across
@@ -18,14 +39,49 @@
 //!
 //! For the parallel sample driver, [`History::fork`] hands each worker block
 //! a private snapshot and [`History::absorb`] merges what the block learned
-//! back into the master copy in a deterministic order.
+//! back into the master copy in a deterministic order. Cache entries ride
+//! along: forks share the stored entries cheaply through `Arc`, and absorbed
+//! entries overwrite in chunk order. Which entries a fork happens to hold
+//! can vary with the thread count, but that can never change an estimate —
+//! a hit replays exactly what the corresponding miss would have computed.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lbs_data::TupleId;
-use lbs_geom::Point;
+use lbs_geom::{sort_by_distance, Point, Rect, TopKCell};
 
+use crate::engine_stats::EngineReport;
 use crate::stats::RunningStats;
+
+/// A finished exact cell exploration, keyed by `(site id, h)` and validated
+/// by the seed fingerprint captured when the exploration started.
+#[derive(Clone, Debug)]
+pub struct CellCacheEntry {
+    /// Region the exploration was clipped to.
+    pub region: Rect,
+    /// The history neighbours that seeded the exploration (empty when the
+    /// §3.2.2 history seeding was disabled).
+    pub seeds: Vec<Point>,
+    /// Nearest known distance at exploration start (drives the §3.2.1
+    /// fast-initialization box; `None` when fast-init was disabled).
+    pub nearest: Option<f64>,
+    /// The exact top-h cell the exploration produced.
+    pub cell: TopKCell,
+    /// Every vertex query the exploration issued, in order. Replayed on a
+    /// hit so the service ledger and history stay bit-identical.
+    pub queries: Vec<Point>,
+    /// Theorem-1 rounds the exploration ran.
+    pub rounds: usize,
+}
+
+/// A cached adaptive-h volume bound λ_h.
+#[derive(Clone, Debug)]
+struct LambdaEntry {
+    region: Rect,
+    seeds: Vec<Point>,
+    area: f64,
+}
 
 /// Accumulated knowledge about the hidden database.
 #[derive(Clone, Debug, Default)]
@@ -35,6 +91,11 @@ pub struct History {
     /// Cell volumes recorded since this history was created or forked; the
     /// delta log that [`History::absorb`] replays into the master copy.
     fresh_volumes: Vec<f64>,
+    /// Bumped whenever a genuinely new tuple location is inserted.
+    version: u64,
+    cells: BTreeMap<(TupleId, usize), Arc<CellCacheEntry>>,
+    lambdas: BTreeMap<(TupleId, usize), Arc<LambdaEntry>>,
+    stats: EngineReport,
 }
 
 impl History {
@@ -53,9 +114,17 @@ impl History {
         self.locations.is_empty()
     }
 
+    /// Known-set version: bumped once per genuinely new tuple location.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Records a tuple location (idempotent).
     pub fn insert(&mut self, id: TupleId, location: Point) {
-        self.locations.entry(id).or_insert(location);
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.locations.entry(id) {
+            slot.insert(location);
+            self.version += 1;
+        }
     }
 
     /// The known location of a tuple, if any.
@@ -70,11 +139,13 @@ impl History {
 
     /// The locations of the `limit` known tuples nearest to `site`,
     /// excluding any tuple at (essentially) the same location as `site`
-    /// itself.
+    /// itself, in ascending distance order with a deterministic tie-break.
     ///
     /// These are the "historic tuples" fed into the initial cell of a new
     /// computation (Algorithm 3). Limiting the count keeps the geometry work
-    /// bounded: faraway tuples cannot contribute edges to the cell anyway.
+    /// bounded: faraway tuples cannot contribute edges to the cell anyway —
+    /// and the ascending order is exactly what the pruned cell construction
+    /// of [`lbs_geom::cell_engine`] needs.
     pub fn neighbors_of(&self, site: &Point, limit: usize) -> Vec<Point> {
         let mut pts: Vec<Point> = self
             .locations
@@ -82,11 +153,7 @@ impl History {
             .copied()
             .filter(|p| !p.approx_eq(site))
             .collect();
-        pts.sort_by(|a, b| {
-            a.distance_sq(site)
-                .partial_cmp(&b.distance_sq(site))
-                .unwrap()
-        });
+        sort_by_distance(site, &mut pts);
         pts.truncate(limit);
         pts
     }
@@ -106,9 +173,99 @@ impl History {
         self.fresh_volumes.push(volume);
     }
 
+    /// Looks up a cached exact exploration of `(site_id, h)` whose seed
+    /// fingerprint matches the current history state, counting the
+    /// hit or miss.
+    pub(crate) fn cell_cache_get(
+        &mut self,
+        site_id: TupleId,
+        h: usize,
+        region: &Rect,
+        seeds: &[Point],
+        nearest: Option<f64>,
+    ) -> Option<Arc<CellCacheEntry>> {
+        let hit = self.cells.get(&(site_id, h)).filter(|entry| {
+            entry.region == *region && entry.seeds == seeds && entry.nearest == nearest
+        });
+        match hit {
+            Some(entry) => {
+                self.stats.cache_hits += 1;
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a finished exact exploration for later replay.
+    pub(crate) fn cell_cache_put(&mut self, site_id: TupleId, h: usize, entry: CellCacheEntry) {
+        self.cells.insert((site_id, h), Arc::new(entry));
+    }
+
+    /// Number of stored cell explorations (for tests and diagnostics).
+    pub fn cached_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Looks up a cached λ_h volume bound, counting the hit or miss.
+    pub(crate) fn lambda_cache_get(
+        &mut self,
+        site_id: TupleId,
+        h: usize,
+        region: &Rect,
+        seeds: &[Point],
+    ) -> Option<f64> {
+        let hit = self
+            .lambdas
+            .get(&(site_id, h))
+            .filter(|entry| entry.region == *region && entry.seeds == seeds)
+            .map(|entry| entry.area);
+        match hit {
+            Some(area) => {
+                self.stats.lambda_hits += 1;
+                Some(area)
+            }
+            None => {
+                self.stats.lambda_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a λ_h volume bound.
+    pub(crate) fn lambda_cache_put(
+        &mut self,
+        site_id: TupleId,
+        h: usize,
+        region: Rect,
+        seeds: Vec<Point>,
+        area: f64,
+    ) {
+        self.lambdas.insert(
+            (site_id, h),
+            Arc::new(LambdaEntry {
+                region,
+                seeds,
+                area,
+            }),
+        );
+    }
+
+    /// The engine counters accumulated on this history.
+    pub fn engine_report(&self) -> EngineReport {
+        self.stats
+    }
+
+    /// Mutable access to the engine counters (for the explorer).
+    pub(crate) fn engine_mut(&mut self) -> &mut EngineReport {
+        &mut self.stats
+    }
+
     /// Snapshot for a parallel worker block: identical knowledge, empty
-    /// delta log, so that [`History::absorb`] later merges back exactly what
-    /// the block discovered.
+    /// delta log and zeroed counters, so that [`History::absorb`] later
+    /// merges back exactly what the block discovered.
     pub fn fork(&self) -> History {
         // Built by hand rather than `clone()` so the (potentially long)
         // delta log of the parent is never copied just to be thrown away.
@@ -116,6 +273,10 @@ impl History {
             locations: self.locations.clone(),
             cell_volumes: self.cell_volumes.clone(),
             fresh_volumes: Vec::new(),
+            version: self.version,
+            cells: self.cells.clone(),
+            lambdas: self.lambdas.clone(),
+            stats: EngineReport::default(),
         }
     }
 
@@ -135,15 +296,25 @@ impl History {
     /// changes), and only the cell volumes recorded *after* the fork are
     /// replayed, so snapshot volumes are never double counted. Absorbing
     /// blocks in a fixed order keeps the merged state — and therefore every
-    /// estimate derived from it — bit-identical across thread counts.
+    /// estimate derived from it — bit-identical across thread counts. Cache
+    /// entries overwrite (later blocks explored with fresher knowledge);
+    /// entry contents can depend on scheduling, but a hit always replays
+    /// exactly what the miss would have computed, so estimates cannot.
     pub fn absorb(&mut self, forked: &History) {
         for (id, location) in &forked.locations {
-            self.locations.entry(*id).or_insert(*location);
+            self.insert(*id, *location);
         }
         for &volume in &forked.fresh_volumes {
             self.cell_volumes.push(volume);
             self.fresh_volumes.push(volume);
         }
+        for (key, entry) in &forked.cells {
+            self.cells.insert(*key, Arc::clone(entry));
+        }
+        for (key, entry) in &forked.lambdas {
+            self.lambdas.insert(*key, Arc::clone(entry));
+        }
+        self.stats.add(&forked.stats);
     }
 
     /// Mean volume of the cells computed so far, if any.
@@ -169,10 +340,12 @@ mod tests {
     fn insert_is_idempotent_and_lookup_works() {
         let mut h = History::new();
         assert!(h.is_empty());
+        assert_eq!(h.version(), 0);
         h.insert(3, Point::new(1.0, 1.0));
         h.insert(3, Point::new(9.0, 9.0)); // ignored: already known
         h.insert(5, Point::new(2.0, 2.0));
         assert_eq!(h.len(), 2);
+        assert_eq!(h.version(), 2, "only genuinely new tuples bump the version");
         assert!(h.contains(3));
         assert!(!h.contains(4));
         assert_eq!(h.location_of(3), Some(Point::new(1.0, 1.0)));
@@ -254,5 +427,97 @@ mod tests {
         h.record_cell_volume(30.0);
         assert_eq!(h.cells_recorded(), 2);
         assert!((h.mean_cell_volume().unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    fn dummy_cell(region: &Rect) -> TopKCell {
+        lbs_geom::top_k_cell(&Point::new(5.0, 5.0), &[Point::new(7.0, 5.0)], 1, region)
+    }
+
+    #[test]
+    fn cell_cache_hits_only_on_matching_fingerprint() {
+        let region = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut h = History::new();
+        let seeds = vec![Point::new(7.0, 5.0)];
+        h.cell_cache_put(
+            42,
+            1,
+            CellCacheEntry {
+                region,
+                seeds: seeds.clone(),
+                nearest: Some(2.0),
+                cell: dummy_cell(&region),
+                queries: vec![Point::new(1.0, 1.0)],
+                rounds: 2,
+            },
+        );
+        assert_eq!(h.cached_cells(), 1);
+        // Exact fingerprint → hit.
+        assert!(h
+            .cell_cache_get(42, 1, &region, &seeds, Some(2.0))
+            .is_some());
+        // Any deviation → miss (stale entries are bypassed, not returned).
+        assert!(h
+            .cell_cache_get(42, 2, &region, &seeds, Some(2.0))
+            .is_none());
+        assert!(h.cell_cache_get(42, 1, &region, &[], Some(2.0)).is_none());
+        assert!(h.cell_cache_get(42, 1, &region, &seeds, None).is_none());
+        let other = Rect::from_bounds(0.0, 0.0, 5.0, 5.0);
+        assert!(h.cell_cache_get(42, 1, &other, &seeds, Some(2.0)).is_none());
+        let report = h.engine_report();
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cache_misses, 4);
+    }
+
+    #[test]
+    fn lambda_cache_round_trip() {
+        let region = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut h = History::new();
+        let seeds = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        assert!(h.lambda_cache_get(7, 2, &region, &seeds).is_none());
+        h.lambda_cache_put(7, 2, region, seeds.clone(), 12.5);
+        assert_eq!(h.lambda_cache_get(7, 2, &region, &seeds), Some(12.5));
+        // Seed drift invalidates.
+        assert!(h.lambda_cache_get(7, 2, &region, &seeds[..1]).is_none());
+        let report = h.engine_report();
+        assert_eq!(report.lambda_hits, 1);
+        assert_eq!(report.lambda_misses, 2);
+    }
+
+    #[test]
+    fn fork_shares_cache_and_zeroes_stats() {
+        let region = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut master = History::new();
+        master.cell_cache_put(
+            1,
+            1,
+            CellCacheEntry {
+                region,
+                seeds: vec![],
+                nearest: None,
+                cell: dummy_cell(&region),
+                queries: vec![],
+                rounds: 1,
+            },
+        );
+        master.engine_mut().cells_built = 5;
+        let mut fork = master.fork();
+        assert_eq!(fork.cached_cells(), 1);
+        assert_eq!(fork.engine_report().cells_built, 0);
+        fork.engine_mut().cells_built = 2;
+        fork.cell_cache_put(
+            2,
+            1,
+            CellCacheEntry {
+                region,
+                seeds: vec![],
+                nearest: None,
+                cell: dummy_cell(&region),
+                queries: vec![],
+                rounds: 1,
+            },
+        );
+        master.absorb(&fork);
+        assert_eq!(master.cached_cells(), 2);
+        assert_eq!(master.engine_report().cells_built, 7);
     }
 }

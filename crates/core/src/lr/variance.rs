@@ -10,7 +10,8 @@
 //! contribute little variance, so spending queries to enlarge their h would
 //! be wasted.
 
-use lbs_geom::{top_k_cell, Point, Rect};
+use lbs_data::TupleId;
+use lbs_geom::{top_k_cell_pruned, Point, Rect};
 
 use super::history::History;
 
@@ -38,15 +39,24 @@ impl Default for HSelection {
 }
 
 impl HSelection {
-    /// Chooses the `h` to use for a tuple located at `site`, given the
-    /// interface's top-k limit and the current history.
+    /// Chooses the `h` to use for the tuple `site_id` located at `site`,
+    /// given the interface's top-k limit and the current history.
+    ///
+    /// The adaptive rule computes its λ_h volume bounds through the pruned
+    /// cell engine and memoises them in the history's λ cache keyed by
+    /// `(site_id, h)` — the bound only depends on the neighbour list it was
+    /// computed from, so a cache hit returns the exact same value a
+    /// recomputation would.
+    #[allow(clippy::too_many_arguments)] // the paper's rule inputs plus the cache switch
     pub fn choose(
         &self,
+        site_id: TupleId,
         site: &Point,
         k: usize,
         region: &Rect,
-        history: &History,
+        history: &mut History,
         neighbor_limit: usize,
+        use_lambda_cache: bool,
     ) -> usize {
         match self {
             HSelection::Top1 => 1,
@@ -66,6 +76,8 @@ impl HSelection {
                         .map(|v| 0.5 * v)
                         .unwrap_or(region.area() * 0.005)
                 });
+                // Already in ascending distance order — exactly the
+                // candidate view the pruned construction wants.
                 let neighbors = history.neighbors_of(site, neighbor_limit);
                 if neighbors.is_empty() {
                     // No knowledge at all: be conservative, use the top-1 cell.
@@ -76,7 +88,29 @@ impl HSelection {
                 // the database. Volumes grow with h, so scan from the largest
                 // h downwards and stop at the first that fits.
                 for h in (2..=k).rev() {
-                    let lambda_h = top_k_cell(site, &neighbors, h, region).area;
+                    let cached = if use_lambda_cache {
+                        history.lambda_cache_get(site_id, h, region, &neighbors)
+                    } else {
+                        None
+                    };
+                    let lambda_h = match cached {
+                        Some(area) => area,
+                        None => {
+                            let (cell, build) =
+                                top_k_cell_pruned(site, &neighbors, h, region, true);
+                            history.engine_mut().record_build(&build);
+                            if use_lambda_cache {
+                                history.lambda_cache_put(
+                                    site_id,
+                                    h,
+                                    *region,
+                                    neighbors.clone(),
+                                    cell.area,
+                                );
+                            }
+                            cell.area
+                        }
+                    };
                     if lambda_h <= threshold {
                         return h;
                     }
@@ -115,21 +149,33 @@ mod tests {
 
     #[test]
     fn top1_and_fixed_policies() {
-        let h = History::new();
+        let mut h = History::new();
         let site = Point::new(50.0, 50.0);
-        assert_eq!(HSelection::Top1.choose(&site, 10, &region(), &h, 32), 1);
-        assert_eq!(HSelection::Fixed(3).choose(&site, 10, &region(), &h, 32), 3);
+        assert_eq!(
+            HSelection::Top1.choose(0, &site, 10, &region(), &mut h, 32, true),
+            1
+        );
+        assert_eq!(
+            HSelection::Fixed(3).choose(0, &site, 10, &region(), &mut h, 32, true),
+            3
+        );
         // Fixed h is capped at k.
-        assert_eq!(HSelection::Fixed(8).choose(&site, 5, &region(), &h, 32), 5);
-        assert_eq!(HSelection::Fixed(0).choose(&site, 5, &region(), &h, 32), 1);
+        assert_eq!(
+            HSelection::Fixed(8).choose(0, &site, 5, &region(), &mut h, 32, true),
+            5
+        );
+        assert_eq!(
+            HSelection::Fixed(0).choose(0, &site, 5, &region(), &mut h, 32, true),
+            1
+        );
     }
 
     #[test]
     fn adaptive_with_no_history_is_conservative() {
-        let h = History::new();
+        let mut h = History::new();
         let policy = HSelection::default();
         assert_eq!(
-            policy.choose(&Point::new(50.0, 50.0), 10, &region(), &h, 32),
+            policy.choose(0, &Point::new(50.0, 50.0), 10, &region(), &mut h, 32, true),
             1
         );
     }
@@ -138,18 +184,18 @@ mod tests {
     fn adaptive_uses_larger_h_in_dense_areas() {
         let site = Point::new(50.0, 50.0);
         // Dense neighbourhood: even the top-3 cell stays small.
-        let dense = dense_history_around(site, 2.0);
+        let mut dense = dense_history_around(site, 2.0);
         let policy = HSelection::Adaptive {
             lambda0: Some(200.0),
         };
-        let h_dense = policy.choose(&site, 3, &region(), &dense, 64);
+        let h_dense = policy.choose(0, &site, 3, &region(), &mut dense, 64, true);
         assert!(
             h_dense >= 2,
             "dense area should allow h >= 2, got {h_dense}"
         );
         // Sparse neighbourhood: even the top-2 cell exceeds the threshold.
-        let sparse = dense_history_around(site, 40.0);
-        let h_sparse = policy.choose(&site, 3, &region(), &sparse, 64);
+        let mut sparse = dense_history_around(site, 40.0);
+        let h_sparse = policy.choose(0, &site, 3, &region(), &mut sparse, 64, true);
         assert_eq!(h_sparse, 1);
     }
 
@@ -164,21 +210,32 @@ mod tests {
         let policy = HSelection::Adaptive { lambda0: None };
         // Threshold = 2.0; the top-2 cell around a 2 km lattice is larger
         // than 2 km², so the policy falls back to 1.
-        assert_eq!(policy.choose(&site, 3, &region(), &hist, 64), 1);
+        assert_eq!(
+            policy.choose(0, &site, 3, &region(), &mut hist, 64, true),
+            1
+        );
         // With a generous recorded mean the same neighbourhood allows h >= 2.
         let mut hist2 = dense_history_around(site, 2.0);
         for _ in 0..5 {
             hist2.record_cell_volume(100.0);
         }
-        assert!(policy.choose(&site, 3, &region(), &hist2, 64) >= 2);
+        assert!(policy.choose(0, &site, 3, &region(), &mut hist2, 64, true) >= 2);
     }
 
     #[test]
     fn adaptive_with_k1_is_always_one() {
-        let hist = dense_history_around(Point::new(50.0, 50.0), 2.0);
+        let mut hist = dense_history_around(Point::new(50.0, 50.0), 2.0);
         let policy = HSelection::default();
         assert_eq!(
-            policy.choose(&Point::new(50.0, 50.0), 1, &region(), &hist, 64),
+            policy.choose(
+                0,
+                &Point::new(50.0, 50.0),
+                1,
+                &region(),
+                &mut hist,
+                64,
+                true
+            ),
             1
         );
     }

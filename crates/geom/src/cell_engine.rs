@@ -1,0 +1,663 @@
+//! Pruned incremental construction of top-k Voronoi cells and level regions.
+//!
+//! The exact constructions in [`crate::topk_cell`] clip the site against
+//! *every* known tuple — O(n) half-plane work per cell even though only the
+//! tuples nearest to the site can contribute an edge. This module exploits
+//! that locality with a **security-radius certificate**:
+//!
+//! > Let `C` be the cell computed from a candidate subset `S` and let
+//! > `r_max` be the maximum distance from the site to any point of `C`
+//! > (attained at a vertex of `C`, since the distance is convex over every
+//! > polygonal piece). Any candidate `o` with `dist(site, o) > 2·r_max`
+//! > satisfies, for every `q ∈ C`,
+//! > `dist(q, o) ≥ dist(site, o) − r_max > r_max ≥ dist(q, site)`,
+//! > so `o` is never strictly closer than the site anywhere in `C` and its
+//! > bisector cannot touch the cell. Outside `C` the depth is already `≥ k`
+//! > under `S` alone and adding candidates only raises it. Hence the cell of
+//! > `S` **equals** the cell of the full candidate set — exactly, as a set.
+//!
+//! Callers supply candidates in **ascending distance order** from the site;
+//! the construction incorporates the nearest candidates first and stops as
+//! soon as the certificate covers every remaining one. Because candidates
+//! are ordered, a single comparison certifies the whole tail.
+//!
+//! The pruned construction is **byte-identical** to the unpruned one run on
+//! the same ordered candidate list (`prune = false`):
+//!
+//! * for `k = 1` a certified candidate's half-plane strictly contains every
+//!   polygon vertex, so clipping by it is the identity on the vertex list —
+//!   skipping the clip changes nothing, bit for bit;
+//! * for `k > 1` the vertex enumeration and the boundary-structure area
+//!   below never receive a floating-point contribution from a certified
+//!   candidate: a candidate vertex involving a far bisector would lie in the
+//!   closure of the cell yet at distance `> r_max` from the site — a
+//!   contradiction — so its depth filter always rejects it, and a far
+//!   bisector carries no boundary sub-segment for the same reason.
+//!
+//! The area of concave `k > 1` cells is computed from the **boundary
+//! structure** (Green's theorem over the oriented boundary sub-segments
+//! between cell vertices) instead of the slab decomposition of
+//! [`crate::topk_cell::top_k_cell`]: the slab sum partitions trapezoids at
+//! every bisector crossing, so a non-contributing far bisector would still
+//! change the floating-point summation order. The boundary sum only touches
+//! segments that actually border the region, which is what makes
+//! pruned-versus-full bit-equality possible. Both area computations agree to
+//! floating-point accuracy and are cross-validated in the tests.
+
+use crate::convex::ConvexPolygon;
+use crate::halfplane::HalfPlane;
+use crate::line::Line;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::topk_cell::{cell_vertices, depth, level_region_vertices, LevelRegion, TopKCell};
+use crate::EPS;
+
+/// Absolute slack added to the security-radius comparison.
+///
+/// The certificate proofs use strict inequalities whose margin must dominate
+/// the epsilon tolerances of the depth predicates (`1e-9` on distances) and
+/// the side-probe offset of [`boundary_level_area`] (`~1e-9` of the box
+/// diagonal); `1e-4` in coordinate units (ten centimetres, for the
+/// kilometre-scaled simulators) is far above that noise floor and far below
+/// any distance that matters to the estimators.
+const CERT_SLACK: f64 = 1e-4;
+
+/// How one pruned construction went: the counters the estimators aggregate
+/// into their cache/clip reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellBuildStats {
+    /// Candidates offered (after dropping duplicates of the site itself).
+    pub candidates: usize,
+    /// Candidates actually incorporated into the construction (clips
+    /// performed for `k = 1`, active bisectors for `k > 1`).
+    pub incorporated: usize,
+    /// Candidates skipped under the security-radius certificate.
+    pub pruned: usize,
+    /// The certified radius: every pruned candidate lies farther than twice
+    /// this distance from the site (`0` when nothing was pruned).
+    pub security_radius: f64,
+}
+
+/// Sorts points by ascending distance from `site`, with a deterministic
+/// `(x, y)` tie-break so equal-distance candidates always order the same way
+/// regardless of their source container.
+pub fn sort_by_distance(site: &Point, pts: &mut [Point]) {
+    pts.sort_by(|a, b| {
+        a.distance_sq(site)
+            .partial_cmp(&b.distance_sq(site))
+            .unwrap()
+            .then(a.x.partial_cmp(&b.x).unwrap())
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+}
+
+#[cfg(debug_assertions)]
+fn assert_ascending(site: &Point, pts: &[Point]) {
+    for w in pts.windows(2) {
+        debug_assert!(
+            w[1].distance_sq(site) >= w[0].distance_sq(site) - 1e-9,
+            "candidates must be supplied in ascending distance order"
+        );
+    }
+}
+
+fn max_distance(site: &Point, pts: &[Point]) -> f64 {
+    pts.iter().map(|p| p.distance(site)).fold(0.0_f64, f64::max)
+}
+
+/// Computes the exact top-k Voronoi cell of `site` with respect to
+/// `ordered_others` (ascending distance from `site`), clipped to `bbox`.
+///
+/// With `prune = true` the construction stops at the security-radius
+/// certificate; with `prune = false` every candidate is incorporated. Both
+/// modes return byte-identical cells (see the module docs for why); the
+/// pruned mode just does asymptotically less work. The result is equal to
+/// [`crate::topk_cell::top_k_cell`] on the same ordered candidate list —
+/// bit-for-bit on the vertices for every `k` and on the area for `k = 1`
+/// (the `k > 1` area is computed by a different exact method and agrees to
+/// floating-point accuracy).
+pub fn top_k_cell_pruned(
+    site: &Point,
+    ordered_others: &[Point],
+    k: usize,
+    bbox: &Rect,
+    prune: bool,
+) -> (TopKCell, CellBuildStats) {
+    assert!(k >= 1, "top_k_cell_pruned requires k >= 1");
+    #[cfg(debug_assertions)]
+    assert_ascending(site, ordered_others);
+    let others: Vec<Point> = ordered_others
+        .iter()
+        .copied()
+        .filter(|o| !o.approx_eq(site))
+        .collect();
+    let mut stats = CellBuildStats {
+        candidates: others.len(),
+        ..CellBuildStats::default()
+    };
+
+    if others.len() < k {
+        let convex = ConvexPolygon::from_rect(bbox);
+        return (
+            TopKCell {
+                site: *site,
+                k,
+                area: bbox.area(),
+                vertices: convex.vertices().to_vec(),
+                bbox: *bbox,
+                convex: Some(convex),
+            },
+            stats,
+        );
+    }
+
+    if k == 1 {
+        let mut cell = ConvexPolygon::from_rect(bbox);
+        let mut r_max = max_distance(site, cell.vertices());
+        for (i, o) in others.iter().enumerate() {
+            if prune && o.distance(site) > 2.0 * r_max + CERT_SLACK {
+                // Ascending order: this candidate and every later one is
+                // certified — their clips would be the identity.
+                stats.pruned = others.len() - i;
+                stats.security_radius = r_max;
+                break;
+            }
+            if let Some(hp) = HalfPlane::closer_to(site, o) {
+                cell = cell.clip(&hp);
+                stats.incorporated += 1;
+                if cell.is_empty() {
+                    break;
+                }
+                r_max = max_distance(site, cell.vertices());
+            }
+        }
+        return (
+            TopKCell {
+                site: *site,
+                k: 1,
+                area: cell.area(),
+                vertices: cell.vertices().to_vec(),
+                bbox: *bbox,
+                convex: Some(cell),
+            },
+            stats,
+        );
+    }
+
+    // k >= 2: grow the active prefix until the certificate covers the tail
+    // (or the prefix is everything), then compute the exact geometry from
+    // the active set only.
+    let n = others.len();
+    let mut active_len = if prune { (2 * k).max(4).min(n) } else { n };
+    let (vertices, bisectors) = loop {
+        let active = &others[..active_len];
+        let bisectors: Vec<Line> = active
+            .iter()
+            .filter_map(|o| Line::bisector(site, o))
+            .collect();
+        let verts = cell_vertices(site, active, &bisectors, k, bbox);
+        if active_len == n {
+            break (verts, bisectors);
+        }
+        let r_max = if verts.is_empty() {
+            bbox.diagonal()
+        } else {
+            max_distance(site, &verts)
+        };
+        if others[active_len].distance(site) > 2.0 * r_max + CERT_SLACK {
+            // Ascending order: the next candidate and every later one is
+            // certified away by the current (already exact) active cell.
+            stats.security_radius = r_max;
+            break (verts, bisectors);
+        }
+        // Geometric growth amortises the vertex recomputation: any
+        // certified prefix produces the same bits, so overshooting only
+        // trades a little pruning for fewer enumeration passes.
+        active_len = (active_len + (active_len / 2).max(2)).min(n);
+    };
+    stats.incorporated = active_len;
+    stats.pruned = n - active_len;
+
+    let active = &others[..active_len];
+    let inside = |q: &Point| bbox.contains(q) && depth(site, active, q) < k;
+    let area = boundary_level_area(&bisectors, &inside, bbox);
+
+    (
+        TopKCell {
+            site: *site,
+            k,
+            area,
+            vertices,
+            bbox: *bbox,
+            convex: None,
+        },
+        stats,
+    )
+}
+
+/// Computes the level region of a set of oriented half-planes — the subset
+/// of `bbox` whose points violate fewer than `k` of them — with the same
+/// security-radius pruning as [`top_k_cell_pruned`].
+///
+/// `anchor` is a reference point the caller knows to be deep inside the
+/// region (the LNR seed location). Half-planes are ordered internally by the
+/// distance of their boundary from the anchor; a half-plane that contains
+/// the anchor and whose boundary is farther from it than the region's
+/// maximum anchor distance can never be violated inside the region, so it is
+/// certified away. Half-planes that do not contain the anchor are never
+/// pruned. Pruned and unpruned mode return byte-identical regions.
+pub fn level_region_pruned(
+    halfplanes: &[HalfPlane],
+    anchor: &Point,
+    k: usize,
+    bbox: &Rect,
+    prune: bool,
+) -> (LevelRegion, CellBuildStats) {
+    assert!(k >= 1, "level_region_pruned requires k >= 1");
+    let mut stats = CellBuildStats {
+        candidates: halfplanes.len(),
+        ..CellBuildStats::default()
+    };
+
+    if halfplanes.len() < k {
+        return (
+            LevelRegion {
+                area: bbox.area(),
+                vertices: ConvexPolygon::from_rect(bbox).vertices().to_vec(),
+                bbox: *bbox,
+                k,
+            },
+            stats,
+        );
+    }
+
+    // Deterministic processing order: ascending "prunability key" — the
+    // anchor's distance to the boundary for anchor-containing half-planes,
+    // and -1 (never prunable, sorted first) for the rest. Ties break on the
+    // boundary coefficients so the order never depends on the source
+    // container.
+    let key = |hp: &HalfPlane| -> f64 {
+        let sd = hp.signed_distance(anchor);
+        if sd > -EPS {
+            -1.0
+        } else {
+            -sd
+        }
+    };
+    let mut sorted: Vec<HalfPlane> = halfplanes.to_vec();
+    sorted.sort_by(|x, y| {
+        key(x)
+            .partial_cmp(&key(y))
+            .unwrap()
+            .then(x.boundary.a.partial_cmp(&y.boundary.a).unwrap())
+            .then(x.boundary.b.partial_cmp(&y.boundary.b).unwrap())
+            .then(x.boundary.c.partial_cmp(&y.boundary.c).unwrap())
+    });
+
+    if k == 1 {
+        let mut cell = ConvexPolygon::from_rect(bbox);
+        let mut r_max = max_distance(anchor, cell.vertices());
+        for (i, hp) in sorted.iter().enumerate() {
+            let d = key(hp);
+            if prune && d >= 0.0 && d > r_max + CERT_SLACK {
+                stats.pruned = sorted.len() - i;
+                stats.security_radius = r_max;
+                break;
+            }
+            cell = cell.clip(hp);
+            stats.incorporated += 1;
+            if cell.is_empty() {
+                break;
+            }
+            r_max = max_distance(anchor, cell.vertices());
+        }
+        return (
+            LevelRegion {
+                area: cell.area(),
+                vertices: cell.vertices().to_vec(),
+                bbox: *bbox,
+                k,
+            },
+            stats,
+        );
+    }
+
+    let n = sorted.len();
+    let mut active_len = if prune { (2 * k).max(4).min(n) } else { n };
+    let (vertices, lines) = loop {
+        let active = &sorted[..active_len];
+        let lines: Vec<Line> = active.iter().map(|hp| hp.boundary).collect();
+        let verts = level_region_vertices(active, &lines, k, bbox);
+        if active_len == n {
+            break (verts, lines);
+        }
+        let r_max = if verts.is_empty() {
+            bbox.diagonal()
+        } else {
+            max_distance(anchor, &verts)
+        };
+        let next = key(&sorted[active_len]);
+        if next >= 0.0 && next > r_max + CERT_SLACK {
+            stats.security_radius = r_max;
+            break (verts, lines);
+        }
+        active_len = (active_len + (active_len / 2).max(2)).min(n);
+    };
+    stats.incorporated = active_len;
+    stats.pruned = n - active_len;
+
+    let active = &sorted[..active_len];
+    let inside = |q: &Point| bbox.contains(q) && crate::topk_cell::violation_depth(active, q) < k;
+    let area = boundary_level_area(&lines, &inside, bbox);
+
+    (
+        LevelRegion {
+            area,
+            vertices,
+            bbox: *bbox,
+            k,
+        },
+        stats,
+    )
+}
+
+/// Exact area of the region `{ q ∈ bbox : inside(q) }` from its boundary
+/// structure, by Green's theorem over oriented boundary sub-segments.
+///
+/// `lines` are the candidate boundary lines of the region. The chord of each
+/// line inside the box is split at its crossings with every other line; a
+/// sub-segment whose two sides disagree on membership is a boundary piece
+/// and contributes its shoelace term, oriented so the interior lies on its
+/// left. Box edges are handled the same way with the interior probe taken
+/// just inside the box.
+///
+/// Partitioning at *all* pairwise crossings (rather than only at the
+/// depth-filtered region vertices) keeps the decomposition correct even for
+/// coincident-bisector degeneracies, where a single line carries a depth
+/// jump larger than one. It also preserves the pruned-versus-full
+/// bit-equality: a crossing contributed by a certified-far line lies
+/// strictly outside the security radius, hence strictly outside every
+/// boundary piece, so it only subdivides sub-segments that contribute zero
+/// either way.
+fn boundary_level_area(lines: &[Line], inside: &dyn Fn(&Point) -> bool, bbox: &Rect) -> f64 {
+    let eps_off = bbox.diagonal().max(1.0) * 1e-9;
+    let origin = bbox.center();
+    let mut area = 0.0_f64;
+
+    // Coincident duplicate lines (duplicate candidate tuples) must
+    // contribute their boundary pieces once, not once per copy.
+    let mut distinct: Vec<Line> = Vec::with_capacity(lines.len());
+    for line in lines {
+        let duplicate = distinct.iter().any(|l| {
+            (l.a - line.a).abs() <= 1e-12
+                && (l.b - line.b).abs() <= 1e-12
+                && (l.c - line.c).abs() <= 1e-9
+        });
+        if !duplicate {
+            distinct.push(*line);
+        }
+    }
+
+    // Interior boundary pieces: sub-segments of each line inside the box.
+    for (i, line) in distinct.iter().enumerate() {
+        let Some(seg) = line.clip_to_rect(bbox) else {
+            continue;
+        };
+        let dir = seg.end - seg.start;
+        let len = dir.norm();
+        if len <= 1e-9 {
+            continue;
+        }
+        let unit = dir / len;
+        let normal = line.normal();
+
+        let mut ts: Vec<f64> = vec![0.0, len];
+        for (j, other) in distinct.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if let Some(p) = line.intersection(other) {
+                let t = (p - seg.start).dot(&unit);
+                if t > 0.0 && t < len {
+                    ts.push(t);
+                }
+            }
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.dedup_by(|a, b| (*a - *b).abs() <= 1e-9);
+
+        for w in ts.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            if t1 - t0 <= 1e-9 {
+                continue;
+            }
+            let mid = seg.start + unit * (0.5 * (t0 + t1));
+            let in_plus = inside(&(mid + normal * eps_off));
+            let in_minus = inside(&(mid - normal * eps_off));
+            if in_plus == in_minus {
+                continue;
+            }
+            let a = seg.start + unit * t0 - origin;
+            let b = seg.start + unit * t1 - origin;
+            // `unit` is the line direction (normal rotated +90°), so the
+            // -normal side is the left of a→b; traverse with the interior
+            // on the left.
+            area += if in_minus {
+                0.5 * a.cross(&b)
+            } else {
+                0.5 * b.cross(&a)
+            };
+        }
+    }
+
+    // Box-edge boundary pieces, counter-clockwise (interior on the left).
+    let corners = bbox.corners();
+    for i in 0..4 {
+        let ca = corners[i];
+        let cb = corners[(i + 1) % 4];
+        let dir = cb - ca;
+        let len = dir.norm();
+        let unit = dir / len;
+        let inward = Point::new(-unit.y, unit.x);
+        let edge_line = Line::through(&ca, &cb).expect("box edges are non-degenerate");
+
+        let mut ts: Vec<f64> = vec![0.0, len];
+        for line in &distinct {
+            if let Some(p) = edge_line.intersection(line) {
+                let t = (p - ca).dot(&unit);
+                if t > 0.0 && t < len {
+                    ts.push(t);
+                }
+            }
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.dedup_by(|a, b| (*a - *b).abs() <= 1e-9);
+
+        for w in ts.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            if t1 - t0 <= 1e-9 {
+                continue;
+            }
+            let mid = ca + unit * (0.5 * (t0 + t1)) + inward * eps_off;
+            if inside(&mid) {
+                let a = ca + unit * t0 - origin;
+                let b = ca + unit * t1 - origin;
+                area += 0.5 * a.cross(&b);
+            }
+        }
+    }
+
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk_cell::{level_region, top_k_cell};
+
+    fn bbox() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn sorted_others(site: &Point, pts: &[(f64, f64)]) -> Vec<Point> {
+        let mut v: Vec<Point> = pts.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        sort_by_distance(site, &mut v);
+        v
+    }
+
+    fn assert_cells_bitwise_equal(a: &TopKCell, b: &TopKCell) {
+        assert_eq!(a.area.to_bits(), b.area.to_bits(), "area bits differ");
+        assert_eq!(a.vertices.len(), b.vertices.len(), "vertex counts differ");
+        for (va, vb) in a.vertices.iter().zip(b.vertices.iter()) {
+            assert_eq!(va.x.to_bits(), vb.x.to_bits());
+            assert_eq!(va.y.to_bits(), vb.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn k1_matches_oracle_bitwise_and_prunes() {
+        let site = Point::new(42.0, 57.0);
+        let others = sorted_others(
+            &site,
+            &[
+                (45.0, 55.0),
+                (40.0, 60.0),
+                (55.0, 40.0),
+                (30.0, 85.0),
+                (80.0, 15.0),
+                (10.0, 20.0),
+                (95.0, 95.0),
+                (5.0, 95.0),
+            ],
+        );
+        let oracle = top_k_cell(&site, &others, 1, &bbox());
+        let (pruned, stats) = top_k_cell_pruned(&site, &others, 1, &bbox(), true);
+        let (full, full_stats) = top_k_cell_pruned(&site, &others, 1, &bbox(), false);
+        assert_cells_bitwise_equal(&oracle, &pruned);
+        assert_cells_bitwise_equal(&oracle, &full);
+        assert!(
+            stats.pruned > 0,
+            "nearby cluster should certify the far tail"
+        );
+        assert_eq!(stats.incorporated + stats.pruned, stats.candidates);
+        assert_eq!(full_stats.pruned, 0);
+    }
+
+    #[test]
+    fn k2_pruned_equals_full_bitwise_and_matches_slab_area() {
+        let site = Point::new(50.0, 50.0);
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            let ang = i as f64 * std::f64::consts::PI / 4.0;
+            pts.push((50.0 + 12.0 * ang.cos(), 50.0 + 12.0 * ang.sin()));
+        }
+        pts.extend_from_slice(&[(2.0, 3.0), (97.0, 4.0), (95.0, 96.0), (3.0, 95.0)]);
+        let others = sorted_others(&site, &pts);
+        for k in 2..=3usize {
+            let (pruned, stats) = top_k_cell_pruned(&site, &others, k, &bbox(), true);
+            let (full, _) = top_k_cell_pruned(&site, &others, k, &bbox(), false);
+            assert_cells_bitwise_equal(&pruned, &full);
+            assert!(stats.pruned > 0, "k={k}: corners should be certified away");
+            let oracle = top_k_cell(&site, &others, k, &bbox());
+            assert_eq!(pruned.vertices.len(), oracle.vertices.len());
+            assert!(
+                (pruned.area - oracle.area).abs() / oracle.area.max(1e-12) < 1e-8,
+                "k={k}: boundary area {} vs slab {}",
+                pruned.area,
+                oracle.area
+            );
+        }
+    }
+
+    #[test]
+    fn whole_box_when_fewer_candidates_than_k() {
+        let (cell, stats) = top_k_cell_pruned(
+            &Point::new(50.0, 50.0),
+            &[Point::new(60.0, 50.0)],
+            3,
+            &bbox(),
+            true,
+        );
+        assert!((cell.area - bbox().area()).abs() < 1e-9);
+        assert_eq!(stats.incorporated, 0);
+    }
+
+    #[test]
+    fn duplicate_candidates_do_not_double_count_boundary() {
+        let site = Point::new(50.0, 50.0);
+        let mut pts = vec![
+            (30.0, 50.0),
+            (30.0, 50.0), // exact duplicate → coincident bisector
+            (70.0, 50.0),
+            (50.0, 30.0),
+            (50.0, 70.0),
+        ];
+        pts.push((30.0, 50.0));
+        let others = sorted_others(&site, &pts);
+        for k in 1..=3usize {
+            let oracle = top_k_cell(&site, &others, k, &bbox());
+            let (pruned, _) = top_k_cell_pruned(&site, &others, k, &bbox(), true);
+            assert!(
+                (pruned.area - oracle.area).abs() / oracle.area.max(1e-12) < 1e-8,
+                "k={k}: {} vs {}",
+                pruned.area,
+                oracle.area
+            );
+        }
+    }
+
+    #[test]
+    fn level_region_pruned_matches_unpruned_and_oracle() {
+        let site = Point::new(50.0, 50.0);
+        let pts = [
+            (44.0, 50.0),
+            (50.0, 43.0),
+            (57.0, 50.0),
+            (50.0, 58.0),
+            (25.0, 25.0),
+            (75.0, 25.0),
+            (75.0, 75.0),
+            (25.0, 75.0),
+            (1.0, 1.0),
+            (99.0, 1.0),
+            (99.0, 99.0),
+            (1.0, 99.0),
+        ];
+        let planes: Vec<HalfPlane> = pts
+            .iter()
+            .map(|(x, y)| HalfPlane::closer_to(&site, &Point::new(*x, *y)).unwrap())
+            .collect();
+        for k in 1..=3usize {
+            let (pruned, stats) = level_region_pruned(&planes, &site, k, &bbox(), true);
+            let (full, _) = level_region_pruned(&planes, &site, k, &bbox(), false);
+            assert_eq!(pruned.area.to_bits(), full.area.to_bits(), "k={k}");
+            assert_eq!(pruned.vertices.len(), full.vertices.len());
+            if k <= 2 {
+                assert!(stats.pruned > 0, "k={k}: far planes should be certified");
+            }
+            let oracle = level_region(&planes, k, &bbox());
+            assert!(
+                (pruned.area - oracle.area).abs() / oracle.area.max(1e-12) < 1e-8,
+                "k={k}: {} vs {}",
+                pruned.area,
+                oracle.area
+            );
+        }
+    }
+
+    #[test]
+    fn sort_by_distance_breaks_ties_deterministically() {
+        let site = Point::new(0.0, 0.0);
+        let mut a = vec![
+            Point::new(3.0, 4.0),
+            Point::new(5.0, 0.0),
+            Point::new(-5.0, 0.0),
+            Point::new(0.0, 5.0),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        sort_by_distance(&site, &mut a);
+        sort_by_distance(&site, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -32,6 +32,7 @@
 //! | [`polygon`] | simple (possibly concave) polygons |
 //! | [`circle`] | circles/disks and exact disk-union coverage tests |
 //! | [`topk_cell`] | exact top-k Voronoi cells (vertices + area) |
+//! | [`cell_engine`] | pruned incremental cell construction with security-radius certificates |
 //! | [`voronoi`] | full Voronoi diagrams over a site set |
 //!
 //! ## Numerical conventions
@@ -45,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell_engine;
 pub mod circle;
 pub mod convex;
 pub mod halfplane;
@@ -55,6 +57,7 @@ pub mod rect;
 pub mod topk_cell;
 pub mod voronoi;
 
+pub use cell_engine::{level_region_pruned, sort_by_distance, top_k_cell_pruned, CellBuildStats};
 pub use circle::{disk_covered_by_union, Circle};
 pub use convex::ConvexPolygon;
 pub use halfplane::HalfPlane;

@@ -287,7 +287,7 @@ fn level_set_area(
 /// * the crossing of one bisector with a box edge, which is a vertex iff the
 ///   depth just off the bisector is exactly `k − 1`, or
 /// * a box corner that lies inside the cell.
-fn cell_vertices(
+pub(crate) fn cell_vertices(
     site: &Point,
     others: &[Point],
     bisectors: &[Line],
@@ -430,10 +430,28 @@ pub fn level_region(halfplanes: &[crate::HalfPlane], k: usize, bbox: &Rect) -> L
     let lines: Vec<Line> = halfplanes.iter().map(|hp| hp.boundary).collect();
     let depth = |q: &Point| violation_depth(halfplanes, q);
     let area = slab_level_area(&lines, &depth, k, bbox);
+    let vertices = level_region_vertices(halfplanes, &lines, k, bbox);
 
-    // Vertex enumeration mirrors `cell_vertices`: pairwise boundary-line
-    // intersections filtered by the violation depth excluding the two lines
-    // meeting there, plus box-edge crossings and box corners.
+    LevelRegion {
+        area,
+        vertices,
+        bbox: *bbox,
+        k,
+    }
+}
+
+/// Enumerates the vertices of a level region of oriented half-planes.
+///
+/// Mirrors [`cell_vertices`]: pairwise boundary-line intersections filtered
+/// by the violation depth excluding the two lines meeting there, plus
+/// box-edge crossings and box corners. Shared by [`level_region`] and the
+/// pruned constructions in [`crate::cell_engine`].
+pub(crate) fn level_region_vertices(
+    halfplanes: &[crate::HalfPlane],
+    lines: &[Line],
+    k: usize,
+    bbox: &Rect,
+) -> Vec<Point> {
     let mut vertices = Vec::new();
     let depth_excluding = |q: &Point, skip: &[usize]| -> usize {
         halfplanes
@@ -470,17 +488,11 @@ pub fn level_region(halfplanes: &[crate::HalfPlane], k: usize, bbox: &Rect) -> L
         }
     }
     for corner in bbox.corners() {
-        if depth(&corner) < k {
+        if violation_depth(halfplanes, &corner) < k {
             push_unique(&mut vertices, corner);
         }
     }
-
-    LevelRegion {
-        area,
-        vertices,
-        bbox: *bbox,
-        k,
-    }
+    vertices
 }
 
 /// Exact area of `{ q in bbox : depth(q) < k }` by vertical slab
