@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N]
 //!       [--threads N] [--out DIR]
+//!       [--scenario FILE]... [--scenario-dir DIR] [--smoke]
 //! ```
 //!
 //! Results are printed as text tables and written as CSV files under the
@@ -10,6 +11,11 @@
 //! `BENCH_repro.json` there: a machine-readable summary with per-experiment
 //! wall time, the deepest query cost exercised and the mean relative error
 //! (see `EXPERIMENTS.md` for the field-by-field description).
+//!
+//! `--scenario FILE` (repeatable) and `--scenario-dir DIR` switch the run
+//! from the built-in experiment list to declarative scenario specs
+//! (TOML/JSON, schema in `EXPERIMENTS.md`); report rows are then keyed by
+//! scenario id. `--smoke` shrinks every scenario to a fast CI-sized sweep.
 //!
 //! `--threads N` fans the estimator samples of every experiment across `N`
 //! worker threads (`0` = all cores). Results are **bit-identical for every
@@ -26,7 +32,7 @@ use std::process::ExitCode;
 use lbs_bench::{
     all_experiment_ids,
     report::{gate_against, run_speedup_probe},
-    run_experiment_threaded, BenchRecord, BenchReport, Scale,
+    run_experiment_threaded, BenchRecord, BenchReport, Scale, Scenario, ScenarioContext,
 };
 
 struct Options {
@@ -36,6 +42,9 @@ struct Options {
     threads: usize,
     out_dir: PathBuf,
     gate: Option<PathBuf>,
+    scenarios: Vec<PathBuf>,
+    scenario_dir: Option<PathBuf>,
+    smoke: bool,
 }
 
 enum Command {
@@ -50,6 +59,9 @@ fn parse_args() -> Result<Command, String> {
     let mut threads = 1usize;
     let mut out_dir = PathBuf::from("bench-results");
     let mut gate: Option<PathBuf> = None;
+    let mut scenarios: Vec<PathBuf> = Vec::new();
+    let mut scenario_dir: Option<PathBuf> = None;
+    let mut smoke = false;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +94,19 @@ fn parse_args() -> Result<Command, String> {
             "--gate" | "-g" => {
                 gate = Some(PathBuf::from(args.next().ok_or("--gate needs a value")?));
             }
+            "--scenario" => {
+                scenarios.push(PathBuf::from(
+                    args.next().ok_or("--scenario needs a file path")?,
+                ));
+            }
+            "--scenario-dir" => {
+                scenario_dir = Some(PathBuf::from(
+                    args.next().ok_or("--scenario-dir needs a directory")?,
+                ));
+            }
+            "--smoke" => {
+                smoke = true;
+            }
             "--help" | "-h" => {
                 return Ok(Command::Help);
             }
@@ -98,6 +123,9 @@ fn parse_args() -> Result<Command, String> {
         threads,
         out_dir,
         gate,
+        scenarios,
+        scenario_dir,
+        smoke,
     }))
 }
 
@@ -105,13 +133,40 @@ fn usage() -> String {
     format!(
         "usage: repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N]\n\
          \x20            [--threads N] [--out DIR] [--gate REFERENCE.json]\n\
-         --threads N  run estimator samples on N worker threads (0 = all cores);\n\
-         \x20            results are bit-identical for every N\n\
-         --gate FILE  after the run, diff the fresh BENCH_repro.json against the\n\
-         \x20            reference JSON and exit non-zero on a bench regression\n\
+         \x20            [--scenario FILE]... [--scenario-dir DIR] [--smoke]\n\
+         --threads N       run estimator samples on N worker threads (0 = all cores);\n\
+         \x20                 results are bit-identical for every N\n\
+         --gate FILE       after the run, diff the fresh BENCH_repro.json against the\n\
+         \x20                 reference JSON and exit non-zero on a bench regression\n\
+         --scenario FILE   run a declarative scenario spec (TOML/JSON) instead of the\n\
+         \x20                 built-in experiment list; repeatable\n\
+         --scenario-dir D  run every .toml/.json scenario in a directory (sorted)\n\
+         --smoke           shrink scenarios to a fast smoke sweep (micro scale /\n\
+         \x20                 capped sizes and budgets)\n\
          experiments: {}",
         all_experiment_ids().join(", ")
     )
+}
+
+/// Prints a finished result, records it in the report, and writes its CSV.
+/// Shared by the scenario and experiment paths so their output handling
+/// cannot drift apart.
+fn emit_result(
+    result: &lbs_bench::ExperimentResult,
+    wall_time_s: f64,
+    out_dir: &std::path::Path,
+    report: &mut BenchReport,
+) -> Result<(), String> {
+    println!("{}", result.to_table());
+    if let Some(line) = result.engine_summary_line() {
+        println!("  engine: {line}");
+    }
+    println!("  ({wall_time_s:.1}s)\n");
+    report
+        .experiments
+        .push(BenchRecord::from_result(result, wall_time_s));
+    let path = out_dir.join(format!("{}.csv", result.id));
+    fs::write(&path, result.to_csv()).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn main() -> ExitCode {
@@ -130,37 +185,94 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", options.out_dir.display());
         return ExitCode::FAILURE;
     }
-    let valid = all_experiment_ids();
-    for id in &options.experiments {
-        if !valid.contains(&id.as_str()) {
-            eprintln!("unknown experiment `{id}`\n{}", usage());
-            return ExitCode::from(2);
-        }
-    }
-    println!(
-        "Reproducing {} experiment(s) at {:?} scale (seed {}, {} thread(s))\n",
-        options.experiments.len(),
-        options.scale,
-        options.seed,
-        options.threads,
-    );
+    let scenario_mode = !options.scenarios.is_empty() || options.scenario_dir.is_some();
     let mut report = BenchReport::new(options.scale, options.seed, options.threads);
-    for id in &options.experiments {
-        let started = std::time::Instant::now();
-        let result = run_experiment_threaded(id, options.scale, options.seed, options.threads);
-        let wall_time_s = started.elapsed().as_secs_f64();
-        println!("{}", result.to_table());
-        if let Some(line) = result.engine_summary_line() {
-            println!("  engine: {line}");
+
+    if scenario_mode {
+        let mut scenarios: Vec<Scenario> = Vec::new();
+        for path in &options.scenarios {
+            match lbs_bench::load_scenario(path) {
+                Ok(s) => scenarios.push(s),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
-        println!("  ({wall_time_s:.1}s)\n");
-        report
-            .experiments
-            .push(BenchRecord::from_result(&result, wall_time_s));
-        let path = options.out_dir.join(format!("{id}.csv"));
-        if let Err(e) = fs::write(&path, result.to_csv()) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
+        if let Some(dir) = &options.scenario_dir {
+            match lbs_bench::load_scenario_dir(dir) {
+                Ok(mut from_dir) => scenarios.append(&mut from_dir),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        // Ids must be unique across --scenario files and --scenario-dir
+        // combined: the id keys both the CSV file name and the report
+        // record, so a duplicate would silently overwrite its twin.
+        let mut seen_ids = std::collections::BTreeSet::new();
+        for scenario in &scenarios {
+            if !seen_ids.insert(scenario.id.as_str()) {
+                eprintln!(
+                    "duplicate scenario id `{}` across --scenario/--scenario-dir inputs",
+                    scenario.id
+                );
+                return ExitCode::from(2);
+            }
+        }
+        println!(
+            "Running {} scenario(s) at {:?} scale (seed {}, {} thread(s){})\n",
+            scenarios.len(),
+            options.scale,
+            options.seed,
+            options.threads,
+            if options.smoke { ", smoke" } else { "" },
+        );
+        let ctx = ScenarioContext {
+            scale: options.scale,
+            seed: options.seed,
+            threads: options.threads,
+            smoke: options.smoke,
+        };
+        for scenario in &scenarios {
+            let started = std::time::Instant::now();
+            let result = match lbs_bench::run_scenario(scenario, &ctx) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("scenario failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let wall_time_s = started.elapsed().as_secs_f64();
+            if let Err(e) = emit_result(&result, wall_time_s, &options.out_dir, &mut report) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let valid = all_experiment_ids();
+        for id in &options.experiments {
+            if !valid.contains(&id.as_str()) {
+                eprintln!("unknown experiment `{id}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+        println!(
+            "Reproducing {} experiment(s) at {:?} scale (seed {}, {} thread(s))\n",
+            options.experiments.len(),
+            options.scale,
+            options.seed,
+            options.threads,
+        );
+        for id in &options.experiments {
+            let started = std::time::Instant::now();
+            let result = run_experiment_threaded(id, options.scale, options.seed, options.threads);
+            let wall_time_s = started.elapsed().as_secs_f64();
+            if let Err(e) = emit_result(&result, wall_time_s, &options.out_dir, &mut report) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

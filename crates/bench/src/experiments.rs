@@ -106,7 +106,7 @@ fn lnr_service(dataset: &Dataset, k: usize) -> SimulatedLbs {
 
 /// Coarse bracket width for LNR experiments: scaled to the region so that the
 /// per-edge cost stays around `3·log2(b/δ)` queries regardless of scale.
-fn lnr_delta(region: &Rect) -> f64 {
+pub(crate) fn lnr_delta(region: &Rect) -> f64 {
     (region.diagonal() * 2e-4).max(0.01)
 }
 

@@ -26,8 +26,11 @@ pub mod experiments;
 pub mod report;
 pub mod result;
 pub mod scale;
+pub mod scenario;
+pub mod toml_lite;
 
 pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
 pub use report::{BenchRecord, BenchReport, SpeedupReport};
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;
+pub use scenario::{load_scenario, load_scenario_dir, run_scenario, Scenario, ScenarioContext};

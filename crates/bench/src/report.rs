@@ -177,8 +177,23 @@ pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String>
         };
         match (record.mean_rel_error, reference_record.mean_rel_error) {
             (Some(fresh_err), Some(ref_err)) => {
-                let bound = ref_err * GATE_REL_ERROR_FACTOR + GATE_REL_ERROR_SLACK;
-                if fresh_err > bound {
+                // A zero or non-finite reference (e.g. a scenario whose mean
+                // relative error is exactly 0) makes the multiplicative
+                // headroom meaningless; fall back to the absolute slack
+                // alone instead of comparing against a 0/NaN/inf bound.
+                let bound = if ref_err.is_finite() && ref_err > 0.0 {
+                    ref_err * GATE_REL_ERROR_FACTOR + GATE_REL_ERROR_SLACK
+                } else {
+                    GATE_REL_ERROR_SLACK
+                };
+                // `NaN > bound` is false, so a NaN fresh metric would slip
+                // through a plain comparison; treat it as a regression.
+                if !fresh_err.is_finite() {
+                    violations.push(format!(
+                        "{}: mean relative error is not finite ({fresh_err}) — reference {ref_err:.3}",
+                        record.id
+                    ));
+                } else if fresh_err > bound {
                     violations.push(format!(
                         "{}: mean relative error regressed: {fresh_err:.3} > bound {bound:.3} (reference {ref_err:.3})",
                         record.id
@@ -359,6 +374,66 @@ mod tests {
         assert!(violations.iter().any(|v| v.contains("relative error")));
         assert!(violations.iter().any(|v| v.contains("query cost")));
         assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn gate_zero_reference_uses_absolute_tolerance() {
+        // A reference with mean relative error exactly 0 (a scenario the
+        // estimator nails) must not produce a 0-sized or NaN bound: fresh
+        // runs within the absolute slack pass, runs beyond it fail.
+        let mut reference = BenchReport::new(Scale::Small, 2015, 1);
+        reference
+            .experiments
+            .push(record("scenario_exact", Some(0.0), Some(100)));
+
+        let mut within = BenchReport::new(Scale::Small, 2015, 1);
+        within.experiments.push(record(
+            "scenario_exact",
+            Some(GATE_REL_ERROR_SLACK * 0.5),
+            Some(100),
+        ));
+        assert!(gate_against(&within, &reference).is_empty());
+
+        let mut beyond = BenchReport::new(Scale::Small, 2015, 1);
+        beyond.experiments.push(record(
+            "scenario_exact",
+            Some(GATE_REL_ERROR_SLACK * 2.0),
+            Some(100),
+        ));
+        let violations = gate_against(&beyond, &reference);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("regressed"));
+    }
+
+    #[test]
+    fn gate_flags_non_finite_fresh_metrics() {
+        // `NaN > bound` is false, so a naive comparison would silently pass
+        // a fresh run whose error collapsed to NaN/inf; the gate must flag
+        // it instead.
+        let mut reference = BenchReport::new(Scale::Small, 2015, 1);
+        reference
+            .experiments
+            .push(record("fig14", Some(0.3), Some(4200)));
+        for bad in [f64::NAN, f64::INFINITY] {
+            let mut fresh = BenchReport::new(Scale::Small, 2015, 1);
+            fresh
+                .experiments
+                .push(record("fig14", Some(bad), Some(4200)));
+            let violations = gate_against(&fresh, &reference);
+            assert_eq!(violations.len(), 1, "{bad}: {violations:?}");
+            assert!(violations[0].contains("not finite"), "{bad}");
+        }
+        // A NaN *reference* degrades to the absolute tolerance rather than
+        // silently passing everything.
+        let mut nan_ref = BenchReport::new(Scale::Small, 2015, 1);
+        nan_ref
+            .experiments
+            .push(record("fig14", Some(f64::NAN), Some(4200)));
+        let mut fresh = BenchReport::new(Scale::Small, 2015, 1);
+        fresh
+            .experiments
+            .push(record("fig14", Some(1.0), Some(4200)));
+        assert!(!gate_against(&fresh, &nan_ref).is_empty());
     }
 
     #[test]

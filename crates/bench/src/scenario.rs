@@ -1,0 +1,1211 @@
+//! Declarative scenario layer: workload specs loadable from TOML/JSON.
+//!
+//! A [`Scenario`] describes one complete estimation workload — dataset
+//! (spatial model, size, planted truths), interface (LR/LNR, k,
+//! restrictions), optional backend decorators (rate limiting, latency,
+//! truncation), aggregate (COUNT/SUM/AVG plus selection), and estimator
+//! configuration (algorithm, budget, error-reduction toggles) — so that the
+//! evaluation matrix of the paper's §6 can be swept from committed spec
+//! files (`repro --scenario FILE`, `repro --scenario-dir DIR`) instead of
+//! hard-coded Rust.
+//!
+//! Two forms exist:
+//!
+//! * **Built-in**: `experiment = "fig14"` delegates to the corresponding
+//!   [`crate::experiments`] function. The output is bit-identical to
+//!   `repro --experiment fig14` at the same scale/seed/threads — the
+//!   scenario file is just a declarative name for the hard-coded path.
+//! * **Declarative**: `[dataset]`/`[interface]`/`[aggregate]`/`[estimator]`
+//!   (plus optional `[backend]`) assemble a workload from parts, including
+//!   configurations no built-in experiment covers (grid/Zipf-hotspot
+//!   datasets, decorated backends, prominence ranking, …).
+//!
+//! Specs are deserialized strictly: unknown keys are rejected with the
+//! offending name, so typos cannot silently disable a knob.
+
+use std::path::Path;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Error as SerdeError, Value};
+
+use lbs_core::{
+    Aggregate, Estimate, EstimateError, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig,
+    NnoBaseline, NnoConfig, SampleDriver, Selection,
+};
+use lbs_data::{Dataset, DensityGrid, ScenarioBuilder};
+use lbs_geom::Rect;
+use lbs_service::{
+    LatencyBackend, LbsBackend, Ranking, RateLimitedBackend, ServiceConfig, SimulatedLbs,
+    TruncatingBackend,
+};
+
+use crate::experiments::{all_experiment_ids, lnr_delta, run_experiment_threaded};
+use crate::result::{ExperimentResult, Row};
+use crate::scale::Scale;
+use crate::toml_lite;
+
+// ---------------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------------
+
+/// A complete scenario specification (one TOML/JSON file).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Scenario identifier: used as the CSV file name and as the key of the
+    /// scenario's row in `BENCH_repro.json`.
+    pub id: String,
+    /// Human-readable title (defaults to the id).
+    pub title: Option<String>,
+    /// Pinned root seed; defaults to the CLI `--seed`.
+    pub seed: Option<u64>,
+    /// Pinned scale (`micro`/`tiny`/`small`/`paper`) for built-in
+    /// experiments; defaults to the CLI `--scale`.
+    pub scale: Option<String>,
+    /// Built-in form: the experiment id (`fig11` … `table1`) to delegate to.
+    pub experiment: Option<String>,
+    /// Declarative form: the dataset to generate.
+    pub dataset: Option<DatasetSpec>,
+    /// Declarative form: the service interface.
+    pub interface: Option<InterfaceSpec>,
+    /// Declarative form: optional backend decorators.
+    pub backend: Option<BackendSpec>,
+    /// Declarative form: the aggregate to estimate.
+    pub aggregate: Option<AggregateSpec>,
+    /// Declarative form: the estimator and its budget.
+    pub estimator: Option<EstimatorSpec>,
+}
+
+/// Dataset section of a declarative scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetSpec {
+    /// Spatial model: `usa_pois`, `wechat_users`, `weibo_users`, `uniform`,
+    /// `grid`, or `zipf_hotspot`.
+    pub model: String,
+    /// Number of tuples.
+    pub size: usize,
+    /// Planted Starbucks count (POI models only).
+    pub starbucks: Option<usize>,
+    /// Bounding box override `[min_x, min_y, max_x, max_y]`.
+    pub bbox: Option<[f64; 4]>,
+    /// Lattice columns (`grid` model).
+    pub cols: Option<usize>,
+    /// Lattice rows (`grid` model).
+    pub rows: Option<usize>,
+    /// Jitter fraction in `[0, 1]` (`grid` model; 0 stacks tuples).
+    pub jitter: Option<f64>,
+    /// Hotspot count (`zipf_hotspot` model).
+    pub hotspots: Option<usize>,
+    /// Zipf popularity exponent (`zipf_hotspot` model).
+    pub exponent: Option<f64>,
+}
+
+/// Interface section of a declarative scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterfaceSpec {
+    /// `lr` (locations returned) or `lnr` (rank only).
+    pub kind: String,
+    /// Top-k limit (default 10).
+    pub k: Option<usize>,
+    /// Maximum coverage radius in km.
+    pub max_radius: Option<f64>,
+    /// WeChat-style location-obfuscation grid size in km.
+    pub obfuscation_grid: Option<f64>,
+    /// Hard server-side query limit.
+    pub query_limit: Option<u64>,
+    /// Enables prominence ranking with this distance-per-prominence weight.
+    pub prominence_weight: Option<f64>,
+}
+
+/// Backend-decorator section of a declarative scenario. Decorators are
+/// applied innermost-to-outermost as: truncation, latency, rate limit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackendSpec {
+    /// Pause after every this many queries (rate-limiter decorator).
+    pub rate_limit_burst: Option<u64>,
+    /// Pause duration in milliseconds (default 1 when a burst is set).
+    pub rate_limit_pause_ms: Option<u64>,
+    /// Fixed per-query latency in milliseconds (latency decorator).
+    pub latency_ms: Option<u64>,
+    /// Truncate every n-th answer ("flaky" decorator).
+    pub truncate_every: Option<u64>,
+    /// How many tuples a truncated answer keeps (default 1).
+    pub truncate_to: Option<usize>,
+}
+
+/// Aggregate section of a declarative scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateSpec {
+    /// `count`, `sum`, or `avg`.
+    pub kind: String,
+    /// Attribute to SUM/AVG over (required for those kinds).
+    pub attr: Option<String>,
+    /// Text-equality selection conditions (attribute → required value),
+    /// conjoined.
+    pub equals: Option<std::collections::BTreeMap<String, String>>,
+    /// Boolean selection conditions (attribute → required flag), conjoined.
+    pub flags: Option<std::collections::BTreeMap<String, bool>>,
+    /// Numeric at-least conditions (attribute → inclusive minimum).
+    pub at_least: Option<std::collections::BTreeMap<String, f64>>,
+    /// Spatial selection `[min_x, min_y, max_x, max_y]`.
+    pub region: Option<[f64; 4]>,
+}
+
+/// Estimator section of a declarative scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorSpec {
+    /// `lr` (LR-LBS-AGG), `lnr` (LNR-LBS-AGG), or `nno` (LR-LBS-NNO).
+    pub algorithm: String,
+    /// Soft query budget per repetition.
+    pub budget: u64,
+    /// Independent repetitions (default 1); the report averages their
+    /// relative errors.
+    pub repetitions: Option<usize>,
+    /// Fixed top-h level instead of the adaptive rule (LR only).
+    pub fixed_h: Option<usize>,
+    /// Figure-20 ablation level 0–4 (LR only).
+    pub ablation_level: Option<usize>,
+    /// Density-weighted sampling: `[cols, rows]` histogram resolution of the
+    /// §5.2 external-knowledge grid (built from the dataset itself).
+    pub weighted_grid: Option<[u64; 2]>,
+    /// Pseudo-count smoothing of the weighted grid (default 0.1).
+    pub weighted_smoothing: Option<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// Strict deserialization helpers (the vendored serde has no derive attrs)
+// ---------------------------------------------------------------------------
+
+fn as_map<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], SerdeError> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(SerdeError::custom(format!(
+            "{ty}: expected a table, got {other:?}"
+        ))),
+    }
+}
+
+fn reject_unknown(
+    entries: &[(String, Value)],
+    ty: &str,
+    allowed: &[&str],
+) -> Result<(), SerdeError> {
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(SerdeError::custom(format!(
+                "{ty}: unknown key `{key}` (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn opt<T: Deserialize>(
+    entries: &[(String, Value)],
+    ty: &str,
+    key: &str,
+) -> Result<Option<T>, SerdeError> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| SerdeError::custom(format!("{ty}.{key}: {e}"))),
+        None => Ok(None),
+    }
+}
+
+fn req<T: Deserialize>(entries: &[(String, Value)], ty: &str, key: &str) -> Result<T, SerdeError> {
+    opt(entries, ty, key)?
+        .ok_or_else(|| SerdeError::custom(format!("{ty}: missing required key `{key}`")))
+}
+
+impl Deserialize for Scenario {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "scenario")?;
+        reject_unknown(
+            m,
+            "scenario",
+            &[
+                "id",
+                "title",
+                "seed",
+                "scale",
+                "experiment",
+                "dataset",
+                "interface",
+                "backend",
+                "aggregate",
+                "estimator",
+            ],
+        )?;
+        Ok(Scenario {
+            id: req(m, "scenario", "id")?,
+            title: opt(m, "scenario", "title")?,
+            seed: opt(m, "scenario", "seed")?,
+            scale: opt(m, "scenario", "scale")?,
+            experiment: opt(m, "scenario", "experiment")?,
+            dataset: opt(m, "scenario", "dataset")?,
+            interface: opt(m, "scenario", "interface")?,
+            backend: opt(m, "scenario", "backend")?,
+            aggregate: opt(m, "scenario", "aggregate")?,
+            estimator: opt(m, "scenario", "estimator")?,
+        })
+    }
+}
+
+impl Deserialize for DatasetSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "dataset")?;
+        reject_unknown(
+            m,
+            "dataset",
+            &[
+                "model",
+                "size",
+                "starbucks",
+                "bbox",
+                "cols",
+                "rows",
+                "jitter",
+                "hotspots",
+                "exponent",
+            ],
+        )?;
+        Ok(DatasetSpec {
+            model: req(m, "dataset", "model")?,
+            size: req(m, "dataset", "size")?,
+            starbucks: opt(m, "dataset", "starbucks")?,
+            bbox: opt(m, "dataset", "bbox")?,
+            cols: opt(m, "dataset", "cols")?,
+            rows: opt(m, "dataset", "rows")?,
+            jitter: opt(m, "dataset", "jitter")?,
+            hotspots: opt(m, "dataset", "hotspots")?,
+            exponent: opt(m, "dataset", "exponent")?,
+        })
+    }
+}
+
+impl Deserialize for InterfaceSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "interface")?;
+        reject_unknown(
+            m,
+            "interface",
+            &[
+                "kind",
+                "k",
+                "max_radius",
+                "obfuscation_grid",
+                "query_limit",
+                "prominence_weight",
+            ],
+        )?;
+        Ok(InterfaceSpec {
+            kind: req(m, "interface", "kind")?,
+            k: opt(m, "interface", "k")?,
+            max_radius: opt(m, "interface", "max_radius")?,
+            obfuscation_grid: opt(m, "interface", "obfuscation_grid")?,
+            query_limit: opt(m, "interface", "query_limit")?,
+            prominence_weight: opt(m, "interface", "prominence_weight")?,
+        })
+    }
+}
+
+impl Deserialize for BackendSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "backend")?;
+        reject_unknown(
+            m,
+            "backend",
+            &[
+                "rate_limit_burst",
+                "rate_limit_pause_ms",
+                "latency_ms",
+                "truncate_every",
+                "truncate_to",
+            ],
+        )?;
+        Ok(BackendSpec {
+            rate_limit_burst: opt(m, "backend", "rate_limit_burst")?,
+            rate_limit_pause_ms: opt(m, "backend", "rate_limit_pause_ms")?,
+            latency_ms: opt(m, "backend", "latency_ms")?,
+            truncate_every: opt(m, "backend", "truncate_every")?,
+            truncate_to: opt(m, "backend", "truncate_to")?,
+        })
+    }
+}
+
+impl Deserialize for AggregateSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "aggregate")?;
+        reject_unknown(
+            m,
+            "aggregate",
+            &["kind", "attr", "equals", "flags", "at_least", "region"],
+        )?;
+        Ok(AggregateSpec {
+            kind: req(m, "aggregate", "kind")?,
+            attr: opt(m, "aggregate", "attr")?,
+            equals: opt(m, "aggregate", "equals")?,
+            flags: opt(m, "aggregate", "flags")?,
+            at_least: opt(m, "aggregate", "at_least")?,
+            region: opt(m, "aggregate", "region")?,
+        })
+    }
+}
+
+impl Deserialize for EstimatorSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "estimator")?;
+        reject_unknown(
+            m,
+            "estimator",
+            &[
+                "algorithm",
+                "budget",
+                "repetitions",
+                "fixed_h",
+                "ablation_level",
+                "weighted_grid",
+                "weighted_smoothing",
+            ],
+        )?;
+        Ok(EstimatorSpec {
+            algorithm: req(m, "estimator", "algorithm")?,
+            budget: req(m, "estimator", "budget")?,
+            repetitions: opt(m, "estimator", "repetitions")?,
+            fixed_h: opt(m, "estimator", "fixed_h")?,
+            ablation_level: opt(m, "estimator", "ablation_level")?,
+            weighted_grid: opt(m, "estimator", "weighted_grid")?,
+            weighted_smoothing: opt(m, "estimator", "weighted_smoothing")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+impl Scenario {
+    /// Structural validation beyond per-field typing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.id.is_empty()
+            || !self
+                .id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "scenario id `{}` must be non-empty and use only [A-Za-z0-9_-] \
+                 (it becomes a file name)",
+                self.id
+            ));
+        }
+        if let Some(scale) = &self.scale {
+            if Scale::parse(scale).is_none() {
+                return Err(format!("{}: unknown scale `{scale}`", self.id));
+            }
+        }
+        let declarative_sections = self.dataset.is_some()
+            || self.interface.is_some()
+            || self.aggregate.is_some()
+            || self.estimator.is_some()
+            || self.backend.is_some();
+        match (&self.experiment, declarative_sections) {
+            (Some(exp), false) => {
+                if !all_experiment_ids().contains(&exp.as_str()) {
+                    return Err(format!(
+                        "{}: unknown experiment `{exp}` (valid: {})",
+                        self.id,
+                        all_experiment_ids().join(", ")
+                    ));
+                }
+                Ok(())
+            }
+            (Some(_), true) => Err(format!(
+                "{}: `experiment` and declarative sections are mutually exclusive",
+                self.id
+            )),
+            (None, _) => {
+                for (section, present) in [
+                    ("dataset", self.dataset.is_some()),
+                    ("interface", self.interface.is_some()),
+                    ("aggregate", self.aggregate.is_some()),
+                    ("estimator", self.estimator.is_some()),
+                ] {
+                    if !present {
+                        return Err(format!(
+                            "{}: declarative scenario is missing its [{section}] section",
+                            self.id
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Loads one scenario file (`.toml` via the bundled TOML-subset parser,
+/// `.json` via `serde_json`).
+pub fn load_scenario(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let is_json = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+    let value: Value = if is_json {
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?
+    } else {
+        toml_lite::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+    };
+    let scenario = Scenario::from_value(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+    scenario
+        .validate()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(scenario)
+}
+
+/// Loads every `.toml`/`.json` scenario in a directory, sorted by file name,
+/// rejecting duplicate scenario ids.
+pub fn load_scenario_dir(dir: &Path) -> Result<Vec<Scenario>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e.eq_ignore_ascii_case("toml") || e.eq_ignore_ascii_case("json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!(
+            "no .toml/.json scenario files found in {}",
+            dir.display()
+        ));
+    }
+    let mut scenarios = Vec::with_capacity(paths.len());
+    let mut seen = std::collections::BTreeSet::new();
+    for path in paths {
+        let scenario = load_scenario(&path)?;
+        if !seen.insert(scenario.id.clone()) {
+            return Err(format!(
+                "duplicate scenario id `{}` in {}",
+                scenario.id,
+                dir.display()
+            ));
+        }
+        scenarios.push(scenario);
+    }
+    Ok(scenarios)
+}
+
+// ---------------------------------------------------------------------------
+// Running
+// ---------------------------------------------------------------------------
+
+/// CLI-level defaults a scenario runs under.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioContext {
+    /// Scale used when the scenario does not pin one (built-in form only).
+    pub scale: Scale,
+    /// Root seed used when the scenario does not pin one.
+    pub seed: u64,
+    /// Worker threads of the sample driver.
+    pub threads: usize,
+    /// Smoke mode: built-in scenarios drop to `Scale::Micro`, declarative
+    /// ones cap dataset size, budget and repetitions — a fast CI sweep over
+    /// every committed spec.
+    pub smoke: bool,
+}
+
+/// Caps applied by `--smoke` to declarative scenarios.
+const SMOKE_MAX_SIZE: usize = 200;
+const SMOKE_MAX_BUDGET: u64 = 250;
+
+/// Runs one scenario to an [`ExperimentResult`] keyed by the scenario id.
+pub fn run_scenario(
+    scenario: &Scenario,
+    ctx: &ScenarioContext,
+) -> Result<ExperimentResult, String> {
+    scenario.validate()?;
+    match &scenario.experiment {
+        Some(experiment) => run_builtin(scenario, experiment, ctx),
+        None => run_declarative(scenario, ctx),
+    }
+}
+
+fn run_builtin(
+    scenario: &Scenario,
+    experiment: &str,
+    ctx: &ScenarioContext,
+) -> Result<ExperimentResult, String> {
+    let mut scale = scenario
+        .scale
+        .as_deref()
+        .and_then(Scale::parse)
+        .unwrap_or(ctx.scale);
+    if ctx.smoke {
+        scale = Scale::Micro;
+    }
+    let seed = scenario.seed.unwrap_or(ctx.seed);
+    let mut result = run_experiment_threaded(experiment, scale, seed, ctx.threads);
+    // Key the output by the *scenario* id; rows and columns stay exactly the
+    // hard-coded experiment's, so the CSV is bit-identical to the
+    // `--experiment` path at equal scale/seed.
+    result.id = scenario.id.clone();
+    if let Some(title) = &scenario.title {
+        result.title = title.clone();
+    }
+    Ok(result)
+}
+
+fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<ExperimentResult, String> {
+    let id = &scenario.id;
+    let dataset_spec = scenario.dataset.as_ref().expect("validated");
+    let interface = scenario.interface.as_ref().expect("validated");
+    let aggregate_spec = scenario.aggregate.as_ref().expect("validated");
+    let estimator = scenario.estimator.as_ref().expect("validated");
+
+    let mut size = dataset_spec.size;
+    let mut budget = estimator.budget;
+    let mut repetitions = estimator.repetitions.unwrap_or(1).max(1);
+    if ctx.smoke {
+        size = size.min(SMOKE_MAX_SIZE);
+        budget = budget.min(SMOKE_MAX_BUDGET);
+        repetitions = 1;
+    }
+    let seed = scenario.seed.unwrap_or(ctx.seed);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = build_dataset(id, dataset_spec, size, &mut rng)?;
+    let region = dataset.bbox();
+    let config = build_service_config(id, interface)?;
+    let k = config.k;
+    let aggregate = build_aggregate(id, aggregate_spec)?;
+    let truth = aggregate.ground_truth(&dataset, &region);
+    let driver = SampleDriver::new(ctx.threads);
+
+    let title = scenario.title.clone().unwrap_or_else(|| id.clone());
+    let mut result = ExperimentResult::new(id, &title);
+    result.note(format!(
+        "dataset {} ({} tuples), interface {} k={k}, aggregate {} (truth {truth:.2}), \
+         estimator {} budget {budget}",
+        dataset_spec.model,
+        dataset.len(),
+        interface.kind,
+        aggregate_spec.kind,
+        estimator.algorithm,
+    ));
+    if let Some(backend_spec) = &scenario.backend {
+        result.note(describe_backend(backend_spec));
+    }
+    if ctx.smoke {
+        result.note("smoke mode: dataset size, budget and repetitions capped".to_string());
+    }
+
+    for rep in 0..repetitions {
+        // A fresh service (and decorator stack) per repetition: `budget` is
+        // documented as per-repetition, so a hard `query_limit` must meter
+        // each repetition separately instead of silently spanning them all
+        // and starving the later reps; decorator ordinals reset too.
+        let backend = decorate(
+            SimulatedLbs::new(dataset.clone(), config.clone()),
+            scenario.backend.as_ref(),
+        );
+        let rep_seed = seed ^ (1_000 + rep as u64);
+        let estimate = run_estimator(
+            id,
+            estimator,
+            interface,
+            backend.as_ref(),
+            &dataset,
+            &region,
+            &aggregate,
+            budget,
+            rep_seed,
+            &driver,
+        )?;
+        result.add_engine(&estimate.engine);
+        result.push(
+            Row::new()
+                .with("rep", rep)
+                .with_f64("estimate", estimate.value)
+                .with_f64("ground truth", truth)
+                .with("rel err", format!("{:.4}", estimate.relative_error(truth)))
+                .with("query cost", estimate.query_cost)
+                .with("samples", estimate.samples),
+        );
+    }
+    Ok(result)
+}
+
+fn describe_backend(spec: &BackendSpec) -> String {
+    let mut parts = Vec::new();
+    if let Some(every) = spec.truncate_every {
+        parts.push(format!(
+            "truncate every {every} answers to {}",
+            spec.truncate_to.unwrap_or(1)
+        ));
+    }
+    if let Some(ms) = spec.latency_ms {
+        parts.push(format!("{ms} ms latency"));
+    }
+    if let Some(burst) = spec.rate_limit_burst {
+        parts.push(format!(
+            "rate limit: pause {} ms after every {burst} queries",
+            spec.rate_limit_pause_ms.unwrap_or(1)
+        ));
+    }
+    if parts.is_empty() {
+        "backend: undecorated".to_string()
+    } else {
+        format!("backend decorators: {}", parts.join("; "))
+    }
+}
+
+fn build_dataset(
+    id: &str,
+    spec: &DatasetSpec,
+    size: usize,
+    rng: &mut StdRng,
+) -> Result<Dataset, String> {
+    // Strictness extends past unknown keys: a key that exists but does not
+    // apply to the chosen model (say, `jitter` on `usa_pois` after editing
+    // the model line) would otherwise be ignored and run a different
+    // workload than the spec reads.
+    let inapplicable: &[(&str, bool)] = match spec.model.as_str() {
+        "usa_pois" | "uniform" => &[
+            ("cols", spec.cols.is_some()),
+            ("rows", spec.rows.is_some()),
+            ("jitter", spec.jitter.is_some()),
+            ("hotspots", spec.hotspots.is_some()),
+            ("exponent", spec.exponent.is_some()),
+        ],
+        "wechat_users" | "weibo_users" => &[
+            ("starbucks", spec.starbucks.is_some()),
+            ("cols", spec.cols.is_some()),
+            ("rows", spec.rows.is_some()),
+            ("jitter", spec.jitter.is_some()),
+            ("hotspots", spec.hotspots.is_some()),
+            ("exponent", spec.exponent.is_some()),
+        ],
+        "grid" => &[
+            ("hotspots", spec.hotspots.is_some()),
+            ("exponent", spec.exponent.is_some()),
+        ],
+        "zipf_hotspot" => &[
+            ("cols", spec.cols.is_some()),
+            ("rows", spec.rows.is_some()),
+            ("jitter", spec.jitter.is_some()),
+        ],
+        _ => &[],
+    };
+    for (key, present) in inapplicable {
+        if *present {
+            return Err(format!(
+                "{id}: dataset key `{key}` does not apply to model `{}`",
+                spec.model
+            ));
+        }
+    }
+    let mut builder = match spec.model.as_str() {
+        "usa_pois" => ScenarioBuilder::usa_pois(size),
+        "wechat_users" => ScenarioBuilder::wechat_users(size),
+        "weibo_users" => ScenarioBuilder::weibo_users(size),
+        "uniform" => {
+            let bbox = spec
+                .bbox
+                .map(|b| rect_from(id, b))
+                .transpose()?
+                .unwrap_or_else(lbs_data::region::usa);
+            ScenarioBuilder::uniform_points(size, bbox)
+        }
+        "grid" => ScenarioBuilder::grid_pois(
+            size,
+            spec.cols.unwrap_or(8),
+            spec.rows.unwrap_or(8),
+            spec.jitter.unwrap_or(0.0),
+        ),
+        "zipf_hotspot" => ScenarioBuilder::zipf_hotspot_pois(
+            size,
+            spec.hotspots.unwrap_or(12),
+            spec.exponent.unwrap_or(1.2),
+        ),
+        other => {
+            return Err(format!(
+                "{id}: unknown dataset model `{other}` (usa_pois, wechat_users, weibo_users, \
+                 uniform, grid, zipf_hotspot)"
+            ))
+        }
+    };
+    if spec.model != "uniform" {
+        if let Some(bbox) = spec.bbox {
+            builder = builder.with_bbox(rect_from(id, bbox)?);
+        }
+    }
+    if let Some(starbucks) = spec.starbucks {
+        builder = builder.with_starbucks(starbucks);
+    }
+    Ok(builder.build(rng))
+}
+
+fn rect_from(id: &str, b: [f64; 4]) -> Result<Rect, String> {
+    if !(b[0] <= b[2] && b[1] <= b[3]) {
+        return Err(format!(
+            "{id}: invalid bbox [{}, {}, {}, {}] (min must not exceed max)",
+            b[0], b[1], b[2], b[3]
+        ));
+    }
+    Ok(Rect::from_bounds(b[0], b[1], b[2], b[3]))
+}
+
+fn build_service_config(id: &str, spec: &InterfaceSpec) -> Result<ServiceConfig, String> {
+    let k = spec.k.unwrap_or(10);
+    let mut config = match spec.kind.as_str() {
+        "lr" => ServiceConfig::lr_lbs(k),
+        "lnr" => ServiceConfig::lnr_lbs(k),
+        other => return Err(format!("{id}: unknown interface kind `{other}` (lr, lnr)")),
+    };
+    if let Some(radius) = spec.max_radius {
+        config = config.with_max_radius(radius);
+    }
+    if let Some(grid) = spec.obfuscation_grid {
+        config = config.with_obfuscation(grid);
+    }
+    if let Some(limit) = spec.query_limit {
+        config = config.with_query_limit(limit);
+    }
+    if let Some(weight) = spec.prominence_weight {
+        config = config.with_ranking(Ranking::Prominence { weight });
+    }
+    Ok(config)
+}
+
+/// Stacks the configured decorators around the simulator. Order (innermost
+/// first): truncation, latency, rate limit — restrictions of the data
+/// before restrictions of the transport, like a real flaky-but-throttled
+/// endpoint.
+fn decorate(service: SimulatedLbs, spec: Option<&BackendSpec>) -> Box<dyn LbsBackend> {
+    let mut backend: Box<dyn LbsBackend> = Box::new(service);
+    let Some(spec) = spec else {
+        return backend;
+    };
+    if let Some(every) = spec.truncate_every {
+        backend = Box::new(TruncatingBackend::new(
+            backend,
+            every,
+            spec.truncate_to.unwrap_or(1),
+        ));
+    }
+    if let Some(ms) = spec.latency_ms {
+        backend = Box::new(LatencyBackend::new(backend, Duration::from_millis(ms)));
+    }
+    if let Some(burst) = spec.rate_limit_burst {
+        backend = Box::new(RateLimitedBackend::new(
+            backend,
+            burst,
+            Duration::from_millis(spec.rate_limit_pause_ms.unwrap_or(1)),
+        ));
+    }
+    backend
+}
+
+fn build_aggregate(id: &str, spec: &AggregateSpec) -> Result<Aggregate, String> {
+    let mut parts: Vec<Selection> = Vec::new();
+    if let Some(equals) = &spec.equals {
+        for (attr, value) in equals {
+            parts.push(Selection::TextEquals {
+                attr: attr.clone(),
+                value: value.clone(),
+            });
+        }
+    }
+    if let Some(flags) = &spec.flags {
+        for (attr, expected) in flags {
+            parts.push(Selection::Flag {
+                attr: attr.clone(),
+                expected: *expected,
+            });
+        }
+    }
+    if let Some(at_least) = &spec.at_least {
+        for (attr, min) in at_least {
+            parts.push(Selection::AtLeast {
+                attr: attr.clone(),
+                min: *min,
+            });
+        }
+    }
+    if let Some(region) = spec.region {
+        parts.push(Selection::InRegion(rect_from(id, region)?));
+    }
+    let selection = match parts.len() {
+        0 => Selection::All,
+        1 => parts.pop().expect("length checked"),
+        _ => Selection::And(parts),
+    };
+    match spec.kind.as_str() {
+        "count" => Ok(Aggregate::count_where(selection)),
+        "sum" | "avg" => {
+            let attr = spec
+                .attr
+                .as_deref()
+                .ok_or_else(|| format!("{id}: aggregate kind `{}` needs `attr`", spec.kind))?;
+            Ok(if spec.kind == "sum" {
+                Aggregate::sum_where(attr, selection)
+            } else {
+                Aggregate::avg_where(attr, selection)
+            })
+        }
+        other => Err(format!(
+            "{id}: unknown aggregate kind `{other}` (count, sum, avg)"
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one estimation run needs exactly this state
+fn run_estimator(
+    id: &str,
+    spec: &EstimatorSpec,
+    interface: &InterfaceSpec,
+    backend: &dyn LbsBackend,
+    dataset: &Dataset,
+    region: &Rect,
+    aggregate: &Aggregate,
+    budget: u64,
+    seed: u64,
+    driver: &SampleDriver,
+) -> Result<Estimate, String> {
+    let weighted_sampler = spec
+        .weighted_grid
+        .map(|[cols, rows]| {
+            if cols == 0 || rows == 0 {
+                return Err(format!("{id}: weighted_grid needs positive dimensions"));
+            }
+            Ok(DensityGrid::from_dataset(
+                dataset,
+                cols as usize,
+                rows as usize,
+                spec.weighted_smoothing.unwrap_or(0.1),
+            ))
+        })
+        .transpose()?;
+    let outcome = match spec.algorithm.as_str() {
+        "lr" | "nno" if interface.kind != "lr" => {
+            return Err(format!(
+                "{id}: estimator `{}` needs `interface.kind = \"lr\"` (locations returned)",
+                spec.algorithm
+            ))
+        }
+        "lr" => {
+            let mut config = match spec.ablation_level {
+                Some(level) => {
+                    if level > 4 {
+                        return Err(format!("{id}: ablation_level must be 0..=4, got {level}"));
+                    }
+                    LrLbsAggConfig::ablation_level(level)
+                }
+                None => LrLbsAggConfig::default(),
+            };
+            if let Some(h) = spec.fixed_h {
+                config = LrLbsAggConfig {
+                    h_selection: lbs_core::HSelection::Fixed(h),
+                    ..config
+                };
+            }
+            config.weighted_sampler = weighted_sampler;
+            let mut estimator = LrLbsAgg::new(config);
+            estimator.estimate_parallel(backend, region, aggregate, budget, seed, driver)
+        }
+        "nno" => {
+            let mut estimator = NnoBaseline::new(NnoConfig::default());
+            estimator.estimate_parallel(backend, region, aggregate, budget, seed, driver)
+        }
+        "lnr" => {
+            let delta = lnr_delta(region);
+            let config = LnrLbsAggConfig {
+                delta,
+                delta_prime: delta * 10.0,
+                weighted_sampler,
+                ..LnrLbsAggConfig::default()
+            };
+            let mut estimator = LnrLbsAgg::new(config);
+            estimator.estimate_parallel(backend, region, aggregate, budget, seed, driver)
+        }
+        other => {
+            return Err(format!(
+                "{id}: unknown estimator algorithm `{other}` (lr, lnr, nno)"
+            ))
+        }
+    };
+    match outcome {
+        Ok(estimate) => Ok(estimate),
+        Err(EstimateError::NoSamples) => Err(format!(
+            "{id}: the query budget ({budget}) was exhausted before any sample completed"
+        )),
+        Err(EstimateError::Service(msg)) => Err(format!("{id}: service error: {msg}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ScenarioContext {
+        ScenarioContext {
+            scale: Scale::Micro,
+            seed: 2015,
+            threads: 1,
+            smoke: false,
+        }
+    }
+
+    fn parse_scenario(toml: &str) -> Scenario {
+        let value = toml_lite::parse(toml).expect("toml");
+        let s = Scenario::from_value(&value).expect("deserialize");
+        s.validate().expect("validate");
+        s
+    }
+
+    #[test]
+    fn builtin_scenario_round_trips() {
+        let s = parse_scenario("id = \"fig11-spec\"\nexperiment = \"fig11\"\n");
+        assert_eq!(s.experiment.as_deref(), Some("fig11"));
+        let result = run_scenario(&s, &ctx()).expect("run");
+        assert_eq!(result.id, "fig11-spec");
+        // Same rows as the hard-coded path.
+        let direct = run_experiment_threaded("fig11", Scale::Micro, 2015, 1);
+        assert_eq!(result.to_csv(), direct.to_csv());
+    }
+
+    #[test]
+    fn declarative_scenario_runs_end_to_end() {
+        let s = parse_scenario(
+            r#"
+id = "decl-count"
+seed = 7
+
+[dataset]
+model = "uniform"
+size = 80
+bbox = [0.0, 0.0, 120.0, 120.0]
+
+[interface]
+kind = "lr"
+k = 5
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 150
+repetitions = 2
+"#,
+        );
+        let result = run_scenario(&s, &ctx()).expect("run");
+        assert_eq!(result.rows.len(), 2);
+        assert!(result.mean_reported_rel_error().is_some());
+        assert!(result.max_reported_cost().unwrap() >= 150);
+    }
+
+    #[test]
+    fn selection_conditions_flow_into_the_aggregate() {
+        let spec = AggregateSpec {
+            kind: "count".into(),
+            attr: None,
+            equals: Some(
+                [("category".to_string(), "school".to_string())]
+                    .into_iter()
+                    .collect(),
+            ),
+            flags: None,
+            at_least: None,
+            region: Some([0.0, 0.0, 10.0, 10.0]),
+        };
+        let agg = build_aggregate("t", &spec).expect("aggregate");
+        assert!(matches!(agg.selection, Selection::And(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_their_name() {
+        let value = toml_lite::parse("id = \"x\"\nexperimnt = \"fig11\"\n").unwrap();
+        let err = Scenario::from_value(&value).unwrap_err();
+        assert!(err.to_string().contains("experimnt"), "{err}");
+
+        let value =
+            toml_lite::parse("id = \"x\"\n[dataset]\nmodel = \"grid\"\nsize = 10\nrowz = 3\n")
+                .unwrap();
+        let err = Scenario::from_value(&value).unwrap_err();
+        assert!(err.to_string().contains("rowz"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_structural_mistakes() {
+        // Builtin + declarative sections.
+        let value = toml_lite::parse(
+            "id = \"x\"\nexperiment = \"fig11\"\n[dataset]\nmodel = \"uniform\"\nsize = 5\n",
+        )
+        .unwrap();
+        let s = Scenario::from_value(&value).unwrap();
+        assert!(s.validate().unwrap_err().contains("mutually exclusive"));
+
+        // Declarative with a missing section.
+        let value =
+            toml_lite::parse("id = \"x\"\n[dataset]\nmodel = \"uniform\"\nsize = 5\n").unwrap();
+        let s = Scenario::from_value(&value).unwrap();
+        assert!(s.validate().unwrap_err().contains("[interface]"));
+
+        // Unknown experiment.
+        let value = toml_lite::parse("id = \"x\"\nexperiment = \"fig99\"\n").unwrap();
+        let s = Scenario::from_value(&value).unwrap();
+        assert!(s.validate().unwrap_err().contains("fig99"));
+
+        // Bad id.
+        let value = toml_lite::parse("id = \"bad id!\"\nexperiment = \"fig11\"\n").unwrap();
+        let s = Scenario::from_value(&value).unwrap();
+        assert!(s.validate().unwrap_err().contains("file name"));
+    }
+
+    #[test]
+    fn estimator_interface_mismatch_is_a_friendly_error() {
+        let s = parse_scenario(
+            r#"
+id = "mismatch"
+
+[dataset]
+model = "uniform"
+size = 30
+
+[interface]
+kind = "lnr"
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 50
+"#,
+        );
+        let err = run_scenario(&s, &ctx()).unwrap_err();
+        assert!(err.contains("interface.kind"), "{err}");
+    }
+
+    #[test]
+    fn hard_query_limit_meters_each_repetition_separately() {
+        // `budget` is per-repetition, so a hard `query_limit` only slightly
+        // above it must not starve the later repetitions (the service used
+        // to be built once, its limit silently spanning all reps).
+        let s = parse_scenario(
+            r#"
+id = "limited-reps"
+
+[dataset]
+model = "uniform"
+size = 60
+
+[interface]
+kind = "lr"
+k = 5
+query_limit = 500
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 400
+repetitions = 3
+"#,
+        );
+        let result = run_scenario(&s, &ctx()).expect("all repetitions complete");
+        assert_eq!(result.rows.len(), 3);
+    }
+
+    #[test]
+    fn dataset_keys_inapplicable_to_the_model_are_rejected() {
+        let s = parse_scenario(
+            r#"
+id = "stray-knob"
+
+[dataset]
+model = "usa_pois"
+size = 50
+jitter = 0.5
+
+[interface]
+kind = "lr"
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 50
+"#,
+        );
+        let err = run_scenario(&s, &ctx()).unwrap_err();
+        assert!(err.contains("jitter") && err.contains("usa_pois"), "{err}");
+
+        let s = parse_scenario(
+            r#"
+id = "stray-knob-2"
+
+[dataset]
+model = "wechat_users"
+size = 50
+starbucks = 3
+
+[interface]
+kind = "lnr"
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lnr"
+budget = 50
+"#,
+        );
+        let err = run_scenario(&s, &ctx()).unwrap_err();
+        assert!(err.contains("starbucks"), "{err}");
+    }
+
+    #[test]
+    fn smoke_caps_declarative_scenarios() {
+        let s = parse_scenario(
+            r#"
+id = "smoke-cap"
+
+[dataset]
+model = "uniform"
+size = 5000
+
+[interface]
+kind = "lr"
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 100000
+repetitions = 4
+"#,
+        );
+        let smoke_ctx = ScenarioContext {
+            smoke: true,
+            ..ctx()
+        };
+        let result = run_scenario(&s, &smoke_ctx).expect("run");
+        assert_eq!(result.rows.len(), 1, "smoke caps repetitions");
+        // Budget cap: cost stays in the smoke ballpark, not 100k.
+        assert!(result.max_reported_cost().unwrap() < 2 * SMOKE_MAX_BUDGET);
+    }
+}

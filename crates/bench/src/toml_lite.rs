@@ -1,0 +1,387 @@
+//! Minimal TOML-subset parser for scenario files.
+//!
+//! The build environment vendors no TOML crate, so this module parses the
+//! small, conservative subset the scenario schema actually uses and emits a
+//! [`serde::Value`] tree for typed deserialization:
+//!
+//! * `# comments` (full-line and trailing),
+//! * `[table]` and `[nested.table]` headers,
+//! * `key = value` pairs with bare keys,
+//! * strings (`"..."` with `\" \\ \n \t` escapes), booleans, integers,
+//!   floats, and (nested) arrays of those.
+//!
+//! Deliberately unsupported (a clear error is raised): arrays of tables
+//! (`[[x]]`), inline tables (`{...}`), dotted keys, multi-line strings,
+//! dates. Scenario files needing more structure can always be written as
+//! plain JSON instead — the loader accepts both.
+
+use serde::Value;
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+type Map = Vec<(String, Value)>;
+
+/// Parses a TOML-subset document into a [`serde::Value`] map tree.
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut root: Map = Vec::new();
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (index, raw) in input.lines().enumerate() {
+        let line_no = index + 1;
+        let err = |message: String| TomlError {
+            line: line_no,
+            message,
+        };
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix('[') {
+            if rest.starts_with('[') {
+                return Err(err(
+                    "arrays of tables ([[...]]) are not supported; use JSON".into(),
+                ));
+            }
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated table header".into()))?;
+            let path: Vec<String> = inner
+                .split('.')
+                .map(|part| part.trim().to_string())
+                .collect();
+            if path.iter().any(|p| p.is_empty() || !is_bare_key(p)) {
+                return Err(err(format!("invalid table name `{inner}`")));
+            }
+            // Create (or re-enter) the table so empty sections still exist.
+            navigate(&mut root, &path).map_err(err)?;
+            current_path = path;
+            continue;
+        }
+
+        let Some(eq) = line.find('=') else {
+            return Err(err(format!("expected `key = value`, got `{line}`")));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty() || !is_bare_key(key) {
+            return Err(err(format!(
+                "invalid key `{key}` (bare keys only; quote values, not keys)"
+            )));
+        }
+        let mut cursor = Cursor::new(line[eq + 1..].trim());
+        let value = cursor.parse_value().map_err(&err)?;
+        cursor.skip_ws();
+        if !cursor.is_done() {
+            return Err(err(format!(
+                "trailing characters after value: `{}`",
+                cursor.rest()
+            )));
+        }
+        let table = navigate(&mut root, &current_path).map_err(err)?;
+        if table.iter().any(|(k, _)| k == key) {
+            return Err(err(format!("duplicate key `{key}`")));
+        }
+        table.push((key.to_string(), value));
+    }
+
+    Ok(Value::Map(root))
+}
+
+/// Removes a trailing `#` comment, respecting `"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn is_bare_key(key: &str) -> bool {
+    key.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Walks (creating as needed) the nested map at `path`.
+fn navigate<'a>(root: &'a mut Map, path: &[String]) -> Result<&'a mut Map, String> {
+    let mut table = root;
+    for part in path {
+        if !table.iter().any(|(k, _)| k == part) {
+            table.push((part.clone(), Value::Map(Vec::new())));
+        }
+        let entry = table
+            .iter_mut()
+            .find(|(k, _)| k == part)
+            .map(|(_, v)| v)
+            .expect("entry just ensured");
+        table = match entry {
+            Value::Map(m) => m,
+            _ => return Err(format!("`{part}` is both a value and a table")),
+        };
+    }
+    Ok(table)
+}
+
+/// Character cursor over one value expression.
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn rest(&self) -> String {
+        self.chars[self.pos.min(self.chars.len())..]
+            .iter()
+            .collect()
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err("missing value".into()),
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some('{') => Err("inline tables ({...}) are not supported; use a [section]".into()),
+            Some(_) => self.parse_scalar(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<Value, String> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(format!("unterminated string in `{}`", self.src)),
+                Some('"') => return Ok(Value::Str(out)),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => {
+                        return Err(format!("unsupported escape `\\{}`", other.unwrap_or(' ')))
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.bump(); // opening bracket
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err("unterminated array".into()),
+                Some(']') => {
+                    self.bump();
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => {
+                            self.bump();
+                        }
+                        Some(']') => {}
+                        None => return Err("unterminated array".into()),
+                        Some(other) => {
+                            return Err(format!("expected `,` or `]` in array, got `{other}`"))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if !c.is_whitespace() && c != ',' && c != ']') {
+            self.pos += 1;
+        }
+        let token: String = self.chars[start..self.pos].iter().collect();
+        match token.as_str() {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        let cleaned = token.replace('_', "");
+        let looks_numeric = cleaned
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.');
+        if !looks_numeric {
+            return Err(format!("invalid value `{token}` (strings must be quoted)"));
+        }
+        if cleaned.contains(['.', 'e', 'E']) {
+            let f: f64 = cleaned
+                .parse()
+                .map_err(|_| format!("invalid number `{token}`"))?;
+            if !f.is_finite() {
+                return Err(format!("non-finite number `{token}`"));
+            }
+            Ok(Value::F64(f))
+        } else {
+            let i: i64 = cleaned
+                .parse()
+                .map_err(|_| format!("invalid number `{token}`"))?;
+            Ok(Value::I64(i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
+        let mut cur = v;
+        for key in path {
+            cur = cur.get(key).unwrap_or_else(|| panic!("missing `{key}`"));
+        }
+        cur
+    }
+
+    #[test]
+    fn parses_the_full_subset() {
+        let doc = r#"
+# A scenario file.
+id = "demo"            # trailing comment
+seed = 2015
+ratio = 0.25
+negative = -3
+big = 1_000_000
+flag = true
+bbox = [0.0, 0.0, 200.0, 200.0]
+nested = [[1, 2], [3]]
+text = "with \"quotes\" and # not a comment"
+
+[dataset]
+model = "grid"
+size = 500
+
+[dataset.extra]
+note = "nested tables work"
+"#;
+        let v = parse(doc).expect("parse");
+        assert_eq!(get(&v, &["id"]), &Value::Str("demo".into()));
+        assert_eq!(get(&v, &["seed"]), &Value::I64(2015));
+        assert_eq!(get(&v, &["ratio"]), &Value::F64(0.25));
+        assert_eq!(get(&v, &["negative"]), &Value::I64(-3));
+        assert_eq!(get(&v, &["big"]), &Value::I64(1_000_000));
+        assert_eq!(get(&v, &["flag"]), &Value::Bool(true));
+        let Value::Seq(bbox) = get(&v, &["bbox"]) else {
+            panic!("bbox not a sequence")
+        };
+        assert_eq!(bbox[3], Value::F64(200.0));
+        let Value::Seq(nested) = get(&v, &["nested"]) else {
+            panic!("nested not a sequence")
+        };
+        assert_eq!(nested[0], Value::Seq(vec![Value::I64(1), Value::I64(2)]));
+        assert_eq!(
+            get(&v, &["text"]),
+            &Value::Str("with \"quotes\" and # not a comment".into())
+        );
+        assert_eq!(get(&v, &["dataset", "model"]), &Value::Str("grid".into()));
+        assert_eq!(get(&v, &["dataset", "size"]), &Value::I64(500));
+        assert_eq!(
+            get(&v, &["dataset", "extra", "note"]),
+            &Value::Str("nested tables work".into())
+        );
+    }
+
+    #[test]
+    fn empty_sections_still_exist() {
+        let v = parse("[backend]\n").expect("parse");
+        assert_eq!(v.get("backend"), Some(&Value::Map(Vec::new())));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("good = 1\nbad line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse("x = \"unterminated\n").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = parse("[[points]]\n").unwrap_err();
+        assert!(err.message.contains("arrays of tables"));
+
+        let err = parse("x = {a = 1}\n").unwrap_err();
+        assert!(err.message.contains("inline tables"));
+
+        let err = parse("x = 1\nx = 2\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+
+        let err = parse("x = bareword\n").unwrap_err();
+        assert!(err.message.contains("quoted"));
+
+        let err = parse("x = [1, 2\n").unwrap_err();
+        assert!(err.message.contains("unterminated array"));
+    }
+
+    #[test]
+    fn table_and_value_collisions_are_rejected() {
+        let err = parse("x = 1\n[x]\ny = 2\n").unwrap_err();
+        assert!(err.message.contains("both a value and a table"));
+    }
+}

@@ -4,7 +4,7 @@
 use rand::Rng;
 
 use lbs_geom::{sort_by_distance, top_k_cell_pruned, Point, Rect};
-use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
+use lbs_service::{LbsBackend, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
 use crate::driver::{SampleDriver, SampleOutcome};
@@ -59,7 +59,7 @@ impl NnoBaseline {
 
     /// Estimates `aggregate` over `region` through the LR interface
     /// `service`, spending at most `query_budget` kNN queries.
-    pub fn estimate<S: LbsInterface + ?Sized, R: Rng>(
+    pub fn estimate<S: LbsBackend + ?Sized, R: Rng>(
         &mut self,
         service: &S,
         region: &Rect,
@@ -128,7 +128,7 @@ impl NnoBaseline {
     /// [`crate::driver`]); the baseline's samples are fully independent, so
     /// only the wave-boundary budget enforcement differs from
     /// [`NnoBaseline::estimate`].
-    pub fn estimate_parallel<S: LbsInterface + ?Sized>(
+    pub fn estimate_parallel<S: LbsBackend + ?Sized>(
         &mut self,
         service: &S,
         region: &Rect,
@@ -186,7 +186,7 @@ impl NnoBaseline {
     /// Shared loop body of [`NnoBaseline::estimate`] and
     /// [`NnoBaseline::estimate_parallel`]; an `Err` means the sample hit the
     /// service's hard query limit.
-    fn sample_once<S: LbsInterface + ?Sized, R: Rng>(
+    fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
         config: &NnoConfig,
         service: &S,
         region: &Rect,

@@ -23,7 +23,7 @@
 //! deterministic multi-threaded fan-out of estimator samples, exposed on
 //! every estimator as `estimate_parallel`).
 //!
-//! The estimators are generic over [`lbs_service::LbsInterface`]; they never
+//! The estimators are generic over [`lbs_service::LbsBackend`]; they never
 //! see the underlying dataset.
 
 #![forbid(unsafe_code)]

@@ -12,12 +12,12 @@ use std::collections::{BTreeMap, HashMap};
 
 use lbs_data::TupleId;
 use lbs_geom::{Line, Point, Ray, Rect};
-use lbs_service::{LbsInterface, QueryError};
+use lbs_service::{LbsBackend, QueryError};
 
 /// Rank-only oracle over an LNR interface: answers "which tuple ids are in
 /// the top h at this location", memoising answers so that repeated probes of
 /// the same location (frequent during vertex testing) cost only one query.
-pub struct RankOracle<'a, S: LbsInterface + ?Sized = dyn LbsInterface> {
+pub struct RankOracle<'a, S: LbsBackend + ?Sized = dyn LbsBackend> {
     service: &'a S,
     h: usize,
     /// Memoised full answers (all returned ids in rank order) per location.
@@ -30,7 +30,7 @@ pub struct RankOracle<'a, S: LbsInterface + ?Sized = dyn LbsInterface> {
     companions: BTreeMap<TupleId, Point>,
 }
 
-impl<'a, S: LbsInterface + ?Sized> RankOracle<'a, S> {
+impl<'a, S: LbsBackend + ?Sized> RankOracle<'a, S> {
     /// Creates an oracle that asks for the top `h` ids of each answer.
     pub fn new(service: &'a S, h: usize) -> Self {
         RankOracle {
@@ -133,7 +133,7 @@ pub struct EdgeEstimate {
 /// Binary-searches along the segment from `from` (inside the cell) to `to`
 /// (outside) until the bracket is shorter than `delta`. Returns
 /// `(inside_point, outside_point, ids_at_outside)`.
-fn bracket_crossing<S: lbs_service::LbsInterface + ?Sized>(
+fn bracket_crossing<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     from: Point,
@@ -159,7 +159,7 @@ fn bracket_crossing<S: lbs_service::LbsInterface + ?Sized>(
 /// Binary-searches along the segment from `from` (where `target` ranks above
 /// `other`) to `to` (where `other` ranks above `target`) for their
 /// perpendicular bisector, until the bracket is shorter than `delta`.
-fn bracket_pairwise<S: lbs_service::LbsInterface + ?Sized>(
+fn bracket_pairwise<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     other: TupleId,
@@ -189,7 +189,7 @@ fn bracket_pairwise<S: lbs_service::LbsInterface + ?Sized>(
 /// contributed by one specific neighbour even when the plain top-h
 /// membership predicate would flip on a different edge first.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's primitive: endpoints, pair, precisions
-pub fn find_bisector<S: lbs_service::LbsInterface + ?Sized>(
+pub fn find_bisector<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     other: TupleId,
@@ -246,7 +246,7 @@ pub fn find_bisector<S: lbs_service::LbsInterface + ?Sized>(
 /// Returns `Ok(None)` when the ray reaches the bounding box without leaving
 /// the cell (the cell is bounded by the box in that direction) or when the
 /// direction is degenerate.
-pub fn find_edge<S: lbs_service::LbsInterface + ?Sized>(
+pub fn find_edge<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     c1: Point,

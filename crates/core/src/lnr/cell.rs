@@ -71,7 +71,7 @@ fn quantize(p: &Point) -> (i64, i64) {
 
 /// Explores the top-h cell of `target` through a rank-only oracle, starting
 /// from `seed` (a location whose top-h answer contains `target`).
-pub fn explore_cell<S: lbs_service::LbsInterface + ?Sized>(
+pub fn explore_cell<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     seed: Point,
@@ -287,7 +287,7 @@ mod tests {
     use super::*;
     use lbs_data::{Dataset, ScenarioBuilder, Tuple};
     use lbs_geom::{top_k_cell, voronoi_diagram};
-    use lbs_service::{LbsInterface, ServiceConfig, SimulatedLbs};
+    use lbs_service::{LbsBackend, ServiceConfig, SimulatedLbs};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

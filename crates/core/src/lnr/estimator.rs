@@ -11,7 +11,7 @@
 use rand::Rng;
 
 use lbs_geom::{ConvexPolygon, Rect};
-use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
+use lbs_service::{LbsBackend, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
 use crate::driver::{SampleDriver, SampleOutcome};
@@ -87,7 +87,7 @@ impl LnrLbsAgg {
     /// Also works against LR interfaces (ignoring the returned locations),
     /// which is how the paper's localization experiment treats Google Places
     /// as an LNR service.
-    pub fn estimate<S: LbsInterface + ?Sized, R: Rng>(
+    pub fn estimate<S: LbsBackend + ?Sized, R: Rng>(
         &mut self,
         service: &S,
         region: &Rect,
@@ -167,7 +167,7 @@ impl LnrLbsAgg {
     /// builds its own [`RankOracle`] — so unlike the LR estimator there is no
     /// fork/absorb tradeoff; only the wave-boundary budget enforcement
     /// differs from [`LnrLbsAgg::estimate`].
-    pub fn estimate_parallel<S: LbsInterface + ?Sized>(
+    pub fn estimate_parallel<S: LbsBackend + ?Sized>(
         &mut self,
         service: &S,
         region: &Rect,
@@ -237,7 +237,7 @@ impl LnrLbsAgg {
     /// [`LnrLbsAgg::estimate_parallel`]; an `Err` means the sample hit the
     /// service's hard query limit.
     #[allow(clippy::too_many_arguments)] // shared loop body; mirrors Algorithm 6's state
-    fn sample_once<S: LbsInterface + ?Sized, R: Rng>(
+    fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
         explore_config: &LnrExploreConfig,
         sampler: &QuerySampler,
         h: usize,

@@ -65,7 +65,7 @@ struct VertexRay {
 /// `cell` must come from [`super::cell::explore_cell`] with `h = 1`; with
 /// `h > 1` the incident-edge geometry this construction relies on does not
 /// hold and `None` is returned immediately.
-pub fn infer_position<S: lbs_service::LbsInterface + ?Sized>(
+pub fn infer_position<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     cell: &LnrCellOutcome,
@@ -123,7 +123,7 @@ pub fn infer_position<S: lbs_service::LbsInterface + ?Sized>(
 
 /// Builds the "towards the tuple" ray at one cell vertex, if the local
 /// geometry admits it.
-fn vertex_ray<S: lbs_service::LbsInterface + ?Sized>(
+fn vertex_ray<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     cell: &LnrCellOutcome,

@@ -11,7 +11,7 @@
 use rand::Rng;
 
 use lbs_geom::Rect;
-use lbs_service::{LbsInterface, QueryCounter, QueryError, ReturnMode};
+use lbs_service::{LbsBackend, QueryCounter, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
 use crate::driver::{SampleDriver, SampleOutcome};
@@ -177,7 +177,7 @@ impl LrLbsAgg {
     /// The estimator stops starting new samples once the budget is spent; the
     /// sample in flight is allowed to finish, so the actual cost can slightly
     /// exceed the budget (mirroring how one would use a daily API quota).
-    pub fn estimate<S: LbsInterface + ?Sized, R: Rng>(
+    pub fn estimate<S: LbsBackend + ?Sized, R: Rng>(
         &mut self,
         service: &S,
         region: &Rect,
@@ -278,7 +278,7 @@ impl LrLbsAgg {
     /// Under a *hard* service limit, `query_cost` counts only the queries of
     /// completed samples (see [`crate::driver::DriverOutcome::queries`]);
     /// the service's own `queries_issued()` ledger remains authoritative.
-    pub fn estimate_parallel<S: LbsInterface + ?Sized>(
+    pub fn estimate_parallel<S: LbsBackend + ?Sized>(
         &mut self,
         service: &S,
         region: &Rect,
@@ -353,7 +353,7 @@ impl LrLbsAgg {
     /// [`LrLbsAgg::estimate_parallel`]. An `Err` means the sample hit the
     /// service's hard query limit and no partial contribution exists.
     #[allow(clippy::too_many_arguments)] // shared loop body; mirrors Algorithm 5's state
-    fn sample_once<S: LbsInterface + ?Sized, R: Rng>(
+    fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
         config: &LrLbsAggConfig,
         sampler: &QuerySampler,
         k: usize,

@@ -23,7 +23,7 @@ use lbs_data::TupleId;
 use lbs_geom::{
     disk_covered_by_union, sort_by_distance, top_k_cell_pruned, Circle, Point, Rect, TopKCell,
 };
-use lbs_service::{LbsInterface, QueryError};
+use lbs_service::{LbsBackend, QueryError};
 
 use super::history::{CellCacheEntry, History};
 
@@ -176,7 +176,7 @@ fn quantize(p: &Point) -> (i64, i64) {
 /// returns a biased volume — when it cannot afford exactness it switches to
 /// the unbiased Monte-Carlo escape instead.
 #[allow(clippy::too_many_arguments)] // the paper's Algorithm 2 signature: site, level, region, state
-pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
+pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
     service: &S,
     site_id: TupleId,
     site: Point,
@@ -409,7 +409,7 @@ pub fn explore_cell<S: LbsInterface + ?Sized, R: Rng>(
 /// the confirmed-vertex disks `C(v, t)` are known to be inside the true cell
 /// without asking the service (the lower-bound optimisation).
 #[allow(clippy::too_many_arguments)]
-fn monte_carlo_escape<S: LbsInterface + ?Sized, R: Rng>(
+fn monte_carlo_escape<S: LbsBackend + ?Sized, R: Rng>(
     service: &S,
     site_id: TupleId,
     site: &Point,

@@ -122,6 +122,13 @@ impl DensityGrid {
 
     /// Probability density at a point (per unit area). Zero outside the box.
     ///
+    /// Points lying exactly on the bounding box boundary — including the max
+    /// edge, whose fractional coordinate lands exactly on 1.0 — are clamped
+    /// into the nearest cell, so a boundary point can never fall "between"
+    /// cells and report a spurious zero density (which would blow up to an
+    /// infinite Horvitz–Thompson weight under the §5.2 weighted sampling
+    /// design).
+    ///
     /// The density integrates to 1 over the bounding box.
     pub fn pdf(&self, p: &Point) -> f64 {
         if !self.bbox.contains(p) {
@@ -133,15 +140,21 @@ impl DensityGrid {
     }
 
     /// Draws a random location with probability proportional to the density.
+    ///
+    /// Cell `i` owns the half-open interval `[cumulative[i-1], cumulative[i])`
+    /// of the inverse-CDF, so zero-weight cells own an *empty* interval and
+    /// can never be selected — not even when the uniform draw lands exactly
+    /// on a CDF boundary shared by several zero-weight cells (the old
+    /// `binary_search` could return any tied index there, occasionally
+    /// emitting a location with `pdf == 0`).
     pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> Point {
         let u: f64 = rng.gen();
-        let idx = match self
+        // First cell whose cumulative weight strictly exceeds `u`; `u < 1`
+        // and the forced final cumulative value of 1.0 guarantee a hit.
+        let idx = self
             .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
-            Ok(i) => i,
-            Err(i) => i.min(self.cumulative.len() - 1),
-        };
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1);
         let (cx, cy) = (idx % self.cols, idx / self.cols);
         let cell = self.cell_rect(cx, cy);
         cell.at_fraction(rng.gen(), rng.gen())
@@ -334,6 +347,84 @@ mod tests {
         assert_eq!(g.pdf(&Point::new(80.0, 20.0)), 0.0);
         let smoothed = DensityGrid::from_dataset(&d, 2, 2, 0.5);
         assert!(smoothed.pdf(&Point::new(80.0, 20.0)) > 0.0);
+    }
+
+    /// Minimal `RngCore` that replays a fixed sequence of `u64` words —
+    /// used to force `gen::<f64>()` onto exact CDF boundaries (0.0), which a
+    /// seeded PRNG will essentially never produce.
+    struct WordRng {
+        words: Vec<u64>,
+        next: usize,
+    }
+
+    impl rand::RngCore for WordRng {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.next % self.words.len()];
+            self.next += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn pdf_clamps_bbox_max_edge_points_into_the_last_cell() {
+        // Regression: a point lying exactly on the max edge of the bounding
+        // box has fractional coordinate 1.0 and must be clamped into the
+        // last row/column instead of falling off the grid — a zero pdf here
+        // becomes an infinite Horvitz–Thompson weight under §5.2 weighted
+        // sampling.
+        let g = DensityGrid::from_weights(bbox(), 4, 4, (1..=16).map(|i| i as f64).collect());
+        let corner = g.pdf(&Point::new(100.0, 100.0));
+        assert!(corner > 0.0, "max corner must land in the last cell");
+        // It reports exactly the last cell's density.
+        assert!((corner - g.pdf(&Point::new(99.0, 99.0))).abs() < 1e-15);
+        // Points on the max edges (but not the corner) also stay inside.
+        assert!(g.pdf(&Point::new(100.0, 50.0)) > 0.0);
+        assert!(g.pdf(&Point::new(50.0, 100.0)) > 0.0);
+        // Min edges were always fine; lock that in too.
+        assert!(g.pdf(&Point::new(0.0, 0.0)) > 0.0);
+        // Strictly outside is still zero.
+        assert_eq!(g.pdf(&Point::new(100.1, 50.0)), 0.0);
+    }
+
+    #[test]
+    fn sample_never_selects_a_zero_weight_cell_on_cdf_boundaries() {
+        // Leading zero-weight cell: the CDF starts with an exact 0.0 entry,
+        // so a uniform draw of exactly 0.0 sits on a boundary shared with
+        // the zero-weight cell. The old binary_search could resolve the tie
+        // to the zero-weight cell, returning a location with pdf 0.
+        let g = DensityGrid::from_weights(bbox(), 2, 1, vec![0.0, 1.0]);
+        let mut rng = WordRng {
+            words: vec![0, 0, 0],
+            next: 0,
+        };
+        let p = g.sample(&mut rng);
+        assert!(p.x >= 50.0, "sample {p:?} landed in the zero-weight cell");
+        assert!(g.pdf(&p) > 0.0, "sampled a zero-density location");
+
+        // Interior boundary between a positive and a zero-weight cell:
+        // u == 0.5 exactly must resolve to a positive-weight cell.
+        let g2 = DensityGrid::from_weights(bbox(), 4, 1, vec![1.0, 0.0, 0.0, 1.0]);
+        // 0.5 * 2^53 word makes gen::<f64>() return exactly 0.5.
+        let half = 1u64 << 63;
+        let mut rng2 = WordRng {
+            words: vec![half, 0, 0],
+            next: 0,
+        };
+        let p2 = g2.sample(&mut rng2);
+        assert!(g2.pdf(&p2) > 0.0, "sampled a zero-density location");
+    }
+
+    #[test]
+    fn every_sampled_location_has_positive_pdf() {
+        // Property check tying the two regressions together: whatever the
+        // sampler emits, the pdf the HT estimator divides by is positive.
+        let weights = vec![0.0, 3.0, 0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 1.0];
+        let g = DensityGrid::from_weights(bbox(), 3, 3, weights);
+        let mut rng = StdRng::seed_from_u64(2015);
+        for _ in 0..2_000 {
+            let p = g.sample(&mut rng);
+            assert!(g.pdf(&p) > 0.0, "sample {p:?} has zero density");
+        }
     }
 
     #[test]

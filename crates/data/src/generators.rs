@@ -43,6 +43,33 @@ pub enum SpatialModel {
         /// Fraction of tuples placed in clusters rather than the background.
         urban_fraction: f64,
     },
+    /// Regular lattice: each tuple picks a uniformly random `cols × rows`
+    /// cell and lands at the cell centre, jittered by at most
+    /// `jitter` × half-cell in each axis. `jitter = 0` stacks tuples exactly
+    /// on the lattice points — the adversarial co-located/equidistant
+    /// configuration that exercises deterministic kNN tie-breaking.
+    Grid {
+        /// Lattice columns.
+        cols: usize,
+        /// Lattice rows.
+        rows: usize,
+        /// Jitter as a fraction of the half-cell size, in `[0, 1]`.
+        jitter: f64,
+    },
+    /// Zipf-weighted hotspots: `hotspots` centres are scattered uniformly
+    /// (deterministically from the dataset seed), the i-th most popular
+    /// hotspot attracts tuples with probability ∝ `1 / (i+1)^exponent`, and
+    /// tuples spread around their hotspot with Gaussian σ `sigma_km`. This
+    /// is the heavy-tailed "few mega-cities, many villages" skew that makes
+    /// Voronoi-cell areas span orders of magnitude.
+    ZipfHotspot {
+        /// Number of hotspot centres.
+        hotspots: usize,
+        /// Zipf popularity exponent (≥ 0; larger = more skewed).
+        exponent: f64,
+        /// Standard deviation of the spread around a hotspot, in km.
+        sigma_km: f64,
+    },
 }
 
 impl SpatialModel {
@@ -65,10 +92,65 @@ impl SpatialModel {
         }
     }
 
+    /// Resolves any lazily-specified structure into concrete geometry.
+    ///
+    /// [`SpatialModel::ZipfHotspot`] describes its hotspots only by count
+    /// and popularity law; this draws the actual centres (uniformly in
+    /// `bbox`, deterministically from `rng`) and returns the equivalent
+    /// [`SpatialModel::Clustered`] model, so that every tuple of a dataset
+    /// shares the same hotspot geometry. All other models pass through
+    /// unchanged. [`ScenarioBuilder::build`] calls this before sampling.
+    pub fn materialize<R: Rng>(self, bbox: &Rect, rng: &mut R) -> SpatialModel {
+        match self {
+            SpatialModel::ZipfHotspot {
+                hotspots,
+                exponent,
+                sigma_km,
+            } => {
+                let centers: Vec<(Point, f64)> = (0..hotspots.max(1))
+                    .map(|i| {
+                        let c = uniform_in(bbox, rng);
+                        (c, 1.0 / ((i + 1) as f64).powf(exponent.max(0.0)))
+                    })
+                    .collect();
+                SpatialModel::Clustered {
+                    centers,
+                    sigma_km,
+                    // A thin uniform background keeps rural/empty space
+                    // non-empty, mirroring the USA/China mixtures.
+                    urban_fraction: 0.92,
+                }
+            }
+            other => other,
+        }
+    }
+
     /// Draws one location inside `bbox` according to the model.
+    ///
+    /// # Panics
+    /// Panics for [`SpatialModel::ZipfHotspot`], whose hotspot centres only
+    /// exist after [`SpatialModel::materialize`].
     pub fn sample<R: Rng>(&self, bbox: &Rect, rng: &mut R) -> Point {
         match self {
             SpatialModel::Uniform => uniform_in(bbox, rng),
+            SpatialModel::Grid { cols, rows, jitter } => {
+                let (cols, rows) = ((*cols).max(1), (*rows).max(1));
+                let cell_w = bbox.width() / cols as f64;
+                let cell_h = bbox.height() / rows as f64;
+                let cx = rng.gen_range(0..cols);
+                let cy = rng.gen_range(0..rows);
+                let jitter = jitter.clamp(0.0, 1.0);
+                // Jitter in [-jitter, jitter) half-cells around the centre.
+                let jx = (rng.gen::<f64>() * 2.0 - 1.0) * jitter;
+                let jy = (rng.gen::<f64>() * 2.0 - 1.0) * jitter;
+                Point::new(
+                    bbox.min_x + (cx as f64 + 0.5 + jx * 0.5) * cell_w,
+                    bbox.min_y + (cy as f64 + 0.5 + jy * 0.5) * cell_h,
+                )
+            }
+            SpatialModel::ZipfHotspot { .. } => {
+                panic!("ZipfHotspot must be materialize()d before sampling")
+            }
             SpatialModel::Clustered {
                 centers,
                 sigma_km,
@@ -217,6 +299,42 @@ impl ScenarioBuilder {
         }
     }
 
+    /// POIs on a jittered `cols × rows` lattice over the USA box. With
+    /// `jitter = 0` every lattice point stacks multiple co-located tuples —
+    /// the degenerate equidistant configuration that stresses deterministic
+    /// kNN tie-breaking and duplicate-distance cell geometry.
+    pub fn grid_pois(n: usize, cols: usize, rows: usize, jitter: f64) -> Self {
+        ScenarioBuilder {
+            n,
+            bbox: region::usa(),
+            spatial: SpatialModel::Grid { cols, rows, jitter },
+            kind: ScenarioKind::Pois,
+            starbucks: n / 50,
+            restaurant_fraction: 0.55,
+            school_fraction: 0.25,
+        }
+    }
+
+    /// POIs drawn from `hotspots` Zipf-popular hotspots over the USA box —
+    /// heavier spatial skew than the city mixture (a handful of hotspots
+    /// absorb most tuples), the worst case for uniform query sampling.
+    pub fn zipf_hotspot_pois(n: usize, hotspots: usize, exponent: f64) -> Self {
+        let bbox = region::usa();
+        ScenarioBuilder {
+            n,
+            bbox,
+            spatial: SpatialModel::ZipfHotspot {
+                hotspots,
+                exponent,
+                sigma_km: bbox.diagonal() * 0.008,
+            },
+            kind: ScenarioKind::Pois,
+            starbucks: n / 50,
+            restaurant_fraction: 0.55,
+            school_fraction: 0.25,
+        }
+    }
+
     /// Overrides the bounding box.
     ///
     /// Cluster centres of a clustered spatial model are remapped into the new
@@ -225,12 +343,11 @@ impl ScenarioBuilder {
     /// down to a test-sized box keeps its urban/rural structure instead of
     /// clamping every city onto the boundary.
     pub fn with_bbox(mut self, bbox: Rect) -> Self {
-        if let SpatialModel::Clustered {
-            centers, sigma_km, ..
-        } = &mut self.spatial
-        {
-            let old = self.bbox;
-            if old.width() > 0.0 && old.height() > 0.0 {
+        let old = self.bbox;
+        match &mut self.spatial {
+            SpatialModel::Clustered {
+                centers, sigma_km, ..
+            } if old.width() > 0.0 && old.height() > 0.0 => {
                 for (c, _) in centers.iter_mut() {
                     let fx = (c.x - old.min_x) / old.width();
                     let fy = (c.y - old.min_y) / old.height();
@@ -239,6 +356,12 @@ impl ScenarioBuilder {
                 let scale = bbox.diagonal() / old.diagonal();
                 *sigma_km *= scale;
             }
+            // Hotspot centres are drawn inside the final box at build time;
+            // only the spread needs rescaling.
+            SpatialModel::ZipfHotspot { sigma_km, .. } if old.diagonal() > 0.0 => {
+                *sigma_km *= bbox.diagonal() / old.diagonal();
+            }
+            _ => {}
         }
         self.bbox = bbox;
         self
@@ -261,12 +384,18 @@ impl ScenarioBuilder {
         self.n
     }
 
+    /// The spatial model tuples will be drawn from.
+    pub fn spatial(&self) -> &SpatialModel {
+        &self.spatial
+    }
+
     /// Generates the dataset.
     pub fn build<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let spatial = self.spatial.clone().materialize(&self.bbox, rng);
         let mut tuples = Vec::with_capacity(self.n);
         for i in 0..self.n {
             let id = i as TupleId;
-            let location = self.spatial.sample(&self.bbox, rng);
+            let location = spatial.sample(&self.bbox, rng);
             let tuple = match &self.kind {
                 ScenarioKind::Pois => self.make_poi(id, location, i, rng),
                 ScenarioKind::Users { male_fraction_pct } => {
@@ -441,6 +570,102 @@ mod tests {
         // Each quadrant gets a reasonable share.
         let q1 = d.count_where(|t| t.location.x < 5.0 && t.location.y < 5.0);
         assert!(q1 > 80 && q1 < 170, "quadrant count {q1}");
+    }
+
+    #[test]
+    fn grid_model_stacks_tuples_on_the_lattice_without_jitter() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = ScenarioBuilder::grid_pois(300, 5, 4, 0.0).build(&mut rng);
+        // Every location is exactly one of the 20 cell centres.
+        let mut distinct: Vec<(u64, u64)> = d
+            .locations()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() <= 20,
+            "expected at most 20 lattice points, got {}",
+            distinct.len()
+        );
+        // 300 tuples over ≤20 points: co-located stacks are guaranteed.
+        assert!(distinct.len() < 300);
+        for t in d.tuples() {
+            assert!(d.bbox().contains(&t.location));
+        }
+    }
+
+    #[test]
+    fn grid_jitter_spreads_tuples_inside_their_cells() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let d = ScenarioBuilder::grid_pois(300, 5, 4, 0.8).build(&mut rng);
+        let mut distinct: Vec<(u64, u64)> = d
+            .locations()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 300, "jittered tuples must not stack");
+        for t in d.tuples() {
+            assert!(d.bbox().contains(&t.location));
+        }
+    }
+
+    #[test]
+    fn zipf_hotspots_concentrate_mass_on_the_top_hotspot() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let builder = ScenarioBuilder::zipf_hotspot_pois(4_000, 16, 1.4);
+        let d = builder.build(&mut rng);
+        assert_eq!(d.len(), 4_000);
+        // Recover the materialized hotspot geometry the same way build()
+        // does and check the popularity skew: the most popular hotspot
+        // holds several times the tuples of a mid-ranked one.
+        let mut geom_rng = StdRng::seed_from_u64(23);
+        let SpatialModel::Clustered { centers, .. } = builder
+            .spatial()
+            .clone()
+            .materialize(&d.bbox(), &mut geom_rng)
+        else {
+            panic!("zipf must materialize into a clustered model");
+        };
+        let nearest_hotspot = |p: &Point| -> usize {
+            centers
+                .iter()
+                .enumerate()
+                .min_by(|(_, (a, _)), (_, (b, _))| a.distance(p).total_cmp(&b.distance(p)))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let mut counts = vec![0usize; centers.len()];
+        for p in d.locations() {
+            counts[nearest_hotspot(&p)] += 1;
+        }
+        let top = counts[0];
+        let mid = counts[centers.len() / 2].max(1);
+        assert!(
+            top > 2 * mid,
+            "zipf skew missing: top hotspot {top} vs mid {mid}"
+        );
+    }
+
+    #[test]
+    fn zipf_builds_are_deterministic_given_seed() {
+        let b = ScenarioBuilder::zipf_hotspot_pois(200, 8, 1.2);
+        let d1 = b.build(&mut StdRng::seed_from_u64(31));
+        let d2 = b.build(&mut StdRng::seed_from_u64(31));
+        assert_eq!(d1.tuples(), d2.tuples());
+    }
+
+    #[test]
+    #[should_panic(expected = "materialize")]
+    fn sampling_an_unmaterialized_zipf_model_panics() {
+        let model = SpatialModel::ZipfHotspot {
+            hotspots: 4,
+            exponent: 1.0,
+            sigma_km: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = model.sample(&region::usa(), &mut rng);
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod tuple;
 
 pub use dataset::Dataset;
 pub use density::DensityGrid;
-pub use generators::ScenarioBuilder;
+pub use generators::{ScenarioBuilder, SpatialModel};
 pub use tuple::{attrs, AttrValue, Tuple, TupleId};

@@ -78,13 +78,13 @@ pub trait SpatialIndex: Send + Sync {
 
 /// Sorts neighbours by `(distance, id)` — the canonical order every backend
 /// must produce so that results are deterministic and backend-independent.
+///
+/// `total_cmp` orders exactly like `partial_cmp` on the finite distances real
+/// queries produce, but stays a total order even if a NaN distance ever
+/// sneaks in (a NaN-poisoned comparator would make the sort
+/// implementation-defined instead of deterministic).
 pub(crate) fn sort_neighbors(neighbors: &mut [Neighbor]) {
-    neighbors.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
+    neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
 }
 
 #[cfg(test)]

@@ -11,10 +11,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use lbs_geom::{Point, Rect};
 
+use crate::backend::LbsBackend;
 use crate::config::ServiceConfig;
-use crate::interface::{LbsInterface, QueryError, QueryResponse};
+use crate::interface::{QueryError, QueryResponse};
 
-/// A transparent [`LbsInterface`] view that counts the successful queries
+/// A transparent [`LbsBackend`] view that counts the successful queries
 /// issued through it.
 ///
 /// Failed queries (hard budget limit hit) are not counted, matching the
@@ -24,7 +25,7 @@ use crate::interface::{LbsInterface, QueryError, QueryResponse};
 /// ```
 /// use lbs_data::{Dataset, Tuple};
 /// use lbs_geom::{Point, Rect};
-/// use lbs_service::{LbsInterface, QueryCounter, ServiceConfig, SimulatedLbs};
+/// use lbs_service::{LbsBackend, QueryCounter, ServiceConfig, SimulatedLbs};
 ///
 /// let dataset = Dataset::new(
 ///     vec![Tuple::new(0, Point::new(1.0, 1.0))],
@@ -37,12 +38,12 @@ use crate::interface::{LbsInterface, QueryError, QueryResponse};
 /// assert_eq!(view.taken(), 2);
 /// assert_eq!(service.queries_issued(), 2); // the global account agrees
 /// ```
-pub struct QueryCounter<'a, S: LbsInterface + ?Sized> {
+pub struct QueryCounter<'a, S: LbsBackend + ?Sized> {
     inner: &'a S,
     taken: AtomicU64,
 }
 
-impl<'a, S: LbsInterface + ?Sized> QueryCounter<'a, S> {
+impl<'a, S: LbsBackend + ?Sized> QueryCounter<'a, S> {
     /// Wraps a service reference with a fresh local counter.
     pub fn new(inner: &'a S) -> Self {
         QueryCounter {
@@ -62,7 +63,7 @@ impl<'a, S: LbsInterface + ?Sized> QueryCounter<'a, S> {
     }
 }
 
-impl<S: LbsInterface + ?Sized> LbsInterface for QueryCounter<'_, S> {
+impl<S: LbsBackend + ?Sized> LbsBackend for QueryCounter<'_, S> {
     fn query(&self, location: &Point) -> Result<QueryResponse, QueryError> {
         let response = self.inner.query(location);
         if response.is_ok() {

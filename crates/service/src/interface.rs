@@ -1,17 +1,14 @@
-//! The abstract kNN query interface the estimators program against.
+//! Query/response value types of the kNN interface.
 //!
-//! Everything the estimators in `lbs-core` know about a location based
-//! service is captured by the [`LbsInterface`] trait: issue a point query,
-//! get back at most `k` ranked tuples (with or without locations), pay one
-//! unit of query budget. Aggregation code never touches the underlying
-//! dataset directly — that is the whole premise of the paper.
+//! The trait the estimators program against lives in [`crate::backend`]
+//! ([`crate::LbsBackend`]); this module holds the data that flows through
+//! it: [`QueryResponse`] / [`ReturnedTuple`] answers, [`QueryError`], and
+//! the [`PassThroughFilter`] modelling server-side selection conditions.
 
 use std::collections::BTreeMap;
 
 use lbs_data::{AttrValue, TupleId};
-use lbs_geom::{Point, Rect};
-
-use crate::config::ServiceConfig;
+use lbs_geom::Point;
 
 /// One tuple of a query answer.
 #[derive(Clone, Debug, PartialEq)]
@@ -127,25 +124,6 @@ impl PassThroughFilter {
             .iter()
             .all(|(attr, value)| tuple.text_eq(attr, value))
     }
-}
-
-/// The restrictive public query interface of a location based service.
-pub trait LbsInterface: Send + Sync {
-    /// Issues a kNN point query at `location` and returns the ranked answer.
-    ///
-    /// Every call — regardless of how useful its answer turns out to be —
-    /// consumes one unit of the service's query budget, mirroring the
-    /// rate-limited reality the paper optimises for.
-    fn query(&self, location: &Point) -> Result<QueryResponse, QueryError>;
-
-    /// The interface configuration (k, return mode, restrictions).
-    fn config(&self) -> &ServiceConfig;
-
-    /// Number of queries issued so far (across all views sharing the budget).
-    fn queries_issued(&self) -> u64;
-
-    /// The bounding box of the service's region of interest.
-    fn bbox(&self) -> Rect;
 }
 
 #[cfg(test)]

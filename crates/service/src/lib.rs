@@ -24,14 +24,19 @@
 //!   positions the ranking is computed from), which is what degrades
 //!   localization accuracy in the paper's Figure 21.
 //!
-//! The entry point is [`SimulatedLbs`], an implementation of
-//! [`LbsInterface`] over an `lbs-data` [`lbs_data::Dataset`] backed by an
-//! exact `lbs-index` kNN index. Presets mirroring the real services used in
-//! the paper's online experiments are in [`presets`].
+//! The entry point is [`SimulatedLbs`], an implementation of the pluggable
+//! [`LbsBackend`] trait over an `lbs-data` [`lbs_data::Dataset`] backed by
+//! an exact `lbs-index` kNN index. Estimators are generic over
+//! [`LbsBackend`], so the simulator can be swapped for — or wrapped in —
+//! the composable decorators of [`backend`] ([`RateLimitedBackend`],
+//! [`LatencyBackend`], [`TruncatingBackend`]) without touching estimator
+//! code. Presets mirroring the real services used in the paper's online
+//! experiments are in [`presets`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod budget;
 mod config;
 mod counter;
@@ -39,8 +44,12 @@ mod interface;
 pub mod presets;
 mod service;
 
+pub use backend::{LatencyBackend, LbsBackend, RateLimitedBackend, TruncatingBackend};
 pub use budget::QueryBudget;
 pub use config::{Ranking, ReturnMode, ServiceConfig};
 pub use counter::QueryCounter;
-pub use interface::{LbsInterface, PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
+pub use interface::{PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
 pub use service::SimulatedLbs;
+
+/// Backwards-compatible alias of [`LbsBackend`]'s previous name.
+pub use backend::LbsBackend as LbsInterface;

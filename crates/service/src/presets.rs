@@ -49,8 +49,8 @@ pub fn weibo_config() -> ServiceConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::LbsBackend;
     use crate::config::ReturnMode;
-    use crate::interface::LbsInterface;
     use lbs_data::ScenarioBuilder;
     use lbs_geom::Rect;
     use rand::rngs::StdRng;

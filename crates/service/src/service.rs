@@ -1,7 +1,7 @@
 //! The simulated location based service.
 //!
 //! [`SimulatedLbs`] wraps an `lbs-data` [`Dataset`] behind the
-//! [`LbsInterface`] trait: it ranks tuples by the configured ranking
+//! [`LbsBackend`] trait: it ranks tuples by the configured ranking
 //! function, truncates to the top-k, enforces the maximum-radius restriction,
 //! strips locations for LNR configurations, applies WeChat-style location
 //! obfuscation, and charges every answered query to a shared [`QueryBudget`].
@@ -19,9 +19,10 @@ use lbs_data::{Dataset, Tuple, TupleId};
 use lbs_geom::{Point, Rect};
 use lbs_index::{GridIndex, SpatialIndex};
 
+use crate::backend::LbsBackend;
 use crate::budget::QueryBudget;
 use crate::config::{Ranking, ReturnMode, ServiceConfig};
-use crate::interface::{LbsInterface, PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
+use crate::interface::{PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
 
 /// A simulated LBS over a synthetic dataset.
 #[derive(Clone)]
@@ -158,7 +159,14 @@ impl SimulatedLbs {
                         (n.id, n.distance - weight * prominence)
                     })
                     .collect();
-                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                // `total_cmp` keeps the sort total even when a prominence
+                // attribute is NaN (NaN scores sink to the end instead of
+                // panicking), and the tuple-id tie-break makes the ranking of
+                // co-located / equidistant tuples deterministic.
+                scored.sort_by(|a, b| {
+                    a.1.total_cmp(&b.1)
+                        .then_with(|| self.ids[a.0].cmp(&self.ids[b.0]))
+                });
                 scored.truncate(self.config.k);
                 scored
             }
@@ -174,7 +182,7 @@ fn obfuscate(p: &Point, grid: f64) -> Point {
     )
 }
 
-impl LbsInterface for SimulatedLbs {
+impl LbsBackend for SimulatedLbs {
     fn query(&self, location: &Point) -> Result<QueryResponse, QueryError> {
         if !self.budget.charge() {
             return Err(QueryError::BudgetExhausted {
@@ -363,6 +371,53 @@ mod tests {
                 .id,
             0
         );
+    }
+
+    #[test]
+    fn co_located_tuples_rank_deterministically_by_id() {
+        // Five tuples stacked on the same point (plus one distinct) used to
+        // hit the `partial_cmp().unwrap()` ranking with genuinely tied
+        // scores, where the sort order was implementation-defined. The
+        // (score, id) tie-break must rank duplicates by tuple id, for both
+        // ranking functions.
+        let stack = Point::new(10.0, 10.0);
+        let mut tuples: Vec<Tuple> = (0..5)
+            .map(|id| {
+                Tuple::new(id as TupleId, stack)
+                    .with_attr(attrs::CATEGORY, "cafe")
+                    .with_attr(attrs::PROMINENCE, 0.5)
+            })
+            .collect();
+        tuples.push(Tuple::new(5, Point::new(30.0, 30.0)).with_attr(attrs::PROMINENCE, 0.5));
+        let dataset = Dataset::new(tuples, Rect::from_bounds(0.0, 0.0, 40.0, 40.0));
+
+        for ranking in [Ranking::Distance, Ranking::Prominence { weight: 1.0 }] {
+            let cfg = ServiceConfig::lr_lbs(5).with_ranking(ranking);
+            let svc = SimulatedLbs::new(dataset.clone(), cfg);
+            let resp = svc.query(&Point::new(11.0, 11.0)).unwrap();
+            let ids: Vec<TupleId> = resp.results.iter().map(|r| r.id).collect();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4], "ranking {ranking:?}");
+        }
+    }
+
+    #[test]
+    fn nan_prominence_cannot_panic_the_ranking() {
+        // A tuple with a NaN prominence attribute produces a NaN score under
+        // prominence ranking; `total_cmp` must sink it to the end of the
+        // ranking instead of panicking (the old `partial_cmp().unwrap()`
+        // aborted the whole service on this input).
+        let tuples = vec![
+            Tuple::new(0, Point::new(10.0, 10.0)).with_attr(attrs::PROMINENCE, f64::NAN),
+            Tuple::new(1, Point::new(20.0, 10.0)).with_attr(attrs::PROMINENCE, 0.2),
+            Tuple::new(2, Point::new(30.0, 10.0)).with_attr(attrs::PROMINENCE, 0.1),
+        ];
+        let dataset = Dataset::new(tuples, Rect::from_bounds(0.0, 0.0, 40.0, 40.0));
+        let cfg = ServiceConfig::lr_lbs(3).with_ranking(Ranking::Prominence { weight: 1.0 });
+        let svc = SimulatedLbs::new(dataset, cfg);
+        let resp = svc.query(&Point::new(10.0, 10.0)).unwrap();
+        assert_eq!(resp.results.len(), 3);
+        // NaN ranks last; the finite scores keep their relative order.
+        assert_eq!(resp.results.last().unwrap().id, 0);
     }
 
     #[test]

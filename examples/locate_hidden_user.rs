@@ -11,7 +11,7 @@ use lbs::core::lnr::locate::{infer_position, LocateConfig};
 use lbs::core::lnr::RankOracle;
 use lbs::data::ScenarioBuilder;
 use lbs::geom::Rect;
-use lbs::service::{LbsInterface, ServiceConfig, SimulatedLbs};
+use lbs::service::{LbsBackend, ServiceConfig, SimulatedLbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

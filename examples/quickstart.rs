@@ -7,7 +7,7 @@
 
 use lbs::core::{Aggregate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig};
 use lbs::data::ScenarioBuilder;
-use lbs::service::{LbsInterface, ServiceConfig, SimulatedLbs};
+use lbs::service::{LbsBackend, ServiceConfig, SimulatedLbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -16,7 +16,7 @@
 //!
 //! ```
 //! use lbs::data::{generators::ScenarioBuilder, region};
-//! use lbs::service::{LbsInterface, ServiceConfig, SimulatedLbs};
+//! use lbs::service::{LbsBackend, ServiceConfig, SimulatedLbs};
 //! use lbs::core::{Aggregate, LrLbsAgg, LrLbsAggConfig};
 //! use rand::SeedableRng;
 //!

@@ -5,7 +5,7 @@
 use lbs::core::{Aggregate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig, Selection};
 use lbs::data::{attrs, DensityGrid, ScenarioBuilder};
 use lbs::geom::Rect;
-use lbs::service::{LbsInterface, PassThroughFilter, ServiceConfig, SimulatedLbs};
+use lbs::service::{LbsBackend, PassThroughFilter, ServiceConfig, SimulatedLbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -9,7 +9,7 @@ use lbs::core::{
 };
 use lbs::data::{generators::ScenarioBuilder, Dataset};
 use lbs::geom::Rect;
-use lbs::service::{LbsInterface, ServiceConfig, SimulatedLbs};
+use lbs::service::{LbsBackend, ServiceConfig, SimulatedLbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
