@@ -30,7 +30,10 @@ pub mod scenario;
 pub mod toml_lite;
 
 pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
-pub use report::{BenchRecord, BenchReport, SpeedupReport};
+pub use report::{BenchRecord, BenchReport, SessionBenchReport, SpeedupReport};
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;
-pub use scenario::{load_scenario, load_scenario_dir, run_scenario, Scenario, ScenarioContext};
+pub use scenario::{
+    build_workload, load_scenario, load_scenario_dir, run_scenario, Scenario, ScenarioContext,
+    SessionSpec, Workload,
+};

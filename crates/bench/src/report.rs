@@ -85,6 +85,28 @@ pub struct SpeedupReport {
     pub available_parallelism: usize,
 }
 
+/// Throughput and determinism probe of the multi-tenant serving layer
+/// (`lbs-server`): a fixed bundle of small estimation jobs run through the
+/// round-robin scheduler, once in submission order and once shuffled, with
+/// the per-job estimates compared bitwise.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionBenchReport {
+    /// Jobs in the probe bundle.
+    pub jobs: usize,
+    /// Wall-clock seconds of the in-order run (`run_until_idle`).
+    pub wall_s: f64,
+    /// Jobs completed per second of the in-order run.
+    pub jobs_per_s: f64,
+    /// Mean milliseconds from submission to the first anytime estimate
+    /// (first snapshot with at least one completed sample).
+    pub mean_time_to_first_estimate_ms: f64,
+    /// Scheduler ticks (waves) the in-order run served.
+    pub ticks: u64,
+    /// `true` when the shuffled-submission run reproduced every estimate
+    /// bit for bit (the scheduler's determinism contract).
+    pub deterministic: bool,
+}
+
 /// The complete content of `BENCH_repro.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -100,6 +122,9 @@ pub struct BenchReport {
     pub experiments: Vec<BenchRecord>,
     /// Present when the run was asked for more than one thread.
     pub speedup: Option<SpeedupReport>,
+    /// Session-throughput probe of the serving layer (absent in reports
+    /// written before the serving layer existed, and in scenario-mode runs).
+    pub sessions: Option<SessionBenchReport>,
 }
 
 impl BenchReport {
@@ -112,6 +137,7 @@ impl BenchReport {
             threads,
             experiments: Vec::new(),
             speedup: None,
+            sessions: None,
         }
     }
 
@@ -229,6 +255,15 @@ pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String>
         if !probe.deterministic {
             violations.push(
                 "speedup probe: serial and parallel estimates differ — determinism regression"
+                    .to_string(),
+            );
+        }
+    }
+    if let Some(sessions) = &fresh.sessions {
+        if !sessions.deterministic {
+            violations.push(
+                "session probe: shuffled-submission scheduler run produced different \
+                 estimates — determinism regression"
                     .to_string(),
             );
         }

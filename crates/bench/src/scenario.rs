@@ -24,6 +24,7 @@
 //! offending name, so typos cannot silently disable a knob.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -31,14 +32,14 @@ use rand::SeedableRng;
 use serde::{Deserialize, Error as SerdeError, Value};
 
 use lbs_core::{
-    Aggregate, Estimate, EstimateError, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig,
-    NnoBaseline, NnoConfig, SampleDriver, Selection,
+    Aggregate, Estimate, EstimateError, EstimationSession, LnrLbsAggConfig, LnrSession,
+    LrLbsAggConfig, LrSession, NnoConfig, NnoSession, Selection, SessionConfig,
 };
 use lbs_data::{Dataset, DensityGrid, ScenarioBuilder};
 use lbs_geom::Rect;
 use lbs_service::{
-    LatencyBackend, LbsBackend, Ranking, RateLimitedBackend, ServiceConfig, SimulatedLbs,
-    TruncatingBackend,
+    IndexKind, LatencyBackend, LbsBackend, QueryBudget, Ranking, RateLimitedBackend, ServiceConfig,
+    SimulatedLbs, TruncatingBackend,
 };
 
 use crate::experiments::{all_experiment_ids, lnr_delta, run_experiment_threaded};
@@ -75,6 +76,10 @@ pub struct Scenario {
     pub aggregate: Option<AggregateSpec>,
     /// Declarative form: the estimator and its budget.
     pub estimator: Option<EstimatorSpec>,
+    /// Declarative form: anytime-session knobs. When present, the scenario
+    /// runs through the resumable [`EstimationSession`] path instead of the
+    /// batch facade (which is itself a session with no overrides).
+    pub session: Option<SessionSpec>,
 }
 
 /// Dataset section of a declarative scenario.
@@ -116,6 +121,42 @@ pub struct InterfaceSpec {
     pub query_limit: Option<u64>,
     /// Enables prominence ranking with this distance-per-prominence weight.
     pub prominence_weight: Option<f64>,
+    /// Spatial index backend of the simulator: `grid` (default), `kdtree`,
+    /// or `brute`. Answer-preserving — every backend is exact — so this only
+    /// trades index build/query time.
+    pub index: Option<String>,
+}
+
+/// Session section of a declarative scenario: anytime-run knobs consumed by
+/// the [`EstimationSession`] path (and by `lbs-server` jobs built from the
+/// same spec).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionSpec {
+    /// Fixed samples per wave (default: the adaptive sizing of the batch
+    /// path, which keeps results byte-identical to a spec without
+    /// `[session]`).
+    pub wave_size: Option<u64>,
+    /// Stop early once the 95 % confidence-interval half-width drops to
+    /// this value.
+    pub target_ci_halfwidth: Option<f64>,
+    /// Stop early after this much wall-clock time (not deterministic).
+    pub max_wall_ms: Option<u64>,
+}
+
+impl SessionSpec {
+    /// Applies the spec's overrides to a base [`SessionConfig`].
+    pub fn apply(&self, mut cfg: SessionConfig) -> SessionConfig {
+        if let Some(wave) = self.wave_size {
+            cfg = cfg.with_wave_size(wave);
+        }
+        if let Some(target) = self.target_ci_halfwidth {
+            cfg = cfg.with_target_ci_halfwidth(target);
+        }
+        if let Some(ms) = self.max_wall_ms {
+            cfg = cfg.with_max_wall_ms(ms);
+        }
+        cfg
+    }
 }
 
 /// Backend-decorator section of a declarative scenario. Decorators are
@@ -237,6 +278,7 @@ impl Deserialize for Scenario {
                 "backend",
                 "aggregate",
                 "estimator",
+                "session",
             ],
         )?;
         Ok(Scenario {
@@ -250,6 +292,23 @@ impl Deserialize for Scenario {
             backend: opt(m, "scenario", "backend")?,
             aggregate: opt(m, "scenario", "aggregate")?,
             estimator: opt(m, "scenario", "estimator")?,
+            session: opt(m, "scenario", "session")?,
+        })
+    }
+}
+
+impl Deserialize for SessionSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "session")?;
+        reject_unknown(
+            m,
+            "session",
+            &["wave_size", "target_ci_halfwidth", "max_wall_ms"],
+        )?;
+        Ok(SessionSpec {
+            wave_size: opt(m, "session", "wave_size")?,
+            target_ci_halfwidth: opt(m, "session", "target_ci_halfwidth")?,
+            max_wall_ms: opt(m, "session", "max_wall_ms")?,
         })
     }
 }
@@ -299,6 +358,7 @@ impl Deserialize for InterfaceSpec {
                 "obfuscation_grid",
                 "query_limit",
                 "prominence_weight",
+                "index",
             ],
         )?;
         Ok(InterfaceSpec {
@@ -308,6 +368,7 @@ impl Deserialize for InterfaceSpec {
             obfuscation_grid: opt(m, "interface", "obfuscation_grid")?,
             query_limit: opt(m, "interface", "query_limit")?,
             prominence_weight: opt(m, "interface", "prominence_weight")?,
+            index: opt(m, "interface", "index")?,
         })
     }
 }
@@ -411,7 +472,8 @@ impl Scenario {
             || self.interface.is_some()
             || self.aggregate.is_some()
             || self.estimator.is_some()
-            || self.backend.is_some();
+            || self.backend.is_some()
+            || self.session.is_some();
         match (&self.experiment, declarative_sections) {
             (Some(exp), false) => {
                 if !all_experiment_ids().contains(&exp.as_str()) {
@@ -564,7 +626,56 @@ fn run_builtin(
     Ok(result)
 }
 
-fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<ExperimentResult, String> {
+/// A fully-built declarative workload: the dataset, service configuration,
+/// aggregate and estimator spec of one scenario, ready to be run — either
+/// batch-style by [`run_scenario`] or as an anytime job by the `lbs-server`
+/// scheduler.
+pub struct Workload {
+    /// Scenario id.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The generated (hidden) dataset, shared so repeated services over it
+    /// need no deep copies.
+    pub dataset: Arc<Dataset>,
+    /// Region of interest (the dataset bounding box).
+    pub region: Rect,
+    /// Service interface configuration.
+    pub service_config: ServiceConfig,
+    /// The aggregate to estimate.
+    pub aggregate: Aggregate,
+    /// Ground truth of the aggregate (known because we generated the data —
+    /// used for reporting, never by the estimators).
+    pub truth: f64,
+    /// Estimator section of the spec.
+    pub estimator: EstimatorSpec,
+    /// Interface kind (`lr` / `lnr`) for estimator-compatibility checks.
+    pub interface_kind: String,
+    /// Optional backend decorators.
+    pub backend_spec: Option<BackendSpec>,
+    /// Optional anytime-session knobs.
+    pub session_spec: Option<SessionSpec>,
+    /// Root seed (repetition seeds derive from it via
+    /// [`Workload::rep_seed`]).
+    pub seed: u64,
+    /// Per-repetition soft query budget (after smoke caps).
+    pub budget: u64,
+    /// Repetitions to run (after smoke caps).
+    pub repetitions: usize,
+    /// Whether smoke caps were applied.
+    pub smoke: bool,
+}
+
+/// Builds the [`Workload`] of a declarative scenario (errors on built-in
+/// `experiment = "figNN"` specs — those have no single-job form).
+pub fn build_workload(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Workload, String> {
+    scenario.validate()?;
+    if scenario.experiment.is_some() {
+        return Err(format!(
+            "{}: built-in experiment scenarios cannot be built as single workloads",
+            scenario.id
+        ));
+    }
     let id = &scenario.id;
     let dataset_spec = scenario.dataset.as_ref().expect("validated");
     let interface = scenario.interface.as_ref().expect("validated");
@@ -584,64 +695,185 @@ fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Experim
     let mut rng = StdRng::seed_from_u64(seed);
     let dataset = build_dataset(id, dataset_spec, size, &mut rng)?;
     let region = dataset.bbox();
-    let config = build_service_config(id, interface)?;
-    let k = config.k;
+    let service_config = build_service_config(id, interface)?;
     let aggregate = build_aggregate(id, aggregate_spec)?;
     let truth = aggregate.ground_truth(&dataset, &region);
-    let driver = SampleDriver::new(ctx.threads);
+    Ok(Workload {
+        id: id.clone(),
+        title: scenario.title.clone().unwrap_or_else(|| id.clone()),
+        dataset: Arc::new(dataset),
+        region,
+        service_config,
+        aggregate,
+        truth,
+        estimator: estimator.clone(),
+        interface_kind: interface.kind.clone(),
+        backend_spec: scenario.backend.clone(),
+        session_spec: scenario.session.clone(),
+        seed,
+        budget,
+        repetitions,
+        smoke: ctx.smoke,
+    })
+}
 
-    let title = scenario.title.clone().unwrap_or_else(|| id.clone());
-    let mut result = ExperimentResult::new(id, &title);
+impl Workload {
+    /// Seed of one repetition (repetition 0 is what a single-shot server job
+    /// runs).
+    pub fn rep_seed(&self, rep: usize) -> u64 {
+        self.seed ^ (1_000 + rep as u64)
+    }
+
+    /// Builds a fresh service plus decorator stack. One per repetition: the
+    /// budget is per-repetition, so a hard `query_limit` must meter each
+    /// repetition separately, and decorator ordinals reset too.
+    pub fn backend(&self) -> Box<dyn LbsBackend> {
+        let budget = match self.service_config.query_limit {
+            Some(limit) => QueryBudget::with_limit(limit),
+            None => QueryBudget::unlimited(),
+        };
+        self.backend_with_budget(budget)
+    }
+
+    /// Builds a fresh service charging an externally-owned [`QueryBudget`] —
+    /// how the `lbs-server` scheduler points every job of a tenant at that
+    /// tenant's shared quota. A hard limit on the passed budget supersedes
+    /// the scenario's own `query_limit`.
+    pub fn backend_with_budget(&self, budget: Arc<QueryBudget>) -> Box<dyn LbsBackend> {
+        let service =
+            SimulatedLbs::with_budget(self.dataset.clone(), self.service_config.clone(), budget);
+        decorate_boxed(Box::new(service), self.backend_spec.as_ref())
+    }
+
+    /// The wave-mode [`SessionConfig`] of one repetition: batch-equivalent
+    /// defaults with the spec's `[session]` overrides applied.
+    pub fn session_config(&self, threads: usize, rep: usize) -> SessionConfig {
+        let cfg = SessionConfig::new(self.budget, self.rep_seed(rep)).with_threads(threads);
+        match &self.session_spec {
+            Some(spec) => spec.apply(cfg),
+            None => cfg,
+        }
+    }
+
+    /// Starts an anytime [`EstimationSession`] over `backend` with the given
+    /// run-control config, choosing and configuring the estimator from the
+    /// spec. With a default [`SessionConfig`] the finished session's
+    /// estimate is byte-identical to the batch path.
+    pub fn start_session<S: LbsBackend>(
+        &self,
+        backend: S,
+        cfg: SessionConfig,
+    ) -> Result<EstimationSession<S>, String> {
+        match estimator_configs(
+            &self.id,
+            &self.estimator,
+            &self.interface_kind,
+            &self.dataset,
+            &self.region,
+        )? {
+            EstimatorKind::Lr(config) => Ok(EstimationSession::Lr(Box::new(LrSession::new(
+                backend,
+                &self.region,
+                &self.aggregate,
+                config,
+                lbs_core::lr::History::new(),
+                cfg,
+            )))),
+            EstimatorKind::Lnr(config) => Ok(EstimationSession::Lnr(LnrSession::new(
+                backend,
+                &self.region,
+                &self.aggregate,
+                config,
+                cfg,
+            ))),
+            EstimatorKind::Nno(config) => Ok(EstimationSession::Nno(NnoSession::new(
+                backend,
+                &self.region,
+                &self.aggregate,
+                config,
+                cfg,
+            ))),
+        }
+    }
+}
+
+fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<ExperimentResult, String> {
+    let workload = build_workload(scenario, ctx)?;
+
+    let mut result = ExperimentResult::new(&workload.id, &workload.title);
     result.note(format!(
-        "dataset {} ({} tuples), interface {} k={k}, aggregate {} (truth {truth:.2}), \
-         estimator {} budget {budget}",
-        dataset_spec.model,
-        dataset.len(),
-        interface.kind,
-        aggregate_spec.kind,
-        estimator.algorithm,
+        "dataset {} ({} tuples), interface {} k={}, aggregate {} (truth {:.2}), \
+         estimator {} budget {}",
+        scenario.dataset.as_ref().expect("validated").model,
+        workload.dataset.len(),
+        workload.interface_kind,
+        workload.service_config.k,
+        scenario.aggregate.as_ref().expect("validated").kind,
+        workload.truth,
+        workload.estimator.algorithm,
+        workload.budget,
     ));
-    if let Some(backend_spec) = &scenario.backend {
+    if let Some(backend_spec) = &workload.backend_spec {
         result.note(describe_backend(backend_spec));
     }
-    if ctx.smoke {
+    if let Some(session_spec) = &workload.session_spec {
+        result.note(describe_session(session_spec));
+    }
+    if workload.smoke {
         result.note("smoke mode: dataset size, budget and repetitions capped".to_string());
     }
 
-    for rep in 0..repetitions {
-        // A fresh service (and decorator stack) per repetition: `budget` is
-        // documented as per-repetition, so a hard `query_limit` must meter
-        // each repetition separately instead of silently spanning them all
-        // and starving the later reps; decorator ordinals reset too.
-        let backend = decorate(
-            SimulatedLbs::new(dataset.clone(), config.clone()),
-            scenario.backend.as_ref(),
-        );
-        let rep_seed = seed ^ (1_000 + rep as u64);
-        let estimate = run_estimator(
-            id,
-            estimator,
-            interface,
-            backend.as_ref(),
-            &dataset,
-            &region,
-            &aggregate,
-            budget,
-            rep_seed,
-            &driver,
-        )?;
+    // One path for every repetition: the anytime session. With no
+    // `[session]` overrides it is the batch facade bit for bit (the batch
+    // facades are themselves thin loops over sessions), so there is no
+    // separate estimate_parallel branch to keep in sync.
+    for rep in 0..workload.repetitions {
+        let backend = workload.backend();
+        let truth = workload.truth;
+        let cfg = workload.session_config(ctx.threads, rep);
+        let mut session = workload.start_session(backend, cfg)?;
+        while !session.is_finished() {
+            session.step();
+        }
+        let snapshot = session.snapshot();
+        let estimate = friendly_estimate(&workload, session.finalize())?;
         result.add_engine(&estimate.engine);
-        result.push(
-            Row::new()
-                .with("rep", rep)
-                .with_f64("estimate", estimate.value)
-                .with_f64("ground truth", truth)
-                .with("rel err", format!("{:.4}", estimate.relative_error(truth)))
-                .with("query cost", estimate.query_cost)
-                .with("samples", estimate.samples),
-        );
+        let mut row = Row::new()
+            .with("rep", rep)
+            .with_f64("estimate", estimate.value)
+            .with_f64("ground truth", truth)
+            .with("rel err", format!("{:.4}", estimate.relative_error(truth)))
+            .with("query cost", estimate.query_cost)
+            .with("samples", estimate.samples);
+        if workload.session_spec.is_some() {
+            // Anytime runs additionally report their wave count and stop
+            // reason.
+            row = row.with("waves", snapshot.waves).with(
+                "stop",
+                snapshot
+                    .stop
+                    .map(|s| format!("{s:?}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        result.push(row);
     }
     Ok(result)
+}
+
+/// Maps estimator errors onto actionable scenario-level messages.
+fn friendly_estimate(
+    workload: &Workload,
+    outcome: Result<Estimate, EstimateError>,
+) -> Result<Estimate, String> {
+    match outcome {
+        Ok(estimate) => Ok(estimate),
+        Err(EstimateError::NoSamples) => Err(format!(
+            "{}: the query budget ({}) was exhausted before any sample completed",
+            workload.id, workload.budget
+        )),
+        Err(EstimateError::Service(msg)) => Err(format!("{}: service error: {msg}", workload.id)),
+    }
 }
 
 fn describe_backend(spec: &BackendSpec) -> String {
@@ -783,15 +1015,30 @@ fn build_service_config(id: &str, spec: &InterfaceSpec) -> Result<ServiceConfig,
     if let Some(weight) = spec.prominence_weight {
         config = config.with_ranking(Ranking::Prominence { weight });
     }
+    if let Some(index) = &spec.index {
+        let kind = match index.as_str() {
+            "grid" => IndexKind::Grid,
+            "kdtree" => IndexKind::KdTree,
+            "brute" => IndexKind::Brute,
+            other => {
+                return Err(format!(
+                    "{id}: unknown interface index `{other}` (grid, kdtree, brute)"
+                ))
+            }
+        };
+        config = config.with_index(kind);
+    }
     Ok(config)
 }
 
-/// Stacks the configured decorators around the simulator. Order (innermost
+/// Stacks the configured decorators around a backend. Order (innermost
 /// first): truncation, latency, rate limit — restrictions of the data
 /// before restrictions of the transport, like a real flaky-but-throttled
 /// endpoint.
-fn decorate(service: SimulatedLbs, spec: Option<&BackendSpec>) -> Box<dyn LbsBackend> {
-    let mut backend: Box<dyn LbsBackend> = Box::new(service);
+fn decorate_boxed(
+    mut backend: Box<dyn LbsBackend>,
+    spec: Option<&BackendSpec>,
+) -> Box<dyn LbsBackend> {
     let Some(spec) = spec else {
         return backend;
     };
@@ -868,19 +1115,23 @@ fn build_aggregate(id: &str, spec: &AggregateSpec) -> Result<Aggregate, String> 
     }
 }
 
-#[allow(clippy::too_many_arguments)] // one estimation run needs exactly this state
-fn run_estimator(
+/// The estimator an [`EstimatorSpec`] resolves to, with its fully-built
+/// configuration.
+enum EstimatorKind {
+    Lr(LrLbsAggConfig),
+    Lnr(LnrLbsAggConfig),
+    Nno(NnoConfig),
+}
+
+/// Resolves and validates the estimator configuration of a spec (shared by
+/// the batch and session paths, so they cannot diverge).
+fn estimator_configs(
     id: &str,
     spec: &EstimatorSpec,
-    interface: &InterfaceSpec,
-    backend: &dyn LbsBackend,
+    interface_kind: &str,
     dataset: &Dataset,
     region: &Rect,
-    aggregate: &Aggregate,
-    budget: u64,
-    seed: u64,
-    driver: &SampleDriver,
-) -> Result<Estimate, String> {
+) -> Result<EstimatorKind, String> {
     let weighted_sampler = spec
         .weighted_grid
         .map(|[cols, rows]| {
@@ -895,13 +1146,11 @@ fn run_estimator(
             ))
         })
         .transpose()?;
-    let outcome = match spec.algorithm.as_str() {
-        "lr" | "nno" if interface.kind != "lr" => {
-            return Err(format!(
-                "{id}: estimator `{}` needs `interface.kind = \"lr\"` (locations returned)",
-                spec.algorithm
-            ))
-        }
+    match spec.algorithm.as_str() {
+        "lr" | "nno" if interface_kind != "lr" => Err(format!(
+            "{id}: estimator `{}` needs `interface.kind = \"lr\"` (locations returned)",
+            spec.algorithm
+        )),
         "lr" => {
             let mut config = match spec.ablation_level {
                 Some(level) => {
@@ -919,36 +1168,39 @@ fn run_estimator(
                 };
             }
             config.weighted_sampler = weighted_sampler;
-            let mut estimator = LrLbsAgg::new(config);
-            estimator.estimate_parallel(backend, region, aggregate, budget, seed, driver)
+            Ok(EstimatorKind::Lr(config))
         }
-        "nno" => {
-            let mut estimator = NnoBaseline::new(NnoConfig::default());
-            estimator.estimate_parallel(backend, region, aggregate, budget, seed, driver)
-        }
+        "nno" => Ok(EstimatorKind::Nno(NnoConfig::default())),
         "lnr" => {
             let delta = lnr_delta(region);
-            let config = LnrLbsAggConfig {
+            Ok(EstimatorKind::Lnr(LnrLbsAggConfig {
                 delta,
                 delta_prime: delta * 10.0,
                 weighted_sampler,
                 ..LnrLbsAggConfig::default()
-            };
-            let mut estimator = LnrLbsAgg::new(config);
-            estimator.estimate_parallel(backend, region, aggregate, budget, seed, driver)
+            }))
         }
-        other => {
-            return Err(format!(
-                "{id}: unknown estimator algorithm `{other}` (lr, lnr, nno)"
-            ))
-        }
-    };
-    match outcome {
-        Ok(estimate) => Ok(estimate),
-        Err(EstimateError::NoSamples) => Err(format!(
-            "{id}: the query budget ({budget}) was exhausted before any sample completed"
+        other => Err(format!(
+            "{id}: unknown estimator algorithm `{other}` (lr, lnr, nno)"
         )),
-        Err(EstimateError::Service(msg)) => Err(format!("{id}: service error: {msg}")),
+    }
+}
+
+fn describe_session(spec: &SessionSpec) -> String {
+    let mut parts = Vec::new();
+    if let Some(wave) = spec.wave_size {
+        parts.push(format!("wave size {wave}"));
+    }
+    if let Some(target) = spec.target_ci_halfwidth {
+        parts.push(format!("target CI half-width {target}"));
+    }
+    if let Some(ms) = spec.max_wall_ms {
+        parts.push(format!("wall cap {ms} ms"));
+    }
+    if parts.is_empty() {
+        "session: batch-equivalent (no overrides)".to_string()
+    } else {
+        format!("session: {}", parts.join("; "))
     }
 }
 

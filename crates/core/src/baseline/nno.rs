@@ -4,13 +4,13 @@
 use rand::Rng;
 
 use lbs_geom::{sort_by_distance, top_k_cell_pruned, Point, Rect};
-use lbs_service::{LbsBackend, QueryCounter, QueryError, ReturnMode};
+use lbs_service::{LbsBackend, QueryError};
 
 use crate::agg::Aggregate;
-use crate::driver::{SampleDriver, SampleOutcome};
+use crate::driver::SampleDriver;
 use crate::engine_stats::SharedEngineCounters;
-use crate::estimate::{Estimate, EstimateError, TracePoint};
-use crate::stats::RunningStats;
+use crate::estimate::{Estimate, EstimateError};
+use crate::session::{NnoSession, SessionConfig};
 
 /// Configuration of the LR-LBS-NNO baseline.
 #[derive(Clone, Debug)]
@@ -67,58 +67,17 @@ impl NnoBaseline {
         query_budget: u64,
         rng: &mut R,
     ) -> Result<Estimate, EstimateError> {
-        assert_eq!(
-            service.config().return_mode,
-            ReturnMode::LocationReturned,
-            "LR-LBS-NNO requires a location-returned interface"
+        let mut session = NnoSession::new_serial(
+            service,
+            region,
+            aggregate,
+            self.config.clone(),
+            query_budget,
         );
-        let start_cost = service.queries_issued();
-        let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
-
-        let counters = SharedEngineCounters::new();
-        let mut numerator = RunningStats::new();
-        let mut denominator = RunningStats::new();
-        let mut trace = Vec::new();
-
-        while budget_left(service) > 0 {
-            // An `Err` means the sample hit the service's hard limit; the
-            // partial sample is discarded.
-            let (num_contrib, den_contrib) =
-                match Self::sample_once(&self.config, service, region, aggregate, &counters, rng) {
-                    Ok(contribution) => contribution,
-                    Err(QueryError::BudgetExhausted { .. }) => break,
-                };
-            numerator.push(num_contrib);
-            denominator.push(den_contrib);
-
-            if self.config.trace_every > 0 && numerator.count() % self.config.trace_every == 0 {
-                let current = if aggregate.is_ratio() {
-                    if denominator.mean().abs() > f64::EPSILON {
-                        numerator.mean() / denominator.mean()
-                    } else {
-                        0.0
-                    }
-                } else {
-                    numerator.mean()
-                };
-                trace.push(TracePoint {
-                    query_cost: service.queries_issued() - start_cost,
-                    estimate: current,
-                });
-            }
+        while !session.is_finished() {
+            session.step_serial(rng);
         }
-
-        if numerator.count() == 0 {
-            return Err(EstimateError::NoSamples);
-        }
-        let cost = service.queries_issued() - start_cost;
-        let mut est = if aggregate.is_ratio() {
-            Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
-        } else {
-            Estimate::from_stats(&numerator, cost, trace)
-        };
-        est.engine = counters.report();
-        Ok(est)
+        session.finalize()
     }
 
     /// Estimates `aggregate` over `region` in parallel, fanning samples out
@@ -137,47 +96,12 @@ impl NnoBaseline {
         root_seed: u64,
         driver: &SampleDriver,
     ) -> Result<Estimate, EstimateError> {
-        assert_eq!(
-            service.config().return_mode,
-            ReturnMode::LocationReturned,
-            "LR-LBS-NNO requires a location-returned interface"
-        );
-        let config = self.config.clone();
-        let counters = SharedEngineCounters::new();
-        let outcome = driver.run(
-            query_budget,
-            root_seed,
-            aggregate.is_ratio(),
-            &mut (),
-            |_| (),
-            |_state, _index, rng| {
-                let metered = QueryCounter::new(service);
-                let (num, den) =
-                    Self::sample_once(&config, &metered, region, aggregate, &counters, rng)?;
-                Ok(SampleOutcome {
-                    numerator: num,
-                    denominator: den,
-                    queries: metered.taken(),
-                })
-            },
-            |_, _| {},
-        );
-
-        if outcome.numerator.count() == 0 {
-            return Err(EstimateError::NoSamples);
+        let cfg = SessionConfig::new(query_budget, root_seed).with_threads(driver.threads());
+        let mut session = NnoSession::new(service, region, aggregate, self.config.clone(), cfg);
+        while !session.is_finished() {
+            session.step();
         }
-        let mut est = if aggregate.is_ratio() {
-            Estimate::ratio_from_stats(
-                &outcome.numerator,
-                &outcome.denominator,
-                outcome.queries,
-                outcome.trace,
-            )
-        } else {
-            Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
-        };
-        est.engine = counters.report();
-        Ok(est)
+        session.finalize()
     }
 
     /// Runs one independent baseline sample and returns its
@@ -186,7 +110,7 @@ impl NnoBaseline {
     /// Shared loop body of [`NnoBaseline::estimate`] and
     /// [`NnoBaseline::estimate_parallel`]; an `Err` means the sample hit the
     /// service's hard query limit.
-    fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
+    pub(crate) fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
         config: &NnoConfig,
         service: &S,
         region: &Rect,

@@ -157,6 +157,34 @@ struct ChunkResult<B> {
     aborted: bool,
 }
 
+/// The resumable accumulation state of a budget-bounded sampling run.
+///
+/// [`SampleDriver::run`] is a thin loop over [`SampleDriver::step_wave`];
+/// everything the loop carries between waves lives here, which is what makes
+/// an estimation run interruptible: snapshot the `WaveState` (plus the
+/// estimator's own shared state) at any wave boundary, and stepping the
+/// snapshot forward is bit-identical to never having stopped — the next wave
+/// is a pure function of this state, the root seed and the budget.
+#[derive(Clone, Debug, Default)]
+pub struct WaveState {
+    /// Merged per-sample statistics, query costs and trace so far.
+    pub outcome: DriverOutcome,
+    /// Global index of the first sample of the next wave.
+    pub next_index: u64,
+    /// Waves stepped so far.
+    pub waves: u64,
+    /// Set once the run is over (budget spent, hard limit hit, or free
+    /// samples detected); further steps are no-ops.
+    pub finished: bool,
+}
+
+impl WaveState {
+    /// A fresh state at sample index 0.
+    pub fn new() -> Self {
+        WaveState::default()
+    }
+}
+
 /// Fans estimator samples out across scoped worker threads.
 ///
 /// See the [module documentation](self) for the determinism contract. The
@@ -236,57 +264,110 @@ impl SampleDriver {
         F: Fn(&mut B, u64, &mut StdRng) -> Result<SampleOutcome, QueryError> + Sync,
         A: Fn(&mut St, Vec<B>),
     {
-        let mut outcome = DriverOutcome::default();
-        let mut next_index = 0u64;
+        let mut state = WaveState::new();
+        while !state.finished {
+            self.step_wave(
+                query_budget,
+                root_seed,
+                is_ratio,
+                None,
+                &mut state,
+                master,
+                &fork,
+                &sample,
+                &absorb,
+            );
+        }
+        state.outcome
+    }
 
-        while outcome.queries < query_budget {
-            let wave = Self::wave_size(query_budget, outcome.queries, next_index);
-            let chunks = self.run_wave(&*master, next_index, wave, root_seed, &fork, &sample);
+    /// Advances a resumable run by exactly one wave (or marks it finished).
+    ///
+    /// This is the loop body of [`SampleDriver::run`], exposed so that a
+    /// [`crate::session::EstimationSession`] can interleave waves of many
+    /// concurrent runs, snapshot the [`WaveState`] between them, and resume
+    /// later with bit-identical results. `wave_override` replaces the
+    /// adaptive wave sizing with a fixed number of samples per wave (the
+    /// scenario `[session] wave_size` knob); `None` keeps the sizing the
+    /// batch path uses, so a `None` session is byte-identical to
+    /// [`SampleDriver::run`].
+    #[allow(clippy::too_many_arguments)] // the estimator-facing loop body; each argument is one role
+    pub fn step_wave<St, B, G, F, A>(
+        &self,
+        query_budget: u64,
+        root_seed: u64,
+        is_ratio: bool,
+        wave_override: Option<u64>,
+        state: &mut WaveState,
+        master: &mut St,
+        fork: &G,
+        sample: &F,
+        absorb: &A,
+    ) where
+        St: Sync,
+        B: Send,
+        G: Fn(&St) -> B + Sync,
+        F: Fn(&mut B, u64, &mut StdRng) -> Result<SampleOutcome, QueryError> + Sync,
+        A: Fn(&mut St, Vec<B>),
+    {
+        if state.finished {
+            return;
+        }
+        if state.outcome.queries >= query_budget {
+            state.finished = true;
+            return;
+        }
+        let outcome = &mut state.outcome;
+        let wave = match wave_override {
+            Some(w) => w.clamp(1, MAX_WAVE_SAMPLES),
+            None => Self::wave_size(query_budget, outcome.queries, state.next_index),
+        };
+        let chunks = self.run_wave(&*master, state.next_index, wave, root_seed, fork, sample);
 
-            let mut wave_queries = 0u64;
-            let mut wave_aborted = false;
-            let mut states = Vec::with_capacity(chunks.len());
-            for chunk in chunks {
-                outcome.numerator.merge(&chunk.numerator);
-                outcome.denominator.merge(&chunk.denominator);
-                wave_queries += chunk.queries;
-                wave_aborted |= chunk.aborted;
-                states.push(chunk.state);
-                // One trace point per chunk keeps the convergence trace
-                // (paper Figure 12) fine-grained even though budget checks
-                // only happen at wave boundaries.
-                if chunk.numerator.count() > 0 {
-                    let estimate = if is_ratio {
-                        if outcome.denominator.mean().abs() > f64::EPSILON {
-                            outcome.numerator.mean() / outcome.denominator.mean()
-                        } else {
-                            0.0
-                        }
+        let mut wave_queries = 0u64;
+        let mut wave_aborted = false;
+        let mut states = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            outcome.numerator.merge(&chunk.numerator);
+            outcome.denominator.merge(&chunk.denominator);
+            wave_queries += chunk.queries;
+            wave_aborted |= chunk.aborted;
+            states.push(chunk.state);
+            // One trace point per chunk keeps the convergence trace
+            // (paper Figure 12) fine-grained even though budget checks
+            // only happen at wave boundaries.
+            if chunk.numerator.count() > 0 {
+                let estimate = if is_ratio {
+                    if outcome.denominator.mean().abs() > f64::EPSILON {
+                        outcome.numerator.mean() / outcome.denominator.mean()
                     } else {
-                        outcome.numerator.mean()
-                    };
-                    outcome.trace.push(TracePoint {
-                        query_cost: outcome.queries + wave_queries,
-                        estimate,
-                    });
-                }
-            }
-            outcome.queries += wave_queries;
-            next_index += wave;
-            absorb(master, states);
-
-            if wave_aborted {
-                outcome.exhausted = true;
-                break;
-            }
-            if wave_queries == 0 {
-                // No sample issued a query: the service answers for free and
-                // the soft budget can never be spent. Bail out rather than
-                // loop forever.
-                break;
+                        0.0
+                    }
+                } else {
+                    outcome.numerator.mean()
+                };
+                outcome.trace.push(TracePoint {
+                    query_cost: outcome.queries + wave_queries,
+                    estimate,
+                });
             }
         }
-        outcome
+        outcome.queries += wave_queries;
+        state.next_index += wave;
+        state.waves += 1;
+        absorb(master, states);
+
+        if wave_aborted {
+            outcome.exhausted = true;
+            state.finished = true;
+        } else if wave_queries == 0 {
+            // No sample issued a query: the service answers for free and
+            // the soft budget can never be spent. Bail out rather than
+            // loop forever.
+            state.finished = true;
+        } else if outcome.queries >= query_budget {
+            state.finished = true;
+        }
     }
 
     /// Deterministic wave sizing: a function of the budget and of the costs

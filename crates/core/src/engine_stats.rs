@@ -112,6 +112,16 @@ impl SharedEngineCounters {
         SharedEngineCounters::default()
     }
 
+    /// A sink pre-loaded from a snapshot — how a checkpointed session's
+    /// counters are reconstructed on resume (only the build counters and
+    /// `mc_certified` survive a [`SharedEngineCounters::report`] round
+    /// trip, which is exactly what these sinks track).
+    pub fn from_report(report: &EngineReport) -> Self {
+        let sink = SharedEngineCounters::new();
+        sink.add_report(report);
+        sink
+    }
+
     /// Absorbs the counters of one geometric construction.
     pub fn record_build(&self, stats: &lbs_geom::CellBuildStats) {
         self.cells_built.fetch_add(1, Ordering::Relaxed);

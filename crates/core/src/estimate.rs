@@ -69,21 +69,7 @@ impl Estimate {
         query_cost: u64,
         trace: Vec<TracePoint>,
     ) -> Self {
-        let denom_mean = denominator.mean();
-        let value = if denom_mean.abs() <= f64::EPSILON {
-            0.0
-        } else {
-            numerator.mean() / denom_mean
-        };
-        let std_error = if denom_mean.abs() <= f64::EPSILON {
-            0.0
-        } else {
-            let num_se = numerator.std_error().unwrap_or(0.0);
-            let den_se = denominator.std_error().unwrap_or(0.0);
-            let rel = (num_se / numerator.mean().abs().max(f64::EPSILON)).powi(2)
-                + (den_se / denom_mean.abs()).powi(2);
-            value.abs() * rel.sqrt()
-        };
+        let (value, std_error) = point_and_error(numerator, denominator, true);
         Estimate {
             value,
             std_error,
@@ -100,6 +86,36 @@ impl Estimate {
     pub fn relative_error(&self, truth: f64) -> f64 {
         crate::stats::relative_error(self.value, truth)
     }
+}
+
+/// The point estimate and its standard error from the raw accumulators —
+/// the single source of the arithmetic shared by [`Estimate::from_stats`],
+/// [`Estimate::ratio_from_stats`] and the anytime session snapshots, so an
+/// anytime read can never drift from what the finished estimate reports.
+pub(crate) fn point_and_error(
+    numerator: &RunningStats,
+    denominator: &RunningStats,
+    is_ratio: bool,
+) -> (f64, f64) {
+    if !is_ratio {
+        return (numerator.mean(), numerator.std_error().unwrap_or(0.0));
+    }
+    let denom_mean = denominator.mean();
+    let value = if denom_mean.abs() <= f64::EPSILON {
+        0.0
+    } else {
+        numerator.mean() / denom_mean
+    };
+    let std_error = if denom_mean.abs() <= f64::EPSILON {
+        0.0
+    } else {
+        let num_se = numerator.std_error().unwrap_or(0.0);
+        let den_se = denominator.std_error().unwrap_or(0.0);
+        let rel = (num_se / numerator.mean().abs().max(f64::EPSILON)).powi(2)
+            + (den_se / denom_mean.abs()).powi(2);
+        value.abs() * rel.sqrt()
+    };
+    (value, std_error)
 }
 
 /// Errors an estimation run can fail with.

@@ -37,14 +37,19 @@ pub mod estimate;
 pub mod lnr;
 pub mod lr;
 pub mod sampling;
+pub mod session;
 pub mod stats;
 
 pub use agg::{AggFunction, Aggregate, Selection};
 pub use baseline::{NnoBaseline, NnoConfig};
-pub use driver::{DriverOutcome, SampleDriver, SampleOutcome};
+pub use driver::{DriverOutcome, SampleDriver, SampleOutcome, WaveState};
 pub use engine_stats::{EngineReport, SharedEngineCounters};
 pub use estimate::{Estimate, EstimateError, TracePoint};
 pub use lnr::{LnrLbsAgg, LnrLbsAggConfig, LocatedTuple};
 pub use lr::{HSelection, LrLbsAgg, LrLbsAggConfig};
 pub use sampling::QuerySampler;
+pub use session::{
+    AnytimeSnapshot, EstimationSession, LnrSession, LrSession, NnoSession, SessionCheckpoint,
+    SessionConfig, StopReason,
+};
 pub use stats::RunningStats;

@@ -11,14 +11,14 @@
 use rand::Rng;
 
 use lbs_geom::{ConvexPolygon, Rect};
-use lbs_service::{LbsBackend, QueryCounter, QueryError, ReturnMode};
+use lbs_service::{LbsBackend, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
-use crate::driver::{SampleDriver, SampleOutcome};
+use crate::driver::SampleDriver;
 use crate::engine_stats::SharedEngineCounters;
-use crate::estimate::{Estimate, EstimateError, TracePoint};
+use crate::estimate::{Estimate, EstimateError};
 use crate::sampling::QuerySampler;
-use crate::stats::RunningStats;
+use crate::session::{LnrSession, SessionConfig};
 
 use super::binary_search::RankOracle;
 use super::cell::{explore_cell, LnrExploreConfig};
@@ -72,7 +72,7 @@ impl LnrLbsAgg {
         LnrLbsAgg { config }
     }
 
-    fn explore_config(&self) -> LnrExploreConfig {
+    pub(crate) fn explore_config(&self) -> LnrExploreConfig {
         LnrExploreConfig {
             delta: self.config.delta,
             delta_prime: self.config.delta_prime,
@@ -95,68 +95,17 @@ impl LnrLbsAgg {
         query_budget: u64,
         rng: &mut R,
     ) -> Result<Estimate, EstimateError> {
-        let sampler = match (&self.config.weighted_sampler, self.config.h) {
-            (Some(grid), 1) => QuerySampler::weighted(grid.clone()),
-            _ => QuerySampler::uniform(*region),
-        };
-        let h = self.config.h.clamp(1, service.config().k.max(1));
-        let needs_location = aggregate.needs_location();
-        let start_cost = service.queries_issued();
-        let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
-
-        let counters = SharedEngineCounters::new();
-        let mut numerator = RunningStats::new();
-        let mut denominator = RunningStats::new();
-        let mut trace: Vec<TracePoint> = Vec::new();
-
-        while budget_left(service) > 0 {
-            // An `Err` means the sample hit the service's hard limit; the
-            // partial sample is discarded.
-            let (num_contrib, den_contrib) = match Self::sample_once(
-                &self.explore_config(),
-                &sampler,
-                h,
-                needs_location,
-                service,
-                region,
-                aggregate,
-                &counters,
-                rng,
-            ) {
-                Ok(contribution) => contribution,
-                Err(QueryError::BudgetExhausted { .. }) => break,
-            };
-            numerator.push(num_contrib);
-            denominator.push(den_contrib);
-
-            if self.config.trace_every > 0 && numerator.count() % self.config.trace_every == 0 {
-                let current = if aggregate.is_ratio() {
-                    if denominator.mean().abs() > f64::EPSILON {
-                        numerator.mean() / denominator.mean()
-                    } else {
-                        0.0
-                    }
-                } else {
-                    numerator.mean()
-                };
-                trace.push(TracePoint {
-                    query_cost: service.queries_issued() - start_cost,
-                    estimate: current,
-                });
-            }
+        let mut session = LnrSession::new_serial(
+            service,
+            region,
+            aggregate,
+            self.config.clone(),
+            query_budget,
+        );
+        while !session.is_finished() {
+            session.step_serial(rng);
         }
-
-        if numerator.count() == 0 {
-            return Err(EstimateError::NoSamples);
-        }
-        let cost = service.queries_issued() - start_cost;
-        let mut est = if aggregate.is_ratio() {
-            Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
-        } else {
-            Estimate::from_stats(&numerator, cost, trace)
-        };
-        est.engine = counters.report();
-        Ok(est)
+        session.finalize()
     }
 
     /// Estimates `aggregate` over `region` in parallel, fanning samples out
@@ -176,58 +125,12 @@ impl LnrLbsAgg {
         root_seed: u64,
         driver: &SampleDriver,
     ) -> Result<Estimate, EstimateError> {
-        let sampler = match (&self.config.weighted_sampler, self.config.h) {
-            (Some(grid), 1) => QuerySampler::weighted(grid.clone()),
-            _ => QuerySampler::uniform(*region),
-        };
-        let h = self.config.h.clamp(1, service.config().k.max(1));
-        let needs_location = aggregate.needs_location();
-        let explore_config = self.explore_config();
-        let counters = SharedEngineCounters::new();
-
-        let outcome = driver.run(
-            query_budget,
-            root_seed,
-            aggregate.is_ratio(),
-            &mut (),
-            |_| (),
-            |_state, _index, rng| {
-                let metered = QueryCounter::new(service);
-                let (num, den) = Self::sample_once(
-                    &explore_config,
-                    &sampler,
-                    h,
-                    needs_location,
-                    &metered,
-                    region,
-                    aggregate,
-                    &counters,
-                    rng,
-                )?;
-                Ok(SampleOutcome {
-                    numerator: num,
-                    denominator: den,
-                    queries: metered.taken(),
-                })
-            },
-            |_, _| {},
-        );
-
-        if outcome.numerator.count() == 0 {
-            return Err(EstimateError::NoSamples);
+        let cfg = SessionConfig::new(query_budget, root_seed).with_threads(driver.threads());
+        let mut session = LnrSession::new(service, region, aggregate, self.config.clone(), cfg);
+        while !session.is_finished() {
+            session.step();
         }
-        let mut est = if aggregate.is_ratio() {
-            Estimate::ratio_from_stats(
-                &outcome.numerator,
-                &outcome.denominator,
-                outcome.queries,
-                outcome.trace,
-            )
-        } else {
-            Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
-        };
-        est.engine = counters.report();
-        Ok(est)
+        session.finalize()
     }
 
     /// Runs one independent sample through the rank-only machinery and
@@ -237,7 +140,7 @@ impl LnrLbsAgg {
     /// [`LnrLbsAgg::estimate_parallel`]; an `Err` means the sample hit the
     /// service's hard query limit.
     #[allow(clippy::too_many_arguments)] // shared loop body; mirrors Algorithm 6's state
-    fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
+    pub(crate) fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
         explore_config: &LnrExploreConfig,
         sampler: &QuerySampler,
         h: usize,

@@ -11,13 +11,13 @@
 use rand::Rng;
 
 use lbs_geom::Rect;
-use lbs_service::{LbsBackend, QueryCounter, QueryError, ReturnMode};
+use lbs_service::{LbsBackend, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
-use crate::driver::{SampleDriver, SampleOutcome};
-use crate::estimate::{Estimate, EstimateError, TracePoint};
+use crate::driver::SampleDriver;
+use crate::estimate::{Estimate, EstimateError};
 use crate::sampling::QuerySampler;
-use crate::stats::RunningStats;
+use crate::session::{LrSession, SessionConfig};
 
 use super::explorer::{explore_cell, CellEstimate, ExploreConfig};
 use super::history::History;
@@ -185,77 +185,31 @@ impl LrLbsAgg {
         query_budget: u64,
         rng: &mut R,
     ) -> Result<Estimate, EstimateError> {
+        // Assert before taking the history so a panic on a rank-only
+        // interface cannot wipe the accumulated state.
         assert_eq!(
             service.config().return_mode,
             ReturnMode::LocationReturned,
             "LR-LBS-AGG requires a location-returned interface; use LnrLbsAgg for rank-only ones"
         );
-        let sampler = match &self.config.weighted_sampler {
-            Some(grid) => QuerySampler::weighted(grid.clone()),
-            None => QuerySampler::uniform(*region),
-        };
-        let k = service.config().k;
-        let start_cost = service.queries_issued();
-        let budget_left = |svc: &S| query_budget.saturating_sub(svc.queries_issued() - start_cost);
-        let engine_before = self.history.engine_report();
-
-        let mut numerator = RunningStats::new();
-        let mut denominator = RunningStats::new();
-        let mut trace: Vec<TracePoint> = Vec::new();
-
-        while budget_left(service) > 0 {
-            // An `Err` means the sample hit the service's hard limit; it is
-            // discarded rather than recorded as a partial (biased)
-            // contribution.
-            let (num_contrib, den_contrib) = match Self::sample_once(
-                &self.config,
-                &sampler,
-                k,
-                service,
-                region,
-                aggregate,
-                &mut self.history,
-                rng,
-            ) {
-                Ok(contribution) => contribution,
-                Err(QueryError::BudgetExhausted { .. }) => break,
-            };
-
-            numerator.push(num_contrib);
-            denominator.push(den_contrib);
-
-            if self.config.trace_every > 0 && numerator.count() % self.config.trace_every == 0 {
-                let current = if aggregate.is_ratio() {
-                    if denominator.mean().abs() > f64::EPSILON {
-                        numerator.mean() / denominator.mean()
-                    } else {
-                        0.0
-                    }
-                } else {
-                    numerator.mean()
-                };
-                trace.push(TracePoint {
-                    query_cost: service.queries_issued() - start_cost,
-                    estimate: current,
-                });
-            }
+        let history = std::mem::take(&mut self.history);
+        let mut session = LrSession::new_serial(
+            service,
+            region,
+            aggregate,
+            self.config.clone(),
+            history,
+            query_budget,
+        );
+        while !session.is_finished() {
+            session.step_serial(rng);
         }
-
+        let result = session.finalize();
+        self.history = session.into_history();
         // The delta log only matters on forked histories; on this long-lived
         // one it would just grow forever.
         self.history.discard_delta_log();
-
-        if numerator.count() == 0 {
-            return Err(EstimateError::NoSamples);
-        }
-        let cost = service.queries_issued() - start_cost;
-        let mut est = if aggregate.is_ratio() {
-            Estimate::ratio_from_stats(&numerator, &denominator, cost, trace)
-        } else {
-            Estimate::from_stats(&numerator, cost, trace)
-        };
-        est.engine = self.history.engine_report().since(&engine_before);
-        Ok(est)
+        result
     }
 
     /// Estimates `aggregate` over `region` in parallel, fanning samples out
@@ -292,56 +246,23 @@ impl LrLbsAgg {
             ReturnMode::LocationReturned,
             "LR-LBS-AGG requires a location-returned interface; use LnrLbsAgg for rank-only ones"
         );
-        let sampler = match &self.config.weighted_sampler {
-            Some(grid) => QuerySampler::weighted(grid.clone()),
-            None => QuerySampler::uniform(*region),
-        };
-        let k = service.config().k;
-        let config = self.config.clone();
-        let mut master = std::mem::take(&mut self.history);
-        let engine_before = master.engine_report();
-
-        let outcome = driver.run(
-            query_budget,
-            root_seed,
-            aggregate.is_ratio(),
-            &mut master,
-            History::fork,
-            |history: &mut History, _index, rng| {
-                let metered = QueryCounter::new(service);
-                let (num, den) = Self::sample_once(
-                    &config, &sampler, k, &metered, region, aggregate, history, rng,
-                )?;
-                Ok(SampleOutcome {
-                    numerator: num,
-                    denominator: den,
-                    queries: metered.taken(),
-                })
-            },
-            |master, forks| {
-                for fork in &forks {
-                    master.absorb(fork);
-                }
-            },
+        let history = std::mem::take(&mut self.history);
+        let cfg = SessionConfig::new(query_budget, root_seed).with_threads(driver.threads());
+        let mut session = LrSession::new(
+            service,
+            region,
+            aggregate,
+            self.config.clone(),
+            history,
+            cfg,
         );
-        self.history = master;
-        self.history.discard_delta_log();
-
-        if outcome.numerator.count() == 0 {
-            return Err(EstimateError::NoSamples);
+        while !session.is_finished() {
+            session.step();
         }
-        let mut est = if aggregate.is_ratio() {
-            Estimate::ratio_from_stats(
-                &outcome.numerator,
-                &outcome.denominator,
-                outcome.queries,
-                outcome.trace,
-            )
-        } else {
-            Estimate::from_stats(&outcome.numerator, outcome.queries, outcome.trace)
-        };
-        est.engine = self.history.engine_report().since(&engine_before);
-        Ok(est)
+        let result = session.finalize();
+        self.history = session.into_history();
+        self.history.discard_delta_log();
+        result
     }
 
     /// Runs one independent sample: draws a query location, issues its kNN
@@ -353,7 +274,7 @@ impl LrLbsAgg {
     /// [`LrLbsAgg::estimate_parallel`]. An `Err` means the sample hit the
     /// service's hard query limit and no partial contribution exists.
     #[allow(clippy::too_many_arguments)] // shared loop body; mirrors Algorithm 5's state
-    fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
+    pub(crate) fn sample_once<S: LbsBackend + ?Sized, R: Rng>(
         config: &LrLbsAggConfig,
         sampler: &QuerySampler,
         k: usize,
@@ -447,6 +368,7 @@ impl LrLbsAgg {
 mod tests {
     use super::*;
     use crate::agg::Selection;
+    use crate::stats::RunningStats;
     use lbs_data::{attrs, Dataset, ScenarioBuilder};
     use lbs_service::{ServiceConfig, SimulatedLbs};
     use rand::rngs::StdRng;

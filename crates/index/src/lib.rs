@@ -132,6 +132,63 @@ mod tests {
     }
 
     #[test]
+    fn radius_queries_are_bit_identical_across_backends() {
+        // The hot loops of all three `within_radius` implementations compare
+        // *squared* distances and take a single sqrt per emitted neighbour,
+        // over the same `(dx² + dy²)` expression — so the returned distances
+        // must agree to the last bit, not merely within a tolerance. This
+        // locks the invariant the simulator's pluggable `index` knob relies
+        // on: swapping backends can never perturb an estimate.
+        let points = random_points(350, 91);
+        let oracle = BruteForceIndex::build(&points);
+        let mut rng = StdRng::seed_from_u64(17);
+        for (name, idx) in backends(&points) {
+            for _ in 0..40 {
+                let q = Point::new(rng.gen_range(-50.0..1050.0), rng.gen_range(-50.0..1050.0));
+                let r = rng.gen_range(0.0..400.0);
+                let got: Vec<(usize, u64)> = idx
+                    .within_radius(&q, r)
+                    .iter()
+                    .map(|n| (n.id, n.distance.to_bits()))
+                    .collect();
+                let want: Vec<(usize, u64)> = oracle
+                    .within_radius(&q, r)
+                    .iter()
+                    .map(|n| (n.id, n.distance.to_bits()))
+                    .collect();
+                assert_eq!(got, want, "{name}: radius {r} at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_bit_identical_across_backends() {
+        // Same bit-level contract for the kNN path: every backend derives
+        // the emitted distance as sqrt(distance_sq) of the identical
+        // squared-distance expression.
+        let points = random_points(280, 57);
+        let oracle = BruteForceIndex::build(&points);
+        let mut rng = StdRng::seed_from_u64(23);
+        for (name, idx) in backends(&points) {
+            for _ in 0..40 {
+                let q = Point::new(rng.gen_range(-50.0..1050.0), rng.gen_range(-50.0..1050.0));
+                let k = rng.gen_range(1..25);
+                let got: Vec<(usize, u64)> = idx
+                    .k_nearest(&q, k)
+                    .iter()
+                    .map(|n| (n.id, n.distance.to_bits()))
+                    .collect();
+                let want: Vec<(usize, u64)> = oracle
+                    .k_nearest(&q, k)
+                    .iter()
+                    .map(|n| (n.id, n.distance.to_bits()))
+                    .collect();
+                assert_eq!(got, want, "{name}: k {k} at {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn all_backends_agree_on_radius() {
         let points = random_points(300, 5);
         let oracle = BruteForceIndex::build(&points);

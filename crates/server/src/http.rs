@@ -1,0 +1,478 @@
+//! Dependency-free HTTP/1.1 JSON front-end over [`std::net::TcpListener`].
+//!
+//! The wire surface of the serving layer. Endpoints:
+//!
+//! | method & path            | body / query                 | reply |
+//! |--------------------------|------------------------------|-------|
+//! | `GET /healthz`           | —                            | `{"ok":true}` |
+//! | `POST /jobs`             | `{"tenant"?, "scenario": {…}}` (declarative scenario, JSON form of the TOML schema) | `{"job_id": n}` |
+//! | `GET /jobs/{id}`         | —                            | [`JobStatus`] JSON (anytime estimate, CI, queries, stop reason) |
+//! | `GET /jobs/{id}/result`  | `?wait_ms=N` long-poll       | final estimate JSON, or `{"pending":true}` after the wait |
+//! | `DELETE /jobs/{id}`      | —                            | `{"cancelled":bool}` |
+//! | `GET /stats`             | —                            | [`SchedulerStats`] JSON |
+//! | `POST /shutdown`         | —                            | `{"ok":true}`, then the server drains and exits |
+//!
+//! The implementation is deliberately minimal — request line + headers +
+//! `Content-Length` body, `Connection: close`, one thread per connection —
+//! because the paper's workload is long-running estimation jobs, not HTTP
+//! throughput: all the concurrency that matters lives in the scheduler's
+//! wave interleaving, which a background ticker thread drives continuously.
+//!
+//! [`JobStatus`]: crate::scheduler::JobStatus
+//! [`SchedulerStats`]: crate::scheduler::SchedulerStats
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lbs_bench::Scenario;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::scheduler::Scheduler;
+
+/// Longest accepted header block.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Longest accepted request body.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-connection socket timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+/// Longest honoured `wait_ms` long-poll.
+const MAX_WAIT_MS: u64 = 120_000;
+
+/// Shared state of a running server.
+pub struct ServerState {
+    /// The scheduler behind the API (public so embedders and the session
+    /// probe can drive it directly).
+    pub scheduler: Mutex<Scheduler>,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Wraps a scheduler for serving.
+    pub fn new(scheduler: Scheduler) -> Arc<Self> {
+        Arc::new(ServerState {
+            scheduler: Mutex::new(scheduler),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Signals every server thread to exit after its current step.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A running HTTP server: ticker thread (drives the scheduler) plus
+/// acceptor thread (serves the API).
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving in background threads.
+    pub fn start(addr: &str, state: Arc<ServerState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let ticker_state = Arc::clone(&state);
+        let ticker = std::thread::spawn(move || {
+            while !ticker_state.shutting_down() {
+                let progressed = ticker_state
+                    .scheduler
+                    .lock()
+                    .expect("scheduler lock")
+                    .tick()
+                    .is_some();
+                if !progressed {
+                    // Idle: nothing runnable. Sleep briefly instead of
+                    // spinning on the lock.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        });
+
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::spawn(move || {
+            let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            while !acceptor_state.shutting_down() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_state = Arc::clone(&acceptor_state);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &conn_state);
+                        }));
+                        workers.retain(|w| !w.is_finished());
+                    }
+                    // Transient accept errors (ECONNABORTED, EINTR, fd
+                    // exhaustion, …) must not kill the accept loop — a dead
+                    // acceptor would leave the ticker running forever with
+                    // no way to deliver POST /shutdown. Back off briefly and
+                    // retry; the shutdown flag is the only exit.
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+
+        Ok(Server {
+            state,
+            addr: local,
+            threads: vec![ticker, acceptor],
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state handle.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Blocks until the server shuts down (via `POST /shutdown` or
+    /// [`ServerState::request_shutdown`]).
+    pub fn join(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: String,
+}
+
+impl Request {
+    fn query_u64(&self, key: &str) -> Option<u64> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(SOCKET_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(SOCKET_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+
+    // The header block reads through a hard byte cap: `read_line` on a raw
+    // stream would otherwise buffer a newline-free flood without limit
+    // before any post-hoc length check could run.
+    let mut header_reader = (&mut reader).take(MAX_HEADER_BYTES as u64);
+    let mut request_line = String::new();
+    header_reader
+        .read_line(&mut request_line)
+        .map_err(|e| e.to_string())?;
+    if request_line.len() >= MAX_HEADER_BYTES && !request_line.ends_with('\n') {
+        return Err("header block too large".to_string());
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err("malformed request line".to_string());
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = header_reader
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?;
+        if n > 0 && !line.ends_with('\n') && header_reader.limit() == 0 {
+            return Err("header block too large".to_string());
+        }
+        let line = line.trim_end();
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn json_of<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn error_body(message: &str) -> String {
+    json_of(&Value::Map(vec![(
+        "error".to_string(),
+        Value::Str(message.to_string()),
+    )]))
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(), String> {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(e) => {
+            write_response(&mut stream, 400, "Bad Request", &error_body(&e));
+            return Ok(());
+        }
+    };
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            write_response(&mut stream, 200, "OK", r#"{"ok":true}"#);
+        }
+        ("GET", ["stats"]) => {
+            let stats = state.scheduler.lock().expect("scheduler lock").stats();
+            write_response(&mut stream, 200, "OK", &json_of(&stats));
+        }
+        ("POST", ["shutdown"]) => {
+            write_response(&mut stream, 200, "OK", r#"{"ok":true}"#);
+            state.request_shutdown();
+        }
+        ("POST", ["jobs"]) => match submit_job(state, &request.body) {
+            Ok(id) => {
+                let reply = Value::Map(vec![("job_id".to_string(), Value::U64(id))]);
+                write_response(&mut stream, 201, "Created", &json_of(&reply));
+            }
+            Err(e) => {
+                write_response(&mut stream, 400, "Bad Request", &error_body(&e));
+            }
+        },
+        ("GET", ["jobs", id]) => match id.parse::<u64>() {
+            Ok(id) => {
+                let status = state.scheduler.lock().expect("scheduler lock").poll(id);
+                match status {
+                    Some(status) => write_response(&mut stream, 200, "OK", &json_of(&status)),
+                    None => {
+                        write_response(&mut stream, 404, "Not Found", &error_body("no such job"))
+                    }
+                }
+            }
+            Err(_) => write_response(&mut stream, 400, "Bad Request", &error_body("bad job id")),
+        },
+        ("GET", ["jobs", id, "result"]) => match id.parse::<u64>() {
+            Ok(id) => {
+                let wait_ms = request.query_u64("wait_ms").unwrap_or(0).min(MAX_WAIT_MS);
+                serve_result(&mut stream, state, id, wait_ms);
+            }
+            Err(_) => write_response(&mut stream, 400, "Bad Request", &error_body("bad job id")),
+        },
+        ("DELETE", ["jobs", id]) => match id.parse::<u64>() {
+            Ok(id) => {
+                let cancelled = state.scheduler.lock().expect("scheduler lock").cancel(id);
+                let reply = Value::Map(vec![("cancelled".to_string(), Value::Bool(cancelled))]);
+                write_response(&mut stream, 200, "OK", &json_of(&reply));
+            }
+            Err(_) => write_response(&mut stream, 400, "Bad Request", &error_body("bad job id")),
+        },
+        _ => {
+            write_response(&mut stream, 404, "Not Found", &error_body("no such route"));
+        }
+    }
+    Ok(())
+}
+
+fn submit_job(state: &Arc<ServerState>, body: &str) -> Result<u64, String> {
+    let value: Value = serde_json::from_str(body).map_err(|e| format!("bad JSON body: {e}"))?;
+    let tenant: Option<String> = match value.get("tenant") {
+        Some(v) => Some(String::from_value(v).map_err(|e| format!("tenant: {e}"))?),
+        None => None,
+    };
+    let scenario_value = value
+        .get("scenario")
+        .ok_or_else(|| "body needs a `scenario` object".to_string())?;
+    let scenario = Scenario::from_value(scenario_value).map_err(|e| e.to_string())?;
+    scenario.validate()?;
+    // Build the workload (dataset generation, the expensive part) *outside*
+    // the scheduler lock so running jobs keep ticking and polls keep
+    // answering while a large submission materialises.
+    let ctx = state
+        .scheduler
+        .lock()
+        .expect("scheduler lock")
+        .scenario_context();
+    let workload = lbs_bench::build_workload(&scenario, &ctx)?;
+    state
+        .scheduler
+        .lock()
+        .expect("scheduler lock")
+        .submit_workload(workload, tenant.as_deref())
+}
+
+/// Long-polls a job result: replies with the final estimate once the job is
+/// settled, or `{"pending":true}` after `wait_ms`.
+fn serve_result(stream: &mut TcpStream, state: &Arc<ServerState>, id: u64, wait_ms: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+    loop {
+        let reply = {
+            let scheduler = state.scheduler.lock().expect("scheduler lock");
+            match scheduler.poll(id) {
+                None => {
+                    write_response(stream, 404, "Not Found", &error_body("no such job"));
+                    return;
+                }
+                Some(status) if status.state != crate::scheduler::JobState::Running => {
+                    let mut fields = vec![
+                        ("status".to_string(), status.state.to_value()),
+                        ("scenario_id".to_string(), Value::Str(status.scenario_id)),
+                        ("tenant".to_string(), Value::Str(status.tenant)),
+                        ("snapshot".to_string(), status.snapshot.to_value()),
+                    ];
+                    if let Some(estimate) = scheduler.result(id) {
+                        fields.push(("estimate".to_string(), estimate.to_value()));
+                    }
+                    Some(Value::Map(fields))
+                }
+                Some(_) => None,
+            }
+        };
+        match reply {
+            Some(reply) => {
+                write_response(stream, 200, "OK", &json_of(&reply));
+                return;
+            }
+            // Give up on the deadline — or immediately on shutdown, so an
+            // in-flight long-poll cannot keep the server alive for the
+            // full `wait_ms`.
+            None if std::time::Instant::now() >= deadline || state.shutting_down() => {
+                write_response(stream, 202, "Accepted", r#"{"pending":true}"#);
+                return;
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A tiny HTTP client (used by `repro client` and the end-to-end tests).
+// ---------------------------------------------------------------------------
+
+/// Issues one HTTP request against `addr` and returns `(status, body)`.
+///
+/// This is the client half of the smoke pair: enough HTTP/1.1 to talk to
+/// [`Server`] (and to any reverse proxy that speaks `Connection: close`).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(SOCKET_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim()))?;
+
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = String::new();
+    match content_length {
+        Some(n) => {
+            let mut bytes = vec![0u8; n];
+            reader.read_exact(&mut bytes).map_err(|e| e.to_string())?;
+            body = String::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+        }
+        None => {
+            reader
+                .read_to_string(&mut body)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok((status, body))
+}

@@ -1,0 +1,42 @@
+//! # lbs-server
+//!
+//! The multi-tenant aggregate-serving layer: what turns the paper's
+//! estimators into a system that can serve partial answers to many
+//! concurrent clients over shared query budgets.
+//!
+//! Three pieces, bottom to top:
+//!
+//! * [`scheduler`] — a **deterministic round-robin scheduler** over
+//!   [`lbs_core::EstimationSession`] jobs. Each tick advances one job by one
+//!   wave; every job charges its tenant's shared
+//!   [`lbs_service::QueryBudget`], so quotas are enforced across jobs; and
+//!   because sessions derive all randomness from `(root_seed,
+//!   sample_index)`, every job's estimate stream is bit-identical no matter
+//!   how jobs interleave or in which order they arrived.
+//! * [`http`] — a **dependency-free HTTP/1.1 JSON front-end** over
+//!   [`std::net::TcpListener`]: submit a job from a declarative scenario
+//!   spec, poll its anytime estimate (value, running confidence interval,
+//!   queries spent, stop reason), long-poll the final result, cancel.
+//! * [`probe`] — the session-throughput probe (`jobs/s`, mean
+//!   time-to-first-estimate, shuffled-arrival determinism check) recorded in
+//!   `BENCH_repro.json` by every `repro` run.
+//!
+//! The `repro` binary lives in this crate (its `serve` / `client`
+//! subcommands need the server; everything experiment-shaped still comes
+//! from `lbs-bench`). `repro serve` starts the front-end; `repro client`
+//! submits a scenario file, streams anytime estimates, and can verify the
+//! served result against a local batch run (`--check-batch`) — the
+//! end-to-end smoke pair CI runs on every push.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod probe;
+pub mod scheduler;
+
+pub use http::{http_request, Server, ServerState};
+pub use probe::run_session_probe;
+pub use scheduler::{
+    JobState, JobStatus, Scheduler, SchedulerConfig, SchedulerStats, TenantStatus, DEFAULT_TENANT,
+};

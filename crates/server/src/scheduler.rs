@@ -1,0 +1,638 @@
+//! Deterministic multi-tenant job scheduler over anytime estimation
+//! sessions.
+//!
+//! A [`Scheduler`] owns many concurrent estimation **jobs** — each one an
+//! [`EstimationSession`] built from a declarative scenario spec — and
+//! advances them **one wave per tick** in strict round-robin order of
+//! submission. Nothing in the schedule depends on wall-clock time or thread
+//! interleaving, so the estimate stream of every job is bit-identical
+//! regardless of how many other jobs run beside it, in which order jobs of
+//! *different* tenants arrived, or how often the driving loop paused: each
+//! session's samples draw private RNGs seeded from `(root_seed,
+//! sample_index)`, and sessions share no mutable state.
+//!
+//! **Tenants** give the serving layer its quota model: every job charges the
+//! shared [`QueryBudget`] of its tenant, so one tenant's greedy aggregate
+//! cannot starve another's — the budget refuses further queries once the
+//! quota is spent and the affected jobs finish with whatever samples they
+//! completed (an anytime answer; jobs with zero samples fail). The one
+//! caveat mirrors the driver's hard-limit caveat: *which* of a tenant's jobs
+//! hits the wall depends on the interleave, so arrival-order invariance is
+//! only bit-exact while no hard quota binds mid-run.
+//!
+//! Job lifecycle: [`Scheduler::submit`] → (ticks) → `Done` / `Failed`, with
+//! [`Scheduler::poll`] serving anytime snapshots at every point,
+//! [`Scheduler::cancel`] stopping a job early (its partial estimate stays
+//! readable — anytime by construction), and [`Scheduler::result`] returning
+//! the final [`Estimate`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lbs_bench::{build_workload, Scale, Scenario, ScenarioContext, Workload};
+use lbs_core::{AnytimeSnapshot, Estimate, EstimationSession, SessionConfig};
+use lbs_service::{LbsBackend, QueryBudget};
+use serde::Serialize;
+
+/// Default tenant name for submissions that do not specify one.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Construction knobs of a [`Scheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads each wave fans out to (bit-identical at any value).
+    pub threads: usize,
+    /// Default root seed for scenarios that do not pin one.
+    pub seed: u64,
+    /// Apply the scenario smoke caps (small datasets/budgets) to every job.
+    pub smoke: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 1,
+            seed: 2015,
+            smoke: false,
+        }
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Queued or mid-run; waves are still being scheduled.
+    Running,
+    /// Finished with a final estimate.
+    Done,
+    /// Cancelled by the owner; a partial estimate may still be readable.
+    Cancelled,
+    /// Finished without a single completed sample (e.g. quota exhausted
+    /// immediately); carries the reason.
+    Failed(String),
+}
+
+/// Everything a caller polling a job can know.
+#[derive(Clone, Debug, Serialize)]
+pub struct JobStatus {
+    /// Job id (assigned at submission, strictly increasing).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Scenario id the job was built from.
+    pub scenario_id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Anytime estimate, confidence interval, cost and stop reason.
+    pub snapshot: AnytimeSnapshot,
+    /// Scheduler ticks this job has received.
+    pub ticks: u64,
+    /// Milliseconds from submission to the first snapshot with at least one
+    /// completed sample (wall clock; telemetry only).
+    pub time_to_first_estimate_ms: Option<u64>,
+}
+
+/// Per-tenant accounting.
+#[derive(Clone, Debug, Serialize)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub name: String,
+    /// Hard query quota, if any.
+    pub quota: Option<u64>,
+    /// Queries charged to the tenant's shared budget so far. Jobs whose
+    /// scenario pins its own `query_limit` under a quota-less tenant meter
+    /// privately and are not in this ledger (see
+    /// [`Scheduler::submit_workload`]).
+    pub queries_issued: u64,
+    /// Jobs ever submitted under this tenant.
+    pub jobs_submitted: u64,
+}
+
+/// Scheduler-wide counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct SchedulerStats {
+    /// Default root seed jobs are built with (scenarios may pin their own).
+    pub seed: u64,
+    /// Whether smoke caps apply to every job.
+    pub smoke: bool,
+    /// Worker threads per wave.
+    pub threads: usize,
+    /// Jobs ever submitted.
+    pub submitted: u64,
+    /// Jobs currently runnable.
+    pub running: usize,
+    /// Jobs finished with a result.
+    pub done: usize,
+    /// Jobs cancelled.
+    pub cancelled: usize,
+    /// Jobs failed.
+    pub failed: usize,
+    /// Total scheduler ticks served.
+    pub ticks: u64,
+    /// Per-tenant accounting, sorted by name.
+    pub tenants: Vec<TenantStatus>,
+}
+
+struct TenantState {
+    budget: Arc<QueryBudget>,
+    quota: Option<u64>,
+    jobs_submitted: u64,
+}
+
+struct Job {
+    tenant: String,
+    scenario_id: String,
+    truth: f64,
+    /// Live while the job is runnable; dropped when it settles so a
+    /// long-running server does not pin every finished job's dataset,
+    /// backend and estimator state in memory.
+    session: Option<EstimationSession<Box<dyn LbsBackend>>>,
+    /// Final snapshot, captured when the session is dropped.
+    final_snapshot: Option<AnytimeSnapshot>,
+    state: JobState,
+    result: Option<Estimate>,
+    ticks: u64,
+    submitted_at: Instant,
+    first_estimate_ms: Option<u64>,
+}
+
+impl Job {
+    fn snapshot(&self) -> AnytimeSnapshot {
+        match (&self.session, &self.final_snapshot) {
+            (Some(session), _) => session.snapshot(),
+            (None, Some(snapshot)) => snapshot.clone(),
+            (None, None) => unreachable!("settled jobs keep their final snapshot"),
+        }
+    }
+
+    /// Settles the job into `state`, storing the final estimate and
+    /// snapshot and releasing the session (dataset, backend, history).
+    fn settle(&mut self, state: JobState) {
+        if let Some(session) = self.session.take() {
+            self.final_snapshot = Some(session.snapshot());
+            self.result = session.finalize().ok();
+        }
+        self.state = state;
+    }
+}
+
+/// The deterministic round-robin scheduler (see the module docs).
+pub struct Scheduler {
+    config: SchedulerConfig,
+    jobs: BTreeMap<u64, Job>,
+    /// Runnable job ids in round-robin order.
+    queue: VecDeque<u64>,
+    next_id: u64,
+    ticks: u64,
+    tenants: BTreeMap<String, TenantState>,
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler {
+            config,
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            next_id: 1,
+            ticks: 0,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a tenant with an optional hard query quota shared by all of
+    /// its jobs. Re-registering an existing tenant is an error (quotas are
+    /// not silently replaced). Unknown tenants named at submission are
+    /// implicitly registered without a quota.
+    pub fn register_tenant(&mut self, name: &str, quota: Option<u64>) -> Result<(), String> {
+        if self.tenants.contains_key(name) {
+            return Err(format!("tenant `{name}` is already registered"));
+        }
+        let budget = match quota {
+            Some(limit) => QueryBudget::with_limit(limit),
+            None => QueryBudget::unlimited(),
+        };
+        self.tenants.insert(
+            name.to_string(),
+            TenantState {
+                budget,
+                quota,
+                jobs_submitted: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// The scenario-building context of this scheduler (what job workloads
+    /// are built with). Cheap to copy — the HTTP layer reads it under the
+    /// scheduler lock, then builds the (potentially large) workload
+    /// *outside* the lock so running jobs keep ticking.
+    pub fn scenario_context(&self) -> ScenarioContext {
+        ScenarioContext {
+            // Scale only matters to built-in experiment scenarios, which
+            // cannot be submitted as jobs; Small is a placeholder.
+            scale: Scale::Small,
+            seed: self.config.seed,
+            threads: self.config.threads,
+            smoke: self.config.smoke,
+        }
+    }
+
+    /// Submits a declarative scenario as a job under `tenant` (empty/None →
+    /// [`DEFAULT_TENANT`]) and returns its id. The job runs repetition 0 of
+    /// the scenario; with no `[session]` overrides its final estimate is
+    /// byte-identical to the batch path at the same seed.
+    pub fn submit(&mut self, scenario: &Scenario, tenant: Option<&str>) -> Result<u64, String> {
+        let workload = build_workload(scenario, &self.scenario_context())?;
+        self.submit_workload(workload, tenant)
+    }
+
+    /// Submits an already-built [`Workload`] (see
+    /// [`Scheduler::scenario_context`] for the build-outside-the-lock
+    /// pattern).
+    ///
+    /// Budget resolution: a tenant **quota** supersedes the scenario's own
+    /// `query_limit` (the tenant-wide cap is the stronger contract); for a
+    /// tenant without a quota the scenario's `query_limit` is honoured with
+    /// a private budget — exactly like the batch path, so default-tenant
+    /// jobs stay byte-identical to offline runs. Privately-metered jobs do
+    /// not appear in the tenant's `queries_issued` ledger.
+    pub fn submit_workload(
+        &mut self,
+        workload: Workload,
+        tenant: Option<&str>,
+    ) -> Result<u64, String> {
+        let tenant = match tenant {
+            Some(t) if !t.is_empty() => t,
+            _ => DEFAULT_TENANT,
+        };
+        if !self.tenants.contains_key(tenant) {
+            self.register_tenant(tenant, None)?;
+        }
+        let tenant_state = self.tenants.get_mut(tenant).expect("registered above");
+        let backend =
+            if tenant_state.quota.is_none() && workload.service_config.query_limit.is_some() {
+                workload.backend()
+            } else {
+                workload.backend_with_budget(tenant_state.budget.share())
+            };
+        let cfg: SessionConfig = workload.session_config(self.config.threads, 0);
+        let session = workload.start_session(backend, cfg)?;
+        tenant_state.jobs_submitted += 1;
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                tenant: tenant.to_string(),
+                scenario_id: workload.id.clone(),
+                truth: workload.truth,
+                session: Some(session),
+                final_snapshot: None,
+                state: JobState::Running,
+                result: None,
+                ticks: 0,
+                submitted_at: Instant::now(),
+                first_estimate_ms: None,
+            },
+        );
+        self.queue.push_back(id);
+        Ok(id)
+    }
+
+    /// Advances the next runnable job by one wave (strict round-robin) and
+    /// returns its id, or `None` when every job is settled.
+    pub fn tick(&mut self) -> Option<u64> {
+        let id = self.queue.pop_front()?;
+        self.ticks += 1;
+        let job = self.jobs.get_mut(&id).expect("queued jobs exist");
+        let session = job.session.as_mut().expect("queued jobs are live");
+        session.step();
+        job.ticks += 1;
+        if job.first_estimate_ms.is_none() && session.snapshot().samples > 0 {
+            job.first_estimate_ms =
+                Some(u64::try_from(job.submitted_at.elapsed().as_millis()).unwrap_or(u64::MAX));
+        }
+        if session.is_finished() {
+            let state = match session.finalize() {
+                Ok(_) => JobState::Done,
+                Err(e) => JobState::Failed(e.to_string()),
+            };
+            job.settle(state);
+        } else {
+            self.queue.push_back(id);
+        }
+        Some(id)
+    }
+
+    /// Ticks until every job is settled; returns the number of ticks served.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut ticks = 0;
+        while self.tick().is_some() {
+            ticks += 1;
+        }
+        ticks
+    }
+
+    /// `true` while at least one job is runnable.
+    pub fn has_runnable_jobs(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// The anytime status of a job.
+    pub fn poll(&self, id: u64) -> Option<JobStatus> {
+        let job = self.jobs.get(&id)?;
+        Some(JobStatus {
+            id,
+            tenant: job.tenant.clone(),
+            scenario_id: job.scenario_id.clone(),
+            state: job.state.clone(),
+            snapshot: job.snapshot(),
+            ticks: job.ticks,
+            time_to_first_estimate_ms: job.first_estimate_ms,
+        })
+    }
+
+    /// The final estimate of a finished job (`Done`), or the partial
+    /// estimate of a cancelled one, if it completed any sample.
+    pub fn result(&self, id: u64) -> Option<&Estimate> {
+        self.jobs.get(&id).and_then(|j| j.result.as_ref())
+    }
+
+    /// Ground truth of a job's aggregate (the scheduler generated the data,
+    /// so it knows; exposed for harnesses and smoke checks, never used by
+    /// the estimators).
+    pub fn truth(&self, id: u64) -> Option<f64> {
+        self.jobs.get(&id).map(|j| j.truth)
+    }
+
+    /// Cancels a running job. Its partial (anytime) estimate, if any sample
+    /// completed, becomes the job's result. Returns `false` for unknown or
+    /// already-settled jobs.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if job.state != JobState::Running {
+            return false;
+        }
+        if let Some(session) = job.session.as_mut() {
+            session.cancel();
+        }
+        job.settle(JobState::Cancelled);
+        self.queue.retain(|&queued| queued != id);
+        true
+    }
+
+    /// Scheduler-wide counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let mut done = 0;
+        let mut cancelled = 0;
+        let mut failed = 0;
+        let mut running = 0;
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Running => running += 1,
+                JobState::Done => done += 1,
+                JobState::Cancelled => cancelled += 1,
+                JobState::Failed(_) => failed += 1,
+            }
+        }
+        SchedulerStats {
+            seed: self.config.seed,
+            smoke: self.config.smoke,
+            threads: self.config.threads,
+            submitted: self.next_id - 1,
+            running,
+            done,
+            cancelled,
+            failed,
+            ticks: self.ticks,
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(name, t)| TenantStatus {
+                    name: name.clone(),
+                    quota: t.quota,
+                    queries_issued: t.budget.issued(),
+                    jobs_submitted: t.jobs_submitted,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_bench::load_scenario;
+
+    fn count_scenario(id: &str, seed: u64, budget: u64) -> Scenario {
+        let toml = format!(
+            "id = \"{id}\"\nseed = {seed}\n\n[dataset]\nmodel = \"uniform\"\nsize = 60\n\n\
+             [interface]\nkind = \"lr\"\nk = 5\n\n[aggregate]\nkind = \"count\"\n\n\
+             [estimator]\nalgorithm = \"lr\"\nbudget = {budget}\n"
+        );
+        let dir = std::env::temp_dir().join(format!("lbs-server-test-{id}-{seed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{id}.toml"));
+        std::fs::write(&path, toml).unwrap();
+        load_scenario(&path).unwrap()
+    }
+
+    #[test]
+    fn submit_tick_poll_result_lifecycle() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let id = sched
+            .submit(&count_scenario("lifecycle", 7, 150), None)
+            .unwrap();
+        let status = sched.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Running);
+        assert_eq!(status.snapshot.samples, 0);
+        assert!(sched.result(id).is_none());
+
+        sched.run_until_idle();
+        let status = sched.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert!(status.snapshot.finished);
+        assert!(status.snapshot.samples > 0);
+        let estimate = sched.result(id).expect("finished job has a result");
+        assert!(estimate.value.is_finite());
+        assert!(estimate.query_cost >= 150);
+        assert!(sched.truth(id).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn interleaved_jobs_match_solo_runs_bitwise() {
+        // Run the same scenario alone and interleaved with two other jobs:
+        // the estimate must be bit-identical — sessions share no state.
+        let scenario = count_scenario("interleave", 21, 200);
+
+        let mut solo = Scheduler::new(SchedulerConfig::default());
+        let solo_id = solo.submit(&scenario, None).unwrap();
+        solo.run_until_idle();
+        let solo_est = solo.result(solo_id).unwrap().clone();
+
+        let mut busy = Scheduler::new(SchedulerConfig::default());
+        let _a = busy
+            .submit(&count_scenario("interleave-a", 5, 120), Some("other"))
+            .unwrap();
+        let id = busy.submit(&scenario, Some("main")).unwrap();
+        let _b = busy
+            .submit(&count_scenario("interleave-b", 9, 120), Some("other"))
+            .unwrap();
+        busy.run_until_idle();
+        let busy_est = busy.result(id).unwrap();
+
+        assert_eq!(solo_est.value.to_bits(), busy_est.value.to_bits());
+        assert_eq!(solo_est.ci95, busy_est.ci95);
+        assert_eq!(solo_est.samples, busy_est.samples);
+        assert_eq!(solo_est.query_cost, busy_est.query_cost);
+    }
+
+    #[test]
+    fn arrival_order_does_not_change_estimates() {
+        let specs: Vec<Scenario> = (0..3)
+            .map(|i| count_scenario(&format!("order-{i}"), 30 + i, 150))
+            .collect();
+
+        let run_in_order = |order: &[usize]| -> BTreeMap<String, (u64, u64)> {
+            let mut sched = Scheduler::new(SchedulerConfig::default());
+            let ids: Vec<u64> = order
+                .iter()
+                .map(|&i| sched.submit(&specs[i], None).unwrap())
+                .collect();
+            sched.run_until_idle();
+            order
+                .iter()
+                .zip(ids)
+                .map(|(&i, id)| {
+                    let est = sched.result(id).unwrap();
+                    (specs[i].id.clone(), (est.value.to_bits(), est.query_cost))
+                })
+                .collect()
+        };
+
+        let forward = run_in_order(&[0, 1, 2]);
+        let reversed = run_in_order(&[2, 0, 1]);
+        assert_eq!(forward, reversed, "arrival order changed an estimate");
+    }
+
+    #[test]
+    fn tenant_quota_stops_jobs_with_anytime_answers() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        // Quota far below the job budget: the job must stop at the quota
+        // with a partial (but non-empty) sample set.
+        sched.register_tenant("capped", Some(60)).unwrap();
+        let id = sched
+            .submit(&count_scenario("quota", 11, 500), Some("capped"))
+            .unwrap();
+        sched.run_until_idle();
+        let status = sched.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Done, "{status:?}");
+        assert!(status.snapshot.samples > 0);
+        let stats = sched.stats();
+        let capped = stats.tenants.iter().find(|t| t.name == "capped").unwrap();
+        assert_eq!(capped.queries_issued, 60, "quota must be spent exactly");
+        assert_eq!(capped.quota, Some(60));
+
+        // A second job under the spent quota fails: zero queries allowed.
+        let id2 = sched
+            .submit(&count_scenario("quota-2", 12, 500), Some("capped"))
+            .unwrap();
+        sched.run_until_idle();
+        assert!(matches!(
+            sched.poll(id2).unwrap().state,
+            JobState::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn scenario_query_limit_is_honoured_without_a_tenant_quota() {
+        // A quota-less tenant must not lift the scenario's own hard
+        // `query_limit`: the served job has to behave exactly like the batch
+        // path, which enforces it.
+        let toml = "id = \"limited\"\nseed = 19\n\n[dataset]\nmodel = \"uniform\"\nsize = 60\n\n\
+             [interface]\nkind = \"lr\"\nk = 5\nquery_limit = 70\n\n[aggregate]\nkind = \"count\"\n\n\
+             [estimator]\nalgorithm = \"lr\"\nbudget = 500\n";
+        let dir = std::env::temp_dir().join("lbs-server-test-limited");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("limited.toml");
+        std::fs::write(&path, toml).unwrap();
+        let scenario = load_scenario(&path).unwrap();
+
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let id = sched.submit(&scenario, None).unwrap();
+        sched.run_until_idle();
+        let served = sched.result(id).expect("job finishes").clone();
+
+        // Local batch-equivalent run with the scenario's own budget rules.
+        let ctx = sched.scenario_context();
+        let workload = build_workload(&scenario, &ctx).unwrap();
+        let mut session = workload
+            .start_session(workload.backend(), workload.session_config(1, 0))
+            .unwrap();
+        while !session.is_finished() {
+            session.step();
+        }
+        let local = session.finalize().unwrap();
+        assert_eq!(served.value.to_bits(), local.value.to_bits());
+        assert_eq!(served.samples, local.samples);
+        // The hard limit actually bit: far fewer queries than the soft
+        // budget asked for.
+        assert!(served.query_cost <= 70, "{}", served.query_cost);
+        // Privately-metered job: the default tenant's shared ledger is
+        // untouched.
+        let stats = sched.stats();
+        let tenant = stats
+            .tenants
+            .iter()
+            .find(|t| t.name == DEFAULT_TENANT)
+            .unwrap();
+        assert_eq!(tenant.queries_issued, 0);
+    }
+
+    #[test]
+    fn cancel_keeps_partial_estimate() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let id = sched
+            .submit(&count_scenario("cancel", 13, 100_000), None)
+            .unwrap();
+        // A few ticks, then cancel long before the budget is spent.
+        for _ in 0..3 {
+            sched.tick();
+        }
+        assert!(sched.cancel(id));
+        let status = sched.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(status.snapshot.samples > 0, "partial samples survive");
+        assert!(sched.result(id).is_some(), "anytime estimate is readable");
+        // Cancelled jobs leave the run queue and cannot be cancelled twice.
+        assert!(!sched.has_runnable_jobs());
+        assert!(!sched.cancel(id));
+    }
+
+    #[test]
+    fn unknown_tenant_is_registered_implicitly_and_duplicates_rejected() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        sched
+            .submit(&count_scenario("implicit", 14, 100), Some("newcomer"))
+            .unwrap();
+        assert!(sched.register_tenant("newcomer", Some(10)).is_err());
+        let stats = sched.stats();
+        assert!(stats.tenants.iter().any(|t| t.name == "newcomer"));
+    }
+
+    #[test]
+    fn builtin_scenarios_are_rejected() {
+        let dir = std::env::temp_dir().join("lbs-server-test-builtin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("builtin.toml");
+        std::fs::write(&path, "id = \"builtin\"\nexperiment = \"fig11\"\n").unwrap();
+        let scenario = load_scenario(&path).unwrap();
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        assert!(sched.submit(&scenario, None).is_err());
+    }
+}

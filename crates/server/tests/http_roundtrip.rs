@@ -1,0 +1,108 @@
+//! End-to-end test of the HTTP front-end: a real `TcpListener` server on an
+//! ephemeral loopback port, driven through the same [`http_request`] client
+//! that `repro client` uses.
+
+use lbs_server::{http_request, Scheduler, SchedulerConfig, Server, ServerState};
+use serde::Value;
+
+fn scenario_json(id: &str, seed: u64, budget: u64) -> String {
+    format!(
+        r#"{{"id":"{id}","seed":{seed},
+            "dataset":{{"model":"uniform","size":50}},
+            "interface":{{"kind":"lr","k":5}},
+            "aggregate":{{"kind":"count"}},
+            "estimator":{{"algorithm":"lr","budget":{budget}}}}}"#
+    )
+}
+
+fn get_u64(value: &Value, key: &str) -> u64 {
+    match value.get(key) {
+        Some(Value::U64(n)) => *n,
+        Some(Value::I64(n)) => *n as u64,
+        Some(Value::F64(n)) => *n as u64,
+        other => panic!("field {key} missing or non-numeric: {other:?}"),
+    }
+}
+
+#[test]
+fn submit_poll_result_cancel_over_real_sockets() {
+    let state = ServerState::new(Scheduler::new(SchedulerConfig::default()));
+    let server = Server::start("127.0.0.1:0", state).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // Health check.
+    let (status, body) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("true"));
+
+    // Submit a small job and long-poll its result.
+    let body = format!(
+        r#"{{"tenant":"e2e","scenario":{}}}"#,
+        scenario_json("http_roundtrip", 3, 120)
+    );
+    let (status, reply) = http_request(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{reply}");
+    let reply: Value = serde_json::from_str(&reply).unwrap();
+    let job_id = get_u64(&reply, "job_id");
+
+    let (status, result) = http_request(
+        &addr,
+        "GET",
+        &format!("/jobs/{job_id}/result?wait_ms=60000"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{result}");
+    let result: Value = serde_json::from_str(&result).unwrap();
+    assert_eq!(
+        result.get("status"),
+        Some(&Value::Str("Done".to_string())),
+        "{result:?}"
+    );
+    let estimate = result.get("estimate").expect("final estimate present");
+    assert!(get_u64(estimate, "query_cost") >= 120);
+    assert!(get_u64(estimate, "samples") > 0);
+
+    // Poll endpoint agrees.
+    let (status, poll) = http_request(&addr, "GET", &format!("/jobs/{job_id}"), None).unwrap();
+    assert_eq!(status, 200);
+    let poll: Value = serde_json::from_str(&poll).unwrap();
+    assert_eq!(poll.get("tenant"), Some(&Value::Str("e2e".to_string())));
+    let snapshot = poll.get("snapshot").expect("snapshot present");
+    assert!(get_u64(snapshot, "samples") > 0);
+
+    // Submit a long job and cancel it.
+    let body = format!(
+        r#"{{"scenario":{}}}"#,
+        scenario_json("http_cancel", 5, 1_000_000)
+    );
+    let (status, reply) = http_request(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+    let reply: Value = serde_json::from_str(&reply).unwrap();
+    let cancel_id = get_u64(&reply, "job_id");
+    // Give the ticker a moment so the partial estimate is non-empty.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let (status, reply) =
+        http_request(&addr, "DELETE", &format!("/jobs/{cancel_id}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(reply.contains("true"), "{reply}");
+
+    // Stats reflect both jobs.
+    let (status, stats) = http_request(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    let stats: Value = serde_json::from_str(&stats).unwrap();
+    assert_eq!(get_u64(&stats, "submitted"), 2);
+
+    // Error paths: bad body, unknown job, unknown route.
+    let (status, _) = http_request(&addr, "POST", "/jobs", Some("{not json")).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_request(&addr, "GET", "/jobs/999", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+
+    // Clean shutdown over the wire.
+    let (status, _) = http_request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    server.join();
+}

@@ -46,7 +46,7 @@ mod service;
 
 pub use backend::{LatencyBackend, LbsBackend, RateLimitedBackend, TruncatingBackend};
 pub use budget::QueryBudget;
-pub use config::{Ranking, ReturnMode, ServiceConfig};
+pub use config::{IndexKind, Ranking, ReturnMode, ServiceConfig};
 pub use counter::QueryCounter;
 pub use interface::{PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
 pub use service::SimulatedLbs;

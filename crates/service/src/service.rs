@@ -17,11 +17,11 @@ use std::sync::Arc;
 
 use lbs_data::{Dataset, Tuple, TupleId};
 use lbs_geom::{Point, Rect};
-use lbs_index::{GridIndex, SpatialIndex};
+use lbs_index::{BruteForceIndex, GridIndex, KdTree, SpatialIndex};
 
 use crate::backend::LbsBackend;
 use crate::budget::QueryBudget;
-use crate::config::{Ranking, ReturnMode, ServiceConfig};
+use crate::config::{IndexKind, Ranking, ReturnMode, ServiceConfig};
 use crate::interface::{PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};
 
 /// A simulated LBS over a synthetic dataset.
@@ -32,7 +32,7 @@ pub struct SimulatedLbs {
     ids: Arc<Vec<TupleId>>,
     /// Positions (ranking locations, possibly obfuscated) in index order.
     ranking_locations: Arc<Vec<Point>>,
-    index: Arc<GridIndex>,
+    index: Arc<dyn SpatialIndex>,
     config: ServiceConfig,
     budget: Arc<QueryBudget>,
 }
@@ -71,12 +71,19 @@ impl SimulatedLbs {
                 _ => t.location,
             })
             .collect();
-        let index = GridIndex::build(&ranking_locations);
+        // Every backend is exact with the same canonical result order, so
+        // the choice is answer-preserving (locked by an equivalence test in
+        // `lbs-index`).
+        let index: Arc<dyn SpatialIndex> = match config.index {
+            IndexKind::Grid => Arc::new(GridIndex::build(&ranking_locations)),
+            IndexKind::KdTree => Arc::new(KdTree::build(&ranking_locations)),
+            IndexKind::Brute => Arc::new(BruteForceIndex::build(&ranking_locations)),
+        };
         SimulatedLbs {
             dataset,
             ids: Arc::new(ids),
             ranking_locations: Arc::new(ranking_locations),
-            index: Arc::new(index),
+            index,
             config,
             budget,
         }

@@ -1,0 +1,320 @@
+//! Acceptance tests of the anytime-session layer: checkpoint/resume
+//! determinism (bitwise, including the service ledger), anytime snapshots,
+//! early stopping, and answer-preservation of the pluggable index backends.
+
+use lbs::core::{
+    Aggregate, Estimate, EstimationSession, LnrLbsAggConfig, LnrSession, LrLbsAgg, LrLbsAggConfig,
+    LrSession, SampleDriver, SessionCheckpoint, SessionConfig, StopReason,
+};
+use lbs::data::{generators::ScenarioBuilder, Dataset};
+use lbs::geom::Rect;
+use lbs::service::{IndexKind, LbsBackend, ServiceConfig, SimulatedLbs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn region() -> Rect {
+    Rect::from_bounds(0.0, 0.0, 200.0, 200.0)
+}
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ScenarioBuilder::usa_pois(n)
+        .with_bbox(region())
+        .build(&mut rng)
+}
+
+/// Everything that must agree bitwise between two runs.
+fn fingerprint(e: &Estimate) -> (u64, u64, (u64, u64), u64, u64) {
+    (
+        e.value.to_bits(),
+        e.std_error.to_bits(),
+        (e.ci95.0.to_bits(), e.ci95.1.to_bits()),
+        e.samples,
+        e.query_cost,
+    )
+}
+
+/// Thread counts to exercise: always 1, plus 2 on multi-core machines
+/// (this container has a single CPU; oversubscribing real estimator work
+/// would only slow the test without changing coverage — bit-identity across
+/// thread counts is separately locked by `parallel_determinism.rs`).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1];
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        >= 2
+    {
+        counts.push(2);
+    }
+    counts
+}
+
+/// Runs an LR wave-mode session to completion, checkpointing and resuming
+/// at wave index `interrupt_at` (on the same service, like a process that
+/// snapshots its state, dies, and is restarted against the same backend).
+fn lr_run_with_interruption(
+    service: &SimulatedLbs,
+    budget: u64,
+    seed: u64,
+    threads: usize,
+    wave_size: Option<u64>,
+    interrupt_at: Option<u64>,
+) -> (Estimate, u64) {
+    let mut cfg = SessionConfig::new(budget, seed).with_threads(threads);
+    if let Some(wave) = wave_size {
+        cfg = cfg.with_wave_size(wave);
+    }
+    let mut session = LrSession::new(
+        service,
+        &region(),
+        &Aggregate::count_all(),
+        LrLbsAggConfig::default(),
+        lbs::core::lr::History::new(),
+        cfg,
+    );
+    let mut waves = 0u64;
+    while !session.is_finished() {
+        if interrupt_at == Some(waves) {
+            // Snapshot, drop the live session, resume from the snapshot.
+            let checkpoint = session.checkpoint();
+            drop(session);
+            session = LrSession::resume(service, checkpoint);
+        }
+        session.step();
+        waves += 1;
+    }
+    let estimate = session.finalize().expect("session completes");
+    (estimate, waves)
+}
+
+#[test]
+fn lr_checkpoint_resume_is_bit_identical_at_random_wave_indices() {
+    let d = dataset(120, 31);
+    for threads in thread_counts() {
+        let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(10));
+        let (baseline, total_waves) =
+            lr_run_with_interruption(&service, 900, 2015, threads, None, None);
+        let baseline_ledger = service.queries_issued();
+        assert!(total_waves >= 2, "need at least two waves to interrupt");
+
+        // A seeded sweep of random interruption points (plus the first and
+        // last wave boundaries as edge cases).
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut cut_points: Vec<u64> = (0..4).map(|_| rng.gen_range(0..total_waves)).collect();
+        cut_points.push(0);
+        cut_points.push(total_waves - 1);
+        for cut in cut_points {
+            let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(10));
+            let (resumed, _) =
+                lr_run_with_interruption(&service, 900, 2015, threads, None, Some(cut));
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&resumed),
+                "threads {threads}, interrupted at wave {cut}"
+            );
+            assert_eq!(baseline.trace, resumed.trace, "trace at wave {cut}");
+            assert_eq!(
+                baseline_ledger,
+                service.queries_issued(),
+                "service ledger diverged after resume at wave {cut}"
+            );
+            assert_eq!(baseline.engine, resumed.engine, "engine report at {cut}");
+        }
+    }
+}
+
+#[test]
+fn lr_checkpoint_resume_with_wave_size_one_hits_every_sample_index() {
+    // wave_size = 1 makes every sample index a wave boundary, so this is
+    // checkpoint/resume at a random *sample* index.
+    let d = dataset(60, 33);
+    for threads in thread_counts() {
+        let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(6));
+        let (baseline, total) = lr_run_with_interruption(&service, 250, 7, threads, Some(1), None);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..3 {
+            let cut = rng.gen_range(0..total);
+            let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(6));
+            let (resumed, _) =
+                lr_run_with_interruption(&service, 250, 7, threads, Some(1), Some(cut));
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&resumed),
+                "threads {threads}, sample index {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lnr_session_checkpoint_resume_is_bit_identical() {
+    let d = dataset(40, 35);
+    let service = SimulatedLbs::new(d.clone(), ServiceConfig::lnr_lbs(8));
+    let config = LnrLbsAggConfig {
+        delta: 0.3,
+        ..LnrLbsAggConfig::default()
+    };
+    let run = |interrupt: Option<u64>| {
+        let service = SimulatedLbs::new(d.clone(), ServiceConfig::lnr_lbs(8));
+        let mut session = LnrSession::new(
+            &service,
+            &region(),
+            &Aggregate::count_all(),
+            config.clone(),
+            SessionConfig::new(400, 11).with_wave_size(4),
+        );
+        let mut waves = 0u64;
+        while !session.is_finished() {
+            if interrupt == Some(waves) {
+                let checkpoint = session.checkpoint();
+                drop(session);
+                session = LnrSession::resume(&service, checkpoint);
+            }
+            session.step();
+            waves += 1;
+        }
+        (session.finalize().expect("finishes"), waves)
+    };
+    drop(service);
+    let (baseline, waves) = run(None);
+    for cut in [0, waves / 2, waves - 1] {
+        let (resumed, _) = run(Some(cut));
+        assert_eq!(fingerprint(&baseline), fingerprint(&resumed), "wave {cut}");
+    }
+}
+
+#[test]
+fn type_erased_sessions_checkpoint_through_the_enum() {
+    // The scheduler-facing wrapper: checkpoint an EstimationSession mid-run,
+    // rebuild it from the SessionCheckpoint, and finish — bitwise equal.
+    let d = dataset(80, 41);
+    let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(8));
+    let fresh = |svc| {
+        EstimationSession::Lr(Box::new(LrSession::new(
+            svc,
+            &region(),
+            &Aggregate::count_restaurants(),
+            LrLbsAggConfig::default(),
+            lbs::core::lr::History::new(),
+            SessionConfig::new(400, 5).with_wave_size(8),
+        )))
+    };
+    let mut baseline_session = fresh(&service);
+    while !baseline_session.is_finished() {
+        baseline_session.step();
+    }
+    let baseline = baseline_session.finalize().unwrap();
+
+    let service2 = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(8));
+    let mut session = fresh(&service2);
+    session.step();
+    session.step();
+    let checkpoint: SessionCheckpoint = session.checkpoint();
+    drop(session);
+    let mut resumed = EstimationSession::resume(&service2, checkpoint);
+    while !resumed.is_finished() {
+        resumed.step();
+    }
+    let resumed = resumed.finalize().unwrap();
+    assert_eq!(fingerprint(&baseline), fingerprint(&resumed));
+    assert_eq!(service.queries_issued(), service2.queries_issued());
+}
+
+#[test]
+fn anytime_snapshots_converge_and_stop_rules_fire() {
+    let d = dataset(100, 43);
+    let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(10));
+    let mut session = LrSession::new(
+        &service,
+        &region(),
+        &Aggregate::count_all(),
+        LrLbsAggConfig::default(),
+        lbs::core::lr::History::new(),
+        SessionConfig::new(100_000, 3)
+            .with_wave_size(16)
+            .with_target_ci_halfwidth(60.0),
+    );
+    let mut last_queries = 0;
+    while !session.is_finished() {
+        session.step();
+        let snap = session.snapshot();
+        assert!(snap.queries >= last_queries, "queries are monotone");
+        last_queries = snap.queries;
+        if snap.samples >= 2 {
+            assert!(snap.std_error >= 0.0);
+            assert!(snap.ci95.0 <= snap.value && snap.value <= snap.ci95.1);
+        }
+    }
+    let snap = session.snapshot();
+    // The budget is huge; the session must have stopped on the CI target.
+    assert_eq!(snap.stop, Some(StopReason::TargetPrecision));
+    assert!(snap.ci_halfwidth() <= 60.0);
+    assert!(snap.queries < 100_000);
+    // finalize() agrees with the snapshot.
+    let estimate = session.finalize().unwrap();
+    assert_eq!(estimate.value.to_bits(), snap.value.to_bits());
+    assert_eq!(estimate.samples, snap.samples);
+}
+
+#[test]
+fn serial_estimate_is_a_thin_loop_over_sessions() {
+    // The batch facade and a hand-driven serial session must agree bitwise
+    // when fed the same RNG stream.
+    let d = dataset(90, 47);
+    let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(8));
+    let mut estimator = LrLbsAgg::new(LrLbsAggConfig::default());
+    let mut rng = StdRng::seed_from_u64(13);
+    let batch = estimator
+        .estimate(&service, &region(), &Aggregate::count_all(), 300, &mut rng)
+        .unwrap();
+
+    let service2 = SimulatedLbs::new(d, ServiceConfig::lr_lbs(8));
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut session = LrSession::new_serial(
+        &service2,
+        &region(),
+        &Aggregate::count_all(),
+        LrLbsAggConfig::default(),
+        lbs::core::lr::History::new(),
+        300,
+    );
+    while !session.is_finished() {
+        session.step_serial(&mut rng);
+    }
+    let manual = session.finalize().unwrap();
+    assert_eq!(fingerprint(&batch), fingerprint(&manual));
+    assert_eq!(service.queries_issued(), service2.queries_issued());
+}
+
+#[test]
+fn index_backends_are_answer_preserving_end_to_end() {
+    // The `index = grid|kdtree|brute` knob must never change an estimate:
+    // all backends are exact with the same canonical order, so the whole
+    // estimation pipeline is bit-identical across them.
+    let d = dataset(140, 51);
+    let run = |kind: IndexKind| {
+        let service = SimulatedLbs::new(d.clone(), ServiceConfig::lr_lbs(10).with_index(kind));
+        let mut estimator = LrLbsAgg::new(LrLbsAggConfig::default());
+        estimator
+            .estimate_parallel(
+                &service,
+                &region(),
+                &Aggregate::count_all(),
+                600,
+                2015,
+                &SampleDriver::serial(),
+            )
+            .unwrap()
+    };
+    let grid = run(IndexKind::Grid);
+    for kind in [IndexKind::KdTree, IndexKind::Brute] {
+        let other = run(kind);
+        assert_eq!(
+            fingerprint(&grid),
+            fingerprint(&other),
+            "index backend {kind:?} changed the estimate"
+        );
+        assert_eq!(grid.trace, other.trace, "{kind:?}");
+    }
+}

@@ -352,10 +352,15 @@ pub mod __private {
     pub use super::{Deserialize, Error, Serialize, Value};
 
     /// Fetches a struct field, failing with a readable message.
+    ///
+    /// A missing key deserializes as [`Value::Null`], mirroring upstream
+    /// serde's treatment of absent `Option` fields (they become `None`);
+    /// any other type still fails, with the missing-field message.
     pub fn field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, Error> {
         match v.get(name) {
             Some(inner) => T::from_value(inner),
-            None => Err(Error::custom(format!("{ty}: missing field `{name}`"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("{ty}: missing field `{name}`"))),
         }
     }
 
