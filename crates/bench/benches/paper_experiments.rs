@@ -6,6 +6,8 @@
 //! *offline* cost of the algorithms (geometry, bookkeeping); the paper's cost
 //! metric — the number of kNN queries — is what the `repro` binary reports.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use lbs_bench::{run_experiment, Scale};

@@ -255,7 +255,7 @@ pub fn fig11_voronoi_decomposition(scale: Scale, seed: u64) -> ExperimentResult 
         .collect();
     let diagram = voronoi_diagram(&starbucks, &dataset.bbox());
     let mut areas = diagram.cell_areas();
-    areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    areas.sort_by(|a, b| a.total_cmp(b));
 
     let mut result = ExperimentResult::new("fig11", "Voronoi decomposition of Starbucks in US");
     result.note(format!(

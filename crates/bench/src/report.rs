@@ -176,6 +176,7 @@ pub const GATE_COST_SLACK: u64 = 50;
 pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String> {
     let mut violations = Vec::new();
     if fresh.scale != reference.scale {
+        // lbs-lint: allow(nondet-debug-fmt, reason = "Scale is a fieldless enum; Debug prints a fixed variant name")
         violations.push(format!(
             "scale mismatch: fresh {:?} vs reference {:?} — not comparable",
             fresh.scale, reference.scale

@@ -221,6 +221,7 @@ pub struct EstimatorSpec {
 fn as_map<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], SerdeError> {
     match value {
         Value::Map(entries) => Ok(entries),
+        // lbs-lint: allow(nondet-debug-fmt, reason = "vendored Value's Debug is deterministic; its map keeps insertion order")
         other => Err(SerdeError::custom(format!(
             "{ty}: expected a table, got {other:?}"
         ))),
@@ -852,6 +853,7 @@ fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Experim
                 "stop",
                 snapshot
                     .stop
+                    // lbs-lint: allow(nondet-debug-fmt, reason = "StopReason is a fieldless enum; Debug prints a fixed variant name")
                     .map(|s| format!("{s:?}"))
                     .unwrap_or_else(|| "-".to_string()),
             );

@@ -21,6 +21,7 @@ pub struct RankOracle<'a, S: LbsBackend + ?Sized = dyn LbsBackend> {
     service: &'a S,
     h: usize,
     /// Memoised full answers (all returned ids in rank order) per location.
+    // lbs-lint: allow(hashmap-iter, reason = "location-keyed memo cache; exact-key get/insert only, never iterated")
     cache: HashMap<(i64, i64), Vec<TupleId>>,
     queries: u64,
     /// Every tuple id ever observed in an answer, with one location where it
@@ -36,6 +37,7 @@ impl<'a, S: LbsBackend + ?Sized> RankOracle<'a, S> {
         RankOracle {
             service,
             h,
+            // lbs-lint: allow(hashmap-iter, reason = "location-keyed memo cache; exact-key get/insert only, never iterated")
             cache: HashMap::new(),
             queries: 0,
             companions: BTreeMap::new(),

@@ -81,8 +81,10 @@ pub fn explore_cell<S: lbs_service::LbsBackend + ?Sized>(
     let h = oracle.h();
     let mut halfplanes: Vec<HalfPlane> = Vec::new();
     let mut edges: Vec<EdgeEstimate> = Vec::new();
+    // lbs-lint: allow(hashmap-iter, reason = "keyed lookups (contains_key/entry) only; never iterated")
     let mut edge_for_tuple: HashMap<TupleId, usize> = HashMap::new();
     let mut confirmed: Vec<(Point, Vec<TupleId>)> = Vec::new();
+    // lbs-lint: allow(hashmap-iter, reason = "membership test for visited vertices; never iterated")
     let mut tested: HashSet<(i64, i64)> = HashSet::new();
     let mut vertex_answers: Vec<(Point, Vec<TupleId>, bool)> = Vec::new();
     let mut engine = EngineReport::default();
@@ -90,6 +92,7 @@ pub fn explore_cell<S: lbs_service::LbsBackend + ?Sized>(
     let add_edge = |edge: EdgeEstimate,
                     halfplanes: &mut Vec<HalfPlane>,
                     edges: &mut Vec<EdgeEstimate>,
+                    // lbs-lint: allow(hashmap-iter, reason = "closure borrows the lookup-only edge map; never iterated")
                     edge_for_tuple: &mut HashMap<TupleId, usize>|
      -> bool {
         // Orient the half-plane so that the point just inside the cell is on

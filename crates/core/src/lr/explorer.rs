@@ -248,6 +248,7 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
         }
     }
 
+    // lbs-lint: allow(hashmap-iter, reason = "dedup membership set (contains/insert); never iterated")
     let mut queried: HashSet<(i64, i64)> = HashSet::new();
     let mut query_log: Vec<Point> = Vec::new();
     let mut confirmed_vertices: Vec<Point> = Vec::new();

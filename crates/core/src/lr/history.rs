@@ -164,7 +164,7 @@ impl History {
             .values()
             .filter(|p| !p.approx_eq(site))
             .map(|p| p.distance(site))
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Records the volume of a cell computed during this run.

@@ -477,6 +477,7 @@ impl<S: LbsBackend> LrSession<S> {
         if self.state.common.wave.finished {
             return;
         }
+        // lbs-lint: allow(ambient-time, reason = "wall-clock early-stop picks when to stop; the estimate at any stop point stays bit-identical (session_checkpoint tests)")
         let started = std::time::Instant::now();
         let LrSessionState {
             common,
@@ -533,6 +534,7 @@ impl<S: LbsBackend> LrSession<S> {
         if self.state.common.wave.finished {
             return;
         }
+        // lbs-lint: allow(ambient-time, reason = "wall-clock early-stop picks when to stop; the estimate at any stop point stays bit-identical (session_checkpoint tests)")
         let started = std::time::Instant::now();
         let budget_left = self
             .state
@@ -736,6 +738,7 @@ impl<S: LbsBackend> LnrSession<S> {
         if self.state.common.wave.finished {
             return;
         }
+        // lbs-lint: allow(ambient-time, reason = "wall-clock early-stop picks when to stop; the estimate at any stop point stays bit-identical (session_checkpoint tests)")
         let started = std::time::Instant::now();
         let LnrSessionState {
             common,
@@ -795,6 +798,7 @@ impl<S: LbsBackend> LnrSession<S> {
         if self.state.common.wave.finished {
             return;
         }
+        // lbs-lint: allow(ambient-time, reason = "wall-clock early-stop picks when to stop; the estimate at any stop point stays bit-identical (session_checkpoint tests)")
         let started = std::time::Instant::now();
         let budget_left = self
             .state
@@ -969,6 +973,7 @@ impl<S: LbsBackend> NnoSession<S> {
         if self.state.common.wave.finished {
             return;
         }
+        // lbs-lint: allow(ambient-time, reason = "wall-clock early-stop picks when to stop; the estimate at any stop point stays bit-identical (session_checkpoint tests)")
         let started = std::time::Instant::now();
         let NnoSessionState {
             common,
@@ -1016,6 +1021,7 @@ impl<S: LbsBackend> NnoSession<S> {
         if self.state.common.wave.finished {
             return;
         }
+        // lbs-lint: allow(ambient-time, reason = "wall-clock early-stop picks when to stop; the estimate at any stop point stays bit-identical (session_checkpoint tests)")
         let started = std::time::Instant::now();
         let budget_left = self
             .state

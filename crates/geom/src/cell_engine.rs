@@ -84,10 +84,9 @@ pub struct CellBuildStats {
 pub fn sort_by_distance(site: &Point, pts: &mut [Point]) {
     pts.sort_by(|a, b| {
         a.distance_sq(site)
-            .partial_cmp(&b.distance_sq(site))
-            .unwrap()
-            .then(a.x.partial_cmp(&b.x).unwrap())
-            .then(a.y.partial_cmp(&b.y).unwrap())
+            .total_cmp(&b.distance_sq(site))
+            .then(a.x.total_cmp(&b.x))
+            .then(a.y.total_cmp(&b.y))
     });
 }
 
@@ -287,11 +286,10 @@ pub fn level_region_pruned(
     let mut sorted: Vec<HalfPlane> = halfplanes.to_vec();
     sorted.sort_by(|x, y| {
         key(x)
-            .partial_cmp(&key(y))
-            .unwrap()
-            .then(x.boundary.a.partial_cmp(&y.boundary.a).unwrap())
-            .then(x.boundary.b.partial_cmp(&y.boundary.b).unwrap())
-            .then(x.boundary.c.partial_cmp(&y.boundary.c).unwrap())
+            .total_cmp(&key(y))
+            .then(x.boundary.a.total_cmp(&y.boundary.a))
+            .then(x.boundary.b.total_cmp(&y.boundary.b))
+            .then(x.boundary.c.total_cmp(&y.boundary.c))
     });
 
     if k == 1 {
@@ -423,7 +421,7 @@ fn boundary_level_area(lines: &[Line], inside: &dyn Fn(&Point) -> bool, bbox: &R
                 }
             }
         }
-        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.sort_by(|a, b| a.total_cmp(b));
         ts.dedup_by(|a, b| (*a - *b).abs() <= 1e-9);
 
         for w in ts.windows(2) {
@@ -470,7 +468,7 @@ fn boundary_level_area(lines: &[Line], inside: &dyn Fn(&Point) -> bool, bbox: &R
                 }
             }
         }
-        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.sort_by(|a, b| a.total_cmp(b));
         ts.dedup_by(|a, b| (*a - *b).abs() <= 1e-9);
 
         for w in ts.windows(2) {

@@ -150,7 +150,7 @@ impl Circle {
         if intervals.is_empty() {
             return false;
         }
-        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut covered_until = 0.0_f64;
         for (s, e) in intervals {
             if s > covered_until + 1e-9 {

@@ -47,11 +47,7 @@ impl ConvexPolygon {
     /// Convex hull of an arbitrary point set (Andrew's monotone chain).
     pub fn hull(points: &[Point]) -> Self {
         let mut pts: Vec<Point> = points.to_vec();
-        pts.sort_by(|a, b| {
-            a.x.partial_cmp(&b.x)
-                .unwrap()
-                .then(a.y.partial_cmp(&b.y).unwrap())
-        });
+        pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
         pts.dedup_by(|a, b| a.approx_eq(b));
         let n = pts.len();
         if n <= 2 {

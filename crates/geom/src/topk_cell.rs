@@ -202,7 +202,7 @@ fn level_set_area(
     xs.retain(|x| x.is_finite());
     xs.iter_mut()
         .for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
     let mut total_area = 0.0;
@@ -251,7 +251,7 @@ fn level_set_area(
                 });
             }
         }
-        boundaries.sort_by(|a, b| a.y_mid.partial_cmp(&b.y_mid).unwrap());
+        boundaries.sort_by(|a, b| a.y_mid.total_cmp(&b.y_mid));
 
         for pair in boundaries.windows(2) {
             let (lo, hi) = (pair[0], pair[1]);
@@ -522,7 +522,7 @@ fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bb
     xs.retain(|x| x.is_finite());
     xs.iter_mut()
         .for_each(|x| *x = x.clamp(bbox.min_x, bbox.max_x));
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
     let mut total_area = 0.0;
@@ -565,7 +565,7 @@ fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bb
                 });
             }
         }
-        boundaries.sort_by(|a, b| a.y_mid.partial_cmp(&b.y_mid).unwrap());
+        boundaries.sort_by(|a, b| a.y_mid.total_cmp(&b.y_mid));
         for pair in boundaries.windows(2) {
             let (lo, hi) = (pair[0], pair[1]);
             let height_mid = hi.y_mid - lo.y_mid;

@@ -41,8 +41,7 @@ impl Ord for HeapEntry {
         // Larger distance first; ties resolved by larger id first so that the
         // kept set prefers smaller ids, matching the canonical order.
         self.distance_sq
-            .partial_cmp(&other.distance_sq)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.distance_sq)
             .then(self.id.cmp(&other.id))
     }
 }

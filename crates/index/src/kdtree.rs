@@ -72,7 +72,7 @@ impl KdTree {
         ids.sort_by(|&a, &b| {
             let (pa, pb) = (self.points[a], self.points[b]);
             let (ka, kb) = if axis_x { (pa.x, pb.x) } else { (pa.y, pb.y) };
-            ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
+            ka.total_cmp(&kb)
         });
         let split_point = self.points[ids[mid]];
         let value = if axis_x { split_point.x } else { split_point.y };
@@ -124,8 +124,7 @@ impl PartialOrd for Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         self.distance_sq
-            .partial_cmp(&other.distance_sq)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.distance_sq)
             .then(self.id.cmp(&other.id))
     }
 }

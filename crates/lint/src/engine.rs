@@ -1,0 +1,331 @@
+//! File walking, rule execution, suppression matching, and reporting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::rules::{rule_by_id, RawFinding, RULES};
+
+/// A finding after suppression matching.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Id of the rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Occurrence-specific description.
+    pub message: String,
+    /// The rule's fix hint.
+    pub hint: &'static str,
+    /// `Some(reason)` when an inline allow covers this finding.
+    pub suppressed: Option<String>,
+}
+
+/// Why a suppression annotation is considered stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaleKind {
+    /// The annotation names a rule id that does not exist.
+    UnknownRule,
+    /// The annotation's target line has no finding of the named rule.
+    Unmatched,
+    /// The `lbs-lint:` comment could not be parsed.
+    Malformed,
+}
+
+impl StaleKind {
+    /// Stable string form used in human and JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StaleKind::UnknownRule => "unknown-rule",
+            StaleKind::Unmatched => "unmatched",
+            StaleKind::Malformed => "malformed",
+        }
+    }
+}
+
+/// A suppression annotation that no longer (or never) did anything.
+/// In deny mode these fail the build: a stale allow is either a typo, a
+/// leftover from fixed code, or a shadow ban on a rule that was renamed —
+/// all of which silently weaken the gate if tolerated.
+#[derive(Debug, Clone)]
+pub struct StaleSuppression {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the annotation comment.
+    pub line: u32,
+    /// Why it is stale.
+    pub kind: StaleKind,
+    /// Details (rule id, parse error, ...).
+    pub detail: String,
+}
+
+/// The result of linting a file tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings covered by an inline allow, same order.
+    pub suppressed: Vec<Finding>,
+    /// Stale/malformed suppressions, sorted by (file, line).
+    pub stale: Vec<StaleSuppression>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when deny mode should exit non-zero.
+    pub fn deny_fails(&self) -> bool {
+        !self.findings.is_empty() || !self.stale.is_empty()
+    }
+}
+
+/// Directory names never descended into. `vendor` holds third-party
+/// stand-ins (exempt by contract), `target` is build output, `fixtures`
+/// holds the lint's own deliberately-hazardous test snippets, and `.git`
+/// is not source.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git"];
+
+/// Collects every workspace `.rs` file under `root`, sorted by relative
+/// path so output order never depends on directory-entry order.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints a single source text. Exposed for fixture tests.
+pub fn lint_source(rel: &str, src: &str) -> (Vec<Finding>, Vec<Finding>, Vec<StaleSuppression>) {
+    let out = lexer::lex(src);
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for rule in RULES {
+        raw.extend(rule.check(rel, &out.tokens));
+    }
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    let mut suppressed_by: Vec<Option<usize>> = vec![None; raw.len()];
+    let mut stale: Vec<StaleSuppression> = Vec::new();
+
+    for m in &out.malformed {
+        stale.push(StaleSuppression {
+            file: rel.to_string(),
+            line: m.line,
+            kind: StaleKind::Malformed,
+            detail: m.detail.clone(),
+        });
+    }
+
+    for (sup_idx, sup) in out.suppressions.iter().enumerate() {
+        if rule_by_id(&sup.rule).is_none() {
+            stale.push(StaleSuppression {
+                file: rel.to_string(),
+                line: sup.comment_line,
+                kind: StaleKind::UnknownRule,
+                detail: format!("no such rule `{}`", sup.rule),
+            });
+            continue;
+        }
+        let mut matched = false;
+        if let Some(target) = sup.target_line {
+            for (i, f) in raw.iter().enumerate() {
+                if f.line == target && f.rule == sup.rule {
+                    matched = true;
+                    // First annotation wins if several target the same line.
+                    suppressed_by[i].get_or_insert(sup_idx);
+                }
+            }
+        }
+        if !matched {
+            stale.push(StaleSuppression {
+                file: rel.to_string(),
+                line: sup.comment_line,
+                kind: StaleKind::Unmatched,
+                detail: format!(
+                    "allow({}) matches no `{}` finding on its target line",
+                    sup.rule, sup.rule
+                ),
+            });
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for (i, f) in raw.into_iter().enumerate() {
+        let hint = rule_by_id(f.rule).map(|r| r.hint).unwrap_or("");
+        let finding = Finding {
+            rule: f.rule,
+            file: rel.to_string(),
+            line: f.line,
+            message: f.message,
+            hint,
+            suppressed: suppressed_by[i].map(|s| out.suppressions[s].reason.clone()),
+        };
+        if finding.suppressed.is_some() {
+            suppressed.push(finding);
+        } else {
+            findings.push(finding);
+        }
+    }
+    stale.sort_by_key(|s| (s.line, s.detail.clone()));
+    (findings, suppressed, stale)
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_tree(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in collect_files(root)? {
+        let rel = rel_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        let (findings, suppressed, stale) = lint_source(&rel, &src);
+        report.findings.extend(findings);
+        report.suppressed.extend(suppressed);
+        report.stale.extend(stale);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut fields = vec![
+        format!("\"rule\":\"{}\"", json_escape(f.rule)),
+        format!("\"file\":\"{}\"", json_escape(&f.file)),
+        format!("\"line\":{}", f.line),
+        format!("\"message\":\"{}\"", json_escape(&f.message)),
+        format!("\"hint\":\"{}\"", json_escape(f.hint)),
+    ];
+    if let Some(reason) = &f.suppressed {
+        fields.push(format!("\"suppressed_reason\":\"{}\"", json_escape(reason)));
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders the report as a single JSON object (schema version 1).
+pub fn to_json(report: &LintReport, deny: bool) -> String {
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    let suppressed: Vec<String> = report.suppressed.iter().map(finding_json).collect();
+    let stale: Vec<String> = report
+        .stale
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&s.file),
+                s.line,
+                s.kind.as_str(),
+                json_escape(&s.detail)
+            )
+        })
+        .collect();
+    let ok = !deny || !report.deny_fails();
+    format!(
+        "{{\"version\":1,\"deny\":{},\"ok\":{},\"files_scanned\":{},\"findings\":[{}],\"suppressed\":[{}],\"stale_suppressions\":[{}]}}",
+        deny,
+        ok,
+        report.files_scanned,
+        findings.join(","),
+        suppressed.join(","),
+        stale.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_covers_all_matching_findings_on_the_line() {
+        // Two HashMap tokens on one line; one allow silences both.
+        let src = "let m: HashMap<u8, u8> = HashMap::new(); // lbs-lint: allow(hashmap-iter, reason = \"membership only\")\n";
+        let (findings, suppressed, stale) = lint_source("x.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed.len(), 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_stale() {
+        let src = "// lbs-lint: allow(no-such-rule, reason = \"x\")\nlet a = 1;\n";
+        let (_, _, stale) = lint_source("x.rs", src);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].kind, StaleKind::UnknownRule);
+    }
+
+    #[test]
+    fn unmatched_suppression_is_stale() {
+        let src = "// lbs-lint: allow(hashmap-iter, reason = \"was fixed\")\nlet a = 1;\n";
+        let (_, _, stale) = lint_source("x.rs", src);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].kind, StaleKind::Unmatched);
+    }
+
+    #[test]
+    fn wrong_rule_on_right_line_is_stale_and_finding_survives() {
+        let src =
+            "let t = Instant::now(); // lbs-lint: allow(hashmap-iter, reason = \"wrong rule\")\n";
+        let (findings, suppressed, stale) = lint_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "ambient-time");
+        assert!(suppressed.is_empty());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].kind, StaleKind::Unmatched);
+    }
+
+    #[test]
+    fn json_is_well_formed_for_empty_and_nonempty_reports() {
+        let report = LintReport::default();
+        let js = to_json(&report, true);
+        assert!(js.contains("\"ok\":true"));
+        let src = "let t = Instant::now();\n";
+        let (findings, suppressed, stale) = lint_source("x.rs", src);
+        let report = LintReport {
+            findings,
+            suppressed,
+            stale,
+            files_scanned: 1,
+        };
+        let js = to_json(&report, true);
+        assert!(js.contains("\"ok\":false"));
+        assert!(js.contains("\"rule\":\"ambient-time\""));
+    }
+}

@@ -1,0 +1,608 @@
+//! A lightweight Rust scanner: good enough to separate identifiers,
+//! punctuation, and literals from comments and strings, which is all the
+//! rule engine needs.
+//!
+//! This is deliberately *not* a full Rust lexer. It understands exactly the
+//! constructs that would otherwise produce false positives for token
+//! matching — line comments, (nested) block comments, string/char/byte
+//! literals, raw strings with any number of `#`s, raw identifiers, and the
+//! lifetime-versus-char-literal ambiguity — and treats everything else as
+//! single-character punctuation (with `::` kept as one token because rules
+//! match paths like `Instant::now`).
+//!
+//! The scanner also extracts `// lbs-lint: allow(<rule>, reason = "...")`
+//! suppression comments, recording the code line each one targets: the same
+//! line for a trailing comment, the next line that holds any code token for
+//! a comment on its own line.
+
+/// What kind of lexical element a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unsafe`, ...).
+    Ident,
+    /// Punctuation. Single characters, except `::` which is one token.
+    Punct,
+    /// A string, raw-string, byte-string, char, or numeric literal. For
+    /// string-like literals `text` is the raw source slice including quotes,
+    /// so rules can inspect format strings.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One lexical token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+/// A parsed `// lbs-lint: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule id named inside `allow(...)`.
+    pub rule: String,
+    /// The mandatory free-text reason.
+    pub reason: String,
+    /// Line of the comment itself (1-based).
+    pub comment_line: u32,
+    /// The code line this suppression applies to. For a trailing comment
+    /// this is `comment_line`; for a standalone comment it is the next line
+    /// that contains any token (`None` if the file ends first).
+    pub target_line: Option<u32>,
+}
+
+/// A `lbs-lint:` comment that could not be parsed as a valid annotation.
+#[derive(Debug, Clone)]
+pub struct MalformedSuppression {
+    /// Line of the comment (1-based).
+    pub line: u32,
+    /// Why the annotation was rejected.
+    pub detail: String,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All well-formed suppression annotations, with resolved target lines.
+    pub suppressions: Vec<Suppression>,
+    /// `lbs-lint:` comments that failed to parse. These are hard errors in
+    /// deny mode: a typo in an annotation must not silently disable it.
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+/// The marker that introduces a suppression comment.
+const MARKER: &str = "lbs-lint:";
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Scanner {
+    fn new(src: &str) -> Self {
+        Scanner {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Scans `src` into tokens and suppression annotations.
+pub fn lex(src: &str) -> LexOutput {
+    let mut s = Scanner::new(src);
+    let mut out = LexOutput::default();
+    // (comment_line, rule, reason, had_code_before_on_line)
+    let mut pending: Vec<(u32, String, String, bool)> = Vec::new();
+    let mut last_token_line: u32 = 0;
+
+    while let Some(c) = s.peek(0) {
+        let line = s.line;
+        match c {
+            c if c.is_whitespace() => {
+                s.bump();
+            }
+            '/' if s.peek(1) == Some('/') => {
+                let start = s.pos;
+                while let Some(c) = s.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+                let comment: String = s.chars[start..s.pos].iter().collect();
+                scan_suppression_comment(
+                    &comment,
+                    line,
+                    last_token_line == line,
+                    &mut pending,
+                    &mut out.malformed,
+                );
+            }
+            '/' if s.peek(1) == Some('*') => {
+                s.bump();
+                s.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (s.peek(0), s.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            s.bump();
+                            s.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            s.bump();
+                            s.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            '"' => {
+                let text = scan_string(&mut s);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`): after the
+                // quote, an identifier char NOT followed by a closing quote
+                // means lifetime.
+                let is_lifetime = match (s.peek(1), s.peek(2)) {
+                    (Some(c1), next) if is_ident_start(c1) => next != Some('\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    s.bump(); // '
+                    let start = s.pos;
+                    while let Some(c) = s.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        s.bump();
+                    }
+                    let name: String = s.chars[start..s.pos].iter().collect();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: name,
+                        line,
+                    });
+                } else {
+                    let text = scan_char(&mut s);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text,
+                        line,
+                    });
+                }
+                last_token_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                let text = scan_number(&mut s);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+            }
+            c if is_ident_start(c) => {
+                // `r"`/`r#"` raw strings, `b"` byte strings, `br#"`, `b'`,
+                // and `r#ident` raw identifiers all start like identifiers.
+                if let Some(text) = try_scan_prefixed_literal(&mut s) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text,
+                        line,
+                    });
+                    last_token_line = line;
+                    continue;
+                }
+                let raw_ident = c == 'r' && s.peek(1) == Some('#');
+                if raw_ident {
+                    s.bump();
+                    s.bump();
+                }
+                let start = s.pos;
+                while let Some(c) = s.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    s.bump();
+                }
+                let text: String = s.chars[start..s.pos].iter().collect();
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+            }
+            ':' if s.peek(1) == Some(':') => {
+                s.bump();
+                s.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            other => {
+                s.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: other.to_string(),
+                    line,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+
+    // Resolve standalone suppressions to the next line holding a token.
+    for (comment_line, rule, reason, trailing) in pending {
+        let target_line = if trailing {
+            Some(comment_line)
+        } else {
+            out.tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > comment_line)
+        };
+        out.suppressions.push(Suppression {
+            rule,
+            reason,
+            comment_line,
+            target_line,
+        });
+    }
+    out.suppressions
+        .sort_by_key(|sup| (sup.comment_line, sup.rule.clone()));
+    out
+}
+
+fn scan_string(s: &mut Scanner) -> String {
+    let start = s.pos;
+    s.bump(); // opening quote
+    while let Some(c) = s.bump() {
+        match c {
+            '\\' => {
+                s.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    s.chars[start..s.pos].iter().collect()
+}
+
+fn scan_char(s: &mut Scanner) -> String {
+    let start = s.pos;
+    s.bump(); // opening quote
+    while let Some(c) = s.bump() {
+        match c {
+            '\\' => {
+                s.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+    s.chars[start..s.pos].iter().collect()
+}
+
+/// Numbers: digits/underscores, a decimal point only when followed by a
+/// digit (so `a.0.partial_cmp` never swallows the method name), and a
+/// trailing alphanumeric type suffix / radix body (`u64`, `f32`, `x1f`).
+fn scan_number(s: &mut Scanner) -> String {
+    let start = s.pos;
+    s.bump();
+    loop {
+        match s.peek(0) {
+            Some(c) if c.is_ascii_digit() || c == '_' => {
+                s.bump();
+            }
+            Some('.') if s.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                s.bump();
+            }
+            Some(c) if c.is_alphanumeric() => {
+                // Type suffix or radix letters; also eats the `e` of an
+                // exponent (the sign and digits then lex as separate tokens,
+                // which is harmless for rule matching).
+                s.bump();
+            }
+            _ => break,
+        }
+    }
+    s.chars[start..s.pos].iter().collect()
+}
+
+/// Raw strings (`r"..."`, `r#"..."#`), byte strings (`b"..."`, `br#"..."#`),
+/// and byte chars (`b'x'`). Returns `None` when the cursor is on a plain
+/// identifier.
+fn try_scan_prefixed_literal(s: &mut Scanner) -> Option<String> {
+    let c0 = s.peek(0)?;
+    let (hash_scan_from, quote_kind) = match (c0, s.peek(1)) {
+        ('r', Some('"')) | ('r', Some('#')) => (1, '"'),
+        ('b', Some('"')) => (1, '"'),
+        ('b', Some('\'')) => (1, '\''),
+        ('b', Some('r')) => (2, '"'),
+        _ => return None,
+    };
+    // Count `#`s between the prefix and the quote; bail out if what follows
+    // is not a quote (then it's `r#ident` or an ordinary identifier).
+    let mut hashes = 0usize;
+    while s.peek(hash_scan_from + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if s.peek(hash_scan_from + hashes) != Some(quote_kind) {
+        return None;
+    }
+    if quote_kind == '\'' {
+        // b'x' — reuse the char scanner after consuming the prefix.
+        let start = s.pos;
+        s.bump(); // b
+        let _ = scan_char(s);
+        return Some(s.chars[start..s.pos].iter().collect());
+    }
+    let raw = hashes > 0 || c0 == 'r' || s.peek(1) == Some('r');
+    let start = s.pos;
+    for _ in 0..hash_scan_from + hashes + 1 {
+        s.bump(); // prefix, hashes, opening quote
+    }
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+        'outer: while let Some(c) = s.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if s.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    s.bump();
+                }
+                break;
+            }
+        }
+    } else {
+        // b"...": ordinary escapes.
+        while let Some(c) = s.bump() {
+            match c {
+                '\\' => {
+                    s.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+    Some(s.chars[start..s.pos].iter().collect())
+}
+
+/// Parses a line comment for the `lbs-lint:` marker. Well-formed allows are
+/// queued in `pending`; marker comments that fail to parse are recorded as
+/// malformed (a hard error in deny mode — a typo must not disable a
+/// suppression silently).
+fn scan_suppression_comment(
+    comment: &str,
+    line: u32,
+    trailing: bool,
+    pending: &mut Vec<(u32, String, String, bool)>,
+    malformed: &mut Vec<MalformedSuppression>,
+) {
+    let body = comment.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix(MARKER) else {
+        // Catch near-misses like `lbs-lint allow(...)` so they do not pass
+        // silently as prose.
+        if body.starts_with("lbs-lint") {
+            malformed.push(MalformedSuppression {
+                line,
+                detail: format!("annotation must start with `{MARKER}`"),
+            });
+        }
+        return;
+    };
+    match parse_allow(rest.trim()) {
+        Ok((rule, reason)) => pending.push((line, rule, reason, trailing)),
+        Err(detail) => malformed.push(MalformedSuppression { line, detail }),
+    }
+}
+
+/// Parses `allow(<rule>, reason = "...")`, returning `(rule, reason)`.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(<rule>, reason = \"...\")`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let rest = rest
+        .strip_suffix(')')
+        .ok_or_else(|| "expected closing `)`".to_string())?;
+    let (rule, rest) = rest
+        .split_once(',')
+        .ok_or_else(|| "expected `, reason = \"...\"` after the rule id".to_string())?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+        return Err(format!("`{rule}` is not a valid rule id"));
+    }
+    let rest = rest.trim();
+    let rest = rest
+        .strip_prefix("reason")
+        .ok_or_else(|| "expected `reason = \"...\"`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('=')
+        .ok_or_else(|| "expected `=` after `reason`".to_string())?
+        .trim();
+    let reason = rest
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"HashSet "quoted" inside raw"#;
+            let c = 'H';
+            let real = Real::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "HashSet"));
+        assert!(ids.iter().any(|i| i == "Real"));
+    }
+
+    #[test]
+    fn tuple_field_method_calls_are_not_numbers() {
+        let toks = lex("a.0.partial_cmp(&b.0)");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "partial_cmp"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn numeric_suffixes_and_ranges() {
+        let toks = lex("for i in 0..8u64 { let x = 1.5e3; }");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "i"));
+        // The `..` must not be folded into the numbers.
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Punct && t.text == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let src = "let m = HashMap::new(); // lbs-lint: allow(hashmap-iter, reason = \"never iterated\")\n";
+        let out = lex(src);
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].target_line, Some(1));
+        assert_eq!(out.suppressions[0].rule, "hashmap-iter");
+        assert_eq!(out.suppressions[0].reason, "never iterated");
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let src = "\n// lbs-lint: allow(ambient-time, reason = \"wall-clock stop\")\n// another comment\nlet t = Instant::now();\n";
+        let out = lex(src);
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].comment_line, 2);
+        assert_eq!(out.suppressions[0].target_line, Some(4));
+    }
+
+    #[test]
+    fn malformed_marker_comments_are_reported() {
+        for bad in [
+            "// lbs-lint: allow(hashmap-iter)",                  // no reason
+            "// lbs-lint: allow(hashmap-iter, reason = )",       // unquoted
+            "// lbs-lint: allow(, reason = \"x\")",              // empty rule
+            "// lbs-lint: allow(HashMap, reason = \"x\")",       // bad id chars
+            "// lbs-lint: deny(hashmap-iter)",                   // unknown verb
+            "// lbs-lint allow(hashmap-iter, reason = \"x\")",   // missing colon
+            "// lbs-lint: allow(hashmap-iter, reason = \"  \")", // blank reason
+        ] {
+            let out = lex(bad);
+            assert_eq!(out.malformed.len(), 1, "not rejected: {bad}");
+            assert!(out.suppressions.is_empty(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let out = lex(
+            r##"let a = br#"unsafe"#; let b = b"unsafe"; let c = b'u'; let d = r#struct_like;"##,
+        );
+        assert!(!out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unsafe"));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "struct_like"));
+    }
+}

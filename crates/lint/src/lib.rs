@@ -1,0 +1,35 @@
+//! `lbs-lint` — the workspace's determinism & float-safety static analysis.
+//!
+//! The reproduction's core promise is a *determinism contract*: estimates
+//! are bit-identical at any thread count, across checkpoint/resume cuts,
+//! with caches on or off, and served == batch. Two full PRs were spent
+//! hand-hunting violations of it (`HashMap` iteration order in PR 2,
+//! `partial_cmp` float ranking in PR 4). This crate turns those bug classes
+//! into named, machine-checked rules enforced in CI.
+//!
+//! Design constraints:
+//!
+//! - **Token-level, not regex.** A lightweight scanner ([`lexer`])
+//!   classifies comments, strings (incl. raw/byte strings), char literals
+//!   vs lifetimes, and identifiers, so prose about a hazard never counts as
+//!   one.
+//! - **Dependency-free.** Not even the vendored stand-ins: the lint builds
+//!   first and fastest in CI, before anything it checks.
+//! - **Suppressions are visible and audited.** The only way to exempt a
+//!   line is `// lbs-lint: allow(<rule>, reason = "...")` — parsed,
+//!   counted, reported, and itself checked for staleness (an allow whose
+//!   rule id is unknown or whose line no longer has the finding fails deny
+//!   mode).
+//!
+//! See [`rules::RULES`] for the rule table and `lbs-lint --explain <rule>`
+//! for long-form rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{collect_files, lint_source, lint_tree, to_json, Finding, LintReport};
+pub use rules::{rule_by_id, Rule, RULES};

@@ -1,0 +1,147 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! cargo run -p lbs-lint --               # report findings (exit 0)
+//! cargo run -p lbs-lint -- --deny       # exit 1 on findings/stale allows
+//! cargo run -p lbs-lint -- --deny --json
+//! cargo run -p lbs-lint -- --explain float-ord
+//! cargo run -p lbs-lint -- --list
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lbs_lint::{engine, rules};
+
+struct Options {
+    deny: bool,
+    json: bool,
+    root: PathBuf,
+    explain: Option<String>,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "lbs-lint: workspace determinism & float-safety static analysis\n\
+     \n\
+     USAGE: lbs-lint [--deny] [--json] [--root <dir>] [--explain <rule>] [--list]\n\
+     \n\
+     --deny           exit non-zero on any unsuppressed finding or stale\n\
+                      suppression (the CI mode)\n\
+     --json           emit the machine-readable report on stdout\n\
+     --root <dir>     workspace root to scan (default: current directory)\n\
+     --explain <rule> print the rationale and fix guidance for one rule\n\
+     --list           list all rules with one-line summaries\n\
+     \n\
+     Suppression syntax (inline, counted, stale-checked):\n\
+         // lbs-lint: allow(<rule>, reason = \"why this line is safe\")"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: false,
+        root: PathBuf::from("."),
+        explain: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--list" => opts.list = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule id")?);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for rule in rules::RULES {
+            println!("{:<18} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(id) = &opts.explain {
+        let Some(rule) = rules::rule_by_id(id) else {
+            eprintln!("error: no such rule `{id}`; known rules:");
+            for rule in rules::RULES {
+                eprintln!("  {:<18} {}", rule.id, rule.summary);
+            }
+            return ExitCode::from(2);
+        };
+        println!("{} — {}\n", rule.id, rule.summary);
+        println!("{}\n", rule.explain);
+        println!("fix hint: {}", rule.hint);
+        if !rule.allowed_path_suffixes.is_empty() {
+            println!("\npath-allowlisted modules:");
+            for p in rule.allowed_path_suffixes {
+                println!("  {p}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match engine::lint_tree(&opts.root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", engine::to_json(&report, opts.deny));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            println!("    hint: {}", f.hint);
+        }
+        for s in &report.stale {
+            println!(
+                "{}:{}: [stale-suppression/{}] {}",
+                s.file,
+                s.line,
+                s.kind.as_str(),
+                s.detail
+            );
+        }
+        println!(
+            "lbs-lint: {} finding(s), {} suppressed, {} stale suppression(s) across {} files{}",
+            report.findings.len(),
+            report.suppressed.len(),
+            report.stale.len(),
+            report.files_scanned,
+            if opts.deny { " (deny mode)" } else { "" }
+        );
+    }
+
+    if opts.deny && report.deny_fails() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,9 @@
+// Negative fixture: the seeded (root_seed, sample_index) plumbing is the
+// only sanctioned randomness; thread_rng in prose must not fire.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn draw(root_seed: u64, sample_index: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(root_seed ^ sample_index);
+    rng.gen()
+}

@@ -1,0 +1,10 @@
+// Positive fixture: entropy sources must be flagged.
+fn draw() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _also: u8 = rand::random();
+    rng.gen()
+}
+
+fn reseed() -> StdRng {
+    StdRng::from_entropy()
+}

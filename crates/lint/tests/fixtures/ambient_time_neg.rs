@@ -1,0 +1,12 @@
+// Negative fixture: passing instants around (no ambient read) is fine, and
+// prose about Instant::now must not fire.
+use std::time::{Duration, Instant};
+
+/// Callers inject the clock; `Instant::now` never appears in code here.
+fn elapsed_ms(started: Instant, now: Instant) -> u64 {
+    now.duration_since(started).as_millis() as u64
+}
+
+fn budget() -> Duration {
+    Duration::from_millis(250)
+}

@@ -1,0 +1,11 @@
+// Positive fixture: ambient wall-clock reads must be flagged.
+use std::time::{Duration, Instant, SystemTime};
+
+fn elapsed_ms(since: Instant) -> u64 {
+    let now = Instant::now();
+    now.duration_since(since).as_millis() as u64
+}
+
+fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,26 @@
+// Negative fixture: total_cmp comparators and PartialOrd impl definitions.
+use std::cmp::Ordering;
+
+fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    // partial_cmp in a comment must not fire.
+    xs.sort_by(f64::total_cmp);
+    xs
+}
+
+struct ByScore(f64);
+impl PartialEq for ByScore {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for ByScore {}
+impl PartialOrd for ByScore {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByScore {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}

@@ -1,0 +1,10 @@
+// Positive fixture: partial_cmp comparators must be flagged.
+fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+fn best(xs: &[f64]) -> Option<&f64> {
+    xs.iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}

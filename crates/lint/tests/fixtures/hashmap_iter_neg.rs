@@ -1,0 +1,13 @@
+// Negative fixture: ordered collections, prose, and strings must not fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A HashMap would randomize iteration order here; a BTreeMap does not.
+fn tally(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for x in xs {
+        *counts.entry(*x).or_insert(0) += 1;
+    }
+    let _label = "HashMap and HashSet inside a string literal";
+    let _ordered: BTreeSet<u64> = xs.iter().copied().collect();
+    counts.into_iter().collect()
+}

@@ -1,0 +1,12 @@
+// Positive fixture: HashMap/HashSet in code positions must be flagged.
+use std::collections::{HashMap, HashSet};
+
+fn tally(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for x in xs {
+        *counts.entry(*x).or_insert(0) += 1;
+    }
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    counts.into_iter().collect()
+}

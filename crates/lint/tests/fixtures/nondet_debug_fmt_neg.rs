@@ -1,0 +1,9 @@
+// Negative fixture: Display formatting and assert-message Debug are fine.
+fn report(pairs: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    assert_eq!(pairs.len(), pairs.len(), "{pairs:?}");
+    out
+}

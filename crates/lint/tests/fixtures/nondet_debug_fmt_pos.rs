@@ -1,0 +1,10 @@
+// Positive fixture: Debug specs in output-producing macros must be flagged.
+fn report(stops: &[(u64, u64)]) -> String {
+    let mut out = format!("stops: {stops:?}\n");
+    out.push_str("done");
+    out
+}
+
+fn log_pretty(stops: &[(u64, u64)]) {
+    println!("snapshot = {:#?}", stops);
+}

@@ -1,0 +1,15 @@
+// Fixture: all three stale-suppression kinds.
+// lbs-lint: allow(no-such-rule, reason = "unknown rule id")
+fn a() -> u64 {
+    1
+}
+
+// lbs-lint: allow(hashmap-iter, reason = "the hazard below was fixed long ago")
+fn b() -> u64 {
+    2
+}
+
+// lbs-lint: allow(float-ord)
+fn c() -> u64 {
+    3
+}

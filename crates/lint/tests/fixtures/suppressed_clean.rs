@@ -1,0 +1,14 @@
+// Fixture: every hazard carries a valid allow, so deny mode passes.
+use std::collections::HashSet;
+
+fn dedup(xs: &[u64]) -> usize {
+    // lbs-lint: allow(hashmap-iter, reason = "membership only; never iterated")
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut kept = 0;
+    for x in xs {
+        if seen.insert(*x) {
+            kept += 1;
+        }
+    }
+    kept
+}

@@ -1,0 +1,9 @@
+// Negative fixture: safe code, the forbid attribute, and prose/strings
+// containing the word unsafe must not fire.
+#![forbid(unsafe_code)]
+
+/// Nothing unsafe here; "unsafe" in a string is prose, not code.
+fn read_first(xs: &[u8]) -> Option<u8> {
+    let _label = "unsafe";
+    xs.first().copied()
+}

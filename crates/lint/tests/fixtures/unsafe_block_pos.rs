@@ -1,0 +1,4 @@
+// Positive fixture: any unsafe token in workspace code must be flagged.
+fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

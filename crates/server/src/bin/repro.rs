@@ -36,6 +36,8 @@
 //! `--check-batch` — re-runs the same scenario locally through the batch
 //! path and asserts the served estimate matches bit for bit.
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fs;
 use std::path::PathBuf;
@@ -365,6 +367,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        // lbs-lint: allow(nondet-debug-fmt, reason = "Scale is a fieldless enum; Debug prints a fixed variant name")
         println!(
             "Running {} scenario(s) at {:?} scale (seed {}, {} thread(s){})\n",
             scenarios.len(),
@@ -380,6 +383,7 @@ fn main() -> ExitCode {
             smoke: options.smoke,
         };
         for scenario in &scenarios {
+            // lbs-lint: allow(ambient-time, reason = "CLI wall-time reporting only; no estimate depends on it")
             let started = std::time::Instant::now();
             let result = match lbs_bench::run_scenario(scenario, &ctx) {
                 Ok(result) => result,
@@ -402,6 +406,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        // lbs-lint: allow(nondet-debug-fmt, reason = "Scale is a fieldless enum; Debug prints a fixed variant name")
         println!(
             "Reproducing {} experiment(s) at {:?} scale (seed {}, {} thread(s))\n",
             options.experiments.len(),
@@ -410,6 +415,7 @@ fn main() -> ExitCode {
             options.threads,
         );
         for id in &options.experiments {
+            // lbs-lint: allow(ambient-time, reason = "CLI wall-time reporting only; no estimate depends on it")
             let started = std::time::Instant::now();
             let result = run_experiment_threaded(id, options.scale, options.seed, options.threads);
             let wall_time_s = started.elapsed().as_secs_f64();
@@ -597,6 +603,7 @@ fn client_inner(options: &ClientOptions) -> Result<(), String> {
     let reply: Value =
         serde_json::from_str(&reply).map_err(|e| format!("bad submit reply: {e} ({reply})"))?;
     if status != 201 {
+        // lbs-lint: allow(nondet-debug-fmt, reason = "error path; vendored Value's Debug is deterministic (ordered map)")
         return Err(format!("submit failed (HTTP {status}): {reply:?}"));
     }
     let job_id =
@@ -604,6 +611,7 @@ fn client_inner(options: &ClientOptions) -> Result<(), String> {
     println!("submitted `{}` as job {job_id}", scenario.id);
 
     // Poll the anytime estimate until the job settles.
+    // lbs-lint: allow(ambient-time, reason = "client-side poll deadline; served results are unaffected")
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(options.timeout_s);
     let final_state = loop {
         let (status, reply) = http_request(&options.addr, "GET", &format!("/jobs/{job_id}"), None)?;
@@ -631,6 +639,7 @@ fn client_inner(options: &ClientOptions) -> Result<(), String> {
         if !running {
             break parsed;
         }
+        // lbs-lint: allow(ambient-time, reason = "client-side poll deadline; served results are unaffected")
         if std::time::Instant::now() >= deadline {
             return Err(format!("timed out after {}s", options.timeout_s));
         }
@@ -650,6 +659,7 @@ fn client_inner(options: &ClientOptions) -> Result<(), String> {
         serde_json::from_str(&reply).map_err(|e| format!("bad result reply: {e}"))?;
     let estimate = result
         .get("estimate")
+        // lbs-lint: allow(nondet-debug-fmt, reason = "error path; vendored Value's Debug is deterministic (ordered map)")
         .ok_or_else(|| format!("job settled without an estimate: {final_state:?}"))?;
     let served_value = estimate
         .get("value")

@@ -367,6 +367,7 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> Result<u64, String> {
 /// Long-polls a job result: replies with the final estimate once the job is
 /// settled, or `{"pending":true}` after `wait_ms`.
 fn serve_result(stream: &mut TcpStream, state: &Arc<ServerState>, id: u64, wait_ms: u64) {
+    // lbs-lint: allow(ambient-time, reason = "long-poll timeout decides when to reply, never what the reply contains")
     let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
     loop {
         let reply = {
@@ -399,6 +400,7 @@ fn serve_result(stream: &mut TcpStream, state: &Arc<ServerState>, id: u64, wait_
             // Give up on the deadline — or immediately on shutdown, so an
             // in-flight long-poll cannot keep the server alive for the
             // full `wait_ms`.
+            // lbs-lint: allow(ambient-time, reason = "long-poll timeout decides when to reply, never what the reply contains")
             None if std::time::Instant::now() >= deadline || state.shutting_down() => {
                 write_response(stream, 202, "Accepted", r#"{"pending":true}"#);
                 return;

@@ -294,6 +294,7 @@ impl Scheduler {
                 state: JobState::Running,
                 result: None,
                 ticks: 0,
+                // lbs-lint: allow(ambient-time, reason = "feeds the first_estimate_ms latency stat only, never an estimate")
                 submitted_at: Instant::now(),
                 first_estimate_ms: None,
             },

@@ -6,6 +6,8 @@
 //! cargo run --release --example locate_hidden_user
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lbs::core::lnr::cell::{explore_cell, LnrExploreConfig};
 use lbs::core::lnr::locate::{infer_position, LocateConfig};
 use lbs::core::lnr::RankOracle;

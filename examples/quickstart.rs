@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lbs::core::{Aggregate, LnrLbsAgg, LnrLbsAggConfig, LrLbsAgg, LrLbsAggConfig};
 use lbs::data::ScenarioBuilder;
 use lbs::service::{LbsBackend, ServiceConfig, SimulatedLbs};

@@ -7,6 +7,8 @@
 //! cargo run --release --example starbucks_count
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lbs::core::{Aggregate, LrLbsAgg, LrLbsAggConfig, Selection};
 use lbs::data::{attrs, ScenarioBuilder};
 use lbs::service::{PassThroughFilter, ServiceConfig, SimulatedLbs};

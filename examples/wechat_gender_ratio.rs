@@ -6,6 +6,8 @@
 //! cargo run --release --example wechat_gender_ratio
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lbs::core::{Aggregate, LnrLbsAgg, LnrLbsAggConfig, Selection};
 use lbs::data::{attrs, ScenarioBuilder};
 use lbs::service::{ServiceConfig, SimulatedLbs};

@@ -198,6 +198,7 @@ fn four_threads_beat_one_on_multicore_machines() {
     let service = SimulatedLbs::new(d, ServiceConfig::lr_lbs(10));
     let timed = |threads: usize| {
         let mut est = LrLbsAgg::new(LrLbsAggConfig::default());
+        // lbs-lint: allow(ambient-time, reason = "speedup probe timing; assertions compare estimates, not times")
         let started = std::time::Instant::now();
         let out = est
             .estimate_parallel(
