@@ -30,10 +30,10 @@ pub mod scenario;
 pub mod toml_lite;
 
 pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
-pub use report::{BenchRecord, BenchReport, SessionBenchReport, SpeedupReport};
+pub use report::{BenchRecord, BenchReport, CacheBenchReport, SessionBenchReport, SpeedupReport};
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;
 pub use scenario::{
-    build_workload, load_scenario, load_scenario_dir, run_scenario, Scenario, ScenarioContext,
-    SessionSpec, Workload,
+    build_workload, load_scenario, load_scenario_dir, run_scenario, BackendSpec, CacheMode,
+    MutationSpec, Scenario, ScenarioContext, SessionSpec, Workload,
 };

@@ -107,6 +107,29 @@ pub struct SessionBenchReport {
     pub deterministic: bool,
 }
 
+/// Shared answer-cache probe of the serving layer: one small `cache =
+/// "shared"` scenario submitted twice (under two tenants) through the
+/// scheduler, with the replayed job's estimate compared bitwise against the
+/// first and the cache counters recorded.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheBenchReport {
+    /// Cache hits across both submissions (the replay must produce > 0).
+    pub hits: u64,
+    /// Cache misses — with single-flight population, the number of distinct
+    /// keys the probe touched.
+    pub misses: u64,
+    /// Entries dropped by dataset-version migrations.
+    pub invalidations: u64,
+    /// Entries dropped by the capacity bound.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// `true` when the second submission — served from the warm shared
+    /// cache under a different tenant — reproduced the first estimate bit
+    /// for bit (value, confidence interval, samples, query cost).
+    pub deterministic: bool,
+}
+
 /// The complete content of `BENCH_repro.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -125,6 +148,9 @@ pub struct BenchReport {
     /// Session-throughput probe of the serving layer (absent in reports
     /// written before the serving layer existed, and in scenario-mode runs).
     pub sessions: Option<SessionBenchReport>,
+    /// Shared answer-cache probe of the serving layer (absent in reports
+    /// written before the cache existed, and in scenario-mode runs).
+    pub cache: Option<CacheBenchReport>,
 }
 
 impl BenchReport {
@@ -138,6 +164,7 @@ impl BenchReport {
             experiments: Vec::new(),
             speedup: None,
             sessions: None,
+            cache: None,
         }
     }
 
@@ -265,6 +292,22 @@ pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String>
             violations.push(
                 "session probe: shuffled-submission scheduler run produced different \
                  estimates — determinism regression"
+                    .to_string(),
+            );
+        }
+    }
+    if let Some(cache) = &fresh.cache {
+        if !cache.deterministic {
+            violations.push(
+                "cache probe: replaying a submission through the warm shared cache \
+                 changed its estimate — determinism regression"
+                    .to_string(),
+            );
+        }
+        if cache.hits == 0 {
+            violations.push(
+                "cache probe: replaying a submission produced zero cache hits — the \
+                 shared answer cache is not serving"
                     .to_string(),
             );
         }
@@ -508,6 +551,34 @@ mod tests {
         assert!(gate_against(&broken, &reference)
             .iter()
             .any(|v| v.contains("determinism")));
+    }
+
+    #[test]
+    fn gate_checks_the_cache_probe() {
+        let reference = BenchReport::new(Scale::Small, 2015, 1);
+        let probe = |hits: u64, deterministic: bool| CacheBenchReport {
+            hits,
+            misses: 40,
+            invalidations: 0,
+            evictions: 0,
+            hit_rate: hits as f64 / (hits + 40) as f64,
+            deterministic,
+        };
+        let mut healthy = BenchReport::new(Scale::Small, 2015, 1);
+        healthy.cache = Some(probe(40, true));
+        assert!(gate_against(&healthy, &reference).is_empty());
+
+        let mut nondeterministic = BenchReport::new(Scale::Small, 2015, 1);
+        nondeterministic.cache = Some(probe(40, false));
+        assert!(gate_against(&nondeterministic, &reference)
+            .iter()
+            .any(|v| v.contains("cache probe") && v.contains("determinism")));
+
+        let mut cold = BenchReport::new(Scale::Small, 2015, 1);
+        cold.cache = Some(probe(0, true));
+        assert!(gate_against(&cold, &reference)
+            .iter()
+            .any(|v| v.contains("zero cache hits")));
     }
 
     #[test]

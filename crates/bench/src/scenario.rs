@@ -28,18 +28,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Error as SerdeError, Value};
 
 use lbs_core::{
     Aggregate, Estimate, EstimateError, EstimationSession, LnrLbsAggConfig, LnrSession,
     LrLbsAggConfig, LrSession, NnoConfig, NnoSession, Selection, SessionConfig,
 };
-use lbs_data::{Dataset, DensityGrid, ScenarioBuilder};
+use lbs_data::{Dataset, DensityGrid, ScenarioBuilder, Tuple};
 use lbs_geom::Rect;
 use lbs_service::{
-    IndexKind, LatencyBackend, LbsBackend, QueryBudget, Ranking, RateLimitedBackend, ServiceConfig,
-    SimulatedLbs, TruncatingBackend,
+    backend_fingerprint, AnswerCache, CacheStats, CachingBackend, IndexKind, LatencyBackend,
+    LbsBackend, QueryBudget, Ranking, RateLimitedBackend, ServiceConfig, SimulatedLbs,
+    TruncatingBackend,
 };
 
 use crate::experiments::{all_experiment_ids, lnr_delta, run_experiment_threaded};
@@ -80,6 +81,10 @@ pub struct Scenario {
     /// runs through the resumable [`EstimationSession`] path instead of the
     /// batch facade (which is itself a session with no overrides).
     pub session: Option<SessionSpec>,
+    /// Declarative form: a deterministic insert/delete stream applied to the
+    /// dataset between repetitions, exercising the answer cache's versioned
+    /// invalidation (ground truth is recomputed per repetition).
+    pub mutations: Option<MutationSpec>,
 }
 
 /// Dataset section of a declarative scenario.
@@ -160,7 +165,8 @@ impl SessionSpec {
 }
 
 /// Backend-decorator section of a declarative scenario. Decorators are
-/// applied innermost-to-outermost as: truncation, latency, rate limit.
+/// applied innermost-to-outermost as: truncation, latency, rate limit, with
+/// the answer cache placed by `cache_order` (outermost by default).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BackendSpec {
     /// Pause after every this many queries (rate-limiter decorator).
@@ -173,6 +179,116 @@ pub struct BackendSpec {
     pub truncate_every: Option<u64>,
     /// How many tuples a truncated answer keeps (default 1).
     pub truncate_to: Option<usize>,
+    /// Answer cache: `"off"` (default), `"private"` (one cache per
+    /// repetition — per-tenant on the server), or `"shared"` (one cache
+    /// across repetitions — cross-tenant on the server).
+    pub cache: Option<String>,
+    /// Whether cache hits charge the service ledger like real queries
+    /// (default `true`, which keeps cached runs bit-identical to uncached
+    /// ones in estimates, traces, and the ledger).
+    pub cache_hits_metered: Option<bool>,
+    /// Placement of the cache relative to the rate limiter:
+    /// `"cache_outside"` (hits skip the throttle) or `"cache_inside"`
+    /// (every call is throttled). Required — and only allowed — when both
+    /// `cache` and `rate_limit_burst` are set; the stack is ambiguous
+    /// otherwise.
+    pub cache_order: Option<String>,
+}
+
+/// How a workload's answers are cached, parsed from `[backend] cache`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No answer cache.
+    #[default]
+    Off,
+    /// One fresh cache per repetition (per-tenant cache on the server).
+    Private,
+    /// One cache shared across repetitions (cross-tenant on the server).
+    Shared,
+}
+
+impl BackendSpec {
+    /// Parses the `cache` knob (`Off` when absent).
+    pub fn cache_mode(&self, id: &str) -> Result<CacheMode, String> {
+        match self.cache.as_deref() {
+            None | Some("off") => Ok(CacheMode::Off),
+            Some("private") => Ok(CacheMode::Private),
+            Some("shared") => Ok(CacheMode::Shared),
+            Some(other) => Err(format!(
+                "{id}: unknown backend cache `{other}` (off, private, shared)"
+            )),
+        }
+    }
+
+    /// Structural validation of the cache knobs: values, applicability, and
+    /// the composition-order rules (see [`lbs_service::CachingBackend`]).
+    fn validate(&self, id: &str) -> Result<(), String> {
+        let cache_on = self.cache_mode(id)? != CacheMode::Off;
+        if let Some(order) = self.cache_order.as_deref() {
+            if !matches!(order, "cache_outside" | "cache_inside") {
+                return Err(format!(
+                    "{id}: unknown backend cache_order `{order}` (cache_outside, cache_inside)"
+                ));
+            }
+            if !cache_on {
+                return Err(format!(
+                    "{id}: backend key `cache_order` does not apply without an enabled `cache`"
+                ));
+            }
+            if self.rate_limit_burst.is_none() {
+                return Err(format!(
+                    "{id}: backend key `cache_order` does not apply without `rate_limit_burst`"
+                ));
+            }
+        }
+        if self.cache_hits_metered.is_some() && !cache_on {
+            return Err(format!(
+                "{id}: backend key `cache_hits_metered` does not apply without an enabled `cache`"
+            ));
+        }
+        if cache_on {
+            if self.truncate_every.is_some() {
+                return Err(format!(
+                    "{id}: ambiguous backend stack: `cache` cannot combine with \
+                     `truncate_every` — caching an ordinal-truncated answer would replay \
+                     the degraded page to every later query"
+                ));
+            }
+            if self.rate_limit_burst.is_some() && self.cache_order.is_none() {
+                return Err(format!(
+                    "{id}: ambiguous backend stack: both `cache` and `rate_limit_burst` \
+                     are set — add `cache_order = \"cache_outside\"` (hits skip the \
+                     throttle) or `cache_order = \"cache_inside\"` (every call is \
+                     throttled)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutation section of a declarative scenario: between consecutive
+/// repetitions, this many seeded-random inserts and deletes are applied to
+/// the dataset. Each mutation bumps the dataset fingerprint; a shared answer
+/// cache is migrated across the bump with certificate-bounded invalidation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MutationSpec {
+    /// Tuples inserted (at seeded-uniform points in the region) between
+    /// repetitions.
+    pub inserts_per_rep: Option<u64>,
+    /// Tuples deleted (seeded-random existing ids) between repetitions.
+    pub deletes_per_rep: Option<u64>,
+}
+
+impl MutationSpec {
+    fn validate(&self, id: &str) -> Result<(), String> {
+        if self.inserts_per_rep.unwrap_or(0) == 0 && self.deletes_per_rep.unwrap_or(0) == 0 {
+            return Err(format!(
+                "{id}: [mutations] needs `inserts_per_rep` or `deletes_per_rep` > 0"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Aggregate section of a declarative scenario.
@@ -280,6 +396,7 @@ impl Deserialize for Scenario {
                 "aggregate",
                 "estimator",
                 "session",
+                "mutations",
             ],
         )?;
         Ok(Scenario {
@@ -294,6 +411,7 @@ impl Deserialize for Scenario {
             aggregate: opt(m, "scenario", "aggregate")?,
             estimator: opt(m, "scenario", "estimator")?,
             session: opt(m, "scenario", "session")?,
+            mutations: opt(m, "scenario", "mutations")?,
         })
     }
 }
@@ -386,6 +504,9 @@ impl Deserialize for BackendSpec {
                 "latency_ms",
                 "truncate_every",
                 "truncate_to",
+                "cache",
+                "cache_hits_metered",
+                "cache_order",
             ],
         )?;
         Ok(BackendSpec {
@@ -394,6 +515,20 @@ impl Deserialize for BackendSpec {
             latency_ms: opt(m, "backend", "latency_ms")?,
             truncate_every: opt(m, "backend", "truncate_every")?,
             truncate_to: opt(m, "backend", "truncate_to")?,
+            cache: opt(m, "backend", "cache")?,
+            cache_hits_metered: opt(m, "backend", "cache_hits_metered")?,
+            cache_order: opt(m, "backend", "cache_order")?,
+        })
+    }
+}
+
+impl Deserialize for MutationSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "mutations")?;
+        reject_unknown(m, "mutations", &["inserts_per_rep", "deletes_per_rep"])?;
+        Ok(MutationSpec {
+            inserts_per_rep: opt(m, "mutations", "inserts_per_rep")?,
+            deletes_per_rep: opt(m, "mutations", "deletes_per_rep")?,
         })
     }
 }
@@ -469,12 +604,19 @@ impl Scenario {
                 return Err(format!("{}: unknown scale `{scale}`", self.id));
             }
         }
+        if let Some(backend) = &self.backend {
+            backend.validate(&self.id)?;
+        }
+        if let Some(mutations) = &self.mutations {
+            mutations.validate(&self.id)?;
+        }
         let declarative_sections = self.dataset.is_some()
             || self.interface.is_some()
             || self.aggregate.is_some()
             || self.estimator.is_some()
             || self.backend.is_some()
-            || self.session.is_some();
+            || self.session.is_some()
+            || self.mutations.is_some();
         match (&self.experiment, declarative_sections) {
             (Some(exp), false) => {
                 if !all_experiment_ids().contains(&exp.as_str()) {
@@ -656,6 +798,8 @@ pub struct Workload {
     pub backend_spec: Option<BackendSpec>,
     /// Optional anytime-session knobs.
     pub session_spec: Option<SessionSpec>,
+    /// Optional between-repetition mutation stream.
+    pub mutations: Option<MutationSpec>,
     /// Root seed (repetition seeds derive from it via
     /// [`Workload::rep_seed`]).
     pub seed: u64,
@@ -711,6 +855,7 @@ pub fn build_workload(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Work
         interface_kind: interface.kind.clone(),
         backend_spec: scenario.backend.clone(),
         session_spec: scenario.session.clone(),
+        mutations: scenario.mutations.clone(),
         seed,
         budget,
         repetitions,
@@ -725,25 +870,96 @@ impl Workload {
         self.seed ^ (1_000 + rep as u64)
     }
 
+    /// The scenario's [`CacheMode`] (validated at load time; `Off` without a
+    /// `[backend]` section).
+    pub fn cache_mode(&self) -> CacheMode {
+        self.backend_spec
+            .as_ref()
+            .and_then(|s| s.cache_mode(&self.id).ok())
+            .unwrap_or(CacheMode::Off)
+    }
+
+    /// Whether cache hits charge the service ledger (default `true`).
+    pub fn cache_hits_metered(&self) -> bool {
+        self.backend_spec
+            .as_ref()
+            .and_then(|s| s.cache_hits_metered)
+            .unwrap_or(true)
+    }
+
+    /// A fresh per-repetition [`QueryBudget`] honouring the scenario's
+    /// `query_limit`.
+    pub fn fresh_budget(&self) -> Arc<QueryBudget> {
+        match self.service_config.query_limit {
+            Some(limit) => QueryBudget::with_limit(limit),
+            None => QueryBudget::unlimited(),
+        }
+    }
+
     /// Builds a fresh service plus decorator stack. One per repetition: the
     /// budget is per-repetition, so a hard `query_limit` must meter each
     /// repetition separately, and decorator ordinals reset too.
     pub fn backend(&self) -> Box<dyn LbsBackend> {
-        let budget = match self.service_config.query_limit {
-            Some(limit) => QueryBudget::with_limit(limit),
-            None => QueryBudget::unlimited(),
-        };
-        self.backend_with_budget(budget)
+        self.backend_with_budget(self.fresh_budget())
     }
 
     /// Builds a fresh service charging an externally-owned [`QueryBudget`] —
     /// how the `lbs-server` scheduler points every job of a tenant at that
     /// tenant's shared quota. A hard limit on the passed budget supersedes
-    /// the scenario's own `query_limit`.
+    /// the scenario's own `query_limit`. When the scenario enables a cache,
+    /// a fresh (run-private) [`AnswerCache`] is attached; callers holding a
+    /// longer-lived cache use [`Workload::backend_with_budget_and_cache`].
     pub fn backend_with_budget(&self, budget: Arc<QueryBudget>) -> Box<dyn LbsBackend> {
-        let service =
-            SimulatedLbs::with_budget(self.dataset.clone(), self.service_config.clone(), budget);
-        decorate_boxed(Box::new(service), self.backend_spec.as_ref())
+        let cache = match self.cache_mode() {
+            CacheMode::Off => None,
+            CacheMode::Private | CacheMode::Shared => Some(AnswerCache::unbounded()),
+        };
+        self.backend_with_budget_and_cache(budget, cache)
+    }
+
+    /// Builds a fresh service charging `budget`, with answers cached in the
+    /// explicitly-passed `cache` (`None` disables caching regardless of the
+    /// spec) — how a shared cache outlives any single repetition or tenant
+    /// job.
+    pub fn backend_with_budget_and_cache(
+        &self,
+        budget: Arc<QueryBudget>,
+        cache: Option<Arc<AnswerCache>>,
+    ) -> Box<dyn LbsBackend> {
+        self.backend_over_dataset(self.dataset.clone(), budget, cache)
+    }
+
+    /// Fully-general backend constructor: an explicit dataset (the mutating
+    /// declarative runner evolves it between repetitions), budget, and
+    /// optional cache. The cache's placement follows the spec's
+    /// `cache_order`: outermost by default (hits skip every decorator),
+    /// innermost-but-one with `"cache_inside"` (every call pays the
+    /// decorators' cost).
+    pub fn backend_over_dataset(
+        &self,
+        dataset: Arc<Dataset>,
+        budget: Arc<QueryBudget>,
+        cache: Option<Arc<AnswerCache>>,
+    ) -> Box<dyn LbsBackend> {
+        let service = SimulatedLbs::with_budget(dataset, self.service_config.clone(), budget);
+        let spec = self.backend_spec.as_ref();
+        let Some(cache) = cache else {
+            return decorate_boxed(Box::new(service), spec);
+        };
+        let ledger = service.budget().share();
+        let version = backend_fingerprint(service.dataset(), &self.service_config);
+        let metered = self.cache_hits_metered();
+        if spec.and_then(|s| s.cache_order.as_deref()) == Some("cache_inside") {
+            let cached: Box<dyn LbsBackend> = Box::new(CachingBackend::new(
+                service, cache, ledger, metered, version,
+            ));
+            decorate_boxed(cached, spec)
+        } else {
+            let decorated = decorate_boxed(Box::new(service), spec);
+            Box::new(CachingBackend::new(
+                decorated, cache, ledger, metered, version,
+            ))
+        }
     }
 
     /// The wave-mode [`SessionConfig`] of one repetition: batch-equivalent
@@ -820,6 +1036,13 @@ fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Experim
     if let Some(session_spec) = &workload.session_spec {
         result.note(describe_session(session_spec));
     }
+    if let Some(mutations) = &workload.mutations {
+        result.note(format!(
+            "mutations between repetitions: {} inserts, {} deletes",
+            mutations.inserts_per_rep.unwrap_or(0),
+            mutations.deletes_per_rep.unwrap_or(0)
+        ));
+    }
     if workload.smoke {
         result.note("smoke mode: dataset size, budget and repetitions capped".to_string());
     }
@@ -828,9 +1051,28 @@ fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Experim
     // `[session]` overrides it is the batch facade bit for bit (the batch
     // facades are themselves thin loops over sessions), so there is no
     // separate estimate_parallel branch to keep in sync.
+    let mode = workload.cache_mode();
+    let shared_cache = match mode {
+        CacheMode::Shared => Some(AnswerCache::unbounded()),
+        _ => None,
+    };
+    let mut private_stats = CacheStats::default();
+    let mut current = workload.dataset.clone();
+    let mut truth = workload.truth;
+    // The mutation stream draws from its own seeded RNG so that adding a
+    // `[mutations]` section never perturbs dataset generation.
+    let mut mutation_rng = StdRng::seed_from_u64(workload.seed ^ MUTATION_SEED_SALT);
     for rep in 0..workload.repetitions {
-        let backend = workload.backend();
-        let truth = workload.truth;
+        let rep_cache = match mode {
+            CacheMode::Off => None,
+            CacheMode::Private => Some(AnswerCache::unbounded()),
+            CacheMode::Shared => shared_cache.as_ref().map(|c| c.share()),
+        };
+        let backend = workload.backend_over_dataset(
+            current.clone(),
+            workload.fresh_budget(),
+            rep_cache.clone(),
+        );
         let cfg = workload.session_config(ctx.threads, rep);
         let mut session = workload.start_session(backend, cfg)?;
         while !session.is_finished() {
@@ -859,8 +1101,76 @@ fn run_declarative(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Experim
             );
         }
         result.push(row);
+        if let (CacheMode::Private, Some(cache)) = (mode, &rep_cache) {
+            private_stats.absorb(cache.stats());
+        }
+        if rep + 1 < workload.repetitions {
+            if let Some(spec) = &workload.mutations {
+                let mut next = (*current).clone();
+                apply_mutations(
+                    &mut next,
+                    &workload,
+                    spec,
+                    shared_cache.as_ref(),
+                    &mut mutation_rng,
+                );
+                current = Arc::new(next);
+                truth = workload.aggregate.ground_truth(&current, &workload.region);
+            }
+        }
+    }
+    let cache_totals = match (mode, &shared_cache) {
+        (CacheMode::Shared, Some(cache)) => Some(cache.stats()),
+        (CacheMode::Private, _) => Some(private_stats),
+        _ => None,
+    };
+    if let Some(stats) = cache_totals {
+        result.note(format!(
+            "answer cache: {} hits, {} misses, {} invalidations, {} evictions",
+            stats.hits, stats.misses, stats.invalidations, stats.evictions
+        ));
     }
     Ok(result)
+}
+
+/// Salt of the mutation RNG stream (disjoint from the dataset-generation and
+/// repetition seeds).
+const MUTATION_SEED_SALT: u64 = 0x6d75_7461_7465;
+
+/// Applies one repetition boundary's worth of inserts and deletes to
+/// `dataset`, migrating `cache` (the shared answer cache, when one exists)
+/// across every dataset-version bump with the certificate-bounded
+/// invalidation of [`AnswerCache`].
+fn apply_mutations(
+    dataset: &mut Dataset,
+    workload: &Workload,
+    spec: &MutationSpec,
+    cache: Option<&Arc<AnswerCache>>,
+    rng: &mut StdRng,
+) {
+    let config = &workload.service_config;
+    for _ in 0..spec.inserts_per_rep.unwrap_or(0) {
+        let location = workload.region.at_fraction(rng.gen(), rng.gen());
+        let old_version = backend_fingerprint(dataset, config);
+        dataset.insert(Tuple::new(dataset.next_id(), location));
+        let new_version = backend_fingerprint(dataset, config);
+        if let Some(cache) = cache {
+            cache.apply_insert(old_version, new_version, &location);
+        }
+    }
+    for _ in 0..spec.deletes_per_rep.unwrap_or(0) {
+        if dataset.is_empty() {
+            break;
+        }
+        let pick = ((rng.gen::<f64>() * dataset.len() as f64) as usize).min(dataset.len() - 1);
+        let id = dataset.tuples()[pick].id;
+        let old_version = backend_fingerprint(dataset, config);
+        dataset.remove(id);
+        let new_version = backend_fingerprint(dataset, config);
+        if let Some(cache) = cache {
+            cache.apply_delete(old_version, new_version, id);
+        }
+    }
 }
 
 /// Maps estimator errors onto actionable scenario-level messages.
@@ -894,6 +1204,21 @@ fn describe_backend(spec: &BackendSpec) -> String {
             "rate limit: pause {} ms after every {burst} queries",
             spec.rate_limit_pause_ms.unwrap_or(1)
         ));
+    }
+    if let Some(cache) = spec.cache.as_deref() {
+        if cache != "off" {
+            let metered = if spec.cache_hits_metered.unwrap_or(true) {
+                "metered"
+            } else {
+                "unmetered"
+            };
+            let order = match spec.cache_order.as_deref() {
+                Some("cache_inside") => ", inside the rate limit",
+                Some("cache_outside") => ", outside the rate limit",
+                _ => "",
+            };
+            parts.push(format!("{cache} answer cache ({metered} hits{order})"));
+        }
     }
     if parts.is_empty() {
         "backend: undecorated".to_string()
@@ -1461,5 +1786,199 @@ repetitions = 4
         assert_eq!(result.rows.len(), 1, "smoke caps repetitions");
         // Budget cap: cost stays in the smoke ballpark, not 100k.
         assert!(result.max_reported_cost().unwrap() < 2 * SMOKE_MAX_BUDGET);
+    }
+
+    fn cache_scenario(id: &str, backend: &str) -> Scenario {
+        parse_scenario(&format!(
+            r#"
+id = "{id}"
+seed = 7
+
+[dataset]
+model = "uniform"
+size = 80
+bbox = [0.0, 0.0, 120.0, 120.0]
+
+[interface]
+kind = "lr"
+k = 5
+
+[backend]
+{backend}
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 150
+repetitions = 2
+"#
+        ))
+    }
+
+    #[test]
+    fn cache_knob_validation_names_every_mistake() {
+        let reject = |backend: &str, needle: &str| {
+            let toml = format!(
+                "id = \"x\"\n[dataset]\nmodel = \"uniform\"\nsize = 5\n[interface]\nkind = \"lr\"\n\
+                 [aggregate]\nkind = \"count\"\n[estimator]\nalgorithm = \"lr\"\nbudget = 10\n\
+                 [backend]\n{backend}\n"
+            );
+            let value = toml_lite::parse(&toml).expect("toml");
+            let s = Scenario::from_value(&value).expect("deserialize");
+            let err = s.validate().unwrap_err();
+            assert!(err.contains(needle), "backend `{backend}`: {err}");
+        };
+        // The composition order with a rate limiter is semantic, so an
+        // implicit choice is refused by name.
+        reject(
+            "cache = \"shared\"\nrate_limit_burst = 10",
+            "ambiguous backend stack",
+        );
+        // Ordinal-keyed truncation would poison the cache.
+        reject(
+            "cache = \"private\"\ntruncate_every = 3",
+            "ambiguous backend stack",
+        );
+        reject("cache = \"sometimes\"", "unknown backend cache");
+        reject(
+            "cache = \"shared\"\nrate_limit_burst = 10\ncache_order = \"outside\"",
+            "unknown backend cache_order",
+        );
+        reject(
+            "cache_order = \"cache_outside\"\nrate_limit_burst = 10",
+            "does not apply",
+        );
+        reject(
+            "cache = \"shared\"\ncache_order = \"cache_outside\"",
+            "does not apply",
+        );
+        reject("cache_hits_metered = false", "does not apply");
+        // Both explicit orders are accepted.
+        for order in ["cache_outside", "cache_inside"] {
+            cache_scenario(
+                "ordered",
+                &format!(
+                    "cache = \"shared\"\nrate_limit_burst = 64\nrate_limit_pause_ms = 0\n\
+                     cache_order = \"{order}\""
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn cached_runs_are_bit_identical_to_uncached_runs() {
+        let baseline = run_scenario(&cache_scenario("c-off", "cache = \"off\""), &ctx()).unwrap();
+        for backend in [
+            "cache = \"private\"",
+            "cache = \"shared\"",
+            "cache = \"shared\"\ncache_hits_metered = false",
+            "cache = \"shared\"\nrate_limit_burst = 64\nrate_limit_pause_ms = 0\ncache_order = \"cache_outside\"",
+            "cache = \"shared\"\nrate_limit_burst = 64\nrate_limit_pause_ms = 0\ncache_order = \"cache_inside\"",
+        ] {
+            let cached = run_scenario(&cache_scenario("c-on", backend), &ctx()).unwrap();
+            assert_eq!(baseline.rows.len(), cached.rows.len());
+            for (a, b) in baseline.rows.iter().zip(&cached.rows) {
+                for col in ["estimate", "ground truth", "query cost", "samples"] {
+                    assert_eq!(a.get(col), b.get(col), "{backend}: column {col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_scenarios_report_their_cache_stats() {
+        let result = run_scenario(&cache_scenario("c-note", "cache = \"shared\""), &ctx()).unwrap();
+        assert!(
+            result.notes.iter().any(|n| n.contains("answer cache:")),
+            "notes: {:?}",
+            result.notes
+        );
+    }
+
+    #[test]
+    fn shared_cache_sees_hits_when_a_repetition_is_replayed() {
+        let s = cache_scenario("c-replay", "cache = \"shared\"");
+        let workload = build_workload(&s, &ctx()).unwrap();
+        let cache = AnswerCache::unbounded();
+        let mut estimates = Vec::new();
+        for _ in 0..2 {
+            let backend = workload
+                .backend_with_budget_and_cache(workload.fresh_budget(), Some(cache.share()));
+            let mut session = workload
+                .start_session(backend, workload.session_config(1, 0))
+                .unwrap();
+            while !session.is_finished() {
+                session.step();
+            }
+            let estimate = session.finalize().unwrap();
+            estimates.push((estimate.value.to_bits(), estimate.query_cost));
+        }
+        assert_eq!(estimates[0], estimates[1], "replay is bit-identical");
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "replaying one repetition must hit: {stats:?}"
+        );
+        assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn mutating_scenario_recomputes_truth_and_stays_consistent() {
+        let s = parse_scenario(
+            r#"
+id = "mutating"
+seed = 11
+
+[dataset]
+model = "uniform"
+size = 60
+bbox = [0.0, 0.0, 100.0, 100.0]
+
+[interface]
+kind = "lr"
+k = 5
+
+[backend]
+cache = "shared"
+
+[aggregate]
+kind = "count"
+
+[estimator]
+algorithm = "lr"
+budget = 120
+repetitions = 3
+
+[mutations]
+inserts_per_rep = 7
+deletes_per_rep = 2
+"#,
+        );
+        let result = run_scenario(&s, &ctx()).expect("run");
+        assert_eq!(result.rows.len(), 3);
+        // 7 inserts minus 2 deletes per boundary: truth grows by 5 each rep.
+        let truths: Vec<&str> = result
+            .rows
+            .iter()
+            .map(|r| r.get("ground truth").unwrap())
+            .collect();
+        assert_eq!(truths[0], "60.00");
+        assert_eq!(truths[1], "65.00");
+        assert_eq!(truths[2], "70.00");
+    }
+
+    #[test]
+    fn mutations_without_any_stream_are_rejected() {
+        let value = toml_lite::parse(
+            "id = \"x\"\n[dataset]\nmodel = \"uniform\"\nsize = 5\n[interface]\nkind = \"lr\"\n\
+             [aggregate]\nkind = \"count\"\n[estimator]\nalgorithm = \"lr\"\nbudget = 10\n\
+             [mutations]\n",
+        )
+        .unwrap();
+        let s = Scenario::from_value(&value).expect("deserialize");
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("inserts_per_rep"), "{err}");
     }
 }

@@ -10,7 +10,30 @@ use serde::{Deserialize, Serialize};
 
 use lbs_geom::{Point, Rect};
 
-use crate::tuple::{Tuple, TupleId};
+use crate::tuple::{AttrValue, Tuple, TupleId};
+
+/// Canonical bit pattern of an `f64` for fingerprinting: `-0.0` hashes like
+/// `+0.0` and every NaN payload alike, so numerically-equal content always
+/// fingerprints equal.
+fn float_bits(value: f64) -> u64 {
+    if value == 0.0 {
+        0
+    } else if value.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        value.to_bits()
+    }
+}
+
+/// One splitmix64-style round combining `value` into the accumulator `acc`.
+fn mix(acc: u64, value: u64) -> u64 {
+    let mut x = acc ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// A collection of tuples together with the bounding box of the region of
 /// interest.
@@ -62,6 +85,73 @@ impl Dataset {
     /// [`Dataset::tuples`].
     pub fn locations(&self) -> impl Iterator<Item = Point> + '_ {
         self.tuples.iter().map(|t| t.location)
+    }
+
+    /// A cheap content fingerprint of the dataset (tuples in order, plus the
+    /// bounding box), suitable as the version stamp of derived artifacts
+    /// such as cached kNN answers.
+    ///
+    /// The fingerprint is derived purely from content, so two datasets with
+    /// equal tuples and box always agree, any [`Dataset::insert`] /
+    /// [`Dataset::remove`] changes it, and it is stable across processes and
+    /// platforms (float coordinates hash by canonicalized IEEE-754 bits:
+    /// `-0.0` hashes like `+0.0`, every NaN alike).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix(0x6c62_7265_7375_6e1b, self.tuples.len() as u64);
+        h = mix(h, float_bits(self.bbox.min_x));
+        h = mix(h, float_bits(self.bbox.min_y));
+        h = mix(h, float_bits(self.bbox.max_x));
+        h = mix(h, float_bits(self.bbox.max_y));
+        for t in &self.tuples {
+            h = mix(h, t.id);
+            h = mix(h, float_bits(t.location.x));
+            h = mix(h, float_bits(t.location.y));
+            for (name, value) in &t.attributes {
+                for b in name.as_bytes() {
+                    h = mix(h, u64::from(*b));
+                }
+                h = match value {
+                    AttrValue::Float(v) => mix(mix(h, 1), float_bits(*v)),
+                    AttrValue::Int(v) => mix(mix(h, 2), *v as u64),
+                    AttrValue::Text(s) => {
+                        let mut inner = mix(h, 3);
+                        for b in s.as_bytes() {
+                            inner = mix(inner, u64::from(*b));
+                        }
+                        inner
+                    }
+                    AttrValue::Bool(v) => mix(mix(h, 4), u64::from(*v)),
+                };
+            }
+        }
+        h
+    }
+
+    /// Inserts a tuple, changing the content fingerprint.
+    ///
+    /// Unlike the bulk constructors, mutation keeps existing ids stable (no
+    /// reassignment) so that derived artifacts can be invalidated
+    /// selectively. The id must be unused.
+    pub fn insert(&mut self, tuple: Tuple) {
+        assert!(
+            self.get(tuple.id).is_none(),
+            "Dataset::insert: duplicate tuple id {}",
+            tuple.id
+        );
+        self.tuples.push(tuple);
+    }
+
+    /// Removes the tuple with the given id, returning it. Ids of the
+    /// remaining tuples are untouched.
+    pub fn remove(&mut self, id: TupleId) -> Option<Tuple> {
+        let pos = self.tuples.iter().position(|t| t.id == id)?;
+        Some(self.tuples.remove(pos))
+    }
+
+    /// The smallest id not used by any tuple — what a caller should assign
+    /// to the next [`Dataset::insert`].
+    pub fn next_id(&self) -> TupleId {
+        self.tuples.iter().map(|t| t.id + 1).max().unwrap_or(0)
     }
 
     /// Looks a tuple up by id.
@@ -239,6 +329,63 @@ mod tests {
         assert_eq!(restaurants.len(), 2);
         assert_eq!(restaurants.tuples()[1].id, 1);
         assert_eq!(restaurants.bbox(), d.bbox());
+    }
+
+    #[test]
+    fn fingerprint_is_content_derived() {
+        let d = toy();
+        assert_eq!(d.fingerprint(), toy().fingerprint());
+        assert_eq!(d.fingerprint(), d.clone().fingerprint());
+        let other = Dataset::new(
+            toy().tuples().to_vec(),
+            Rect::from_bounds(0.0, 0.0, 11.0, 10.0),
+        );
+        assert_ne!(d.fingerprint(), other.fingerprint(), "bbox is content");
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_float_bits() {
+        let pos = Dataset::new(
+            vec![Tuple::new(0, Point::new(0.0, 1.0))],
+            Rect::from_bounds(0.0, 0.0, 4.0, 4.0),
+        );
+        let neg = Dataset::new(
+            vec![Tuple::new(0, Point::new(-0.0, 1.0))],
+            Rect::from_bounds(0.0, 0.0, 4.0, 4.0),
+        );
+        assert_eq!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn mutations_bump_the_fingerprint_and_keep_ids() {
+        let mut d = toy();
+        let before = d.fingerprint();
+        assert_eq!(d.next_id(), 3);
+        d.insert(Tuple::new(3, Point::new(4.0, 4.0)));
+        let after_insert = d.fingerprint();
+        assert_ne!(before, after_insert);
+        assert_eq!(d.get(3).unwrap().location, Point::new(4.0, 4.0));
+
+        let removed = d.remove(1).unwrap();
+        assert_eq!(removed.id, 1);
+        assert_ne!(d.fingerprint(), after_insert);
+        assert!(d.get(1).is_none());
+        // Remaining ids are untouched (no reassignment), so lookups by the
+        // surviving ids still resolve.
+        assert!(d.get(2).is_some());
+        assert!(d.remove(99).is_none());
+
+        // Re-inserting the removed tuple restores the original content up to
+        // tuple order; order is content, so the fingerprint may differ, but
+        // inserting a brand-new id never collides with an existing one.
+        assert_eq!(d.next_id(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tuple id")]
+    fn duplicate_insert_panics() {
+        let mut d = toy();
+        d.insert(Tuple::new(2, Point::new(5.0, 5.0)));
     }
 
     #[test]

@@ -158,6 +158,26 @@ pub const RULES: &[Rule] = &[
         allowed_path_suffixes: &[],
         check: check_nondet_debug_fmt,
     },
+    Rule {
+        id: "cache-key-float",
+        summary: "raw f64 bit handling next to CacheKey (bypasses key canonicalization)",
+        hint: "build answer-cache keys exclusively through CacheKey::for_query, which \
+               canonicalizes -0.0 and NaN before hashing; never feed raw to_bits()/ \
+               integer casts of query coordinates into a key",
+        explain: "The answer cache's determinism rests on one invariant: every key is \
+                  built by CacheKey::for_query, the single place that canonicalizes \
+                  float payloads (-0.0 folds onto 0.0, every NaN onto the quiet NaN \
+                  pattern) before the bits enter the BTreeMap order. Code that touches \
+                  CacheKey while also converting floats to raw bits — f64::to_bits, \
+                  f64::from_bits, or `as`-casts to integer types — is one refactor away \
+                  from keying on uncanonicalized bits, where a -0.0 query point misses \
+                  the 0.0 entry and two NaN-bearing points collide or diverge by sign \
+                  bit. The rule therefore fires on those conversions only in files that \
+                  name CacheKey; the cache module itself, whose constructor is the one \
+                  sanctioned home of the conversion, is allowlisted.",
+        allowed_path_suffixes: &["crates/service/src/cache.rs"],
+        check: check_cache_key_float,
+    },
 ];
 
 /// Looks up a rule by id.
@@ -346,6 +366,48 @@ fn check_nondet_debug_fmt(tokens: &[Token]) -> Vec<RawFinding> {
     findings
 }
 
+/// Integer types a float's raw bits can be smuggled through with an
+/// `as`-cast.
+const INT_CAST_TARGETS: &[&str] = &["u64", "i64", "u32", "i32", "u128", "i128", "usize", "isize"];
+
+fn check_cache_key_float(tokens: &[Token]) -> Vec<RawFinding> {
+    // Gate: the hazard is specific to code that handles answer-cache keys.
+    // Prose in string literals does not count — only the identifier does.
+    if !tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "CacheKey")
+    {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "to_bits" || t.text == "from_bits" {
+            findings.push(RawFinding {
+                rule: "cache-key-float",
+                line: t.line,
+                message: format!(
+                    "raw float-bit conversion `{}` in a file handling CacheKey",
+                    t.text
+                ),
+            });
+        } else if t.text == "as" {
+            if let Some(target) = ident_at(tokens, i + 1) {
+                if INT_CAST_TARGETS.contains(&target) {
+                    findings.push(RawFinding {
+                        rule: "cache-key-float",
+                        line: t.line,
+                        message: format!("integer cast `as {target}` in a file handling CacheKey"),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +476,26 @@ mod tests {
         );
         assert!(run("nondet-debug-fmt", r#"assert_eq!(a, b, "{m:?}");"#).is_empty());
         assert!(run("nondet-debug-fmt", r#"let s = format!("{m}");"#).is_empty());
+    }
+
+    #[test]
+    fn cache_key_float_fires_only_in_cache_key_files() {
+        // Same hazards, no CacheKey in scope: silent.
+        assert!(run("cache-key-float", "let b = x.to_bits(); let n = f as u64;").is_empty());
+        // With CacheKey in scope, each conversion is a finding.
+        let src = "let k = CacheKey { a }; let b = p.x.to_bits(); let c = f64::from_bits(b); \
+                   let d = p.y as u64;";
+        assert_eq!(run("cache-key-float", src).len(), 3);
+        // The canonical constructor's own module is allowlisted.
+        let toks = lex(src).tokens;
+        let rule = rule_by_id("cache-key-float").unwrap();
+        assert!(rule.check("crates/service/src/cache.rs", &toks).is_empty());
+        // ... but an injected copy elsewhere in the tree is not.
+        assert_eq!(
+            rule.check("crates/core/src/cache_key_float_injected.rs", &toks)
+                .len(),
+            3
+        );
     }
 
     #[test]

@@ -1,0 +1,12 @@
+// Negative fixture: CacheKey built only through the canonical constructor;
+// no raw bit conversions, no integer casts.
+use lbs_service::CacheKey;
+
+fn key_for(version: u64, point: &Point, k: usize) -> CacheKey {
+    // for_query canonicalizes -0.0 and NaN before any bits are compared.
+    CacheKey::for_query(version, point, k)
+}
+
+fn describe(key: &CacheKey) -> String {
+    format!("cache key for version {}", key.version())
+}

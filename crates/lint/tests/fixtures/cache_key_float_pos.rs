@@ -1,0 +1,14 @@
+// Positive fixture: raw float-bit handling in a file that names CacheKey
+// bypasses the canonicalizing constructor — exactly three findings.
+struct CacheKey {
+    x_bits: u64,
+}
+
+fn hand_rolled_key(x: f64) -> CacheKey {
+    // A -0.0 query point now misses the 0.0 entry.
+    CacheKey { x_bits: x.to_bits() }
+}
+
+fn round_trip(bits: u64, y: f64) -> (f64, u64) {
+    (f64::from_bits(bits), y as u64)
+}

@@ -49,7 +49,8 @@ use lbs_bench::{
     run_experiment_threaded, BenchRecord, BenchReport, Scale, Scenario, ScenarioContext,
 };
 use lbs_server::{
-    http_request, run_session_probe, Scheduler, SchedulerConfig, Server, ServerState,
+    http_request, run_cache_probe, run_session_probe, Scheduler, SchedulerConfig, Server,
+    ServerState,
 };
 
 struct Options {
@@ -444,6 +445,23 @@ fn main() -> ExitCode {
             sessions.deterministic,
         );
         report.sessions = Some(sessions);
+
+        // Shared answer-cache probe: the same cached scenario submitted
+        // twice under two tenants; the replay must be served from the warm
+        // cross-tenant cache while reproducing the estimate bit for bit.
+        println!("Timing the shared answer-cache probe...");
+        let cache = run_cache_probe(options.seed, probe_threads);
+        println!(
+            "  {} hits / {} misses ({:.0}% hit rate), {} invalidations, {} evictions \
+             (deterministic: {})\n",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate * 100.0,
+            cache.invalidations,
+            cache.evictions,
+            cache.deterministic,
+        );
+        report.cache = Some(cache);
     }
 
     if options.threads != 1 {

@@ -36,7 +36,8 @@ pub mod probe;
 pub mod scheduler;
 
 pub use http::{http_request, Server, ServerState};
-pub use probe::run_session_probe;
+pub use probe::{run_cache_probe, run_session_probe};
 pub use scheduler::{
-    JobState, JobStatus, Scheduler, SchedulerConfig, SchedulerStats, TenantStatus, DEFAULT_TENANT,
+    CacheCounters, JobState, JobStatus, Scheduler, SchedulerConfig, SchedulerStats, TenantStatus,
+    DEFAULT_TENANT,
 };

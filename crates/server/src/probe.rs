@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use lbs_bench::{Scenario, SessionBenchReport};
+use lbs_bench::{CacheBenchReport, Scenario, SessionBenchReport};
 use serde::Deserialize;
 
 use crate::scheduler::{Scheduler, SchedulerConfig};
@@ -114,9 +114,77 @@ pub fn run_session_probe(seed: u64, threads: usize) -> SessionBenchReport {
     report
 }
 
+/// Builds the shared-cache probe scenario: a small uniform COUNT workload
+/// with `cache = "shared"`.
+fn cache_probe_scenario(seed: u64) -> Scenario {
+    let toml = format!(
+        "id = \"cache_probe\"\nseed = {}\n\n[dataset]\nmodel = \"uniform\"\nsize = 60\n\n\
+         [interface]\nkind = \"lr\"\nk = 5\n\n[backend]\ncache = \"shared\"\n\n\
+         [aggregate]\nkind = \"count\"\n\n[estimator]\nalgorithm = \"lr\"\nbudget = 120\n",
+        seed ^ 0xCAC4E,
+    );
+    let value = lbs_bench::toml_lite::parse(&toml).expect("cache probe TOML is well-formed");
+    let scenario = Scenario::from_value(&value).expect("cache probe scenario deserializes");
+    scenario.validate().expect("cache probe scenario validates");
+    scenario
+}
+
+/// Runs the shared answer-cache probe: the same `cache = "shared"` scenario
+/// is submitted twice, under two different tenants, through one scheduler.
+/// The first run populates the cross-tenant cache (all misses); the second
+/// must be served from it (hits > 0) while reproducing the first estimate
+/// bit for bit — the `deterministic` flag the bench gate checks. Returns the
+/// `cache` record of `BENCH_repro.json`.
+pub fn run_cache_probe(seed: u64, threads: usize) -> CacheBenchReport {
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        threads,
+        seed,
+        smoke: false,
+    });
+    let ctx = scheduler.scenario_context();
+    let scenario = cache_probe_scenario(seed);
+    let ids: Vec<u64> = ["tenant-a", "tenant-b"]
+        .iter()
+        .map(|tenant| {
+            let workload =
+                lbs_bench::build_workload(&scenario, &ctx).expect("cache probe workload builds");
+            let id = scheduler
+                .submit_workload(workload, Some(tenant))
+                .expect("cache probe submits cleanly");
+            scheduler.run_until_idle();
+            id
+        })
+        .collect();
+    let first = scheduler.result(ids[0]).expect("cache probe jobs finish");
+    let second = scheduler.result(ids[1]).expect("cache probe jobs finish");
+    let stats = scheduler.shared_cache().stats();
+    CacheBenchReport {
+        hits: stats.hits,
+        misses: stats.misses,
+        invalidations: stats.invalidations,
+        evictions: stats.evictions,
+        hit_rate: stats.hit_rate(),
+        deterministic: first.value.to_bits() == second.value.to_bits()
+            && first.ci95 == second.ci95
+            && first.samples == second.samples
+            && first.query_cost == second.query_cost,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_probe_hits_and_stays_deterministic() {
+        let report = run_cache_probe(2015, 1);
+        assert!(report.deterministic, "warm replay changed bits");
+        assert!(report.hits > 0, "replay produced no cache hits");
+        assert!(report.misses > 0);
+        assert!(report.hit_rate > 0.0 && report.hit_rate < 1.0);
+        assert_eq!(report.invalidations, 0);
+        assert_eq!(report.evictions, 0);
+    }
 
     #[test]
     fn probe_is_deterministic_and_reports_throughput() {

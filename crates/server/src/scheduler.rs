@@ -30,9 +30,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use lbs_bench::{build_workload, Scale, Scenario, ScenarioContext, Workload};
+use lbs_bench::{build_workload, CacheMode, Scale, Scenario, ScenarioContext, Workload};
 use lbs_core::{AnytimeSnapshot, Estimate, EstimationSession, SessionConfig};
-use lbs_service::{LbsBackend, QueryBudget};
+use lbs_service::{AnswerCache, CacheStats, LbsBackend, QueryBudget};
 use serde::Serialize;
 
 /// Default tenant name for submissions that do not specify one.
@@ -132,12 +132,42 @@ pub struct SchedulerStats {
     pub ticks: u64,
     /// Per-tenant accounting, sorted by name.
     pub tenants: Vec<TenantStatus>,
+    /// Counters of the cross-tenant shared answer cache.
+    pub shared_cache: CacheCounters,
+}
+
+/// Serializable snapshot of an answer cache's counters.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the backend (with single-flight
+    /// population, the number of distinct keys ever populated).
+    pub misses: u64,
+    /// Entries dropped by dataset-version migrations.
+    pub invalidations: u64,
+    /// Entries dropped by the capacity bound.
+    pub evictions: u64,
+}
+
+impl From<CacheStats> for CacheCounters {
+    fn from(stats: CacheStats) -> Self {
+        CacheCounters {
+            hits: stats.hits,
+            misses: stats.misses,
+            invalidations: stats.invalidations,
+            evictions: stats.evictions,
+        }
+    }
 }
 
 struct TenantState {
     budget: Arc<QueryBudget>,
     quota: Option<u64>,
     jobs_submitted: u64,
+    /// Per-tenant answer cache: jobs whose scenario says `cache = "private"`
+    /// share it with this tenant's other jobs, never across tenants.
+    cache: Arc<AnswerCache>,
 }
 
 struct Job {
@@ -186,6 +216,11 @@ pub struct Scheduler {
     next_id: u64,
     ticks: u64,
     tenants: BTreeMap<String, TenantState>,
+    /// Cross-tenant answer cache: jobs whose scenario says `cache =
+    /// "shared"` all use it. Entries are keyed by the dataset/config
+    /// fingerprint, so tenants with different workloads never collide; only
+    /// genuinely identical queries over identical data are shared.
+    shared_cache: Arc<AnswerCache>,
 }
 
 impl Scheduler {
@@ -198,7 +233,19 @@ impl Scheduler {
             next_id: 1,
             ticks: 0,
             tenants: BTreeMap::new(),
+            shared_cache: AnswerCache::unbounded(),
         }
+    }
+
+    /// The cross-tenant shared answer cache (counters feed the bench cache
+    /// probe).
+    pub fn shared_cache(&self) -> &Arc<AnswerCache> {
+        &self.shared_cache
+    }
+
+    /// Counter snapshot of a tenant's private answer cache.
+    pub fn tenant_cache_stats(&self, tenant: &str) -> Option<CacheStats> {
+        self.tenants.get(tenant).map(|t| t.cache.stats())
     }
 
     /// Registers a tenant with an optional hard query quota shared by all of
@@ -219,6 +266,7 @@ impl Scheduler {
                 budget,
                 quota,
                 jobs_submitted: 0,
+                cache: AnswerCache::unbounded(),
             },
         );
         Ok(())
@@ -258,6 +306,13 @@ impl Scheduler {
     /// a private budget — exactly like the batch path, so default-tenant
     /// jobs stay byte-identical to offline runs. Privately-metered jobs do
     /// not appear in the tenant's `queries_issued` ledger.
+    ///
+    /// Cache resolution: `cache = "private"` uses the tenant's cache (warm
+    /// across that tenant's jobs), `cache = "shared"` the scheduler-wide
+    /// cross-tenant cache. A shared cache with unmetered hits is refused:
+    /// whether a query is free would then depend on which tenant's job ran
+    /// it first, coupling every ledger to arrival order and breaking the
+    /// scheduler's arrival-order-invariance contract.
     pub fn submit_workload(
         &mut self,
         workload: Workload,
@@ -267,16 +322,31 @@ impl Scheduler {
             Some(t) if !t.is_empty() => t,
             _ => DEFAULT_TENANT,
         };
+        if workload.cache_mode() == CacheMode::Shared && !workload.cache_hits_metered() {
+            return Err(format!(
+                "{}: a shared cache with unmetered hits would couple tenants' ledgers \
+                 to arrival order — use `cache = \"private\"` or drop \
+                 `cache_hits_metered = false`",
+                workload.id
+            ));
+        }
         if !self.tenants.contains_key(tenant) {
             self.register_tenant(tenant, None)?;
         }
+        let shared_cache = self.shared_cache.share();
         let tenant_state = self.tenants.get_mut(tenant).expect("registered above");
-        let backend =
+        let cache = match workload.cache_mode() {
+            CacheMode::Off => None,
+            CacheMode::Private => Some(tenant_state.cache.share()),
+            CacheMode::Shared => Some(shared_cache),
+        };
+        let budget =
             if tenant_state.quota.is_none() && workload.service_config.query_limit.is_some() {
-                workload.backend()
+                workload.fresh_budget()
             } else {
-                workload.backend_with_budget(tenant_state.budget.share())
+                tenant_state.budget.share()
             };
+        let backend = workload.backend_with_budget_and_cache(budget, cache);
         let cfg: SessionConfig = workload.session_config(self.config.threads, 0);
         let session = workload.start_session(backend, cfg)?;
         tenant_state.jobs_submitted += 1;
@@ -421,6 +491,7 @@ impl Scheduler {
                     jobs_submitted: t.jobs_submitted,
                 })
                 .collect(),
+            shared_cache: self.shared_cache.stats().into(),
         }
     }
 }
@@ -624,6 +695,120 @@ mod tests {
         assert!(sched.register_tenant("newcomer", Some(10)).is_err());
         let stats = sched.stats();
         assert!(stats.tenants.iter().any(|t| t.name == "newcomer"));
+    }
+
+    fn cached_scenario(id: &str, seed: u64, budget: u64, backend: &str) -> Scenario {
+        let toml = format!(
+            "id = \"{id}\"\nseed = {seed}\n\n[dataset]\nmodel = \"uniform\"\nsize = 60\n\n\
+             [interface]\nkind = \"lr\"\nk = 5\n\n[backend]\n{backend}\n\n\
+             [aggregate]\nkind = \"count\"\n\n\
+             [estimator]\nalgorithm = \"lr\"\nbudget = {budget}\n"
+        );
+        let dir = std::env::temp_dir().join(format!("lbs-server-test-{id}-{seed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{id}.toml"));
+        std::fs::write(&path, toml).unwrap();
+        load_scenario(&path).unwrap()
+    }
+
+    #[test]
+    fn shared_cache_serves_identical_answers_across_tenants() {
+        let scenario = cached_scenario("shared-cache", 23, 150, "cache = \"shared\"");
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let a = sched.submit(&scenario, Some("alice")).unwrap();
+        sched.run_until_idle();
+        // The cold run may already hit (estimators do revisit some query
+        // points within one run); what matters is that it pays a miss for
+        // every distinct key.
+        let cold = sched.shared_cache().stats();
+        assert!(cold.misses > 0);
+
+        let b = sched.submit(&scenario, Some("bob")).unwrap();
+        sched.run_until_idle();
+        let first = sched.result(a).unwrap().clone();
+        let second = sched.result(b).unwrap();
+        assert_eq!(first.value.to_bits(), second.value.to_bits());
+        assert_eq!(first.ci95, second.ci95);
+        assert_eq!(first.samples, second.samples);
+        assert_eq!(first.query_cost, second.query_cost);
+
+        let warm = sched.shared_cache().stats();
+        assert!(
+            warm.hits > cold.hits,
+            "replay under a second tenant must hit: {cold:?} -> {warm:?}"
+        );
+        assert_eq!(warm.misses, cold.misses, "replay adds no distinct keys");
+        // Metered hits: both tenants' ledgers record the same spend even
+        // though bob's queries never touched the dataset.
+        let stats = sched.stats();
+        let spend = |name: &str| {
+            stats
+                .tenants
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap()
+                .queries_issued
+        };
+        assert_eq!(spend("alice"), spend("bob"));
+        assert_eq!(stats.shared_cache.hits, warm.hits);
+    }
+
+    #[test]
+    fn private_caches_never_cross_tenants() {
+        let scenario = cached_scenario("private-cache", 29, 120, "cache = \"private\"");
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let a1 = sched.submit(&scenario, Some("alice")).unwrap();
+        sched.run_until_idle();
+        let alice_cold = sched.tenant_cache_stats("alice").unwrap();
+        let a2 = sched.submit(&scenario, Some("alice")).unwrap();
+        sched.run_until_idle();
+        let alice_warm = sched.tenant_cache_stats("alice").unwrap();
+        assert!(
+            alice_warm.hits > alice_cold.hits,
+            "same-tenant replay is warm: {alice_cold:?} -> {alice_warm:?}"
+        );
+        assert_eq!(alice_warm.misses, alice_cold.misses);
+
+        let b = sched.submit(&scenario, Some("bob")).unwrap();
+        sched.run_until_idle();
+        // Bob's cache starts cold: identical workload, so his counters match
+        // Alice's first (cold) run exactly — no cross-tenant warmth.
+        let bob = sched.tenant_cache_stats("bob").unwrap();
+        assert_eq!(
+            bob, alice_cold,
+            "a private cache must not leak across tenants"
+        );
+        assert_eq!(sched.shared_cache().stats().misses, 0);
+
+        // Isolation never costs correctness: all three runs agree bitwise.
+        let bits: Vec<u64> = [a1, a2, b]
+            .iter()
+            .map(|&id| sched.result(id).unwrap().value.to_bits())
+            .collect();
+        assert_eq!(bits[0], bits[1]);
+        assert_eq!(bits[0], bits[2]);
+    }
+
+    #[test]
+    fn shared_unmetered_submissions_are_refused_by_name() {
+        let scenario = cached_scenario(
+            "shared-unmetered",
+            31,
+            100,
+            "cache = \"shared\"\ncache_hits_metered = false",
+        );
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let err = sched.submit(&scenario, None).unwrap_err();
+        assert!(err.contains("arrival order"), "{err}");
+        // The private flavour of the same spec is fine.
+        let private = cached_scenario(
+            "private-unmetered",
+            31,
+            100,
+            "cache = \"private\"\ncache_hits_metered = false",
+        );
+        sched.submit(&private, None).unwrap();
+        sched.run_until_idle();
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //!
 //! Decorators nest freely (`RateLimitedBackend<TruncatingBackend<...>>`)
 //! because each one implements [`LbsBackend`] over any inner [`LbsBackend`].
+//!
+//! A fourth decorator lives in [`crate::cache`]: [`crate::CachingBackend`],
+//! the shared, versioned answer cache. Its composition order with
+//! [`RateLimitedBackend`] is semantic — cache outside the limiter answers
+//! hits without consuming rate-limit budget, cache inside meters every call
+//! through the throttle — so the scenario layer requires an explicit
+//! `cache_order` whenever both are present, and rejects combining the cache
+//! with [`TruncatingBackend`] outright (caching ordinal-keyed truncated
+//! answers would replay a degraded page to every later query).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;

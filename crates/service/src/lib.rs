@@ -38,6 +38,7 @@
 
 pub mod backend;
 mod budget;
+pub mod cache;
 mod config;
 mod counter;
 mod interface;
@@ -46,6 +47,7 @@ mod service;
 
 pub use backend::{LatencyBackend, LbsBackend, RateLimitedBackend, TruncatingBackend};
 pub use budget::QueryBudget;
+pub use cache::{backend_fingerprint, AnswerCache, CacheKey, CacheStats, CachingBackend};
 pub use config::{IndexKind, Ranking, ReturnMode, ServiceConfig};
 pub use counter::QueryCounter;
 pub use interface::{PassThroughFilter, QueryError, QueryResponse, ReturnedTuple};

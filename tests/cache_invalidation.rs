@@ -1,0 +1,223 @@
+//! Invalidation property battery for the shared answer cache: random
+//! insert/delete streams against a brute-force kNN oracle (a stale hit is
+//! impossible by construction — every post-mutation answer is re-derived
+//! from scratch and compared), plus a concurrent stress test showing that
+//! N threads hammering one shared cache keep the hit/miss counters
+//! consistent and produce answers identical to a serial run.
+
+use lbs::data::{Dataset, Tuple};
+use lbs::geom::{Point, Rect};
+use lbs::service::{
+    backend_fingerprint, AnswerCache, CachingBackend, LbsBackend, QueryResponse, ServiceConfig,
+    SimulatedLbs,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn region() -> Rect {
+    Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+}
+
+/// Bare tuples at seeded-random positions; attributes play no role here.
+fn seed_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..n)
+        .map(|id| {
+            Tuple::new(
+                id as u64,
+                Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0),
+            )
+        })
+        .collect();
+    Dataset::new(tuples, region())
+}
+
+/// A fixed grid of query points, reused across every mutation step so that
+/// surviving cache entries actually get re-used (and would surface as stale
+/// answers if invalidation under-approximated).
+fn probe_points() -> Vec<Point> {
+    let mut points = Vec::new();
+    for i in 0..5 {
+        for j in 0..5 {
+            points.push(Point::new(10.0 + 20.0 * i as f64, 10.0 + 20.0 * j as f64));
+        }
+    }
+    points
+}
+
+/// Brute-force kNN under the service's canonical distance ranking:
+/// `(distance, id)` with a total order on floats.
+fn oracle_knn(dataset: &Dataset, query: &Point, k: usize) -> Vec<u64> {
+    let mut scored: Vec<(f64, u64)> = dataset
+        .tuples()
+        .iter()
+        .map(|t| (t.location.distance(query), t.id))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Applies one seeded-random mutation to `dataset`, migrating `cache`
+/// across the version bump exactly like the scenario runner does.
+fn mutate(dataset: &mut Dataset, cache: &AnswerCache, config: &ServiceConfig, rng: &mut StdRng) {
+    let old = backend_fingerprint(dataset, config);
+    if dataset.len() <= 5 || rng.gen::<f64>() < 0.6 {
+        let location = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+        dataset.insert(Tuple::new(dataset.next_id(), location));
+        let new = backend_fingerprint(dataset, config);
+        cache.apply_insert(old, new, &location);
+    } else {
+        let index = ((rng.gen::<f64>() * dataset.len() as f64) as usize).min(dataset.len() - 1);
+        let id = dataset.tuples()[index].id;
+        dataset.remove(id).expect("chosen id exists");
+        let new = backend_fingerprint(dataset, config);
+        cache.apply_delete(old, new, id);
+    }
+}
+
+#[test]
+fn random_mutation_streams_never_serve_stale_answers() {
+    let k = 5;
+    let config = ServiceConfig::lr_lbs(k);
+    let cache = AnswerCache::unbounded();
+    let mut dataset = seed_dataset(40, 9);
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let probes = probe_points();
+
+    for step in 0..30 {
+        let backend = CachingBackend::over_service(
+            SimulatedLbs::new(dataset.clone(), config.clone()),
+            cache.share(),
+            true,
+        );
+        for query in &probes {
+            let response = backend.query(query).expect("query succeeds");
+            let got: Vec<u64> = response.results.iter().map(|r| r.id).collect();
+            let want = oracle_knn(&dataset, query, k);
+            assert_eq!(
+                got, want,
+                "step {step}: answer at ({}, {}) does not match the brute-force \
+                 oracle — a stale cache entry survived a mutation it affected",
+                query.x, query.y
+            );
+        }
+        mutate(&mut dataset, &cache, &config, &mut rng);
+    }
+
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "no probe ever re-used a surviving entry — the stream exercised nothing"
+    );
+    assert!(
+        stats.invalidations > 0,
+        "thirty mutations never invalidated a single entry"
+    );
+}
+
+#[test]
+fn under_full_answers_carry_no_insert_certificate() {
+    // With fewer tuples than k and no max_radius, *any* insert can surface
+    // in an answer, no matter how distant: the certificate must degrade to
+    // "invalidate on every insert" rather than keep a bogus radius.
+    let k = 5;
+    let config = ServiceConfig::lr_lbs(k);
+    let cache = AnswerCache::unbounded();
+    let mut dataset = seed_dataset(3, 11);
+    let probes = probe_points();
+
+    for step in 0..10 {
+        let backend = CachingBackend::over_service(
+            SimulatedLbs::new(dataset.clone(), config.clone()),
+            cache.share(),
+            true,
+        );
+        for query in &probes {
+            let response = backend.query(query).expect("query succeeds");
+            let got: Vec<u64> = response.results.iter().map(|r| r.id).collect();
+            assert_eq!(
+                got,
+                oracle_knn(&dataset, query, k),
+                "step {step}: stale under-full answer at ({}, {})",
+                query.x,
+                query.y
+            );
+        }
+        // Inserts only, far corner first: distance is no excuse to keep an
+        // under-full entry.
+        let old = backend_fingerprint(&dataset, &config);
+        let location = Point::new(99.0 - step as f64, 99.0);
+        dataset.insert(Tuple::new(dataset.next_id(), location));
+        let new = backend_fingerprint(&dataset, &config);
+        cache.apply_insert(old, new, &location);
+    }
+    assert!(cache.stats().invalidations > 0);
+}
+
+#[test]
+fn concurrent_hammering_matches_serial_and_keeps_counters_consistent() {
+    let k = 5;
+    let config = ServiceConfig::lr_lbs(k);
+    let dataset = seed_dataset(80, 17);
+    let probes = probe_points();
+
+    // Serial reference: every probe once, through a private cold cache.
+    let serial_cache = AnswerCache::unbounded();
+    let serial = CachingBackend::over_service(
+        SimulatedLbs::new(dataset.clone(), config.clone()),
+        serial_cache.share(),
+        true,
+    );
+    let reference: Vec<QueryResponse> = probes
+        .iter()
+        .map(|q| serial.query(q).expect("serial query succeeds"))
+        .collect();
+
+    // Concurrent run: several threads, several rounds each, every thread
+    // walking the probe list from a different offset so leaders and waiters
+    // interleave on the same keys.
+    let threads = 4;
+    let rounds = 3;
+    let cache = AnswerCache::unbounded();
+    let backend = CachingBackend::over_service(
+        SimulatedLbs::new(dataset.clone(), config.clone()),
+        cache.share(),
+        true,
+    );
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let backend = &backend;
+            let probes = &probes;
+            let reference = &reference;
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    for i in 0..probes.len() {
+                        let index = (i + t * 7 + round) % probes.len();
+                        let response = backend
+                            .query(&probes[index])
+                            .expect("concurrent query succeeds");
+                        assert_eq!(
+                            response, reference[index],
+                            "thread {t}, round {round}: concurrent answer diverged from serial"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let lookups = (threads * rounds * probes.len()) as u64;
+    assert_eq!(
+        stats.misses,
+        probes.len() as u64,
+        "single-flight must admit each distinct key exactly once, regardless of interleaving"
+    );
+    assert_eq!(stats.hits + stats.misses, lookups);
+    assert_eq!(stats.invalidations, 0);
+    assert_eq!(stats.evictions, 0);
+    // Metered hits charge the shared ledger like real queries, so the ledger
+    // reads exactly one charge per lookup.
+    assert_eq!(backend.queries_issued(), lookups);
+}
