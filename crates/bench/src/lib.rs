@@ -30,7 +30,10 @@ pub mod scenario;
 pub mod toml_lite;
 
 pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
-pub use report::{BenchRecord, BenchReport, CacheBenchReport, SessionBenchReport, SpeedupReport};
+pub use report::{
+    BenchRecord, BenchReport, CacheBenchReport, LoadtestBenchReport, SessionBenchReport,
+    SpeedupReport,
+};
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;
 pub use scenario::{

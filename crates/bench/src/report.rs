@@ -130,6 +130,90 @@ pub struct CacheBenchReport {
     pub deterministic: bool,
 }
 
+/// Concurrent-load probe of the event-driven serving layer: N keep-alive
+/// clients hammer a loopback server with job submissions (retrying on
+/// `429` backpressure), and every admitted job's served result is compared
+/// bitwise against a local batch run of the same scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadtestBenchReport {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Jobs each client submits.
+    pub jobs_per_client: usize,
+    /// Jobs admitted and completed (must equal `clients × jobs_per_client`).
+    pub completed_jobs: usize,
+    /// Jobs that were never admitted or never finished (must be 0 — `429`s
+    /// are retried, so backpressure never drops work).
+    pub dropped_jobs: usize,
+    /// Wall-clock seconds of the whole run.
+    pub wall_s: f64,
+    /// Completed jobs per second.
+    pub jobs_per_s: f64,
+    /// Median submit→first-estimate latency (ms): from the first submission
+    /// attempt to the first poll whose snapshot has ≥ 1 completed sample.
+    pub p50_first_estimate_ms: f64,
+    /// 95th-percentile submit→first-estimate latency (ms).
+    pub p95_first_estimate_ms: f64,
+    /// 99th-percentile submit→first-estimate latency (ms).
+    pub p99_first_estimate_ms: f64,
+    /// HTTP requests issued across all clients.
+    pub http_requests: u64,
+    /// TCP connections the clients opened.
+    pub connections: u64,
+    /// `1 − connections / http_requests`: fraction of requests that reused
+    /// a pooled keep-alive connection.
+    pub keep_alive_reuse: f64,
+    /// `429`s from the bounded submission queue (clients retried them all).
+    pub queue_429: u64,
+    /// `429`s from tenant-quota saturation.
+    pub quota_429: u64,
+    /// The server's submission-queue bound during the run.
+    pub queue_depth: usize,
+    /// Deepest the server's submission queue got. `429`s are legitimate
+    /// only if this reached `queue_depth`.
+    pub queue_high_water: usize,
+    /// Whether the run verified served results against local batch runs.
+    pub check_batch: bool,
+    /// `true` when every served result matched its batch twin bitwise
+    /// (meaningless unless `check_batch`).
+    pub batch_identical: bool,
+}
+
+impl LoadtestBenchReport {
+    /// The gate conditions of the loadtest block (shared between
+    /// [`gate_against`] and the `repro loadtest` exit code):
+    ///
+    /// * no dropped jobs — backpressure must never lose admitted work,
+    /// * `429`s only after the queue actually filled (high-water at the
+    ///   bound), and
+    /// * when batch checking ran, bitwise equality of served vs batch.
+    pub fn violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.dropped_jobs > 0 {
+            violations.push(format!(
+                "loadtest probe: {} jobs dropped under concurrent load — \
+                 backpressure must retry, never lose work",
+                self.dropped_jobs
+            ));
+        }
+        if self.queue_429 > 0 && self.queue_high_water < self.queue_depth {
+            violations.push(format!(
+                "loadtest probe: {} queue 429s but high-water {} never reached \
+                 the bound {} — premature backpressure",
+                self.queue_429, self.queue_high_water, self.queue_depth
+            ));
+        }
+        if self.check_batch && !self.batch_identical {
+            violations.push(
+                "loadtest probe: a served result differed bitwise from its local \
+                 batch run — determinism regression under concurrent load"
+                    .to_string(),
+            );
+        }
+        violations
+    }
+}
+
 /// The complete content of `BENCH_repro.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -151,6 +235,10 @@ pub struct BenchReport {
     /// Shared answer-cache probe of the serving layer (absent in reports
     /// written before the cache existed, and in scenario-mode runs).
     pub cache: Option<CacheBenchReport>,
+    /// Concurrent-load probe of the event-driven serving layer (absent in
+    /// reports written before the event loop existed, and in scenario-mode
+    /// runs).
+    pub loadtest: Option<LoadtestBenchReport>,
 }
 
 impl BenchReport {
@@ -165,6 +253,7 @@ impl BenchReport {
             speedup: None,
             sessions: None,
             cache: None,
+            loadtest: None,
         }
     }
 
@@ -311,6 +400,9 @@ pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String>
                     .to_string(),
             );
         }
+    }
+    if let Some(loadtest) = &fresh.loadtest {
+        violations.extend(loadtest.violations());
     }
     violations
 }
@@ -579,6 +671,56 @@ mod tests {
         assert!(gate_against(&cold, &reference)
             .iter()
             .any(|v| v.contains("zero cache hits")));
+    }
+
+    #[test]
+    fn gate_checks_the_loadtest_probe() {
+        let reference = BenchReport::new(Scale::Small, 2015, 1);
+        let probe = |dropped: usize, queue_429: u64, high_water: usize, identical: bool| {
+            LoadtestBenchReport {
+                clients: 4,
+                jobs_per_client: 3,
+                completed_jobs: 12 - dropped,
+                dropped_jobs: dropped,
+                wall_s: 1.0,
+                jobs_per_s: 12.0,
+                p50_first_estimate_ms: 5.0,
+                p95_first_estimate_ms: 9.0,
+                p99_first_estimate_ms: 9.5,
+                http_requests: 60,
+                connections: 4,
+                keep_alive_reuse: 1.0 - 4.0 / 60.0,
+                queue_429,
+                quota_429: 0,
+                queue_depth: 8,
+                queue_high_water: high_water,
+                check_batch: true,
+                batch_identical: identical,
+            }
+        };
+        let mut healthy = BenchReport::new(Scale::Small, 2015, 1);
+        healthy.loadtest = Some(probe(0, 5, 8, true));
+        assert!(gate_against(&healthy, &reference).is_empty());
+
+        let mut dropped = BenchReport::new(Scale::Small, 2015, 1);
+        dropped.loadtest = Some(probe(2, 0, 8, true));
+        assert!(gate_against(&dropped, &reference)
+            .iter()
+            .any(|v| v.contains("dropped")));
+
+        // 429s without the queue ever filling: the server pushed back
+        // before it had to.
+        let mut premature = BenchReport::new(Scale::Small, 2015, 1);
+        premature.loadtest = Some(probe(0, 5, 3, true));
+        assert!(gate_against(&premature, &reference)
+            .iter()
+            .any(|v| v.contains("premature backpressure")));
+
+        let mut divergent = BenchReport::new(Scale::Small, 2015, 1);
+        divergent.loadtest = Some(probe(0, 0, 0, false));
+        assert!(gate_against(&divergent, &reference)
+            .iter()
+            .any(|v| v.contains("determinism regression under concurrent load")));
     }
 
     #[test]

@@ -104,7 +104,11 @@ pub const RULES: &[Rule] = &[
                   wall-time probe, the server throughput probe), which are allowlisted; \
                   anywhere else the use must be annotated with a reason explaining why \
                   the value never feeds back into an estimate.",
-        allowed_path_suffixes: &["crates/bench/src/report.rs", "crates/server/src/probe.rs"],
+        allowed_path_suffixes: &[
+            "crates/bench/src/report.rs",
+            "crates/server/src/probe.rs",
+            "crates/server/src/loadtest.rs",
+        ],
         check: check_ambient_time,
     },
     Rule {

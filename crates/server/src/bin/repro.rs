@@ -49,8 +49,8 @@ use lbs_bench::{
     run_experiment_threaded, BenchRecord, BenchReport, Scale, Scenario, ScenarioContext,
 };
 use lbs_server::{
-    http_request, run_cache_probe, run_session_probe, Scheduler, SchedulerConfig, Server,
-    ServerState,
+    http_request, run_cache_probe, run_loadtest, run_session_probe, LoadtestOptions, Scheduler,
+    SchedulerConfig, Server, ServerState,
 };
 
 struct Options {
@@ -83,10 +83,16 @@ struct ClientOptions {
     shutdown: bool,
 }
 
+struct LoadtestCliOptions {
+    probe: LoadtestOptions,
+    out_dir: PathBuf,
+}
+
 enum Command {
     Run(Options),
     Serve(ServeOptions),
     Client(ClientOptions),
+    Loadtest(LoadtestCliOptions),
     Help,
 }
 
@@ -177,6 +183,40 @@ fn parse_client_args(args: impl Iterator<Item = String>) -> Result<Command, Stri
     }))
 }
 
+fn parse_loadtest_args(args: impl Iterator<Item = String>) -> Result<Command, String> {
+    let mut probe = LoadtestOptions::default();
+    let mut out_dir = PathBuf::from("bench-results");
+    fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
+        let value = value.ok_or(format!("{flag} needs a value"))?;
+        value
+            .parse()
+            .map_err(|_| format!("bad {flag} value `{value}`"))
+    }
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => probe.clients = parse_usize("--clients", args.next())?.max(1),
+            "--jobs" => probe.jobs_per_client = parse_usize("--jobs", args.next())?.max(1),
+            "--queue-depth" => probe.queue_depth = parse_usize("--queue-depth", args.next())?,
+            "--threads" | "-t" => probe.threads = parse_usize("--threads", args.next())?,
+            "--budget" => {
+                let value = args.next().ok_or("--budget needs a value")?;
+                probe.budget = value.parse().map_err(|_| format!("bad budget `{value}`"))?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                probe.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--check-batch" => probe.check_batch = true,
+            "--no-check-batch" => probe.check_batch = false,
+            "--out" | "-o" => out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown loadtest argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Command::Loadtest(LoadtestCliOptions { probe, out_dir }))
+}
+
 fn parse_args() -> Result<Command, String> {
     let mut experiments: Vec<String> = Vec::new();
     let mut scale = Scale::Small;
@@ -197,6 +237,10 @@ fn parse_args() -> Result<Command, String> {
         Some("client") => {
             args.next();
             return parse_client_args(args);
+        }
+        Some("loadtest") => {
+            args.next();
+            return parse_loadtest_args(args);
         }
         _ => {}
     }
@@ -274,6 +318,8 @@ fn usage() -> String {
          \x20                   [--quota TENANT=LIMIT]...\n\
          \x20      repro client --scenario FILE [--addr HOST:PORT] [--tenant NAME]\n\
          \x20                   [--poll-ms N] [--timeout-s N] [--check-batch] [--shutdown]\n\
+         \x20      repro loadtest [--clients N] [--jobs N] [--queue-depth N] [--budget N]\n\
+         \x20                   [--seed N] [--threads N] [--no-check-batch] [--out DIR]\n\
          --threads N       run estimator samples on N worker threads (0 = all cores);\n\
          \x20                 results are bit-identical for every N\n\
          --gate FILE       after the run, diff the fresh BENCH_repro.json against the\n\
@@ -288,6 +334,11 @@ fn usage() -> String {
          \x20                 estimates, fetch the result; --check-batch verifies the\n\
          \x20                 served estimate against a local batch run bit for bit;\n\
          \x20                 --shutdown stops the server afterwards\n\
+         loadtest          start an in-process server on a loopback port and hammer it\n\
+         \x20                 from N concurrent keep-alive clients; records latency\n\
+         \x20                 percentiles, jobs/s, reuse rate and the 429 split to\n\
+         \x20                 BENCH_loadtest.json and exits non-zero on dropped jobs,\n\
+         \x20                 premature backpressure or a served!=batch divergence\n\
          experiments: {}",
         all_experiment_ids().join(", ")
     )
@@ -319,6 +370,7 @@ fn main() -> ExitCode {
         Ok(Command::Run(o)) => o,
         Ok(Command::Serve(o)) => return run_serve(o),
         Ok(Command::Client(o)) => return run_client(o),
+        Ok(Command::Loadtest(o)) => return run_loadtest_cmd(o),
         Ok(Command::Help) => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -462,6 +514,30 @@ fn main() -> ExitCode {
             cache.deterministic,
         );
         report.cache = Some(cache);
+
+        // Concurrent-load probe: an in-process event-loop server hammered
+        // by a few keep-alive clients, every served estimate verified
+        // bitwise against a batch re-run. Small on purpose; `repro
+        // loadtest` runs the same probe with operator-chosen knobs.
+        println!("Timing the concurrent-load probe...");
+        match run_loadtest(&LoadtestOptions {
+            clients: 4,
+            jobs_per_client: 2,
+            queue_depth: 8,
+            budget: 100,
+            seed: options.seed,
+            threads: probe_threads,
+            check_batch: true,
+        }) {
+            Ok(loadtest) => {
+                print_loadtest(&loadtest);
+                report.loadtest = Some(loadtest);
+            }
+            Err(e) => {
+                eprintln!("concurrent-load probe failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if options.threads != 1 {
@@ -524,6 +600,85 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Prints the shared human-readable summary of a loadtest report — used by
+/// both the experiment-mode probe and the `repro loadtest` subcommand.
+fn print_loadtest(report: &lbs_bench::LoadtestBenchReport) {
+    println!(
+        "  {} clients x {} jobs: {} completed, {} dropped in {:.2}s -> {:.1} jobs/s",
+        report.clients,
+        report.jobs_per_client,
+        report.completed_jobs,
+        report.dropped_jobs,
+        report.wall_s,
+        report.jobs_per_s,
+    );
+    println!(
+        "  submit->first-estimate p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        report.p50_first_estimate_ms, report.p95_first_estimate_ms, report.p99_first_estimate_ms,
+    );
+    println!(
+        "  {} requests over {} connections ({:.0}% keep-alive reuse), \
+         429s: {} queue / {} quota (queue high water {}/{})",
+        report.http_requests,
+        report.connections,
+        report.keep_alive_reuse * 100.0,
+        report.queue_429,
+        report.quota_429,
+        report.queue_high_water,
+        report.queue_depth,
+    );
+    if report.check_batch {
+        println!(
+            "  served == batch bitwise: {}\n",
+            if report.batch_identical { "yes" } else { "NO" }
+        );
+    } else {
+        println!("  (batch check skipped)\n");
+    }
+}
+
+/// `repro loadtest` — the concurrent-load probe with operator-chosen knobs,
+/// written to `BENCH_loadtest.json` and gated on its own violations.
+fn run_loadtest_cmd(options: LoadtestCliOptions) -> ExitCode {
+    if let Err(e) = fs::create_dir_all(&options.out_dir) {
+        eprintln!("cannot create {}: {e}", options.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "Load-testing the event-loop server ({} clients x {} jobs, queue depth {})...",
+        options.probe.clients, options.probe.jobs_per_client, options.probe.queue_depth,
+    );
+    let loadtest = match run_loadtest(&options.probe) {
+        Ok(loadtest) => loadtest,
+        Err(e) => {
+            eprintln!("loadtest failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_loadtest(&loadtest);
+    let violations = loadtest.violations();
+
+    let mut report = BenchReport::new(Scale::Small, options.probe.seed, options.probe.threads);
+    report.loadtest = Some(loadtest);
+    let json_path = options.out_dir.join("BENCH_loadtest.json");
+    if let Err(e) = fs::write(&json_path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("loadtest report written to {}", json_path.display());
+
+    if violations.is_empty() {
+        println!("loadtest gate PASSED");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("loadtest gate FAILED:");
+        for violation in &violations {
+            eprintln!("  - {violation}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 // ---------------------------------------------------------------------------

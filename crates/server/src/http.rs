@@ -1,6 +1,8 @@
-//! Dependency-free HTTP/1.1 JSON front-end over [`std::net::TcpListener`].
+//! Wire-level HTTP/1.1: incremental request parsing, response rendering,
+//! and the two clients (`http_request` one-shot, [`HttpClient`] keep-alive).
 //!
-//! The wire surface of the serving layer. Endpoints:
+//! The serving endpoints themselves live in [`crate::event_loop`]; this
+//! module owns only the byte format. Endpoints for reference:
 //!
 //! | method & path            | body / query                 | reply |
 //! |--------------------------|------------------------------|-------|
@@ -9,165 +11,149 @@
 //! | `GET /jobs/{id}`         | —                            | [`JobStatus`] JSON (anytime estimate, CI, queries, stop reason) |
 //! | `GET /jobs/{id}/result`  | `?wait_ms=N` long-poll       | final estimate JSON, or `{"pending":true}` after the wait |
 //! | `DELETE /jobs/{id}`      | —                            | `{"cancelled":bool}` |
-//! | `GET /stats`             | —                            | [`SchedulerStats`] JSON |
+//! | `GET /stats`             | —                            | [`SchedulerStats`] JSON plus an `http` / `queue` block |
 //! | `POST /shutdown`         | —                            | `{"ok":true}`, then the server drains and exits |
 //!
-//! The implementation is deliberately minimal — request line + headers +
-//! `Content-Length` body, `Connection: close`, one thread per connection —
-//! because the paper's workload is long-running estimation jobs, not HTTP
-//! throughput: all the concurrency that matters lives in the scheduler's
-//! wave interleaving, which a background ticker thread drives continuously.
+//! Requests are parsed **incrementally**: the event loop appends whatever
+//! bytes the socket yields into a per-connection buffer and calls
+//! `find_head_end` / `RequestHead::parse` until a full head (and then a
+//! full `Content-Length` body) is available. Nothing here blocks.
 //!
 //! [`JobStatus`]: crate::scheduler::JobStatus
 //! [`SchedulerStats`]: crate::scheduler::SchedulerStats
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::TcpStream;
 use std::time::Duration;
 
-use lbs_bench::Scenario;
-use serde::{Deserialize, Serialize, Value};
+use serde::{Serialize, Value};
 
-use crate::scheduler::Scheduler;
+/// Default socket timeout used by the blocking clients.
+pub(crate) const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Longest accepted header block.
-const MAX_HEADER_BYTES: usize = 64 * 1024;
-/// Longest accepted request body.
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
-/// Per-connection socket timeout.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
-/// Longest honoured `wait_ms` long-poll.
-const MAX_WAIT_MS: u64 = 120_000;
+// ---------------------------------------------------------------------------
+// Incremental request parsing.
+// ---------------------------------------------------------------------------
 
-/// Shared state of a running server.
-pub struct ServerState {
-    /// The scheduler behind the API (public so embedders and the session
-    /// probe can drive it directly).
-    pub scheduler: Mutex<Scheduler>,
-    shutdown: AtomicBool,
+/// A wire-level protocol error mapped to the status line it should produce.
+#[derive(Debug, Clone)]
+pub(crate) struct HttpError {
+    /// Status code to reply with (`400`, `413`, `501`, …).
+    pub status: u16,
+    /// Reason phrase matching `status`.
+    pub reason: &'static str,
+    /// Human-readable detail for the JSON error body.
+    pub message: String,
 }
 
-impl ServerState {
-    /// Wraps a scheduler for serving.
-    pub fn new(scheduler: Scheduler) -> Arc<Self> {
-        Arc::new(ServerState {
-            scheduler: Mutex::new(scheduler),
-            shutdown: AtomicBool::new(false),
-        })
-    }
-
-    /// Signals every server thread to exit after its current step.
-    pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-    }
-
-    /// `true` once shutdown has been requested.
-    pub fn shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed)
-    }
-}
-
-/// A running HTTP server: ticker thread (drives the scheduler) plus
-/// acceptor thread (serves the API).
-pub struct Server {
-    state: Arc<ServerState>,
-    addr: SocketAddr,
-    threads: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// serving in background threads.
-    pub fn start(addr: &str, state: Arc<ServerState>) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-
-        let ticker_state = Arc::clone(&state);
-        let ticker = std::thread::spawn(move || {
-            while !ticker_state.shutting_down() {
-                let progressed = ticker_state
-                    .scheduler
-                    .lock()
-                    .expect("scheduler lock")
-                    .tick()
-                    .is_some();
-                if !progressed {
-                    // Idle: nothing runnable. Sleep briefly instead of
-                    // spinning on the lock.
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-            }
-        });
-
-        let acceptor_state = Arc::clone(&state);
-        let acceptor = std::thread::spawn(move || {
-            let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-            while !acceptor_state.shutting_down() {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let conn_state = Arc::clone(&acceptor_state);
-                        workers.push(std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &conn_state);
-                        }));
-                        workers.retain(|w| !w.is_finished());
-                    }
-                    // Transient accept errors (ECONNABORTED, EINTR, fd
-                    // exhaustion, …) must not kill the accept loop — a dead
-                    // acceptor would leave the ticker running forever with
-                    // no way to deliver POST /shutdown. Back off briefly and
-                    // retry; the shutdown flag is the only exit.
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => {
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                }
-            }
-            for worker in workers {
-                let _ = worker.join();
-            }
-        });
-
-        Ok(Server {
-            state,
-            addr: local,
-            threads: vec![ticker, acceptor],
-        })
-    }
-
-    /// The bound address (useful with an ephemeral `:0` port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The shared state handle.
-    pub fn state(&self) -> Arc<ServerState> {
-        Arc::clone(&self.state)
-    }
-
-    /// Blocks until the server shuts down (via `POST /shutdown` or
-    /// [`ServerState::request_shutdown`]).
-    pub fn join(self) {
-        for thread in self.threads {
-            let _ = thread.join();
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            reason: "Bad Request",
+            message: message.into(),
         }
     }
 }
 
-/// One parsed request.
-struct Request {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: String,
+/// Returns the length of the header block (terminator included) once the
+/// buffer holds a complete `\r\n\r\n`- or `\n\n`-terminated head.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
 }
 
-impl Request {
-    fn query_u64(&self, key: &str) -> Option<u64> {
+/// The parsed request line + headers of one HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestHead {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, query string stripped.
+    pub path: String,
+    /// Decoded `?key=value` pairs in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// Whether the connection survives this exchange (HTTP/1.1 default
+    /// keep-alive, overridden by `Connection:` headers; HTTP/1.0 defaults
+    /// to close).
+    pub keep_alive: bool,
+}
+
+impl RequestHead {
+    /// Parses a complete header block (as delimited by [`find_head_end`]).
+    pub fn parse(head: &[u8]) -> Result<RequestHead, HttpError> {
+        let text = std::str::from_utf8(head)
+            .map_err(|_| HttpError::bad_request("header block is not UTF-8"))?;
+        let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_ascii_uppercase();
+        let target = parts.next().unwrap_or("").to_string();
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if method.is_empty() || target.is_empty() {
+            return Err(HttpError::bad_request("malformed request line"));
+        }
+        let http11 = version != "HTTP/1.0";
+
+        let mut content_length = 0usize;
+        let mut keep_alive = http11;
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::bad_request("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError {
+                    status: 501,
+                    reason: "Not Implemented",
+                    message: "transfer-encoding is not supported; send Content-Length".to_string(),
+                });
+            }
+        }
+
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q),
+            None => (target, ""),
+        };
+        let query = query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (kv.to_string(), String::new()),
+            })
+            .collect();
+        Ok(RequestHead {
+            method,
+            path,
+            query,
+            content_length,
+            keep_alive,
+        })
+    }
+
+    /// Looks up an integer query parameter.
+    pub fn query_u64(&self, key: &str) -> Option<u64> {
         self.query
             .iter()
             .find(|(k, _)| k == key)
@@ -175,249 +161,138 @@ impl Request {
     }
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    stream
-        .set_read_timeout(Some(SOCKET_TIMEOUT))
-        .map_err(|e| e.to_string())?;
-    stream
-        .set_write_timeout(Some(SOCKET_TIMEOUT))
-        .map_err(|e| e.to_string())?;
-    let mut reader = BufReader::new(stream);
+// ---------------------------------------------------------------------------
+// Response rendering.
+// ---------------------------------------------------------------------------
 
-    // The header block reads through a hard byte cap: `read_line` on a raw
-    // stream would otherwise buffer a newline-free flood without limit
-    // before any post-hoc length check could run.
-    let mut header_reader = (&mut reader).take(MAX_HEADER_BYTES as u64);
-    let mut request_line = String::new();
-    header_reader
-        .read_line(&mut request_line)
-        .map_err(|e| e.to_string())?;
-    if request_line.len() >= MAX_HEADER_BYTES && !request_line.ends_with('\n') {
-        return Err("header block too large".to_string());
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_ascii_uppercase();
-    let target = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || target.is_empty() {
-        return Err("malformed request line".to_string());
-    }
-
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        let n = header_reader
-            .read_line(&mut line)
-            .map_err(|e| e.to_string())?;
-        if n > 0 && !line.ends_with('\n') && header_reader.limit() == 0 {
-            return Err("header block too large".to_string());
-        }
-        let line = line.trim_end();
-        if n == 0 || line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| "bad content-length".to_string())?;
-            }
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err("body too large".to_string());
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-
-    let (path, query_str) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q),
-        None => (target.clone(), ""),
-    };
-    let query = query_str
-        .split('&')
-        .filter(|kv| !kv.is_empty())
-        .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
-            None => (kv.to_string(), String::new()),
-        })
-        .collect();
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-    })
+/// One response ready to be rendered onto the wire.
+#[derive(Debug, Clone)]
+pub(crate) struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// JSON body.
+    pub body: String,
+    /// Optional `Retry-After` header in seconds (backpressure replies).
+    pub retry_after_s: Option<u64>,
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+impl Response {
+    /// A JSON response with the given status line.
+    pub fn json(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            reason,
+            body: body.into(),
+            retry_after_s: None,
+        }
+    }
+
+    /// A `{"error": message}` response with the given status line.
+    pub fn error(status: u16, reason: &'static str, message: &str) -> Response {
+        Response::json(status, reason, error_body(message))
+    }
+
+    /// Renders the full wire bytes, `Connection:` header included.
+    pub fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let retry_after = match self.retry_after_s {
+            Some(s) => format!("Retry-After: {s}\r\n"),
+            None => String::new(),
+        };
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{}",
+            self.status,
+            self.reason,
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
 }
 
-fn json_of<T: Serialize>(value: &T) -> String {
+impl From<HttpError> for Response {
+    fn from(e: HttpError) -> Response {
+        Response::error(e.status, e.reason, &e.message)
+    }
+}
+
+/// Serializes any `Serialize` value to a JSON string.
+pub(crate) fn json_of<T: Serialize>(value: &T) -> String {
     serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
 }
 
-fn error_body(message: &str) -> String {
+/// A `{"error": message}` JSON body.
+pub(crate) fn error_body(message: &str) -> String {
     json_of(&Value::Map(vec![(
         "error".to_string(),
         Value::Str(message.to_string()),
     )]))
 }
 
-fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> Result<(), String> {
-    let request = match read_request(&mut stream) {
-        Ok(request) => request,
-        Err(e) => {
-            write_response(&mut stream, 400, "Bad Request", &error_body(&e));
-            return Ok(());
-        }
-    };
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+// ---------------------------------------------------------------------------
+// Clients (used by `repro client`, `repro loadtest`, and the e2e tests).
+// ---------------------------------------------------------------------------
 
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => {
-            write_response(&mut stream, 200, "OK", r#"{"ok":true}"#);
-        }
-        ("GET", ["stats"]) => {
-            let stats = state.scheduler.lock().expect("scheduler lock").stats();
-            write_response(&mut stream, 200, "OK", &json_of(&stats));
-        }
-        ("POST", ["shutdown"]) => {
-            write_response(&mut stream, 200, "OK", r#"{"ok":true}"#);
-            state.request_shutdown();
-        }
-        ("POST", ["jobs"]) => match submit_job(state, &request.body) {
-            Ok(id) => {
-                let reply = Value::Map(vec![("job_id".to_string(), Value::U64(id))]);
-                write_response(&mut stream, 201, "Created", &json_of(&reply));
-            }
-            Err(e) => {
-                write_response(&mut stream, 400, "Bad Request", &error_body(&e));
-            }
-        },
-        ("GET", ["jobs", id]) => match id.parse::<u64>() {
-            Ok(id) => {
-                let status = state.scheduler.lock().expect("scheduler lock").poll(id);
-                match status {
-                    Some(status) => write_response(&mut stream, 200, "OK", &json_of(&status)),
-                    None => {
-                        write_response(&mut stream, 404, "Not Found", &error_body("no such job"))
-                    }
-                }
-            }
-            Err(_) => write_response(&mut stream, 400, "Bad Request", &error_body("bad job id")),
-        },
-        ("GET", ["jobs", id, "result"]) => match id.parse::<u64>() {
-            Ok(id) => {
-                let wait_ms = request.query_u64("wait_ms").unwrap_or(0).min(MAX_WAIT_MS);
-                serve_result(&mut stream, state, id, wait_ms);
-            }
-            Err(_) => write_response(&mut stream, 400, "Bad Request", &error_body("bad job id")),
-        },
-        ("DELETE", ["jobs", id]) => match id.parse::<u64>() {
-            Ok(id) => {
-                let cancelled = state.scheduler.lock().expect("scheduler lock").cancel(id);
-                let reply = Value::Map(vec![("cancelled".to_string(), Value::Bool(cancelled))]);
-                write_response(&mut stream, 200, "OK", &json_of(&reply));
-            }
-            Err(_) => write_response(&mut stream, 400, "Bad Request", &error_body("bad job id")),
-        },
-        _ => {
-            write_response(&mut stream, 404, "Not Found", &error_body("no such route"));
-        }
+/// Reads one response off `reader`; returns `(status, body, server_closes)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, String, bool), String> {
+    let mut status_line = String::new();
+    let n = reader
+        .read_line(&mut status_line)
+        .map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Err("connection closed before status line".to_string());
     }
-    Ok(())
-}
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim()))?;
 
-fn submit_job(state: &Arc<ServerState>, body: &str) -> Result<u64, String> {
-    let value: Value = serde_json::from_str(body).map_err(|e| format!("bad JSON body: {e}"))?;
-    let tenant: Option<String> = match value.get("tenant") {
-        Some(v) => Some(String::from_value(v).map_err(|e| format!("tenant: {e}"))?),
-        None => None,
-    };
-    let scenario_value = value
-        .get("scenario")
-        .ok_or_else(|| "body needs a `scenario` object".to_string())?;
-    let scenario = Scenario::from_value(scenario_value).map_err(|e| e.to_string())?;
-    scenario.validate()?;
-    // Build the workload (dataset generation, the expensive part) *outside*
-    // the scheduler lock so running jobs keep ticking and polls keep
-    // answering while a large submission materialises.
-    let ctx = state
-        .scheduler
-        .lock()
-        .expect("scheduler lock")
-        .scenario_context();
-    let workload = lbs_bench::build_workload(&scenario, &ctx)?;
-    state
-        .scheduler
-        .lock()
-        .expect("scheduler lock")
-        .submit_workload(workload, tenant.as_deref())
-}
-
-/// Long-polls a job result: replies with the final estimate once the job is
-/// settled, or `{"pending":true}` after `wait_ms`.
-fn serve_result(stream: &mut TcpStream, state: &Arc<ServerState>, id: u64, wait_ms: u64) {
-    // lbs-lint: allow(ambient-time, reason = "long-poll timeout decides when to reply, never what the reply contains")
-    let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+    let mut content_length = None;
+    let mut server_closes = false;
     loop {
-        let reply = {
-            let scheduler = state.scheduler.lock().expect("scheduler lock");
-            match scheduler.poll(id) {
-                None => {
-                    write_response(stream, 404, "Not Found", &error_body("no such job"));
-                    return;
-                }
-                Some(status) if status.state != crate::scheduler::JobState::Running => {
-                    let mut fields = vec![
-                        ("status".to_string(), status.state.to_value()),
-                        ("scenario_id".to_string(), Value::Str(status.scenario_id)),
-                        ("tenant".to_string(), Value::Str(status.tenant)),
-                        ("snapshot".to_string(), status.snapshot.to_value()),
-                    ];
-                    if let Some(estimate) = scheduler.result(id) {
-                        fields.push(("estimate".to_string(), estimate.to_value()));
-                    }
-                    Some(Value::Map(fields))
-                }
-                Some(_) => None,
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                server_closes = true;
             }
-        };
-        match reply {
-            Some(reply) => {
-                write_response(stream, 200, "OK", &json_of(&reply));
-                return;
-            }
-            // Give up on the deadline — or immediately on shutdown, so an
-            // in-flight long-poll cannot keep the server alive for the
-            // full `wait_ms`.
-            // lbs-lint: allow(ambient-time, reason = "long-poll timeout decides when to reply, never what the reply contains")
-            None if std::time::Instant::now() >= deadline || state.shutting_down() => {
-                write_response(stream, 202, "Accepted", r#"{"pending":true}"#);
-                return;
-            }
-            None => std::thread::sleep(Duration::from_millis(10)),
         }
     }
+    let mut body = String::new();
+    match content_length {
+        Some(n) => {
+            let mut bytes = vec![0u8; n];
+            reader.read_exact(&mut bytes).map_err(|e| e.to_string())?;
+            body = String::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+        }
+        None => {
+            // No length: the body runs to EOF and the connection is spent.
+            server_closes = true;
+            reader
+                .read_to_string(&mut body)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok((status, body, server_closes))
 }
-
-// ---------------------------------------------------------------------------
-// A tiny HTTP client (used by `repro client` and the end-to-end tests).
-// ---------------------------------------------------------------------------
 
 /// Issues one HTTP request against `addr` and returns `(status, body)`.
 ///
-/// This is the client half of the smoke pair: enough HTTP/1.1 to talk to
-/// [`Server`] (and to any reverse proxy that speaks `Connection: close`).
+/// Opens a fresh `Connection: close` socket per call — the simplest correct
+/// client, used by `repro client` and the smoke tests. Load generators that
+/// care about connection reuse should hold an [`HttpClient`] instead.
 pub fn http_request(
     addr: &str,
     method: &str,
@@ -438,43 +313,176 @@ pub fn http_request(
         .write_all(request.as_bytes())
         .map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
+    let (status, body, _) = read_response(&mut reader)?;
+    Ok((status, body))
+}
 
-    let mut status_line = String::new();
-    reader
-        .read_line(&mut status_line)
-        .map_err(|e| e.to_string())?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim()))?;
+/// A keep-alive HTTP/1.1 client: many requests over one connection.
+///
+/// Tracks how many requests it sent and how many TCP connections it had to
+/// open, so the loadtest probe can report the keep-alive reuse rate. A
+/// stale pooled connection (server closed it between requests) is retried
+/// once on a fresh socket before an error is surfaced.
+///
+/// ```no_run
+/// use lbs_server::HttpClient;
+///
+/// let mut client = HttpClient::new("127.0.0.1:8080");
+/// let (status, body) = client.request("GET", "/healthz", None)?;
+/// assert_eq!(status, 200);
+/// // Subsequent requests reuse the same TCP connection.
+/// let _ = client.request("GET", "/stats", None)?;
+/// assert_eq!(client.connections_opened(), 1);
+/// assert_eq!(client.requests_sent(), 2);
+/// # drop(body);
+/// # Ok::<(), String>(())
+/// ```
+pub struct HttpClient {
+    addr: String,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+    requests: u64,
+    connections: u64,
+}
 
-    let mut content_length = None;
-    loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
-        let line = line.trim_end();
-        if n == 0 || line.is_empty() {
-            break;
+impl HttpClient {
+    /// A client for `addr` (`host:port`) with the default 30 s timeout.
+    pub fn new(addr: &str) -> HttpClient {
+        HttpClient::with_timeout(addr, SOCKET_TIMEOUT)
+    }
+
+    /// A client for `addr` with an explicit per-request socket timeout.
+    pub fn with_timeout(addr: &str, timeout: Duration) -> HttpClient {
+        HttpClient {
+            addr: addr.to_string(),
+            timeout,
+            conn: None,
+            requests: 0,
+            connections: 0,
         }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
+    }
+
+    /// Issues `method path` with an optional JSON body; returns
+    /// `(status, body)`. Reuses the pooled connection when the server keeps
+    /// it alive.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        for attempt in 0..2 {
+            let reused = self.conn.is_some();
+            if self.conn.is_none() {
+                let stream = TcpStream::connect(&self.addr)
+                    .map_err(|e| format!("connect {}: {e}", self.addr))?;
+                stream
+                    .set_read_timeout(Some(self.timeout))
+                    .map_err(|e| e.to_string())?;
+                stream
+                    .set_write_timeout(Some(self.timeout))
+                    .map_err(|e| e.to_string())?;
+                self.connections += 1;
+                self.conn = Some(BufReader::new(stream));
+            }
+            let reader = self.conn.as_mut().expect("connection just ensured");
+            let payload = body.unwrap_or("");
+            let request = format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{payload}",
+                self.addr,
+                payload.len()
+            );
+            let outcome = reader
+                .get_ref()
+                .write_all(request.as_bytes())
+                .map_err(|e| e.to_string())
+                .and_then(|_| read_response(reader));
+            match outcome {
+                Ok((status, body, server_closes)) => {
+                    self.requests += 1;
+                    if server_closes {
+                        self.conn = None;
+                    }
+                    return Ok((status, body));
+                }
+                // A pooled connection the server quietly closed (idle
+                // timeout, drain) fails mid-request; one retry on a fresh
+                // socket is safe because nothing was answered.
+                Err(_) if reused && attempt == 0 => {
+                    self.conn = None;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
             }
         }
+        unreachable!("second attempt always returns")
     }
-    let mut body = String::new();
-    match content_length {
-        Some(n) => {
-            let mut bytes = vec![0u8; n];
-            reader.read_exact(&mut bytes).map_err(|e| e.to_string())?;
-            body = String::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
-        }
-        None => {
-            reader
-                .read_to_string(&mut body)
-                .map_err(|e| e.to_string())?;
-        }
+
+    /// Total requests answered over this client's lifetime.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests
     }
-    Ok((status, body))
+
+    /// TCP connections this client had to open (1 == perfect keep-alive).
+    pub fn connections_opened(&self) -> u64 {
+        self.connections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_handles_both_terminators() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn parse_head_defaults_and_overrides() {
+        let head = RequestHead::parse(b"GET /stats?wait_ms=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("parses");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.path, "/stats");
+        assert_eq!(head.query_u64("wait_ms"), Some(5));
+        assert!(head.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(head.content_length, 0);
+
+        let close = RequestHead::parse(
+            b"POST /jobs HTTP/1.1\r\nConnection: close\r\nContent-Length: 2\r\n\r\n",
+        )
+        .expect("parses");
+        assert!(!close.keep_alive);
+        assert_eq!(close.content_length, 2);
+
+        let legacy = RequestHead::parse(b"GET / HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!legacy.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn parse_head_rejects_garbage() {
+        assert!(RequestHead::parse(b"\r\n\r\n").is_err());
+        assert!(RequestHead::parse(b"GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n").is_err());
+        let chunked = RequestHead::parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .expect_err("chunked unsupported");
+        assert_eq!(chunked.status, 501);
+    }
+
+    #[test]
+    fn response_renders_retry_after_and_connection() {
+        let mut resp = Response::error(429, "Too Many Requests", "queue full");
+        resp.retry_after_s = Some(1);
+        let text = String::from_utf8(resp.render(true)).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        let text = String::from_utf8(Response::json(200, "OK", "{}").render(false)).expect("utf8");
+        assert!(text.contains("Connection: close\r\n"));
+    }
 }

@@ -13,10 +13,15 @@
 //!   because sessions derive all randomness from `(root_seed,
 //!   sample_index)`, every job's estimate stream is bit-identical no matter
 //!   how jobs interleave or in which order they arrived.
-//! * [`http`] — a **dependency-free HTTP/1.1 JSON front-end** over
-//!   [`std::net::TcpListener`]: submit a job from a declarative scenario
-//!   spec, poll its anytime estimate (value, running confidence interval,
-//!   queries spent, stop reason), long-poll the final result, cancel.
+//! * [`event_loop`] + [`http`] + [`queue`] — a **dependency-free,
+//!   event-driven HTTP/1.1 JSON front-end**: one loop thread multiplexes
+//!   every connection over the vendored `poll(2)` shim with keep-alive and
+//!   incremental parsing, and a bounded [`queue::SubmissionQueue`] with a
+//!   single drain worker turns socket chaos into one serial admission
+//!   stream (backpressure is explicit: `429` + `Retry-After`). Submit a
+//!   job from a declarative scenario spec, poll its anytime estimate
+//!   (value, running confidence interval, queries spent, stop reason),
+//!   long-poll the final result, cancel.
 //! * [`probe`] — the session-throughput probe (`jobs/s`, mean
 //!   time-to-first-estimate, shuffled-arrival determinism check) recorded in
 //!   `BENCH_repro.json` by every `repro` run.
@@ -31,12 +36,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event_loop;
 pub mod http;
+pub mod loadtest;
 pub mod probe;
+pub mod queue;
 pub mod scheduler;
 
-pub use http::{http_request, Server, ServerState};
+pub use event_loop::{HttpStats, Server, ServerConfig, ServerState};
+pub use http::{http_request, HttpClient};
+pub use loadtest::{run_loadtest, LoadtestOptions};
 pub use probe::{run_cache_probe, run_session_probe};
+pub use queue::SubmissionQueue;
 pub use scheduler::{
     CacheCounters, JobState, JobStatus, Scheduler, SchedulerConfig, SchedulerStats, TenantStatus,
     DEFAULT_TENANT,

@@ -272,6 +272,34 @@ impl Scheduler {
         Ok(())
     }
 
+    /// `true` when `tenant` has a hard quota and it is fully spent — every
+    /// further submission under it is doomed to fail with zero samples, so
+    /// the HTTP layer rejects such jobs up front with `429 Too Many
+    /// Requests` instead of admitting them into the queue.
+    ///
+    /// Quota-less tenants (and unknown names, which would be implicitly
+    /// registered without a quota) are never saturated.
+    ///
+    /// ```
+    /// use lbs_server::{Scheduler, SchedulerConfig};
+    ///
+    /// let mut scheduler = Scheduler::new(SchedulerConfig::default());
+    /// scheduler.register_tenant("capped", Some(50))?;
+    /// assert!(!scheduler.tenant_quota_saturated("capped"));
+    /// assert!(!scheduler.tenant_quota_saturated("unknown"));
+    /// # Ok::<(), String>(())
+    /// ```
+    pub fn tenant_quota_saturated(&self, tenant: &str) -> bool {
+        let tenant = if tenant.is_empty() {
+            DEFAULT_TENANT
+        } else {
+            tenant
+        };
+        self.tenants
+            .get(tenant)
+            .is_some_and(|t| t.quota.is_some() && t.budget.remaining() == 0)
+    }
+
     /// The scenario-building context of this scheduler (what job workloads
     /// are built with). Cheap to copy — the HTTP layer reads it under the
     /// scheduler lock, then builds the (potentially large) workload

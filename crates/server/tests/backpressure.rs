@@ -1,0 +1,184 @@
+//! Queue-saturation test: with the drain worker paused, the bounded
+//! admission queue fills, the next submission draws a deterministic `429`,
+//! and — after the worker resumes — every admitted job's served estimate is
+//! bitwise identical to a local batch run of the same scenario.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use lbs_bench::{Scale, Scenario, ScenarioContext};
+use lbs_server::{http_request, Scheduler, SchedulerConfig, Server, ServerConfig, ServerState};
+use serde::{Deserialize, Value};
+
+fn scenario_json(id: &str, seed: u64) -> String {
+    format!(
+        r#"{{"id":"{id}","seed":{seed},
+            "dataset":{{"model":"uniform","size":45}},
+            "interface":{{"kind":"lr","k":5}},
+            "aggregate":{{"kind":"count"}},
+            "estimator":{{"algorithm":"lr","budget":90}}}}"#
+    )
+}
+
+/// Writes one full `POST /jobs` request and returns the socket without
+/// reading the response — the reply only arrives once the drain worker
+/// processes the admitted job.
+fn send_submit(addr: &str, scenario: &str) -> TcpStream {
+    let body = format!(r#"{{"scenario":{scenario}}}"#);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .write_all(
+            format!(
+                "POST /jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write submit");
+    stream
+}
+
+/// Reads the parked socket's eventual response (status line + JSON body).
+fn read_response(stream: TcpStream) -> (u16, String) {
+    use std::io::Read;
+    let mut raw = Vec::new();
+    let mut stream = stream;
+    let mut scratch = [0u8; 4096];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&scratch[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in: {text}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn wait_for_queue_len(queue: &lbs_server::SubmissionQueue, len: usize) {
+    // lbs-lint: allow(ambient-time, reason = "test-harness deadline for observing queue depth; no estimate depends on it")
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while queue.len() != len {
+        assert!(
+            // lbs-lint: allow(ambient-time, reason = "test-harness deadline for observing queue depth; no estimate depends on it")
+            Instant::now() < deadline,
+            "queue never reached depth {len} (at {})",
+            queue.len()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Runs `scenario` through the local batch path exactly the way
+/// `repro client --check-batch` does, returning the final estimate.
+fn batch_value(scenario_json: &str) -> f64 {
+    let value: Value = serde_json::from_str(scenario_json).expect("scenario JSON");
+    let scenario = Scenario::from_value(&value).expect("scenario deserializes");
+    scenario.validate().expect("scenario validates");
+    let ctx = ScenarioContext {
+        scale: Scale::Small,
+        seed: 2015,
+        threads: 1,
+        smoke: false,
+    };
+    let workload = lbs_bench::build_workload(&scenario, &ctx).expect("workload builds");
+    let backend = workload.backend();
+    let mut session = workload
+        .start_session(backend, workload.session_config(1, 0))
+        .expect("session starts");
+    while !session.is_finished() {
+        session.step();
+    }
+    session.finalize().expect("batch run finishes").value
+}
+
+#[test]
+fn saturation_draws_deterministic_429s_and_admitted_results_match_batch() {
+    let state = ServerState::new(Scheduler::new(SchedulerConfig::default()));
+    let config = ServerConfig {
+        queue_depth: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with_config("127.0.0.1:0", state, config).expect("bind");
+    let addr = server.addr().to_string();
+    let queue = server.admission_queue();
+
+    // Pause the drain worker so admissions pile up deterministically.
+    queue.pause();
+
+    // Two submissions fill the queue (capacity 2); the sockets park waiting
+    // for their tickets to complete. Waiting for the observed queue depth
+    // between sends pins the admission order.
+    let scenarios = [scenario_json("sat_a", 101), scenario_json("sat_b", 202)];
+    let parked_a = send_submit(&addr, &scenarios[0]);
+    wait_for_queue_len(&queue, 1);
+    let parked_b = send_submit(&addr, &scenarios[1]);
+    wait_for_queue_len(&queue, 2);
+
+    // The queue is saturated: the third submission is rejected immediately
+    // with 429 + Retry-After even though the worker has made no progress.
+    let rejected = send_submit(&addr, &scenario_json("sat_c", 303));
+    let (status, _) = read_response(rejected);
+    assert_eq!(status, 429, "a full queue must answer 429");
+
+    let stats = server.http_stats();
+    assert_eq!(stats.queue_429, 1, "exactly one rejection");
+    assert_eq!(
+        stats.queue_high_water, stats.queue_capacity,
+        "429s only happen at saturation"
+    );
+
+    // Resume the worker: both admitted jobs are drained in admission order
+    // and their submitters finally get 201s.
+    queue.resume();
+    let (status_a, reply_a) = read_response(parked_a);
+    let (status_b, reply_b) = read_response(parked_b);
+    assert_eq!((status_a, status_b), (201, 201), "{reply_a} / {reply_b}");
+
+    // The served estimates are bitwise identical to local batch runs — the
+    // saturation episode and concurrent admission changed nothing.
+    for (reply, scenario) in [(&reply_a, &scenarios[0]), (&reply_b, &scenarios[1])] {
+        let reply: Value = serde_json::from_str(reply).expect("submit reply");
+        let job_id = match reply.get("job_id") {
+            Some(Value::U64(n)) => *n,
+            other => panic!("job_id missing: {other:?}"),
+        };
+        let (status, result) = http_request(
+            &addr,
+            "GET",
+            &format!("/jobs/{job_id}/result?wait_ms=60000"),
+            None,
+        )
+        .expect("result");
+        assert_eq!(status, 200, "{result}");
+        let result: Value = serde_json::from_str(&result).expect("result JSON");
+        let served = result
+            .get("estimate")
+            .and_then(|e| e.get("value"))
+            .and_then(Value::as_f64)
+            .expect("estimate value");
+        assert_eq!(
+            served.to_bits(),
+            batch_value(scenario).to_bits(),
+            "served estimate diverged from the batch run"
+        );
+    }
+
+    let state = server.state();
+    state.request_shutdown();
+    server.join();
+}

@@ -1,0 +1,92 @@
+//! End-to-end keep-alive tests: many requests over one connection, and raw
+//! pipelined requests on a single socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lbs_server::{HttpClient, Scheduler, SchedulerConfig, Server, ServerState};
+use serde::Value;
+
+fn start_server() -> Server {
+    let state = ServerState::new(Scheduler::new(SchedulerConfig::default()));
+    Server::start("127.0.0.1:0", state).expect("bind ephemeral port")
+}
+
+#[test]
+fn many_requests_reuse_one_connection() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    let mut client = HttpClient::new(&addr);
+    for _ in 0..10 {
+        let (status, body) = client.request("GET", "/healthz", None).expect("healthz");
+        assert_eq!(status, 200, "{body}");
+        let (status, _) = client.request("GET", "/stats", None).expect("stats");
+        assert_eq!(status, 200);
+    }
+
+    // A full submit → poll → result round trip over the same connection.
+    let body = r#"{"scenario":{"id":"ka","seed":11,
+        "dataset":{"model":"uniform","size":40},
+        "interface":{"kind":"lr","k":5},
+        "aggregate":{"kind":"count"},
+        "estimator":{"algorithm":"lr","budget":80}}}"#;
+    let (status, reply) = client.request("POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(status, 201, "{reply}");
+    let reply: Value = serde_json::from_str(&reply).expect("submit reply");
+    let job_id = match reply.get("job_id") {
+        Some(Value::U64(n)) => *n,
+        other => panic!("job_id missing: {other:?}"),
+    };
+    let (status, result) = client
+        .request("GET", &format!("/jobs/{job_id}/result?wait_ms=60000"), None)
+        .expect("result");
+    assert_eq!(status, 200, "{result}");
+
+    assert_eq!(
+        client.connections_opened(),
+        1,
+        "every request should have reused the first keep-alive connection \
+         ({} requests sent)",
+        client.requests_sent()
+    );
+    assert_eq!(client.requests_sent(), 22);
+
+    let state = server.state();
+    state.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn pipelined_requests_on_one_socket() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    // Two requests written back to back before reading anything: the
+    // connection parses them in order from one buffer and answers both.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let one = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    stream
+        .write_all(format!("{one}{one}").as_bytes())
+        .expect("write pipelined pair");
+
+    let mut seen = Vec::new();
+    let mut scratch = [0u8; 4096];
+    while String::from_utf8_lossy(&seen)
+        .matches("HTTP/1.1 200")
+        .count()
+        < 2
+    {
+        let n = stream.read(&mut scratch).expect("read responses");
+        assert!(n > 0, "server closed before answering both requests");
+        seen.extend_from_slice(&scratch[..n]);
+    }
+
+    let state = server.state();
+    state.request_shutdown();
+    server.join();
+}

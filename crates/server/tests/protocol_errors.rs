@@ -1,0 +1,100 @@
+//! Raw-socket tests of the protocol error paths: `413 Payload Too Large`
+//! for oversized declared bodies, `408 Request Timeout` for a request that
+//! stalls mid-headers, and the silent idle-connection close.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lbs_server::{Scheduler, SchedulerConfig, Server, ServerConfig, ServerState};
+
+fn start_server(config: ServerConfig) -> Server {
+    let state = ServerState::new(Scheduler::new(SchedulerConfig::default()));
+    Server::start_with_config("127.0.0.1:0", state, config).expect("bind ephemeral port")
+}
+
+/// Reads until EOF (the server closes after an error response) and returns
+/// the raw response text.
+fn read_to_close(stream: &mut TcpStream) -> String {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut raw = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&scratch[..n]),
+            Err(e) => panic!("read failed before close: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+#[test]
+fn oversized_body_draws_413_from_the_headers_alone() {
+    let server = start_server(ServerConfig {
+        max_body_bytes: 512,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    // Declare a body far over the limit but never send it: the server must
+    // reject from Content-Length alone instead of buffering the payload.
+    stream
+        .write_all(b"POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n")
+        .expect("write head");
+    let response = read_to_close(&mut stream);
+    assert!(
+        response.starts_with("HTTP/1.1 413 "),
+        "expected 413, got: {response}"
+    );
+    assert!(response.contains("Connection: close"), "{response}");
+
+    let state = server.state();
+    state.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn stalled_headers_draw_408_after_the_header_timeout() {
+    let server = start_server(ServerConfig {
+        header_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    // A request that starts and then stalls mid-request-line.
+    stream.write_all(b"GET /heal").expect("write partial");
+    let response = read_to_close(&mut stream);
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "expected 408, got: {response}"
+    );
+    assert!(response.contains("Connection: close"), "{response}");
+
+    let state = server.state();
+    state.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn idle_connections_are_closed_silently() {
+    let server = start_server(ServerConfig {
+        keep_alive_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr().to_string();
+
+    // A connection that never sends a byte is not owed an error response:
+    // it is reaped silently once the keep-alive timeout passes.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let response = read_to_close(&mut stream);
+    assert!(response.is_empty(), "idle close wrote bytes: {response}");
+
+    let state = server.state();
+    state.request_shutdown();
+    server.join();
+}

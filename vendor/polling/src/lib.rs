@@ -1,0 +1,519 @@
+//! Offline, API-compatible subset of the `polling` 3.x crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the slice of `polling`'s surface that the event-
+//! driven server core (`lbs-server`) actually uses:
+//!
+//! * [`Poller`] with `new`, `add`, `modify`, `delete`, `wait`, `notify`,
+//! * [`Event`] readiness descriptors and the [`Events`] buffer.
+//!
+//! Upstream `polling` selects the best OS backend (epoll on Linux, kqueue on
+//! BSD, IOCP on Windows). This vendored subset implements exactly one
+//! backend — **`poll(2)`** over a raw C FFI — which is portable across Unix
+//! and entirely dependency-free (the symbols come from the libc that `std`
+//! already links). `poll(2)` is O(watched fds) per wake-up where epoll is
+//! O(ready fds); for the few hundred connections this repository's serving
+//! layer targets in tests and CI the difference is immaterial, and dropping
+//! the `path` key in the workspace manifest restores upstream's epoll
+//! backend unchanged.
+//!
+//! Semantics match upstream where it matters to callers:
+//!
+//! * **Oneshot interest.** After [`Poller::wait`] delivers an event for a
+//!   source, that source's interest is cleared; the caller must re-arm with
+//!   [`Poller::modify`] before the next wait will watch it again. (The
+//!   `lbs-server` event loop re-arms every live connection each pass.)
+//! * **Level-triggered readiness.** A socket that is still readable when
+//!   re-armed fires again immediately — no edges are lost across `wait`
+//!   calls.
+//! * **`notify` wakes `wait`.** [`Poller::notify`] makes a concurrent or
+//!   future [`Poller::wait`] return early with zero events, via an internal
+//!   self-pipe. Used by worker threads to hand results back to the loop.
+//!
+//! One deliberate API divergence: upstream 3.x marks `add` as `unsafe fn`
+//! (the caller promises to `delete` the source before closing its fd). This
+//! subset keeps `add` safe — a stale fd in the interest map yields a
+//! `POLLNVAL` revent which `wait` silently discards and unregisters, so the
+//! worst case of a forgotten `delete` is a wasted table slot, not UB.
+
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Raw C bindings for the one syscall family this crate needs. The symbols
+/// resolve against the platform libc that `std` links unconditionally.
+mod sys {
+    use core::ffi::{c_int, c_ulong, c_void};
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLPRI: i16 = 0x002;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    pub const F_SETFL: c_int = 4;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFD: c_int = 2;
+    pub const FD_CLOEXEC: c_int = 1;
+    /// Linux value; the only target this build environment supports.
+    pub const O_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Interest in (or readiness of) a single source, tagged with a caller key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source (returned verbatim).
+    pub key: usize,
+    /// Interest in / readiness for reading.
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the source stays registered but unwatched).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Buffer that [`Poller::wait`] fills with ready [`Event`]s.
+#[derive(Debug, Default)]
+pub struct Events {
+    list: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer.
+    pub fn new() -> Events {
+        Events { list: Vec::new() }
+    }
+
+    /// Iterates over the events of the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// Number of events delivered by the last `wait`.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// `true` when the last `wait` delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Discards all buffered events.
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Interest {
+    key: usize,
+    readable: bool,
+    writable: bool,
+}
+
+/// A `poll(2)`-backed readiness monitor over non-blocking sources.
+pub struct Poller {
+    /// Registered sources: fd → armed interest. A `BTreeMap` so the pollfd
+    /// array is rebuilt in deterministic fd order.
+    sources: Mutex<BTreeMap<RawFd, Interest>>,
+    /// Self-pipe read end, always watched; `notify` writes one byte to wake
+    /// a blocked `wait`.
+    notify_read: RawFd,
+    /// Self-pipe write end.
+    notify_write: RawFd,
+}
+
+impl Poller {
+    /// Creates a poller with an armed notification pipe.
+    pub fn new() -> io::Result<Poller> {
+        let mut fds = [0 as core::ffi::c_int; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            // Non-blocking (a full pipe must not block `notify`; draining
+            // must not block `wait`) and close-on-exec.
+            let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+            if flags < 0 || unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
+                let err = io::Error::last_os_error();
+                unsafe {
+                    sys::close(fds[0]);
+                    sys::close(fds[1]);
+                }
+                return Err(err);
+            }
+            unsafe { sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) };
+        }
+        Ok(Poller {
+            sources: Mutex::new(BTreeMap::new()),
+            notify_read: fds[0],
+            notify_write: fds[1],
+        })
+    }
+
+    /// Registers a source with an initial interest. Errors with
+    /// `AlreadyExists` if the source is already registered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut sources = self.sources.lock().expect("poller sources lock");
+        if sources.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "source already registered",
+            ));
+        }
+        sources.insert(
+            fd,
+            Interest {
+                key: interest.key,
+                readable: interest.readable,
+                writable: interest.writable,
+            },
+        );
+        Ok(())
+    }
+
+    /// Re-arms a registered source with a new interest (the oneshot
+    /// delivery model clears interest on every delivered event). Errors
+    /// with `NotFound` for unregistered sources.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut sources = self.sources.lock().expect("poller sources lock");
+        match sources.get_mut(&fd) {
+            Some(slot) => {
+                *slot = Interest {
+                    key: interest.key,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                };
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    /// Unregisters a source. Errors with `NotFound` for unregistered
+    /// sources.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut sources = self.sources.lock().expect("poller sources lock");
+        match sources.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    /// Wakes a concurrent or future [`Poller::wait`], which returns early
+    /// with zero events. Coalesces: multiple notifies before the next wait
+    /// wake it once.
+    pub fn notify(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let ret = unsafe {
+            sys::write(
+                self.notify_write,
+                (&byte as *const u8).cast(),
+                1,
+            )
+        };
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            // A full pipe means a wake-up is already pending — exactly the
+            // coalescing `notify` promises.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Blocks until at least one armed source is ready, `notify` is called,
+    /// or `timeout` elapses (`None` waits forever). Delivered sources have
+    /// their interest cleared (oneshot); returns the number of events.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+
+        // Snapshot the armed interests; the lock is NOT held across the
+        // blocking poll so `notify`/`add`/`modify` from other threads can
+        // never deadlock against a parked wait.
+        let mut pollfds: Vec<sys::PollFd> = vec![sys::PollFd {
+            fd: self.notify_read,
+            events: sys::POLLIN,
+            revents: 0,
+        }];
+        {
+            let sources = self.sources.lock().expect("poller sources lock");
+            for (&fd, interest) in sources.iter() {
+                let mut mask = 0i16;
+                if interest.readable {
+                    mask |= sys::POLLIN | sys::POLLPRI;
+                }
+                if interest.writable {
+                    mask |= sys::POLLOUT;
+                }
+                if mask != 0 {
+                    pollfds.push(sys::PollFd {
+                        fd,
+                        events: mask,
+                        revents: 0,
+                    });
+                }
+            }
+        }
+
+        let timeout_ms: core::ffi::c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                // Round sub-millisecond timeouts up so a 100µs wait does
+                // not degenerate into a hot spin at timeout 0.
+                let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                core::ffi::c_int::try_from(ms).unwrap_or(core::ffi::c_int::MAX)
+            }
+        };
+
+        let ready = loop {
+            let ret = unsafe {
+                sys::poll(
+                    pollfds.as_mut_ptr(),
+                    pollfds.len() as core::ffi::c_ulong,
+                    timeout_ms,
+                )
+            };
+            if ret >= 0 {
+                break ret;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry with the original timeout. A signal can thus
+            // stretch the total wait; callers here treat the timeout as a
+            // housekeeping tick, not a hard deadline.
+        };
+        if ready == 0 {
+            return Ok(0);
+        }
+
+        let mut sources = self.sources.lock().expect("poller sources lock");
+        for pollfd in &pollfds {
+            if pollfd.revents == 0 {
+                continue;
+            }
+            if pollfd.fd == self.notify_read {
+                // Drain the self-pipe; the early return with (possibly)
+                // zero events IS the notification.
+                let mut buf = [0u8; 64];
+                loop {
+                    let n = unsafe {
+                        sys::read(self.notify_read, buf.as_mut_ptr().cast(), buf.len())
+                    };
+                    if n <= 0 {
+                        break;
+                    }
+                }
+                continue;
+            }
+            if pollfd.revents & sys::POLLNVAL != 0 {
+                // The caller closed the fd without `delete`: unregister it
+                // silently (see the module docs on the safe-`add`
+                // divergence).
+                sources.remove(&pollfd.fd);
+                continue;
+            }
+            let Some(interest) = sources.get_mut(&pollfd.fd) else {
+                continue; // deleted while we were polling
+            };
+            // Error/hang-up conditions are delivered on whichever
+            // directions the caller armed, so the next read()/write()
+            // observes the failure directly.
+            let failed = pollfd.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+            let readable =
+                interest.readable && (pollfd.revents & (sys::POLLIN | sys::POLLPRI) != 0 || failed);
+            let writable = interest.writable && (pollfd.revents & sys::POLLOUT != 0 || failed);
+            if !readable && !writable {
+                continue;
+            }
+            events.list.push(Event {
+                key: interest.key,
+                readable,
+                writable,
+            });
+            // Oneshot: delivered sources disarm until the next `modify`.
+            interest.readable = false;
+            interest.writable = false;
+        }
+        Ok(events.list.len())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.notify_read);
+            sys::close(self.notify_write);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readiness_and_oneshot_on_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+        let mut events = Events::new();
+
+        // Nothing to read yet: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.key, 7);
+        assert!(event.readable);
+
+        // Oneshot: without a re-arm the still-readable socket stays silent.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // Re-armed, it fires again (level-triggered readiness).
+        poller.modify(&server, Event::readable(7)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        poller.delete(&server).unwrap();
+        assert!(poller.delete(&server).is_err());
+    }
+
+    #[test]
+    fn notify_wakes_wait_with_zero_events() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let started = std::time::Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() < Duration::from_secs(5), "notify did not wake wait");
+        handle.join().unwrap();
+        // Coalesced: double-notify still wakes exactly once, and the drained
+        // pipe leaves the next wait quiet.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(200)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn writable_interest_fires_on_an_unfilled_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&client, Event::all(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert!(event.writable, "fresh socket with empty send buffer must be writable");
+    }
+}

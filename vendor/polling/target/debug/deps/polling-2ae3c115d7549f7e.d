@@ -1,0 +1,5 @@
+/root/repo/vendor/polling/target/debug/deps/polling-2ae3c115d7549f7e.d: src/lib.rs
+
+/root/repo/vendor/polling/target/debug/deps/polling-2ae3c115d7549f7e: src/lib.rs
+
+src/lib.rs:
