@@ -32,11 +32,11 @@ pub mod toml_lite;
 pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
 pub use report::{
     BenchRecord, BenchReport, CacheBenchReport, LoadtestBenchReport, SessionBenchReport,
-    SpeedupReport,
+    SpeedupReport, StratifiedBenchReport,
 };
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;
 pub use scenario::{
     build_workload, load_scenario, load_scenario_dir, run_scenario, BackendSpec, CacheMode,
-    MutationSpec, Scenario, ScenarioContext, SessionSpec, Workload,
+    MutationSpec, Scenario, ScenarioContext, SessionSpec, StrataSpec, Workload,
 };

@@ -179,6 +179,66 @@ pub struct LoadtestBenchReport {
     pub batch_identical: bool,
 }
 
+/// Stratified-estimation probe: one COUNT estimation over a Zipf-hotspot
+/// dataset run twice at equal budget — once unstratified, once through the
+/// stratified Horvitz–Thompson combiner over a density partition — plus a
+/// 1-thread-versus-N-thread bitwise determinism check of the stratified
+/// run. The headline number is `variance_ratio`: stratification must not
+/// inflate the variance of the estimate it buys with the same budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StratifiedBenchReport {
+    /// What was measured.
+    pub probe: String,
+    /// Partitioner of the probe (`density`).
+    pub partition: String,
+    /// Number of strata.
+    pub count: u64,
+    /// Allocation policy (`proportional` or `neyman`).
+    pub allocation: String,
+    /// Query budget of each run (equal for both designs).
+    pub budget: u64,
+    /// Standard error of the stratified estimate.
+    pub stratified_std_error: f64,
+    /// Standard error of the unstratified estimate at the same budget.
+    pub unstratified_std_error: f64,
+    /// `(stratified_std_error / unstratified_std_error)²` — below 1.0 means
+    /// stratification reduced the variance.
+    pub variance_ratio: f64,
+    /// `true` when the 1-thread and N-thread stratified runs produced
+    /// bit-identical estimates (the combiner's determinism contract).
+    pub deterministic: bool,
+}
+
+impl StratifiedBenchReport {
+    /// The gate conditions of the stratified block: the thread-count
+    /// determinism check must hold, and the variance ratio must be a
+    /// positive finite number below 1.0 (stratification that *costs*
+    /// accuracy at equal budget is a regression).
+    pub fn violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if !self.deterministic {
+            violations.push(
+                "stratified probe: 1-thread and N-thread runs differ bitwise — \
+                 determinism regression in the stratified combiner"
+                    .to_string(),
+            );
+        }
+        if !self.variance_ratio.is_finite() || self.variance_ratio <= 0.0 {
+            violations.push(format!(
+                "stratified probe: variance ratio {} is not a positive finite number",
+                self.variance_ratio
+            ));
+        } else if self.variance_ratio >= 1.0 {
+            violations.push(format!(
+                "stratified probe: variance ratio {:.3} >= 1.0 — stratification \
+                 increased the variance at equal budget",
+                self.variance_ratio
+            ));
+        }
+        violations
+    }
+}
+
 impl LoadtestBenchReport {
     /// The gate conditions of the loadtest block (shared between
     /// [`gate_against`] and the `repro loadtest` exit code):
@@ -239,6 +299,9 @@ pub struct BenchReport {
     /// reports written before the event loop existed, and in scenario-mode
     /// runs).
     pub loadtest: Option<LoadtestBenchReport>,
+    /// Stratified-estimation probe (absent in reports written before the
+    /// stratified combiner existed, and in scenario-mode runs).
+    pub stratified: Option<StratifiedBenchReport>,
 }
 
 impl BenchReport {
@@ -254,6 +317,7 @@ impl BenchReport {
             sessions: None,
             cache: None,
             loadtest: None,
+            stratified: None,
         }
     }
 
@@ -404,6 +468,9 @@ pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String>
     if let Some(loadtest) = &fresh.loadtest {
         violations.extend(loadtest.violations());
     }
+    if let Some(stratified) = &fresh.stratified {
+        violations.extend(stratified.violations());
+    }
     violations
 }
 
@@ -456,6 +523,90 @@ pub fn run_speedup_probe(scale: Scale, seed: u64, threads: usize) -> SpeedupRepo
         available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+    }
+}
+
+/// Runs the stratified-estimation probe: a COUNT over a Zipf-hotspot
+/// dataset (the spatial skew stratification exists for), estimated once
+/// unstratified and once through a density-partitioned
+/// [`lbs_core::StratifiedSession`] at the same budget and root seed, plus a
+/// 1-thread-versus-`threads`-thread bitwise determinism check of the
+/// stratified run. `repro --threads N` (N > 1) runs it automatically and
+/// records the result in `BENCH_repro.json`; [`gate_against`] fails the
+/// gate unless the variance ratio stays below 1.0.
+pub fn run_stratified_probe(scale: Scale, seed: u64, threads: usize) -> StratifiedBenchReport {
+    use lbs_core::{
+        AllocationPolicy, LrSession, SessionConfig, StratifiedSession, StratumEstimator,
+    };
+    use lbs_data::{DensityGrid, Stratifier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset =
+        lbs_data::ScenarioBuilder::zipf_hotspot_pois(scale.poi_count(), 8, 1.1).build(&mut rng);
+    let region = dataset.bbox();
+    let count = 8usize;
+    let grid = DensityGrid::from_dataset(&dataset, count.saturating_mul(4).max(32), 1, 0.1);
+    let strata = Stratifier::density(grid, count).strata(&region);
+    let service = SimulatedLbs::new(dataset, ServiceConfig::lr_lbs(10));
+    let budget = scale.lr_budget();
+    let agg = Aggregate::count_all();
+
+    let run_flat = || {
+        let cfg = SessionConfig::new(budget, seed);
+        let mut session = LrSession::new(
+            &service,
+            &region,
+            &agg,
+            LrLbsAggConfig::default(),
+            lbs_core::lr::History::new(),
+            cfg,
+        );
+        while !session.is_finished() {
+            session.step();
+        }
+        session
+            .finalize()
+            .expect("flat probe run must produce samples")
+    };
+    let run_stratified = |worker_threads: usize| {
+        let cfg = SessionConfig::new(budget, seed).with_threads(worker_threads);
+        let mut session = StratifiedSession::new(
+            &service,
+            &region,
+            &agg,
+            StratumEstimator::Lr(LrLbsAggConfig::default()),
+            strata.clone(),
+            AllocationPolicy::Neyman,
+            cfg,
+        );
+        while !session.is_finished() {
+            session.step();
+        }
+        session
+            .finalize()
+            .expect("stratified probe run must produce samples")
+    };
+
+    let flat = run_flat();
+    let serial = run_stratified(1);
+    let parallel = run_stratified(threads.max(2));
+    let ratio = (serial.std_error / flat.std_error).powi(2);
+
+    StratifiedBenchReport {
+        probe: "LR-LBS-AGG COUNT over a Zipf-hotspot dataset, 8 density strata vs flat".to_string(),
+        partition: "density".to_string(),
+        count: count as u64,
+        allocation: "neyman".to_string(),
+        budget,
+        stratified_std_error: serial.std_error,
+        unstratified_std_error: flat.std_error,
+        variance_ratio: ratio,
+        deterministic: serial.value == parallel.value
+            && serial.ci95 == parallel.ci95
+            && serial.samples == parallel.samples
+            && serial.query_cost == parallel.query_cost,
     }
 }
 
@@ -721,6 +872,62 @@ mod tests {
         assert!(gate_against(&divergent, &reference)
             .iter()
             .any(|v| v.contains("determinism regression under concurrent load")));
+    }
+
+    #[test]
+    fn gate_checks_the_stratified_probe() {
+        let reference = BenchReport::new(Scale::Small, 2015, 1);
+        let probe = |ratio: f64, deterministic: bool| StratifiedBenchReport {
+            probe: "probe".into(),
+            partition: "density".into(),
+            count: 6,
+            allocation: "proportional".into(),
+            budget: 500,
+            stratified_std_error: ratio.sqrt(),
+            unstratified_std_error: 1.0,
+            variance_ratio: ratio,
+            deterministic,
+        };
+        let mut healthy = BenchReport::new(Scale::Small, 2015, 1);
+        healthy.stratified = Some(probe(0.7, true));
+        assert!(gate_against(&healthy, &reference).is_empty());
+
+        let mut worse = BenchReport::new(Scale::Small, 2015, 1);
+        worse.stratified = Some(probe(1.2, true));
+        assert!(gate_against(&worse, &reference)
+            .iter()
+            .any(|v| v.contains("increased the variance")));
+
+        let mut broken = BenchReport::new(Scale::Small, 2015, 1);
+        broken.stratified = Some(probe(f64::NAN, true));
+        assert!(gate_against(&broken, &reference)
+            .iter()
+            .any(|v| v.contains("not a positive finite number")));
+
+        let mut nondeterministic = BenchReport::new(Scale::Small, 2015, 1);
+        nondeterministic.stratified = Some(probe(0.7, false));
+        assert!(gate_against(&nondeterministic, &reference)
+            .iter()
+            .any(|v| v.contains("stratified combiner")));
+    }
+
+    #[test]
+    fn stratified_probe_reduces_variance_and_stays_deterministic() {
+        let probe = run_stratified_probe(Scale::Micro, 2015, 2);
+        assert!(
+            probe.deterministic,
+            "1-thread and 2-thread stratified runs must agree bitwise"
+        );
+        assert!(
+            probe.variance_ratio.is_finite() && probe.variance_ratio > 0.0,
+            "variance ratio {} must be positive finite",
+            probe.variance_ratio
+        );
+        assert!(
+            probe.variance_ratio < 1.0,
+            "stratification must not inflate variance at equal budget (ratio {})",
+            probe.variance_ratio
+        );
     }
 
     #[test]

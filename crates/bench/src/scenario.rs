@@ -32,10 +32,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Error as SerdeError, Value};
 
 use lbs_core::{
-    Aggregate, Estimate, EstimateError, EstimationSession, LnrLbsAggConfig, LnrSession,
-    LrLbsAggConfig, LrSession, NnoConfig, NnoSession, Selection, SessionConfig,
+    Aggregate, AllocationPolicy, Estimate, EstimateError, EstimationSession, LnrLbsAggConfig,
+    LnrSession, LrLbsAggConfig, LrSession, NnoConfig, NnoSession, Selection, SessionConfig,
+    StratifiedSession, StratumEstimator,
 };
-use lbs_data::{Dataset, DensityGrid, ScenarioBuilder, Tuple};
+use lbs_data::{Dataset, DensityGrid, ScenarioBuilder, Stratifier, Tuple};
 use lbs_geom::Rect;
 use lbs_service::{
     backend_fingerprint, AnswerCache, CacheStats, CachingBackend, IndexKind, LatencyBackend,
@@ -77,6 +78,9 @@ pub struct Scenario {
     pub aggregate: Option<AggregateSpec>,
     /// Declarative form: the estimator and its budget.
     pub estimator: Option<EstimatorSpec>,
+    /// Declarative form: the stratification of the region (required when —
+    /// and only when — `estimator.strategy = "stratified"`).
+    pub strata: Option<StrataSpec>,
     /// Declarative form: anytime-session knobs. When present, the scenario
     /// runs through the resumable [`EstimationSession`] path instead of the
     /// batch facade (which is itself a session with no overrides).
@@ -328,6 +332,48 @@ pub struct EstimatorSpec {
     pub weighted_grid: Option<[u64; 2]>,
     /// Pseudo-count smoothing of the weighted grid (default 0.1).
     pub weighted_smoothing: Option<f64>,
+    /// `flat` (default) runs one session over the whole region;
+    /// `stratified` splits the region per the `[strata]` section and merges
+    /// per-stratum child sessions with the stratified Horvitz–Thompson
+    /// combiner.
+    pub strategy: Option<String>,
+}
+
+/// Stratification section of a declarative scenario (`[strata]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StrataSpec {
+    /// Partitioner: `grid` (near-square uniform tiling) or `density`
+    /// (equal-mass vertical slabs cut from a density grid built over the
+    /// dataset).
+    pub partition: String,
+    /// Number of strata (`1` is the bitwise-passthrough degenerate case).
+    pub count: u64,
+    /// Budget allocation across strata: `proportional` (default) or
+    /// `neyman` (pilot half, then budget ∝ stratum weight × observed
+    /// standard deviation).
+    pub allocation: Option<String>,
+}
+
+impl StrataSpec {
+    fn validate(&self, id: &str) -> Result<(), String> {
+        if !matches!(self.partition.as_str(), "grid" | "density") {
+            return Err(format!(
+                "{id}: unknown strata partition `{}` (grid, density)",
+                self.partition
+            ));
+        }
+        if self.count == 0 {
+            return Err(format!("{id}: strata count must be at least 1"));
+        }
+        if let Some(allocation) = &self.allocation {
+            if !matches!(allocation.as_str(), "proportional" | "neyman") {
+                return Err(format!(
+                    "{id}: unknown strata allocation `{allocation}` (proportional, neyman)"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -395,6 +441,7 @@ impl Deserialize for Scenario {
                 "backend",
                 "aggregate",
                 "estimator",
+                "strata",
                 "session",
                 "mutations",
             ],
@@ -410,8 +457,21 @@ impl Deserialize for Scenario {
             backend: opt(m, "scenario", "backend")?,
             aggregate: opt(m, "scenario", "aggregate")?,
             estimator: opt(m, "scenario", "estimator")?,
+            strata: opt(m, "scenario", "strata")?,
             session: opt(m, "scenario", "session")?,
             mutations: opt(m, "scenario", "mutations")?,
+        })
+    }
+}
+
+impl Deserialize for StrataSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let m = as_map(value, "strata")?;
+        reject_unknown(m, "strata", &["partition", "count", "allocation"])?;
+        Ok(StrataSpec {
+            partition: req(m, "strata", "partition")?,
+            count: req(m, "strata", "count")?,
+            allocation: opt(m, "strata", "allocation")?,
         })
     }
 }
@@ -566,6 +626,7 @@ impl Deserialize for EstimatorSpec {
                 "ablation_level",
                 "weighted_grid",
                 "weighted_smoothing",
+                "strategy",
             ],
         )?;
         Ok(EstimatorSpec {
@@ -576,6 +637,7 @@ impl Deserialize for EstimatorSpec {
             ablation_level: opt(m, "estimator", "ablation_level")?,
             weighted_grid: opt(m, "estimator", "weighted_grid")?,
             weighted_smoothing: opt(m, "estimator", "weighted_smoothing")?,
+            strategy: opt(m, "estimator", "strategy")?,
         })
     }
 }
@@ -610,10 +672,39 @@ impl Scenario {
         if let Some(mutations) = &self.mutations {
             mutations.validate(&self.id)?;
         }
+        if let Some(strata) = &self.strata {
+            strata.validate(&self.id)?;
+        }
+        let stratified = match self.estimator.as_ref().and_then(|e| e.strategy.as_deref()) {
+            None | Some("flat") => false,
+            Some("stratified") => true,
+            Some(other) => {
+                return Err(format!(
+                    "{}: unknown estimator strategy `{other}` (flat, stratified)",
+                    self.id
+                ))
+            }
+        };
+        match (stratified, self.strata.is_some()) {
+            (true, false) => {
+                return Err(format!(
+                    "{}: `estimator.strategy = \"stratified\"` needs a [strata] section",
+                    self.id
+                ))
+            }
+            (false, true) => {
+                return Err(format!(
+                    "{}: a [strata] section needs `estimator.strategy = \"stratified\"`",
+                    self.id
+                ))
+            }
+            _ => {}
+        }
         let declarative_sections = self.dataset.is_some()
             || self.interface.is_some()
             || self.aggregate.is_some()
             || self.estimator.is_some()
+            || self.strata.is_some()
             || self.backend.is_some()
             || self.session.is_some()
             || self.mutations.is_some();
@@ -792,6 +883,9 @@ pub struct Workload {
     pub truth: f64,
     /// Estimator section of the spec.
     pub estimator: EstimatorSpec,
+    /// Stratification section (present iff the estimator strategy is
+    /// `stratified`).
+    pub strata: Option<StrataSpec>,
     /// Interface kind (`lr` / `lnr`) for estimator-compatibility checks.
     pub interface_kind: String,
     /// Optional backend decorators.
@@ -852,6 +946,7 @@ pub fn build_workload(scenario: &Scenario, ctx: &ScenarioContext) -> Result<Work
         aggregate,
         truth,
         estimator: estimator.clone(),
+        strata: scenario.strata.clone(),
         interface_kind: interface.kind.clone(),
         backend_spec: scenario.backend.clone(),
         session_spec: scenario.session.clone(),
@@ -972,6 +1067,32 @@ impl Workload {
         }
     }
 
+    /// Builds the disjoint strata of the workload's `[strata]` section:
+    /// a near-square uniform tiling (`grid`) or equal-mass vertical slabs
+    /// cut from a density grid over the dataset (`density`). Deterministic —
+    /// the density grid is a pure function of the dataset.
+    fn build_strata(&self, spec: &StrataSpec) -> Result<Vec<lbs_data::Stratum>, String> {
+        let count = usize::try_from(spec.count)
+            .map_err(|_| format!("{}: strata count {} is out of range", self.id, spec.count))?;
+        let stratifier = match spec.partition.as_str() {
+            "grid" => Stratifier::grid(count),
+            "density" => {
+                // Enough columns that each slab spans several cells; one row
+                // because the slabs are vertical cuts.
+                let cols = count.saturating_mul(4).max(32);
+                let grid = DensityGrid::from_dataset(&self.dataset, cols, 1, 0.1);
+                Stratifier::density(grid, count)
+            }
+            other => {
+                return Err(format!(
+                    "{}: unknown strata partition `{other}` (grid, density)",
+                    self.id
+                ))
+            }
+        };
+        Ok(stratifier.strata(&self.region))
+    }
+
     /// Starts an anytime [`EstimationSession`] over `backend` with the given
     /// run-control config, choosing and configuring the estimator from the
     /// spec. With a default [`SessionConfig`] the finished session's
@@ -981,13 +1102,37 @@ impl Workload {
         backend: S,
         cfg: SessionConfig,
     ) -> Result<EstimationSession<S>, String> {
-        match estimator_configs(
+        let kind = estimator_configs(
             &self.id,
             &self.estimator,
             &self.interface_kind,
             &self.dataset,
             &self.region,
-        )? {
+        )?;
+        if let Some(spec) = &self.strata {
+            let strata = self.build_strata(spec)?;
+            let allocation = match spec.allocation.as_deref() {
+                Some("neyman") => AllocationPolicy::Neyman,
+                _ => AllocationPolicy::Proportional,
+            };
+            let estimator = match kind {
+                EstimatorKind::Lr(config) => StratumEstimator::Lr(config),
+                EstimatorKind::Lnr(config) => StratumEstimator::Lnr(config),
+                EstimatorKind::Nno(config) => StratumEstimator::Nno(config),
+            };
+            return Ok(EstimationSession::Stratified(Box::new(
+                StratifiedSession::new(
+                    backend,
+                    &self.region,
+                    &self.aggregate,
+                    estimator,
+                    strata,
+                    allocation,
+                    cfg,
+                ),
+            )));
+        }
+        match kind {
             EstimatorKind::Lr(config) => Ok(EstimationSession::Lr(Box::new(LrSession::new(
                 backend,
                 &self.region,

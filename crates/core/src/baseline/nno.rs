@@ -31,6 +31,13 @@ pub struct NnoConfig {
     /// be skipped without changing the hit/miss outcome. The paper\'s NNO
     /// locality argument, applied to the cell engine.
     pub use_engine_prefilter: bool,
+    /// Restricts the *query-location draw* to a sub-rectangle of the region
+    /// (a stratum). Every probability stays full-region — the covering
+    /// square, the Monte-Carlo area and the `region.area()/area` inverse
+    /// probability are unchanged — which is what the stratified combiner's
+    /// base-design weights require. `None` (the default) draws from the
+    /// whole region and is bit-identical to the pre-stratification code.
+    pub draw_region: Option<Rect>,
 }
 
 impl Default for NnoConfig {
@@ -41,6 +48,7 @@ impl Default for NnoConfig {
             max_doublings: 12,
             trace_every: 1,
             use_engine_prefilter: true,
+            draw_region: None,
         }
     }
 }
@@ -118,7 +126,8 @@ impl NnoBaseline {
         counters: &SharedEngineCounters,
         rng: &mut R,
     ) -> Result<(f64, f64), QueryError> {
-        let q = region.at_fraction(rng.gen(), rng.gen());
+        let draw = config.draw_region.unwrap_or(*region);
+        let q = draw.at_fraction(rng.gen(), rng.gen());
         let resp = service.query(&q)?;
         let Some(top) = resp.top().cloned() else {
             return Ok((0.0, 0.0));

@@ -112,6 +112,38 @@ pub fn sample_seed(root_seed: u64, sample_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the root seed of one stratum's child session from the stratified
+/// run's root seed.
+///
+/// This is the *blessed* seed-derivation helper of the stratified layer:
+/// every per-stratum RNG stream must descend from
+/// `(root_seed, stratum_id, sample_index)` through this function and
+/// [`sample_seed`], never from an ad-hoc `StdRng` construction (the
+/// `stray-seed-derivation` lint enforces this). The mixing is the same
+/// SplitMix64 finalizer as [`sample_seed`] under a distinct salt, so stratum
+/// streams are uncorrelated with each other *and* with the unstratified
+/// sample streams of the same root seed.
+///
+/// A single-stratum partition returns `root_seed` unchanged — a
+/// `count = 1` stratified run consumes exactly the RNG stream of the
+/// unstratified run, which is what makes the two bit-identical.
+///
+/// ```
+/// use lbs_core::driver::stratum_seed;
+/// assert_eq!(stratum_seed(42, 0, 1), 42);
+/// assert_ne!(stratum_seed(42, 0, 4), stratum_seed(42, 1, 4));
+/// assert_eq!(stratum_seed(42, 3, 4), stratum_seed(42, 3, 4));
+/// ```
+pub fn stratum_seed(root_seed: u64, stratum_id: u64, stratum_count: u64) -> u64 {
+    if stratum_count <= 1 {
+        return root_seed;
+    }
+    let mut z = root_seed ^ stratum_id.wrapping_mul(0xA24B_AED4_963E_E407);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// What one completed sample contributes to the estimate.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SampleOutcome {

@@ -19,9 +19,11 @@
 //! Supporting modules: [`agg`] (aggregate specifications and selection
 //! conditions), [`stats`] (sample statistics, confidence intervals),
 //! [`sampling`] (uniform and density-weighted query samplers), [`estimate`]
-//! (estimator output types), and [`driver`] (the parallel sample driver —
+//! (estimator output types), [`driver`] (the parallel sample driver —
 //! deterministic multi-threaded fan-out of estimator samples, exposed on
-//! every estimator as `estimate_parallel`).
+//! every estimator as `estimate_parallel`), and [`stratified`] (per-stratum
+//! child sessions under one budget, merged by a stratified
+//! Horvitz–Thompson combiner).
 //!
 //! The estimators are generic over [`lbs_service::LbsBackend`]; they never
 //! see the underlying dataset.
@@ -39,6 +41,7 @@ pub mod lr;
 pub mod sampling;
 pub mod session;
 pub mod stats;
+pub mod stratified;
 
 pub use agg::{AggFunction, Aggregate, Selection};
 pub use baseline::{NnoBaseline, NnoConfig};
@@ -53,3 +56,7 @@ pub use session::{
     SessionConfig, StopReason,
 };
 pub use stats::RunningStats;
+pub use stratified::{
+    AllocationPolicy, StratifiedSession, StratifiedSessionState, StratumCheckpoint,
+    StratumEstimator,
+};

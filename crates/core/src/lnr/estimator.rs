@@ -168,7 +168,10 @@ impl LnrLbsAgg {
             let cell = explore_cell(&mut oracle, returned.id, q, region, explore_config)?;
             counters.add_report(&cell.engine);
 
-            let probability = match sampler {
+            // Full-region base-design probability even under stratified
+            // sampling (see the LR estimator: the stratified combiner's
+            // base-design weights make the full-region 1/π unbiased).
+            let probability = match sampler.base() {
                 QuerySampler::Uniform { bbox } => cell.region.area / bbox.area(),
                 QuerySampler::Weighted { grid } => {
                     // h = 1 ⇒ the level region is convex; rebuild its
@@ -176,6 +179,9 @@ impl LnrLbsAgg {
                     let hull = ConvexPolygon::hull(&cell.region.vertices);
                     grid.integrate_convex(&hull)
                 }
+                // `base()` never returns a stratified design; skip rather
+                // than contribute something biased if it ever happens.
+                QuerySampler::Stratified { .. } => 0.0,
             };
             if probability <= f64::EPSILON {
                 continue;

@@ -336,7 +336,13 @@ impl LrLbsAgg {
                 rng,
             )?;
 
-            let inverse_p = match (&outcome.estimate, sampler) {
+            // Probabilities are always computed against the *base* design
+            // over the full region — under stratified sampling the draw is
+            // restricted to a stratum, but the Horvitz–Thompson weight stays
+            // 1/π(t) for the full-region design (the stratified combiner
+            // multiplies each stratum by its base-design mass, which
+            // telescopes back to the unstratified estimator).
+            let inverse_p = match (&outcome.estimate, sampler.base()) {
                 (CellEstimate::Exact { cell }, s) => match s.cell_probability(cell) {
                     Some(p) if p > 0.0 => 1.0 / p,
                     _ => 0.0,
@@ -348,6 +354,8 @@ impl LrLbsAgg {
                 // unreachable in practice; contribute nothing rather than
                 // something biased if it ever happens.
                 (CellEstimate::MonteCarlo { .. }, QuerySampler::Weighted { .. }) => 0.0,
+                // `base()` never returns a stratified design.
+                (CellEstimate::MonteCarlo { .. }, QuerySampler::Stratified { .. }) => 0.0,
             };
 
             let num = aggregate

@@ -56,7 +56,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::agg::Aggregate;
 use crate::baseline::{NnoBaseline, NnoConfig};
-use crate::driver::{SampleDriver, SampleOutcome, WaveState};
+use crate::driver::{DriverOutcome, SampleDriver, SampleOutcome, WaveState};
 use crate::engine_stats::{EngineReport, SharedEngineCounters};
 use crate::estimate::{point_and_error, Estimate, EstimateError, TracePoint};
 use crate::lnr::cell::LnrExploreConfig;
@@ -280,6 +280,23 @@ impl CommonState {
         }
     }
 
+    /// Raises the soft query budget to `new_budget` (never lowers it) and —
+    /// when the session had stopped *only* because the old budget was spent —
+    /// clears the stop so stepping resumes. Any other stop reason
+    /// (`NoProgress`, `ServiceExhausted`, …) is terminal and stays in place.
+    /// The stratified combiner uses this to grant a stratum its final
+    /// (Neyman) allocation after the pilot phase.
+    fn extend_budget(&mut self, new_budget: u64) {
+        if new_budget <= self.cfg.query_budget {
+            return;
+        }
+        self.cfg.query_budget = new_budget;
+        if self.stop == Some(StopReason::BudgetSpent) && self.wave.outcome.queries < new_budget {
+            self.stop = None;
+            self.wave.finished = false;
+        }
+    }
+
     fn snapshot(&self, queries_override: Option<u64>, engine: EngineReport) -> AnytimeSnapshot {
         let outcome = &self.wave.outcome;
         let (value, std_error) =
@@ -339,7 +356,7 @@ impl CommonState {
 }
 
 /// Milliseconds a step took, as the saturating u64 the session accumulates.
-fn elapsed_ms(started: std::time::Instant) -> u64 {
+pub(crate) fn elapsed_ms(started: std::time::Instant) -> u64 {
     u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
@@ -627,6 +644,46 @@ impl<S: LbsBackend> LrSession<S> {
     pub fn into_history(self) -> History {
         self.state.history
     }
+
+    /// Starts a wave-mode session whose query *draws* are restricted to the
+    /// `stratum` rectangle while every Horvitz–Thompson probability stays
+    /// full-region — the child-session shape the stratified combiner needs
+    /// (see [`crate::stratified`]).
+    pub(crate) fn new_stratum(
+        service: S,
+        region: &Rect,
+        stratum: Rect,
+        aggregate: &Aggregate,
+        config: LrLbsAggConfig,
+        cfg: SessionConfig,
+    ) -> Self {
+        let mut s = Self::with_mode(
+            service,
+            region,
+            aggregate,
+            config,
+            History::new(),
+            cfg,
+            Mode::Waves,
+        );
+        s.state.sampler = QuerySampler::stratified(stratum, s.state.sampler.clone());
+        s
+    }
+
+    /// The raw driver accumulators (the combiner folds these).
+    pub(crate) fn outcome(&self) -> &DriverOutcome {
+        &self.state.common.wave.outcome
+    }
+
+    /// Raises the soft budget (see `CommonState::extend_budget`).
+    pub(crate) fn extend_budget(&mut self, new_budget: u64) {
+        self.state.common.extend_budget(new_budget);
+    }
+
+    /// Why the session stopped, once it has.
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        self.state.common.stop
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -875,6 +932,36 @@ impl<S: LbsBackend> LnrSession<S> {
     pub fn cancel(&mut self) {
         self.state.common.cancel();
     }
+
+    /// Starts a wave-mode session restricted to `stratum` (see
+    /// [`LrSession::new_stratum`]).
+    pub(crate) fn new_stratum(
+        service: S,
+        region: &Rect,
+        stratum: Rect,
+        aggregate: &Aggregate,
+        config: LnrLbsAggConfig,
+        cfg: SessionConfig,
+    ) -> Self {
+        let mut s = Self::with_mode(service, region, aggregate, config, cfg, Mode::Waves);
+        s.state.sampler = QuerySampler::stratified(stratum, s.state.sampler.clone());
+        s
+    }
+
+    /// The raw driver accumulators (the combiner folds these).
+    pub(crate) fn outcome(&self) -> &DriverOutcome {
+        &self.state.common.wave.outcome
+    }
+
+    /// Raises the soft budget (see `CommonState::extend_budget`).
+    pub(crate) fn extend_budget(&mut self, new_budget: u64) {
+        self.state.common.extend_budget(new_budget);
+    }
+
+    /// Why the session stopped, once it has.
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        self.state.common.stop
+    }
 }
 
 /// The owned state of an NNO session (see [`LrSessionState`]).
@@ -1092,6 +1179,36 @@ impl<S: LbsBackend> NnoSession<S> {
     pub fn cancel(&mut self) {
         self.state.common.cancel();
     }
+
+    /// Starts a wave-mode session restricted to `stratum` (see
+    /// [`LrSession::new_stratum`]). The NNO draw restriction lives in
+    /// [`NnoConfig::draw_region`]; probabilities stay full-region.
+    pub(crate) fn new_stratum(
+        service: S,
+        region: &Rect,
+        stratum: Rect,
+        aggregate: &Aggregate,
+        mut config: NnoConfig,
+        cfg: SessionConfig,
+    ) -> Self {
+        config.draw_region = Some(stratum);
+        Self::with_mode(service, region, aggregate, config, cfg, Mode::Waves)
+    }
+
+    /// The raw driver accumulators (the combiner folds these).
+    pub(crate) fn outcome(&self) -> &DriverOutcome {
+        &self.state.common.wave.outcome
+    }
+
+    /// Raises the soft budget (see `CommonState::extend_budget`).
+    pub(crate) fn extend_budget(&mut self, new_budget: u64) {
+        self.state.common.extend_budget(new_budget);
+    }
+
+    /// Why the session stopped, once it has.
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        self.state.common.stop
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1108,6 +1225,9 @@ pub enum EstimationSession<S: LbsBackend> {
     Lnr(LnrSession<S>),
     /// An LR-LBS-NNO baseline session.
     Nno(NnoSession<S>),
+    /// A stratified session composing per-stratum child sessions
+    /// ([`crate::stratified::StratifiedSession`]).
+    Stratified(Box<crate::stratified::StratifiedSession<S>>),
 }
 
 /// The owned state of any session kind — what
@@ -1120,6 +1240,8 @@ pub enum SessionCheckpoint {
     Lnr(Box<LnrSessionState>),
     /// Checkpoint of an NNO session.
     Nno(Box<NnoSessionState>),
+    /// Checkpoint of a stratified session.
+    Stratified(Box<crate::stratified::StratifiedSessionState>),
 }
 
 impl<S: LbsBackend> EstimationSession<S> {
@@ -1129,6 +1251,7 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => s.is_finished(),
             EstimationSession::Lnr(s) => s.is_finished(),
             EstimationSession::Nno(s) => s.is_finished(),
+            EstimationSession::Stratified(s) => s.is_finished(),
         }
     }
 
@@ -1138,6 +1261,7 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => s.step(),
             EstimationSession::Lnr(s) => s.step(),
             EstimationSession::Nno(s) => s.step(),
+            EstimationSession::Stratified(s) => s.step(),
         }
     }
 
@@ -1147,6 +1271,7 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => s.snapshot(),
             EstimationSession::Lnr(s) => s.snapshot(),
             EstimationSession::Nno(s) => s.snapshot(),
+            EstimationSession::Stratified(s) => s.snapshot(),
         }
     }
 
@@ -1156,6 +1281,7 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => s.finalize(),
             EstimationSession::Lnr(s) => s.finalize(),
             EstimationSession::Nno(s) => s.finalize(),
+            EstimationSession::Stratified(s) => s.finalize(),
         }
     }
 
@@ -1165,6 +1291,7 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => s.cancel(),
             EstimationSession::Lnr(s) => s.cancel(),
             EstimationSession::Nno(s) => s.cancel(),
+            EstimationSession::Stratified(s) => s.cancel(),
         }
     }
 
@@ -1174,6 +1301,7 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => s.queries_spent(),
             EstimationSession::Lnr(s) => s.queries_spent(),
             EstimationSession::Nno(s) => s.queries_spent(),
+            EstimationSession::Stratified(s) => s.queries_spent(),
         }
     }
 
@@ -1183,6 +1311,9 @@ impl<S: LbsBackend> EstimationSession<S> {
             EstimationSession::Lr(s) => SessionCheckpoint::Lr(Box::new(s.checkpoint())),
             EstimationSession::Lnr(s) => SessionCheckpoint::Lnr(Box::new(s.checkpoint())),
             EstimationSession::Nno(s) => SessionCheckpoint::Nno(Box::new(s.checkpoint())),
+            EstimationSession::Stratified(s) => {
+                SessionCheckpoint::Stratified(Box::new(s.checkpoint()))
+            }
         }
     }
 
@@ -1198,6 +1329,9 @@ impl<S: LbsBackend> EstimationSession<S> {
             SessionCheckpoint::Nno(state) => {
                 EstimationSession::Nno(NnoSession::resume(service, *state))
             }
+            SessionCheckpoint::Stratified(state) => EstimationSession::Stratified(Box::new(
+                crate::stratified::StratifiedSession::resume(service, *state),
+            )),
         }
     }
 }

@@ -27,6 +27,7 @@
 //! | [`generators`] | spatial mixtures and the named scenario builders |
 //! | [`density`] | population-density grid (census substitute) |
 //! | [`region`] | named bounding boxes (USA, Austin TX, China, …) |
+//! | [`stratify`] | region stratifiers for stratified estimation |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +36,11 @@ pub mod dataset;
 pub mod density;
 pub mod generators;
 pub mod region;
+pub mod stratify;
 pub mod tuple;
 
 pub use dataset::Dataset;
 pub use density::DensityGrid;
 pub use generators::{ScenarioBuilder, SpatialModel};
+pub use stratify::{Stratifier, Stratum};
 pub use tuple::{attrs, AttrValue, Tuple, TupleId};

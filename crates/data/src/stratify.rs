@@ -1,0 +1,314 @@
+//! Region stratifiers: partition a query region into disjoint strata.
+//!
+//! Stratified estimation splits the query region into disjoint rectangles,
+//! runs an independent estimation session inside each, and recombines the
+//! per-stratum answers with a stratified Horvitz–Thompson combiner (see
+//! `lbs_core::stratified`). This module owns the *partitioning* half of
+//! that contract: given a region and a rule, produce a list of [`Stratum`]
+//! rectangles that tile the region **exactly** — shared boundary
+//! coordinates are computed once, so adjacent strata agree bitwise on their
+//! common edge, interiors are disjoint, and the union is the region.
+//!
+//! Two rules are provided:
+//!
+//! * [`Stratifier::Grid`] — a near-square uniform tiling with a requested
+//!   tile count (the classical areal stratification);
+//! * [`Stratifier::Density`] — equal-mass vertical slabs cut at the column
+//!   boundaries of a [`DensityGrid`], so each stratum carries roughly the
+//!   same probability mass of the external-knowledge density (paper §5.2).
+//!   The density only decides *where the boundaries lie*; the statistical
+//!   weight of each stratum is computed later against the sampling design
+//!   actually in use.
+
+use serde::{Deserialize, Serialize};
+
+use lbs_geom::Rect;
+
+use crate::density::DensityGrid;
+
+/// One stratum of a partitioned query region.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Stratum {
+    /// Index of the stratum within its partition (0-based, stable across
+    /// runs — it feeds the per-stratum RNG seed derivation).
+    pub id: usize,
+    /// The stratum's rectangle.
+    pub rect: Rect,
+}
+
+impl Stratum {
+    /// The stratum's share of the region by area (the statistical weight
+    /// under a *uniform* sampling design).
+    pub fn area_weight(&self, region: &Rect) -> f64 {
+        self.rect.area() / region.area()
+    }
+}
+
+/// A rule for partitioning a region into disjoint strata.
+#[derive(Clone, Debug)]
+pub enum Stratifier {
+    /// Near-square uniform grid tiling with (exactly) `count` tiles.
+    Grid {
+        /// Requested number of tiles (clamped to at least 1). The tiling is
+        /// the most nearly square `cols × rows` factorization of the count.
+        count: usize,
+    },
+    /// Equal-mass vertical slabs, cut at the density grid's column
+    /// boundaries.
+    Density {
+        /// The density whose column masses pick the slab boundaries. Its
+        /// bounding box is expected to cover the query region (boundaries
+        /// are clamped into the region otherwise).
+        grid: DensityGrid,
+        /// Requested number of slabs (clamped to `[1, grid columns]` so that
+        /// every slab spans at least one whole column).
+        count: usize,
+    },
+}
+
+impl Stratifier {
+    /// A near-square uniform grid tiling with `count` tiles.
+    pub fn grid(count: usize) -> Self {
+        Stratifier::Grid { count }
+    }
+
+    /// Equal-mass vertical slabs from a density grid.
+    pub fn density(grid: DensityGrid, count: usize) -> Self {
+        Stratifier::Density { grid, count }
+    }
+
+    /// Partitions `region` into disjoint strata whose union is the region.
+    ///
+    /// Boundary coordinates are computed once and shared between adjacent
+    /// strata, so the tiling is exact: no gaps, no overlaps, and the outer
+    /// boundary reproduces the region's bounds bitwise.
+    pub fn strata(&self, region: &Rect) -> Vec<Stratum> {
+        match self {
+            Stratifier::Grid { count } => grid_strata(region, (*count).max(1)),
+            Stratifier::Density { grid, count } => density_strata(region, grid, (*count).max(1)),
+        }
+    }
+}
+
+/// The most nearly square `cols × rows` factorization of `count`
+/// (`cols >= rows`; prime counts degenerate to a `count × 1` strip).
+fn near_square_factors(count: usize) -> (usize, usize) {
+    let mut rows = (count as f64).sqrt().floor() as usize;
+    rows = rows.clamp(1, count);
+    while count % rows != 0 {
+        rows -= 1;
+    }
+    (count / rows, rows)
+}
+
+fn grid_strata(region: &Rect, count: usize) -> Vec<Stratum> {
+    let (cols, rows) = near_square_factors(count);
+    // Shared boundary coordinates: tile (c, r) spans [xs[c], xs[c+1]] ×
+    // [ys[r], ys[r+1]], so adjacent tiles agree bitwise on their common
+    // edge and the outer tiles reproduce the region bounds exactly.
+    let xs: Vec<f64> = (0..=cols)
+        .map(|i| {
+            if i == cols {
+                region.max_x
+            } else {
+                region.min_x + region.width() * i as f64 / cols as f64
+            }
+        })
+        .collect();
+    let ys: Vec<f64> = (0..=rows)
+        .map(|j| {
+            if j == rows {
+                region.max_y
+            } else {
+                region.min_y + region.height() * j as f64 / rows as f64
+            }
+        })
+        .collect();
+    let mut strata = Vec::with_capacity(count);
+    for r in 0..rows {
+        for c in 0..cols {
+            strata.push(Stratum {
+                id: r * cols + c,
+                rect: Rect::from_bounds(xs[c], ys[r], xs[c + 1], ys[r + 1]),
+            });
+        }
+    }
+    strata
+}
+
+fn density_strata(region: &Rect, grid: &DensityGrid, count: usize) -> Vec<Stratum> {
+    let (cols, rows) = grid.resolution();
+    let count = count.min(cols);
+    // Mass per density-grid column (the density is piecewise constant, so
+    // pdf-at-centre × cell area is the exact cell mass).
+    let mut prefix = vec![0.0f64; cols + 1];
+    for c in 0..cols {
+        let mut mass = 0.0;
+        for r in 0..rows {
+            let cell = grid.cell_rect(c, r);
+            mass += grid.pdf(&cell.center()) * cell.area();
+        }
+        prefix[c + 1] = prefix[c] + mass;
+    }
+    let total = prefix[cols];
+
+    // Column index after which each cut falls: the first prefix reaching
+    // h/count of the total mass, nudged so every slab keeps at least one
+    // whole column. A degenerate (zero-mass) grid falls back to equal-width
+    // slabs.
+    let mut bounds = vec![0usize];
+    for h in 1..count {
+        let b = if total > 0.0 {
+            let target = total * h as f64 / count as f64;
+            prefix.partition_point(|&p| p < target)
+        } else {
+            cols * h / count
+        };
+        let prev = *bounds.last().expect("bounds starts non-empty");
+        bounds.push(b.clamp(prev + 1, cols - (count - h)));
+    }
+    bounds.push(cols);
+
+    // Column boundary `b` maps to an x coordinate on the grid, clamped into
+    // the region; the outermost boundaries are the region bounds bitwise.
+    let gb = grid.bbox();
+    let x_of = |b: usize| -> f64 {
+        if b == 0 {
+            region.min_x
+        } else if b == cols {
+            region.max_x
+        } else {
+            (gb.min_x + gb.width() * b as f64 / cols as f64).clamp(region.min_x, region.max_x)
+        }
+    };
+    (0..count)
+        .map(|h| Stratum {
+            id: h,
+            rect: Rect::from_bounds(
+                x_of(bounds[h]),
+                region.min_y,
+                x_of(bounds[h + 1]),
+                region.max_y,
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Rect {
+        Rect::from_bounds(-3.0, 2.0, 97.0, 52.0)
+    }
+
+    /// Strata tile the region: shared edges bitwise, outer bounds bitwise,
+    /// areas summing to the region area.
+    fn assert_tiles(strata: &[Stratum], region: &Rect) {
+        assert!(!strata.is_empty());
+        for (i, s) in strata.iter().enumerate() {
+            assert_eq!(s.id, i, "ids are the partition order");
+            assert!(s.rect.min_x >= region.min_x && s.rect.max_x <= region.max_x);
+            assert!(s.rect.min_y >= region.min_y && s.rect.max_y <= region.max_y);
+        }
+        // Interiors are pairwise disjoint.
+        for a in strata {
+            for b in strata {
+                if a.id == b.id {
+                    continue;
+                }
+                let overlap = (a.rect.max_x.min(b.rect.max_x) - a.rect.min_x.max(b.rect.min_x))
+                    .max(0.0)
+                    * (a.rect.max_y.min(b.rect.max_y) - a.rect.min_y.max(b.rect.min_y)).max(0.0);
+                assert!(
+                    overlap <= 0.0,
+                    "strata {} and {} overlap by {overlap}",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+        let area: f64 = strata.iter().map(|s| s.rect.area()).sum();
+        assert!(
+            (area - region.area()).abs() <= 1e-9 * region.area(),
+            "tiling loses area: {area} vs {}",
+            region.area()
+        );
+        let weight: f64 = strata.iter().map(|s| s.area_weight(region)).sum();
+        assert!((weight - 1.0).abs() <= 1e-12, "weights sum to {weight}");
+    }
+
+    #[test]
+    fn grid_tiling_is_exact_for_many_counts() {
+        for count in 1..=16 {
+            let strata = Stratifier::grid(count).strata(&region());
+            assert_eq!(strata.len(), count);
+            assert_tiles(&strata, &region());
+        }
+    }
+
+    #[test]
+    fn grid_count_one_is_the_region_bitwise() {
+        let strata = Stratifier::grid(1).strata(&region());
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].rect, region());
+    }
+
+    #[test]
+    fn grid_shares_boundaries_bitwise() {
+        let strata = Stratifier::grid(6).strata(&region());
+        // 6 = 3 × 2: tile 0 and tile 1 share an x boundary; tile 0 and
+        // tile 3 share a y boundary.
+        assert_eq!(
+            strata[0].rect.max_x.to_bits(),
+            strata[1].rect.min_x.to_bits()
+        );
+        assert_eq!(
+            strata[0].rect.max_y.to_bits(),
+            strata[3].rect.min_y.to_bits()
+        );
+    }
+
+    #[test]
+    fn density_slabs_balance_mass() {
+        // All mass in the left quarter: the first slab must be narrow.
+        let r = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let mut weights = vec![0.0; 16];
+        weights[0] = 6.0;
+        weights[1] = 6.0;
+        for w in weights.iter_mut().skip(2) {
+            *w = 1.0;
+        }
+        let grid = DensityGrid::from_weights(r, 16, 1, weights);
+        let strata = Stratifier::density(grid, 4).strata(&r);
+        assert_eq!(strata.len(), 4);
+        assert_tiles(&strata, &r);
+        // The heavy columns hold ~46% of the mass in the left eighth of the
+        // region, so the first slab is far narrower than an equal split.
+        assert!(
+            strata[0].rect.width() < 25.0,
+            "first slab width {}",
+            strata[0].rect.width()
+        );
+    }
+
+    #[test]
+    fn density_count_clamps_to_columns() {
+        let r = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let grid = DensityGrid::from_weights(r, 3, 1, vec![1.0, 1.0, 1.0]);
+        let strata = Stratifier::density(grid, 9).strata(&r);
+        assert_eq!(strata.len(), 3, "one slab per column at most");
+        assert_tiles(&strata, &r);
+    }
+
+    #[test]
+    fn density_uniform_mass_gives_equal_slabs() {
+        let r = Rect::from_bounds(0.0, 0.0, 80.0, 40.0);
+        let grid = DensityGrid::from_weights(r, 8, 2, vec![1.0; 16]);
+        let strata = Stratifier::density(grid, 4).strata(&r);
+        assert_tiles(&strata, &r);
+        for s in &strata {
+            assert!((s.rect.width() - 20.0).abs() < 1e-9);
+        }
+    }
+}

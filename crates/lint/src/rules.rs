@@ -129,6 +129,29 @@ pub const RULES: &[Rule] = &[
         check: check_ambient_rng,
     },
     Rule {
+        id: "stray-seed-derivation",
+        summary: "ad-hoc StdRng::seed_from_u64 inside estimator/session sampling code",
+        hint: "derive per-sample and per-stratum seeds through the blessed helpers in \
+               crates/core/src/driver.rs (sample_seed, stratum_seed) and let the \
+               driver construct the StdRng; seeding an RNG inline in sampling code \
+               creates a parallel seed scheme that silently drifts from the contract",
+        explain: "Every RNG in the estimator pipeline is built from one derivation \
+                  chain — sample_seed(root_seed, sample_index) for per-sample streams \
+                  and stratum_seed(root_seed, stratum_id, stratum_count) for the \
+                  per-stratum child sessions of the stratified combiner — so that \
+                  estimates are bit-identical at any thread count, at any \
+                  checkpoint/resume cut, and across the flat and stratified paths. \
+                  A direct StdRng::seed_from_u64 call inside sampling code (the \
+                  modules that define `sample_once` or `step_wave`) bypasses that \
+                  chain: two strata or two samples can end up on correlated streams, \
+                  and a refactor of the ad-hoc seed expression changes every \
+                  committed reference number. The driver module, the one sanctioned \
+                  home of the derivation, is allowlisted; test modules are exempt \
+                  because fixture seeding does not feed the production chain.",
+        allowed_path_suffixes: &["crates/core/src/driver.rs"],
+        check: check_stray_seed_derivation,
+    },
+    Rule {
         id: "unsafe-block",
         summary: "`unsafe` outside vendor/",
         hint: "rewrite in safe Rust; every workspace crate carries \
@@ -304,6 +327,42 @@ fn check_ambient_rng(tokens: &[Token]) -> Vec<RawFinding> {
     findings
 }
 
+fn check_stray_seed_derivation(tokens: &[Token]) -> Vec<RawFinding> {
+    // Gate: the hazard lives in the modules that draw estimator samples —
+    // recognizable by their `sample_once`/`step_wave` entry points. Other
+    // code (generators, fixtures, probes) seeds RNGs legitimately.
+    if !tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && (t.text == "sample_once" || t.text == "step_wave"))
+    {
+        return Vec::new();
+    }
+    // Everything from the first `#[cfg(test)]` on is fixture seeding; by
+    // workspace convention the test module is the tail of the file.
+    let test_boundary = (0..tokens.len())
+        .find(|&i| {
+            ident_at(tokens, i) == Some("cfg")
+                && punct_at(tokens, i + 1) == Some("(")
+                && ident_at(tokens, i + 2) == Some("test")
+        })
+        .unwrap_or(tokens.len());
+    let mut findings = Vec::new();
+    for i in 0..test_boundary {
+        if ident_at(tokens, i) == Some("StdRng")
+            && punct_at(tokens, i + 1) == Some("::")
+            && ident_at(tokens, i + 2) == Some("seed_from_u64")
+        {
+            findings.push(RawFinding {
+                rule: "stray-seed-derivation",
+                line: tokens[i].line,
+                message: "`StdRng::seed_from_u64` outside the blessed seed-derivation helpers"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
 fn check_unsafe_block(tokens: &[Token]) -> Vec<RawFinding> {
     tokens
         .iter()
@@ -466,6 +525,33 @@ mod tests {
         assert_eq!(run("ambient-rng", "let mut rng = thread_rng();").len(), 1);
         assert_eq!(run("ambient-rng", "let x: u8 = rand::random();").len(), 1);
         assert!(run("ambient-rng", "let rng = StdRng::seed_from_u64(seed);").is_empty());
+    }
+
+    #[test]
+    fn stray_seed_derivation_gates_on_sampling_modules() {
+        // No sample_once/step_wave in scope: inline seeding is fine.
+        assert!(run(
+            "stray-seed-derivation",
+            "let rng = StdRng::seed_from_u64(seed);"
+        )
+        .is_empty());
+        // Inside a sampling module, an inline seed bypasses the derivation
+        // chain and is a finding.
+        let src = "fn sample_once() { let rng = StdRng::seed_from_u64(seed ^ 7); }";
+        assert_eq!(run("stray-seed-derivation", src).len(), 1);
+        // Fixture seeding after the test-module boundary is exempt.
+        let src_with_tests = "fn step_wave() {}\n\
+                              #[cfg(test)]\n\
+                              mod tests { fn f() { let r = StdRng::seed_from_u64(1); } }";
+        assert!(run("stray-seed-derivation", src_with_tests).is_empty());
+        // The driver module is the sanctioned home of the derivation.
+        let toks = lex(src).tokens;
+        let rule = rule_by_id("stray-seed-derivation").unwrap();
+        assert!(rule.check("crates/core/src/driver.rs", &toks).is_empty());
+        assert_eq!(
+            rule.check("crates/core/src/lr/estimator.rs", &toks).len(),
+            1
+        );
     }
 
     #[test]

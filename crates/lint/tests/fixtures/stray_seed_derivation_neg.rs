@@ -1,0 +1,17 @@
+// Negative fixture: a sampling module that takes its RNG from the driver's
+// derivation chain, with fixture seeding confined to the test module.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_once<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+}

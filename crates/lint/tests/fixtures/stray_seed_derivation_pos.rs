@@ -1,0 +1,6 @@
+// Positive fixture: inline seeding inside a sampling module bypasses the
+// blessed sample_seed/stratum_seed derivation chain.
+fn sample_once(seed: u64, stratum: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed ^ stratum.wrapping_mul(7));
+    rng.gen()
+}

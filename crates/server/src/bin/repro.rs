@@ -45,7 +45,7 @@ use std::process::ExitCode;
 
 use lbs_bench::{
     all_experiment_ids,
-    report::{gate_against, run_speedup_probe},
+    report::{gate_against, run_speedup_probe, run_stratified_probe},
     run_experiment_threaded, BenchRecord, BenchReport, Scale, Scenario, ScenarioContext,
 };
 use lbs_server::{
@@ -538,6 +538,26 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+
+        // Stratified-estimation probe: the same COUNT workload estimated
+        // flat and through the stratified Horvitz-Thompson combiner at an
+        // equal query budget; records the measured variance ratio and a
+        // thread-count determinism check.
+        println!("Timing the stratified-estimation probe...");
+        let stratified = run_stratified_probe(options.scale, options.seed, probe_threads);
+        println!(
+            "  {} ({} strata, {} allocation): std error {:.3} vs flat {:.3} -> \
+             variance ratio {:.3} at budget {} (deterministic: {})\n",
+            stratified.partition,
+            stratified.count,
+            stratified.allocation,
+            stratified.stratified_std_error,
+            stratified.unstratified_std_error,
+            stratified.variance_ratio,
+            stratified.budget,
+            stratified.deterministic,
+        );
+        report.stratified = Some(stratified);
     }
 
     if options.threads != 1 {

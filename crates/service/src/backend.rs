@@ -103,6 +103,27 @@ impl<S: LbsBackend + ?Sized> LbsBackend for Box<S> {
     }
 }
 
+/// Shared-ownership backends compose too — this is what lets a stratified
+/// session hand every per-stratum child its own handle to one service (and
+/// one shared query ledger).
+impl<S: LbsBackend + ?Sized> LbsBackend for std::sync::Arc<S> {
+    fn query(&self, location: &Point) -> Result<QueryResponse, QueryError> {
+        (**self).query(location)
+    }
+
+    fn config(&self) -> &ServiceConfig {
+        (**self).config()
+    }
+
+    fn queries_issued(&self) -> u64 {
+        (**self).queries_issued()
+    }
+
+    fn bbox(&self) -> Rect {
+        (**self).bbox()
+    }
+}
+
 /// Decorator pausing after every burst of queries — the shape of a
 /// queries-per-minute API quota.
 ///
