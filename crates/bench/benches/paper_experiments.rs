@@ -79,9 +79,14 @@ fn table1_online(c: &mut Criterion) {
 /// Geometry-level microbench: the legacy clip-everything / slab-area
 /// construction versus the pruned engine on one representative candidate
 /// set (a dense cluster around the site plus far spread — the shape the
-/// explorer feeds it).
+/// explorer feeds it), plus the arena axis (warm reused scratch versus a
+/// fresh arena per build), the certificate axis (pruned versus unpruned
+/// engine), and the level-region constructions of the LNR path.
 fn cell_construction_legacy_vs_pruned(c: &mut Criterion) {
-    use lbs_geom::{sort_by_distance, top_k_cell, top_k_cell_pruned, Point, Rect};
+    use lbs_geom::{
+        level_region, level_region_pruned, sort_by_distance, top_k_cell, top_k_cell_pruned,
+        top_k_cell_pruned_with, ClipScratch, HalfPlane, Point, Rect,
+    };
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -115,6 +120,62 @@ fn cell_construction_legacy_vs_pruned(c: &mut Criterion) {
         group.bench_function(format!("top{k}_pruned"), |b| {
             b.iter(|| {
                 std::hint::black_box(top_k_cell_pruned(&site, &candidates, k, &bbox, true).0.area)
+            });
+        });
+        // The certificate axis: the same engine construction with the
+        // security-radius pruning disabled (every candidate clipped).
+        group.bench_function(format!("top{k}_unpruned"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    top_k_cell_pruned(&site, &candidates, k, &bbox, false)
+                        .0
+                        .area,
+                )
+            });
+        });
+        // The arena axis: one warm scratch reused across builds (the
+        // steady state of a History-owned arena) versus the fresh arena
+        // every `top_k_cell_pruned` call implies (the cold-cache cost).
+        group.bench_function(format!("top{k}_pruned_warm_scratch"), |b| {
+            let mut scratch = ClipScratch::new();
+            b.iter(|| {
+                std::hint::black_box(
+                    top_k_cell_pruned_with(&mut scratch, &site, &candidates, k, &bbox, true)
+                        .0
+                        .area,
+                )
+            });
+        });
+        group.bench_function(format!("top{k}_pruned_cold_scratch"), |b| {
+            b.iter(|| {
+                let mut scratch = ClipScratch::new();
+                std::hint::black_box(
+                    top_k_cell_pruned_with(&mut scratch, &site, &candidates, k, &bbox, true)
+                        .0
+                        .area,
+                )
+            });
+        });
+    }
+
+    // Level-region constructions (the LNR explorer's geometry): the legacy
+    // slab decomposition versus the pruned engine over the same
+    // half-plane set, anchored at the site the planes were learned around.
+    let halfplanes: Vec<HalfPlane> = candidates
+        .iter()
+        .filter_map(|o| HalfPlane::closer_to(&site, o))
+        .collect();
+    for k in [1usize, 2] {
+        group.bench_function(format!("level_region{k}_legacy"), |b| {
+            b.iter(|| std::hint::black_box(level_region(&halfplanes, k, &bbox).area));
+        });
+        group.bench_function(format!("level_region{k}_pruned"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    level_region_pruned(&halfplanes, &site, k, &bbox, true)
+                        .0
+                        .area,
+                )
             });
         });
     }

@@ -31,8 +31,8 @@ pub mod toml_lite;
 
 pub use experiments::{all_experiment_ids, run_experiment, run_experiment_threaded};
 pub use report::{
-    BenchRecord, BenchReport, CacheBenchReport, LoadtestBenchReport, SessionBenchReport,
-    SpeedupReport, StratifiedBenchReport,
+    BenchRecord, BenchReport, CacheBenchReport, HotPathBenchReport, LoadtestBenchReport,
+    SessionBenchReport, SpeedupReport, StratifiedBenchReport,
 };
 pub use result::{ExperimentResult, Row};
 pub use scale::Scale;

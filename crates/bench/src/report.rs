@@ -239,6 +239,160 @@ impl StratifiedBenchReport {
     }
 }
 
+/// Hot-path allocation smoke probe (`repro --alloc-smoke`).
+///
+/// Builds the same batch of pruned top-k cells twice through
+/// [`lbs_geom::top_k_cell_pruned_with`] — once with a fresh
+/// [`lbs_geom::ClipScratch`] arena per cell (cold), once with a single arena
+/// reused across the batch (warm, measured after one unrecorded warm-up
+/// pass) — and counts global-allocator round-trips in each phase. Warm
+/// builds must allocate nothing beyond the returned cell's own storage;
+/// [`HOT_PATH_ALLOC_BUDGET`] is the committed ceiling.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HotPathBenchReport {
+    /// What was measured.
+    pub probe: String,
+    /// Cells built per phase.
+    pub cells: u64,
+    /// `true` when a counting global allocator was observed (a canary
+    /// allocation advanced the counter); `false` means the probe ran in a
+    /// binary without one and the numbers are all zero.
+    pub counted: bool,
+    /// Allocations per cell with a fresh arena per build.
+    pub cold_allocs_per_cell: f64,
+    /// Allocations per cell with one arena reused across the batch
+    /// (steady state — this is the gated number).
+    pub warm_allocs_per_cell: f64,
+    /// The committed ceiling the warm number is gated against.
+    pub budget_allocs_per_cell: f64,
+}
+
+/// Committed steady-state ceiling for [`HotPathBenchReport`]: allocations
+/// per warm-arena cell build. The floor is the returned `TopKCell`'s own
+/// storage — allocations that escape the call and cannot be pooled —
+/// measured at exactly 1.0 per top-2 cell (against 6.0 cold, where every
+/// build also pays the arena's own growth). The headroom up to 4 covers
+/// richer results (deeper k carries a larger vertex vector and a convex
+/// hull). Everything the scratch arena is supposed to absorb (clip
+/// buffers, bisector lists, breakpoint vectors) sits *on top* of this
+/// number, so a leak of even one per-build buffer trips the gate.
+pub const HOT_PATH_ALLOC_BUDGET: f64 = 4.0;
+
+impl HotPathBenchReport {
+    /// The gate conditions of the alloc-smoke block: the counting allocator
+    /// must actually have been observed, and the warm (steady-state)
+    /// allocations per cell must stay within the committed budget.
+    pub fn violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if !self.counted {
+            violations.push(
+                "alloc-smoke probe: no counting allocator observed — the probe \
+                 must run inside the repro binary, which installs one"
+                    .to_string(),
+            );
+            return violations;
+        }
+        if self.warm_allocs_per_cell > self.budget_allocs_per_cell {
+            violations.push(format!(
+                "alloc-smoke probe: {:.2} allocations per warm-arena cell build \
+                 exceeds the committed budget {:.2} — a per-build allocation \
+                 crept back into the hot path",
+                self.warm_allocs_per_cell, self.budget_allocs_per_cell
+            ));
+        }
+        if self.warm_allocs_per_cell > self.cold_allocs_per_cell {
+            violations.push(format!(
+                "alloc-smoke probe: warm builds allocate more than cold builds \
+                 ({:.2} > {:.2} per cell) — the scratch arena is not being reused",
+                self.warm_allocs_per_cell, self.cold_allocs_per_cell
+            ));
+        }
+        violations
+    }
+}
+
+/// Runs the hot-path allocation smoke probe. `alloc_count` reads the
+/// process-wide allocation counter (the repro binary passes its counting
+/// `#[global_allocator]`'s count; a plain test binary can pass a constant
+/// closure and will get `counted: false` back).
+pub fn run_hot_path_probe(
+    scale: Scale,
+    seed: u64,
+    alloc_count: &dyn Fn() -> u64,
+) -> HotPathBenchReport {
+    use lbs_geom::{sort_by_distance, top_k_cell_pruned_with, ClipScratch, Point};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Canary: prove the counter actually moves when the heap is used.
+    let before_canary = alloc_count();
+    let canary = std::hint::black_box(vec![0u8; 64]);
+    let counted = alloc_count() > before_canary;
+    drop(canary);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = lbs_data::ScenarioBuilder::usa_pois(scale.poi_count()).build(&mut rng);
+    let region = dataset.bbox();
+    let points: Vec<Point> = dataset.tuples().iter().map(|t| t.location).collect();
+
+    let cells = 200usize.min(points.len());
+    let neighbor_limit = 64usize;
+    // Per-site ascending candidate lists, prepared outside the measured
+    // phases so only the construction itself is counted.
+    let site_views: Vec<(Point, Vec<Point>)> = points[..cells]
+        .iter()
+        .map(|site| {
+            let mut others: Vec<Point> = points
+                .iter()
+                .copied()
+                .filter(|p| !p.approx_eq(site))
+                .collect();
+            sort_by_distance(site, &mut others);
+            others.truncate(neighbor_limit);
+            (*site, others)
+        })
+        .collect();
+
+    let build_all = |scratch_per_cell: bool, scratch: &mut ClipScratch| {
+        let mut area_sum = 0.0;
+        for (site, others) in &site_views {
+            let mut fresh = ClipScratch::new();
+            let arena = if scratch_per_cell {
+                &mut fresh
+            } else {
+                &mut *scratch
+            };
+            let (cell, _) = top_k_cell_pruned_with(arena, site, others, 2, &region, true);
+            area_sum += cell.area;
+        }
+        std::hint::black_box(area_sum)
+    };
+
+    let mut scratch = ClipScratch::new();
+    // Cold phase: a fresh arena per cell pays the arena's own growth every
+    // build.
+    let cold_before = alloc_count();
+    build_all(true, &mut scratch);
+    let cold_allocs = alloc_count() - cold_before;
+    // Warm-up pass: grow the shared arena to steady-state capacity off the
+    // record, then measure the warm phase.
+    build_all(false, &mut scratch);
+    let warm_before = alloc_count();
+    build_all(false, &mut scratch);
+    let warm_allocs = alloc_count() - warm_before;
+
+    HotPathBenchReport {
+        probe: format!(
+            "{cells} pruned top-2 cells over the USA dataset, {neighbor_limit} candidates each"
+        ),
+        cells: cells as u64,
+        counted,
+        cold_allocs_per_cell: cold_allocs as f64 / cells.max(1) as f64,
+        warm_allocs_per_cell: warm_allocs as f64 / cells.max(1) as f64,
+        budget_allocs_per_cell: HOT_PATH_ALLOC_BUDGET,
+    }
+}
+
 impl LoadtestBenchReport {
     /// The gate conditions of the loadtest block (shared between
     /// [`gate_against`] and the `repro loadtest` exit code):
@@ -302,6 +456,9 @@ pub struct BenchReport {
     /// Stratified-estimation probe (absent in reports written before the
     /// stratified combiner existed, and in scenario-mode runs).
     pub stratified: Option<StratifiedBenchReport>,
+    /// Hot-path allocation smoke probe (present only when the run was asked
+    /// for `--alloc-smoke`).
+    pub hot_path: Option<HotPathBenchReport>,
 }
 
 impl BenchReport {
@@ -318,6 +475,7 @@ impl BenchReport {
             cache: None,
             loadtest: None,
             stratified: None,
+            hot_path: None,
         }
     }
 
@@ -470,6 +628,9 @@ pub fn gate_against(fresh: &BenchReport, reference: &BenchReport) -> Vec<String>
     }
     if let Some(stratified) = &fresh.stratified {
         violations.extend(stratified.violations());
+    }
+    if let Some(hot_path) = &fresh.hot_path {
+        violations.extend(hot_path.violations());
     }
     violations
 }

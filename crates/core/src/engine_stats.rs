@@ -24,10 +24,23 @@ pub struct EngineReport {
     pub pruned: u64,
     /// Cell-cache lookups that replayed a stored exploration.
     pub cache_hits: u64,
+    /// Subset of `cache_hits` admitted by the prefix certificate: the stored
+    /// seed list was a proper prefix of the current one and every extra seed
+    /// was certified too far to have changed the stored exploration.
+    pub cache_prefix_hits: u64,
     /// Cell-cache lookups that fell through to a fresh exploration.
     pub cache_misses: u64,
+    /// Misses because no exploration of the site was stored at any `h`.
+    pub cache_miss_new_site: u64,
+    /// Misses because the site was stored, but only at other `h` levels.
+    pub cache_miss_other_h: u64,
+    /// Misses because the stored `(site, h)` entry's fingerprint no longer
+    /// matched (the history learned nearer tuples, or region/nearest drifted).
+    pub cache_miss_stale: u64,
     /// Adaptive-h volume-bound (λ_h) cache hits.
     pub lambda_hits: u64,
+    /// Subset of `lambda_hits` admitted by the prefix certificate.
+    pub lambda_prefix_hits: u64,
     /// Adaptive-h volume-bound (λ_h) cache misses.
     pub lambda_misses: u64,
     /// Queries re-issued while replaying a cached exploration (kept so the
@@ -45,8 +58,13 @@ impl EngineReport {
         self.clips += other.clips;
         self.pruned += other.pruned;
         self.cache_hits += other.cache_hits;
+        self.cache_prefix_hits += other.cache_prefix_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_miss_new_site += other.cache_miss_new_site;
+        self.cache_miss_other_h += other.cache_miss_other_h;
+        self.cache_miss_stale += other.cache_miss_stale;
         self.lambda_hits += other.lambda_hits;
+        self.lambda_prefix_hits += other.lambda_prefix_hits;
         self.lambda_misses += other.lambda_misses;
         self.replayed_queries += other.replayed_queries;
         self.mc_certified += other.mc_certified;
@@ -60,8 +78,23 @@ impl EngineReport {
             clips: self.clips.saturating_sub(earlier.clips),
             pruned: self.pruned.saturating_sub(earlier.pruned),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_prefix_hits: self
+                .cache_prefix_hits
+                .saturating_sub(earlier.cache_prefix_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_miss_new_site: self
+                .cache_miss_new_site
+                .saturating_sub(earlier.cache_miss_new_site),
+            cache_miss_other_h: self
+                .cache_miss_other_h
+                .saturating_sub(earlier.cache_miss_other_h),
+            cache_miss_stale: self
+                .cache_miss_stale
+                .saturating_sub(earlier.cache_miss_stale),
             lambda_hits: self.lambda_hits.saturating_sub(earlier.lambda_hits),
+            lambda_prefix_hits: self
+                .lambda_prefix_hits
+                .saturating_sub(earlier.lambda_prefix_hits),
             lambda_misses: self.lambda_misses.saturating_sub(earlier.lambda_misses),
             replayed_queries: self
                 .replayed_queries
@@ -169,8 +202,13 @@ mod tests {
             clips: 10,
             pruned: 20,
             cache_hits: 1,
+            cache_prefix_hits: 1,
             cache_misses: 2,
+            cache_miss_new_site: 1,
+            cache_miss_other_h: 1,
+            cache_miss_stale: 0,
             lambda_hits: 4,
+            lambda_prefix_hits: 2,
             lambda_misses: 5,
             replayed_queries: 6,
             mc_certified: 7,

@@ -14,7 +14,7 @@
 use std::collections::{HashMap, HashSet};
 
 use lbs_data::TupleId;
-use lbs_geom::{level_region_pruned, HalfPlane, LevelRegion, Point, Rect};
+use lbs_geom::{level_region_pruned_with, ClipScratch, HalfPlane, LevelRegion, Point, Rect};
 
 use crate::engine_stats::EngineReport;
 use lbs_service::QueryError;
@@ -71,12 +71,31 @@ fn quantize(p: &Point) -> (i64, i64) {
 
 /// Explores the top-h cell of `target` through a rank-only oracle, starting
 /// from `seed` (a location whose top-h answer contains `target`).
+///
+/// Convenience wrapper over [`explore_cell_with`] with a private scratch
+/// arena; the estimator hot loop passes a reused one instead.
 pub fn explore_cell<S: lbs_service::LbsBackend + ?Sized>(
     oracle: &mut RankOracle<'_, S>,
     target: TupleId,
     seed: Point,
     bbox: &Rect,
     config: &LnrExploreConfig,
+) -> Result<LnrCellOutcome, QueryError> {
+    let mut scratch = ClipScratch::new();
+    explore_cell_with(oracle, target, seed, bbox, config, &mut scratch)
+}
+
+/// [`explore_cell`] with a caller-owned [`ClipScratch`], so the per-round
+/// level-region constructions reuse one set of buffers across the whole
+/// exploration (and, when the caller loops over samples, across samples).
+/// Bit-identical to the wrapper: the arena carries no state between builds.
+pub fn explore_cell_with<S: lbs_service::LbsBackend + ?Sized>(
+    oracle: &mut RankOracle<'_, S>,
+    target: TupleId,
+    seed: Point,
+    bbox: &Rect,
+    config: &LnrExploreConfig,
+    scratch: &mut ClipScratch,
 ) -> Result<LnrCellOutcome, QueryError> {
     let h = oracle.h();
     let mut halfplanes: Vec<HalfPlane> = Vec::new();
@@ -149,7 +168,7 @@ pub fn explore_cell<S: lbs_service::LbsBackend + ?Sized>(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        let (region, build) = level_region_pruned(&halfplanes, &seed, h, bbox, true);
+        let (region, build) = level_region_pruned_with(scratch, &halfplanes, &seed, h, bbox, true);
         engine.record_build(&build);
         let pending: Vec<Point> = region
             .vertices
@@ -272,7 +291,7 @@ pub fn explore_cell<S: lbs_service::LbsBackend + ?Sized>(
             continue;
         }
 
-        let (region, build) = level_region_pruned(&halfplanes, &seed, h, bbox, true);
+        let (region, build) = level_region_pruned_with(scratch, &halfplanes, &seed, h, bbox, true);
         engine.record_build(&build);
         return Ok(LnrCellOutcome {
             region,

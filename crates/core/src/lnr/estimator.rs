@@ -10,7 +10,7 @@
 
 use rand::Rng;
 
-use lbs_geom::{ConvexPolygon, Rect};
+use lbs_geom::{ClipScratch, ConvexPolygon, Rect};
 use lbs_service::{LbsBackend, QueryError, ReturnMode};
 
 use crate::agg::Aggregate;
@@ -21,7 +21,7 @@ use crate::sampling::QuerySampler;
 use crate::session::{LnrSession, SessionConfig};
 
 use super::binary_search::RankOracle;
-use super::cell::{explore_cell, LnrExploreConfig};
+use super::cell::{explore_cell_with, LnrExploreConfig};
 use super::locate::{infer_position, LocateConfig};
 
 /// Configuration of the LNR-LBS-AGG estimator.
@@ -157,6 +157,10 @@ impl LnrLbsAgg {
         let mut num_contrib = 0.0;
         let mut den_contrib = 0.0;
 
+        // One scratch arena for every exploration this sample performs; the
+        // buffers are reused across the per-tuple round loops below.
+        let mut scratch = ClipScratch::new();
+
         for returned in resp.results.iter().filter(|r| r.rank <= h) {
             // Ignore any location the service may have returned: this
             // estimator must work from ranks alone.
@@ -165,7 +169,14 @@ impl LnrLbsAgg {
                     || returned.location.is_none()
             );
             let mut oracle = RankOracle::new(service, h);
-            let cell = explore_cell(&mut oracle, returned.id, q, region, explore_config)?;
+            let cell = explore_cell_with(
+                &mut oracle,
+                returned.id,
+                q,
+                region,
+                explore_config,
+                &mut scratch,
+            )?;
             counters.add_report(&cell.engine);
 
             // Full-region base-design probability even under stratified

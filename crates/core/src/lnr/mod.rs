@@ -26,6 +26,6 @@ pub mod estimator;
 pub mod locate;
 
 pub use binary_search::{find_bisector, find_edge, EdgeEstimate, RankOracle};
-pub use cell::{explore_cell, LnrCellOutcome};
+pub use cell::{explore_cell, explore_cell_with, LnrCellOutcome};
 pub use estimator::{LnrLbsAgg, LnrLbsAggConfig};
 pub use locate::{infer_position, LocatedTuple};

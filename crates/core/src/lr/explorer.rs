@@ -20,9 +20,7 @@ use std::collections::{BTreeMap, HashSet};
 use rand::Rng;
 
 use lbs_data::TupleId;
-use lbs_geom::{
-    disk_covered_by_union, sort_by_distance, top_k_cell_pruned, Circle, Point, Rect, TopKCell,
-};
+use lbs_geom::{disk_covered_by_union, sort_by_distance, Circle, Point, Rect, TopKCell};
 use lbs_service::{LbsBackend, QueryError};
 
 use super::history::{CellCacheEntry, History};
@@ -203,7 +201,7 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
     };
 
     if config.use_cell_cache {
-        if let Some(entry) = history.cell_cache_get(site_id, h, region, &seeds, nearest) {
+        if let Some(entry) = history.cell_cache_get(site_id, &site, h, region, &seeds, nearest) {
             // Replay: issue the recorded queries so the service ledger, the
             // budget accounting and the history side-effects stay
             // bit-identical to a fresh exploration, then hand back the
@@ -255,6 +253,12 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
     let mut prev_volume = f64::INFINITY;
     let mut rounds = 0usize;
     let mut fakes: Vec<Point> = Vec::new();
+    // Largest site-to-vertex distance any round exhibits: the certificate
+    // radius stored with the finished entry (see the history module docs).
+    let mut cert_radius = 0.0_f64;
+    // Per-round workspaces, hoisted so the round loop reuses their capacity.
+    let mut others: Vec<Point> = Vec::new();
+    let mut pending: Vec<Point> = Vec::new();
 
     if config.use_fast_init && known.len() <= 1 {
         let half = config
@@ -270,7 +274,7 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
         // tuple re-discovered through a vertex query would otherwise appear
         // twice. Duplicates are harmless for h = 1 but double-count the
         // depth of top-h cells for h > 1, silently shrinking them.
-        let mut others: Vec<Point> = Vec::with_capacity(known.len());
+        others.clear();
         for (id, p) in known.iter() {
             if *id == site_id {
                 continue;
@@ -285,16 +289,19 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
         // Ascending distance order: what the pruned construction needs, and
         // deterministic regardless of the map iteration above.
         sort_by_distance(&site, &mut others);
-        let (cell, build) = top_k_cell_pruned(&site, &others, h, region, config.use_pruned_cells);
-        history.engine_mut().record_build(&build);
+        let cell = history.build_topk_cell(&site, &others, h, region, config.use_pruned_cells);
+        for v in cell.vertices.iter() {
+            cert_radius = cert_radius.max(v.distance(&site));
+        }
 
         // Which vertices still need testing?
-        let pending: Vec<Point> = cell
-            .vertices
-            .iter()
-            .copied()
-            .filter(|v| !queried.contains(&quantize(v)))
-            .collect();
+        pending.clear();
+        pending.extend(
+            cell.vertices
+                .iter()
+                .copied()
+                .filter(|v| !queried.contains(&quantize(v))),
+        );
 
         if pending.is_empty() && !use_fakes {
             // Theorem 1: every vertex of the cell computed from the known
@@ -309,6 +316,7 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
                         region: *region,
                         seeds,
                         nearest,
+                        cert_radius,
                         cell: cell.clone(),
                         queries: query_log,
                         rounds,
@@ -366,7 +374,7 @@ pub fn explore_cell<S: LbsBackend + ?Sized, R: Rng>(
 
         // Issue the pending vertex queries.
         let mut new_tuple_found = false;
-        for v in pending {
+        for &v in pending.iter() {
             queried.insert(quantize(&v));
             query_log.push(v);
             let resp = service.query(&v)?;

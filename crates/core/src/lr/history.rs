@@ -26,6 +26,31 @@
 //! how entries are invalidated; [`History::version`] is bumped on every
 //! genuinely new tuple as a cheap change signal for diagnostics and tests.
 //!
+//! ## The prefix certificate
+//!
+//! Requiring the seed list to match *exactly* turned out to discard almost
+//! every stored entry: the history keeps learning tuples, so by the time a
+//! sample lands on a cached site the neighbour list has usually grown — even
+//! though every newly learned tuple is so far away that it could not have
+//! touched the stored cell. The cache therefore also accepts a **certified
+//! prefix** match: the stored seeds must be a proper prefix of the current
+//! (ascending-distance) list, and every extra seed must lie farther than
+//! `2 · cert_radius + CERT_SLACK` from the site, where
+//! [`CellCacheEntry::cert_radius`] is the largest site-to-vertex distance any
+//! round of the stored exploration ever exhibited. That is exactly the
+//! security-radius certificate of [`lbs_geom::cell_engine`]: a fresh
+//! exploration seeded with those extra tuples would prune (or identity-clip)
+//! each of them in every round, reproducing the stored queries, cell and
+//! history side-effects bit for bit. Misses are classified into
+//! new-site / other-h / stale counters so `repro` can report *why* the cache
+//! missed, not just how often.
+//!
+//! The history also owns the [`ClipScratch`] arena threaded through every
+//! cell construction performed on its behalf ([`History::build_topk_cell`]),
+//! so the per-sample hot loop reuses one set of buffers instead of
+//! reallocating them per cell. The arena carries no state between builds
+//! (and `ClipScratch::clone` is empty), so forks stay bit-identical.
+//!
 //! The adaptive-h rule of §3.2.3 computes history-only volume bounds `λ_h`
 //! for every returned tuple of every sample; those are cached the same way
 //! (fingerprint = the neighbour list the bound was computed from) in a
@@ -49,7 +74,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lbs_data::TupleId;
-use lbs_geom::{sort_by_distance, Point, Rect, TopKCell};
+use lbs_geom::{
+    sort_by_distance, top_k_cell_pruned_with, ClipScratch, Point, Rect, TopKCell, CERT_SLACK,
+};
 
 use crate::engine_stats::EngineReport;
 use crate::stats::RunningStats;
@@ -66,6 +93,11 @@ pub struct CellCacheEntry {
     /// Nearest known distance at exploration start (drives the §3.2.1
     /// fast-initialization box; `None` when fast-init was disabled).
     pub nearest: Option<f64>,
+    /// Largest site-to-vertex distance any round of the exploration
+    /// exhibited. Seeds farther than `2 · cert_radius + CERT_SLACK` are
+    /// certified unable to alter the exploration (see the module docs), which
+    /// is what lets a grown seed list still hit this entry.
+    pub cert_radius: f64,
     /// The exact top-h cell the exploration produced.
     pub cell: TopKCell,
     /// Every vertex query the exploration issued, in order. Replayed on a
@@ -80,6 +112,9 @@ pub struct CellCacheEntry {
 struct LambdaEntry {
     region: Rect,
     seeds: Vec<Point>,
+    /// Largest site-to-vertex distance of the λ cell (the bound is a single
+    /// pruned construction, so one round's radius is the whole certificate).
+    cert_radius: f64,
     area: f64,
 }
 
@@ -96,6 +131,29 @@ pub struct History {
     cells: BTreeMap<(TupleId, usize), Arc<CellCacheEntry>>,
     lambdas: BTreeMap<(TupleId, usize), Arc<LambdaEntry>>,
     stats: EngineReport,
+    /// Reusable buffers for every cell construction performed through this
+    /// history ([`History::build_topk_cell`]). Plain workspace: carries no
+    /// state between builds, and its `Clone` is deliberately empty, so the
+    /// derived `History::clone` (checkpointing) stays cheap and forks stay
+    /// bit-identical to fresh-allocation runs.
+    scratch: ClipScratch,
+}
+
+/// `true` when `stored` is a non-empty proper prefix of `current` and every
+/// extra seed is certified too far from `site` to have participated in the
+/// stored construction: farther than `2 · cert_radius + CERT_SLACK`, the same
+/// security-radius test [`lbs_geom::cell_engine`] prunes candidates with.
+///
+/// The empty stored list is excluded because an exploration that started with
+/// *no* seeds enabled the §3.2.1 fake-corner round, which a seeded
+/// exploration skips — their query logs genuinely differ.
+fn prefix_certified(site: &Point, stored: &[Point], current: &[Point], cert_radius: f64) -> bool {
+    if stored.is_empty() || current.len() <= stored.len() || current[..stored.len()] != stored[..] {
+        return false;
+    }
+    current[stored.len()..]
+        .iter()
+        .all(|p| p.distance(site) > 2.0 * cert_radius + CERT_SLACK)
 }
 
 impl History {
@@ -174,29 +232,45 @@ impl History {
     }
 
     /// Looks up a cached exact exploration of `(site_id, h)` whose seed
-    /// fingerprint matches the current history state, counting the
-    /// hit or miss.
+    /// fingerprint matches the current history state — exactly, or up to
+    /// certified-far extra seeds (see [`prefix_certified`]) — counting the
+    /// hit or miss and, on a miss, its cause.
     pub(crate) fn cell_cache_get(
         &mut self,
         site_id: TupleId,
+        site: &Point,
         h: usize,
         region: &Rect,
         seeds: &[Point],
         nearest: Option<f64>,
     ) -> Option<Arc<CellCacheEntry>> {
-        let hit = self.cells.get(&(site_id, h)).filter(|entry| {
-            entry.region == *region && entry.seeds == seeds && entry.nearest == nearest
-        });
-        match hit {
-            Some(entry) => {
-                self.stats.cache_hits += 1;
-                Some(Arc::clone(entry))
+        if let Some(entry) = self.cells.get(&(site_id, h)) {
+            if entry.region == *region && entry.nearest == nearest {
+                if entry.seeds == seeds {
+                    self.stats.cache_hits += 1;
+                    return Some(Arc::clone(entry));
+                }
+                if prefix_certified(site, &entry.seeds, seeds, entry.cert_radius) {
+                    self.stats.cache_hits += 1;
+                    self.stats.cache_prefix_hits += 1;
+                    return Some(Arc::clone(entry));
+                }
             }
-            None => {
-                self.stats.cache_misses += 1;
-                None
-            }
+            self.stats.cache_misses += 1;
+            self.stats.cache_miss_stale += 1;
+            return None;
         }
+        self.stats.cache_misses += 1;
+        // Distinguish "never explored this site" from "explored it, but at a
+        // different h": the latter is a capacity/keying question, the former
+        // is an inevitable cold miss.
+        let mut levels = self.cells.range((site_id, 0)..=(site_id, usize::MAX));
+        if levels.next().is_some() {
+            self.stats.cache_miss_other_h += 1;
+        } else {
+            self.stats.cache_miss_new_site += 1;
+        }
+        None
     }
 
     /// Stores a finished exact exploration for later replay.
@@ -209,38 +283,41 @@ impl History {
         self.cells.len()
     }
 
-    /// Looks up a cached λ_h volume bound, counting the hit or miss.
+    /// Looks up a cached λ_h volume bound — exact seed match or certified
+    /// prefix, like [`History::cell_cache_get`] — counting the hit or miss.
     pub(crate) fn lambda_cache_get(
         &mut self,
         site_id: TupleId,
+        site: &Point,
         h: usize,
         region: &Rect,
         seeds: &[Point],
     ) -> Option<f64> {
-        let hit = self
-            .lambdas
-            .get(&(site_id, h))
-            .filter(|entry| entry.region == *region && entry.seeds == seeds)
-            .map(|entry| entry.area);
-        match hit {
-            Some(area) => {
-                self.stats.lambda_hits += 1;
-                Some(area)
-            }
-            None => {
-                self.stats.lambda_misses += 1;
-                None
+        if let Some(entry) = self.lambdas.get(&(site_id, h)) {
+            if entry.region == *region {
+                if entry.seeds == seeds {
+                    self.stats.lambda_hits += 1;
+                    return Some(entry.area);
+                }
+                if prefix_certified(site, &entry.seeds, seeds, entry.cert_radius) {
+                    self.stats.lambda_hits += 1;
+                    self.stats.lambda_prefix_hits += 1;
+                    return Some(entry.area);
+                }
             }
         }
+        self.stats.lambda_misses += 1;
+        None
     }
 
-    /// Stores a λ_h volume bound.
+    /// Stores a λ_h volume bound with its certificate radius.
     pub(crate) fn lambda_cache_put(
         &mut self,
         site_id: TupleId,
         h: usize,
         region: Rect,
         seeds: Vec<Point>,
+        cert_radius: f64,
         area: f64,
     ) {
         self.lambdas.insert(
@@ -248,9 +325,31 @@ impl History {
             Arc::new(LambdaEntry {
                 region,
                 seeds,
+                cert_radius,
                 area,
             }),
         );
+    }
+
+    /// Builds a top-h cell through the pruned engine using this history's
+    /// scratch arena and records the build counters.
+    ///
+    /// `ordered_others` must be in ascending distance from `site` (what
+    /// [`History::neighbors_of`] and [`lbs_geom::sort_by_distance`] produce).
+    /// Bit-identical to a fresh-allocation [`lbs_geom::top_k_cell_pruned`]
+    /// call; the arena only removes the per-build heap traffic.
+    pub fn build_topk_cell(
+        &mut self,
+        site: &Point,
+        ordered_others: &[Point],
+        h: usize,
+        region: &Rect,
+        prune: bool,
+    ) -> TopKCell {
+        let (cell, build) =
+            top_k_cell_pruned_with(&mut self.scratch, site, ordered_others, h, region, prune);
+        self.stats.record_build(&build);
+        cell
     }
 
     /// The engine counters accumulated on this history.
@@ -277,6 +376,9 @@ impl History {
             cells: self.cells.clone(),
             lambdas: self.lambdas.clone(),
             stats: EngineReport::default(),
+            // Each fork gets its own (cold) arena: warmed capacity must not
+            // cross thread boundaries, and the buffers hold no state anyway.
+            scratch: ClipScratch::new(),
         }
     }
 
@@ -436,6 +538,7 @@ mod tests {
     #[test]
     fn cell_cache_hits_only_on_matching_fingerprint() {
         let region = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let site = Point::new(5.0, 5.0);
         let mut h = History::new();
         let seeds = vec![Point::new(7.0, 5.0)];
         h.cell_cache_put(
@@ -445,6 +548,7 @@ mod tests {
                 region,
                 seeds: seeds.clone(),
                 nearest: Some(2.0),
+                cert_radius: 8.0,
                 cell: dummy_cell(&region),
                 queries: vec![Point::new(1.0, 1.0)],
                 rounds: 2,
@@ -453,33 +557,135 @@ mod tests {
         assert_eq!(h.cached_cells(), 1);
         // Exact fingerprint → hit.
         assert!(h
-            .cell_cache_get(42, 1, &region, &seeds, Some(2.0))
+            .cell_cache_get(42, &site, 1, &region, &seeds, Some(2.0))
             .is_some());
         // Any deviation → miss (stale entries are bypassed, not returned).
         assert!(h
-            .cell_cache_get(42, 2, &region, &seeds, Some(2.0))
+            .cell_cache_get(42, &site, 2, &region, &seeds, Some(2.0))
             .is_none());
-        assert!(h.cell_cache_get(42, 1, &region, &[], Some(2.0)).is_none());
-        assert!(h.cell_cache_get(42, 1, &region, &seeds, None).is_none());
+        assert!(h
+            .cell_cache_get(42, &site, 1, &region, &[], Some(2.0))
+            .is_none());
+        assert!(h
+            .cell_cache_get(42, &site, 1, &region, &seeds, None)
+            .is_none());
         let other = Rect::from_bounds(0.0, 0.0, 5.0, 5.0);
-        assert!(h.cell_cache_get(42, 1, &other, &seeds, Some(2.0)).is_none());
+        assert!(h
+            .cell_cache_get(42, &site, 1, &other, &seeds, Some(2.0))
+            .is_none());
         let report = h.engine_report();
         assert_eq!(report.cache_hits, 1);
         assert_eq!(report.cache_misses, 4);
+        // Cause breakdown: the h = 2 lookup found the site stored only at
+        // other levels; the three fingerprint deviations are stale.
+        assert_eq!(report.cache_miss_other_h, 1);
+        assert_eq!(report.cache_miss_stale, 3);
+        assert_eq!(report.cache_miss_new_site, 0);
+        assert_eq!(report.cache_prefix_hits, 0);
+    }
+
+    #[test]
+    fn cell_cache_miss_causes_distinguish_new_sites() {
+        let region = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let site = Point::new(5.0, 5.0);
+        let mut h = History::new();
+        assert!(h.cell_cache_get(99, &site, 1, &region, &[], None).is_none());
+        let report = h.engine_report();
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.cache_miss_new_site, 1);
+        assert_eq!(report.cache_miss_other_h + report.cache_miss_stale, 0);
+    }
+
+    #[test]
+    fn cell_cache_accepts_certified_prefix_extensions() {
+        let region = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let site = Point::new(5.0, 5.0);
+        let mut h = History::new();
+        let seeds = vec![Point::new(7.0, 5.0), Point::new(5.0, 9.0)];
+        h.cell_cache_put(
+            42,
+            1,
+            CellCacheEntry {
+                region,
+                seeds: seeds.clone(),
+                nearest: Some(2.0),
+                cert_radius: 10.0,
+                cell: dummy_cell(&region),
+                queries: vec![],
+                rounds: 1,
+            },
+        );
+        // Extra seed at distance 60 > 2 · 10 + slack: certified, still a hit.
+        let mut grown = seeds.clone();
+        grown.push(Point::new(65.0, 5.0));
+        assert!(h
+            .cell_cache_get(42, &site, 1, &region, &grown, Some(2.0))
+            .is_some());
+        // Extra seed at distance 15 < 2 · 10: could have touched the stored
+        // exploration — stale miss.
+        let mut near = seeds.clone();
+        near.push(Point::new(20.0, 5.0));
+        assert!(h
+            .cell_cache_get(42, &site, 1, &region, &near, Some(2.0))
+            .is_none());
+        // Reordered (not a prefix) → stale miss even if far.
+        let reordered = vec![seeds[1], seeds[0], Point::new(65.0, 5.0)];
+        assert!(h
+            .cell_cache_get(42, &site, 1, &region, &reordered, Some(2.0))
+            .is_none());
+        let report = h.engine_report();
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cache_prefix_hits, 1);
+        assert_eq!(report.cache_miss_stale, 2);
+    }
+
+    #[test]
+    fn cell_cache_empty_seed_entries_require_exact_match() {
+        // An exploration that started with no seeds ran the fake-corner
+        // round; a seeded lookup must never replay it, however far the seeds.
+        let region = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let site = Point::new(5.0, 5.0);
+        let mut h = History::new();
+        h.cell_cache_put(
+            42,
+            1,
+            CellCacheEntry {
+                region,
+                seeds: vec![],
+                nearest: None,
+                cert_radius: 1.0,
+                cell: dummy_cell(&region),
+                queries: vec![],
+                rounds: 1,
+            },
+        );
+        let far = vec![Point::new(95.0, 95.0)];
+        assert!(h
+            .cell_cache_get(42, &site, 1, &region, &far, None)
+            .is_none());
+        assert!(h.cell_cache_get(42, &site, 1, &region, &[], None).is_some());
     }
 
     #[test]
     fn lambda_cache_round_trip() {
         let region = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let site = Point::new(0.0, 0.0);
         let mut h = History::new();
         let seeds = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
-        assert!(h.lambda_cache_get(7, 2, &region, &seeds).is_none());
-        h.lambda_cache_put(7, 2, region, seeds.clone(), 12.5);
-        assert_eq!(h.lambda_cache_get(7, 2, &region, &seeds), Some(12.5));
-        // Seed drift invalidates.
-        assert!(h.lambda_cache_get(7, 2, &region, &seeds[..1]).is_none());
+        assert!(h.lambda_cache_get(7, &site, 2, &region, &seeds).is_none());
+        h.lambda_cache_put(7, 2, region, seeds.clone(), 3.0, 12.5);
+        assert_eq!(h.lambda_cache_get(7, &site, 2, &region, &seeds), Some(12.5));
+        // Seed shrink invalidates (stored is not a prefix of current).
+        assert!(h
+            .lambda_cache_get(7, &site, 2, &region, &seeds[..1])
+            .is_none());
+        // Certified-far extension still hits.
+        let mut grown = seeds.clone();
+        grown.push(Point::new(9.0, 9.0)); // distance ~12.7 > 2 · 3 + slack
+        assert_eq!(h.lambda_cache_get(7, &site, 2, &region, &grown), Some(12.5));
         let report = h.engine_report();
-        assert_eq!(report.lambda_hits, 1);
+        assert_eq!(report.lambda_hits, 2);
+        assert_eq!(report.lambda_prefix_hits, 1);
         assert_eq!(report.lambda_misses, 2);
     }
 
@@ -494,6 +700,7 @@ mod tests {
                 region,
                 seeds: vec![],
                 nearest: None,
+                cert_radius: 1.0,
                 cell: dummy_cell(&region),
                 queries: vec![],
                 rounds: 1,
@@ -511,6 +718,7 @@ mod tests {
                 region,
                 seeds: vec![],
                 nearest: None,
+                cert_radius: 1.0,
                 cell: dummy_cell(&region),
                 queries: vec![],
                 rounds: 1,

@@ -11,7 +11,7 @@
 //! be wasted.
 
 use lbs_data::TupleId;
-use lbs_geom::{top_k_cell_pruned, Point, Rect};
+use lbs_geom::{Point, Rect};
 
 use super::history::History;
 
@@ -89,22 +89,31 @@ impl HSelection {
                 // h downwards and stop at the first that fits.
                 for h in (2..=k).rev() {
                     let cached = if use_lambda_cache {
-                        history.lambda_cache_get(site_id, h, region, &neighbors)
+                        history.lambda_cache_get(site_id, site, h, region, &neighbors)
                     } else {
                         None
                     };
                     let lambda_h = match cached {
                         Some(area) => area,
                         None => {
-                            let (cell, build) =
-                                top_k_cell_pruned(site, &neighbors, h, region, true);
-                            history.engine_mut().record_build(&build);
+                            // prune = true is what makes the λ prefix
+                            // certificate sound: a certified-far extra seed is
+                            // cut off by the security radius before it can
+                            // participate, so the bound — and its bits — match
+                            // a recomputation over the grown list.
+                            let cell = history.build_topk_cell(site, &neighbors, h, region, true);
                             if use_lambda_cache {
+                                let cert_radius = cell
+                                    .vertices
+                                    .iter()
+                                    .map(|v| v.distance(site))
+                                    .fold(0.0_f64, f64::max);
                                 history.lambda_cache_put(
                                     site_id,
                                     h,
                                     *region,
                                     neighbors.clone(),
+                                    cert_radius,
                                     cell.area,
                                 );
                             }

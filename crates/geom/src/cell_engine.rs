@@ -44,23 +44,30 @@
 //! pruned-versus-full bit-equality possible. Both area computations agree to
 //! floating-point accuracy and are cross-validated in the tests.
 
-use crate::convex::ConvexPolygon;
+use crate::convex::{ccw_area, clip_into, ConvexPolygon};
 use crate::halfplane::HalfPlane;
 use crate::line::Line;
 use crate::point::Point;
 use crate::rect::Rect;
-use crate::topk_cell::{cell_vertices, depth, level_region_vertices, LevelRegion, TopKCell};
+use crate::scratch::ClipScratch;
+use crate::topk_cell::{
+    cell_vertices_into, depth, level_region_vertices_into, LevelRegion, TopKCell,
+};
 use crate::EPS;
 
 /// Absolute slack added to the security-radius comparison.
 ///
 /// The certificate proofs use strict inequalities whose margin must dominate
 /// the epsilon tolerances of the depth predicates (`1e-9` on distances) and
-/// the side-probe offset of [`boundary_level_area`] (`~1e-9` of the box
+/// the side-probe offset of `boundary_level_area` (`~1e-9` of the box
 /// diagonal); `1e-4` in coordinate units (ten centimetres, for the
 /// kilometre-scaled simulators) is far above that noise floor and far below
 /// any distance that matters to the estimators.
-const CERT_SLACK: f64 = 1e-4;
+///
+/// Public because the cell cache in `lbs-core` reuses the same certificate to
+/// prove that a candidate list *extended by certified-far tuples* reproduces a
+/// stored construction bit-for-bit; the two comparisons must share one slack.
+pub const CERT_SLACK: f64 = 1e-4;
 
 /// How one pruned construction went: the counters the estimators aggregate
 /// into their cache/clip reports.
@@ -122,14 +129,50 @@ pub fn top_k_cell_pruned(
     bbox: &Rect,
     prune: bool,
 ) -> (TopKCell, CellBuildStats) {
+    // Compatibility wrapper: stateless callers (the NNO baseline, tests,
+    // oracles) pay for a cold arena; the estimators thread a warm one
+    // through `top_k_cell_pruned_with`. An empty `ClipScratch` performs no
+    // allocation by itself, so this costs exactly what the buffers grow to.
+    let mut scratch = ClipScratch::new();
+    top_k_cell_pruned_with(&mut scratch, site, ordered_others, k, bbox, prune)
+}
+
+/// [`top_k_cell_pruned`] against caller-owned scratch buffers.
+///
+/// The hot-path entry point: with a warm `scratch` the construction performs
+/// **zero heap allocation** except for the returned cell's own vertex (and,
+/// for `k = 1`, polygon) storage. The output is bit-identical to the
+/// wrapper's — the scratch arena is cleared per use and carries no state
+/// between builds (asserted by the scratch-versus-fresh property suite).
+pub fn top_k_cell_pruned_with(
+    scratch: &mut ClipScratch,
+    site: &Point,
+    ordered_others: &[Point],
+    k: usize,
+    bbox: &Rect,
+    prune: bool,
+) -> (TopKCell, CellBuildStats) {
     assert!(k >= 1, "top_k_cell_pruned requires k >= 1");
     #[cfg(debug_assertions)]
     assert_ascending(site, ordered_others);
-    let others: Vec<Point> = ordered_others
-        .iter()
-        .copied()
-        .filter(|o| !o.approx_eq(site))
-        .collect();
+    let ClipScratch {
+        others,
+        poly_a,
+        poly_b,
+        dists,
+        lines,
+        verts,
+        ts,
+        distinct,
+        ..
+    } = scratch;
+    others.clear();
+    others.extend(
+        ordered_others
+            .iter()
+            .copied()
+            .filter(|o| !o.approx_eq(site)),
+    );
     let mut stats = CellBuildStats {
         candidates: others.len(),
         ..CellBuildStats::default()
@@ -142,6 +185,7 @@ pub fn top_k_cell_pruned(
                 site: *site,
                 k,
                 area: bbox.area(),
+                // lbs-lint: allow(hot-path-alloc, reason = "the returned cell owns its vertices; whole-box cells are rare")
                 vertices: convex.vertices().to_vec(),
                 bbox: *bbox,
                 convex: Some(convex),
@@ -151,8 +195,11 @@ pub fn top_k_cell_pruned(
     }
 
     if k == 1 {
-        let mut cell = ConvexPolygon::from_rect(bbox);
-        let mut r_max = max_distance(site, cell.vertices());
+        poly_a.clear();
+        poly_a.extend_from_slice(&bbox.corners());
+        let mut cur: &mut Vec<Point> = poly_a;
+        let mut spare: &mut Vec<Point> = poly_b;
+        let mut r_max = max_distance(site, cur);
         for (i, o) in others.iter().enumerate() {
             if prune && o.distance(site) > 2.0 * r_max + CERT_SLACK {
                 // Ascending order: this candidate and every later one is
@@ -162,20 +209,22 @@ pub fn top_k_cell_pruned(
                 break;
             }
             if let Some(hp) = HalfPlane::closer_to(site, o) {
-                cell = cell.clip(&hp);
+                clip_into(cur, &hp, dists, spare);
+                std::mem::swap(&mut cur, &mut spare);
                 stats.incorporated += 1;
-                if cell.is_empty() {
+                if cur.len() < 3 {
                     break;
                 }
-                r_max = max_distance(site, cell.vertices());
+                r_max = max_distance(site, cur);
             }
         }
+        let cell = ConvexPolygon::from_ccw_vertices(cur.clone());
         return (
             TopKCell {
                 site: *site,
                 k: 1,
                 area: cell.area(),
-                vertices: cell.vertices().to_vec(),
+                vertices: cur.clone(),
                 bbox: *bbox,
                 convex: Some(cell),
             },
@@ -188,45 +237,52 @@ pub fn top_k_cell_pruned(
     // the active set only.
     let n = others.len();
     let mut active_len = if prune { (2 * k).max(4).min(n) } else { n };
-    let (vertices, bisectors) = loop {
+    lines.clear();
+    let mut lines_built = 0usize;
+    loop {
         let active = &others[..active_len];
-        let bisectors: Vec<Line> = active
-            .iter()
-            .filter_map(|o| Line::bisector(site, o))
-            .collect();
-        let verts = cell_vertices(site, active, &bisectors, k, bbox);
+        // The bisector list only ever extends (the active set is a growing
+        // prefix), so build it incrementally: same order, same values, same
+        // bits as rebuilding from scratch each pass.
+        for o in &active[lines_built..] {
+            if let Some(b) = Line::bisector(site, o) {
+                lines.push(b);
+            }
+        }
+        lines_built = active_len;
+        cell_vertices_into(site, active, lines, k, bbox, verts);
         if active_len == n {
-            break (verts, bisectors);
+            break;
         }
         let r_max = if verts.is_empty() {
             bbox.diagonal()
         } else {
-            max_distance(site, &verts)
+            max_distance(site, verts)
         };
         if others[active_len].distance(site) > 2.0 * r_max + CERT_SLACK {
             // Ascending order: the next candidate and every later one is
             // certified away by the current (already exact) active cell.
             stats.security_radius = r_max;
-            break (verts, bisectors);
+            break;
         }
         // Geometric growth amortises the vertex recomputation: any
         // certified prefix produces the same bits, so overshooting only
         // trades a little pruning for fewer enumeration passes.
         active_len = (active_len + (active_len / 2).max(2)).min(n);
-    };
+    }
     stats.incorporated = active_len;
     stats.pruned = n - active_len;
 
     let active = &others[..active_len];
     let inside = |q: &Point| bbox.contains(q) && depth(site, active, q) < k;
-    let area = boundary_level_area(&bisectors, &inside, bbox);
+    let area = boundary_level_area(lines, &inside, bbox, ts, distinct);
 
     (
         TopKCell {
             site: *site,
             k,
             area,
-            vertices,
+            vertices: verts.clone(),
             bbox: *bbox,
             convex: None,
         },
@@ -252,7 +308,35 @@ pub fn level_region_pruned(
     bbox: &Rect,
     prune: bool,
 ) -> (LevelRegion, CellBuildStats) {
+    // Compatibility wrapper over a cold arena; see `top_k_cell_pruned`.
+    let mut scratch = ClipScratch::new();
+    level_region_pruned_with(&mut scratch, halfplanes, anchor, k, bbox, prune)
+}
+
+/// [`level_region_pruned`] against caller-owned scratch buffers.
+///
+/// The LNR hot-path entry point; the same zero-allocation and bit-identity
+/// guarantees as [`top_k_cell_pruned_with`].
+pub fn level_region_pruned_with(
+    scratch: &mut ClipScratch,
+    halfplanes: &[HalfPlane],
+    anchor: &Point,
+    k: usize,
+    bbox: &Rect,
+    prune: bool,
+) -> (LevelRegion, CellBuildStats) {
     assert!(k >= 1, "level_region_pruned requires k >= 1");
+    let ClipScratch {
+        planes,
+        poly_a,
+        poly_b,
+        dists,
+        lines,
+        verts,
+        ts,
+        distinct,
+        ..
+    } = scratch;
     let mut stats = CellBuildStats {
         candidates: halfplanes.len(),
         ..CellBuildStats::default()
@@ -262,6 +346,7 @@ pub fn level_region_pruned(
         return (
             LevelRegion {
                 area: bbox.area(),
+                // lbs-lint: allow(hot-path-alloc, reason = "the returned region owns its vertices; whole-box regions are rare")
                 vertices: ConvexPolygon::from_rect(bbox).vertices().to_vec(),
                 bbox: *bbox,
                 k,
@@ -283,18 +368,23 @@ pub fn level_region_pruned(
             -sd
         }
     };
-    let mut sorted: Vec<HalfPlane> = halfplanes.to_vec();
-    sorted.sort_by(|x, y| {
+    planes.clear();
+    planes.extend_from_slice(halfplanes);
+    planes.sort_by(|x, y| {
         key(x)
             .total_cmp(&key(y))
             .then(x.boundary.a.total_cmp(&y.boundary.a))
             .then(x.boundary.b.total_cmp(&y.boundary.b))
             .then(x.boundary.c.total_cmp(&y.boundary.c))
     });
+    let sorted = &*planes;
 
     if k == 1 {
-        let mut cell = ConvexPolygon::from_rect(bbox);
-        let mut r_max = max_distance(anchor, cell.vertices());
+        poly_a.clear();
+        poly_a.extend_from_slice(&bbox.corners());
+        let mut cur: &mut Vec<Point> = poly_a;
+        let mut spare: &mut Vec<Point> = poly_b;
+        let mut r_max = max_distance(anchor, cur);
         for (i, hp) in sorted.iter().enumerate() {
             let d = key(hp);
             if prune && d >= 0.0 && d > r_max + CERT_SLACK {
@@ -302,17 +392,18 @@ pub fn level_region_pruned(
                 stats.security_radius = r_max;
                 break;
             }
-            cell = cell.clip(hp);
+            clip_into(cur, hp, dists, spare);
+            std::mem::swap(&mut cur, &mut spare);
             stats.incorporated += 1;
-            if cell.is_empty() {
+            if cur.len() < 3 {
                 break;
             }
-            r_max = max_distance(anchor, cell.vertices());
+            r_max = max_distance(anchor, cur);
         }
         return (
             LevelRegion {
-                area: cell.area(),
-                vertices: cell.vertices().to_vec(),
+                area: ccw_area(cur),
+                vertices: cur.clone(),
                 bbox: *bbox,
                 k,
             },
@@ -322,36 +413,42 @@ pub fn level_region_pruned(
 
     let n = sorted.len();
     let mut active_len = if prune { (2 * k).max(4).min(n) } else { n };
-    let (vertices, lines) = loop {
+    lines.clear();
+    let mut lines_built = 0usize;
+    loop {
         let active = &sorted[..active_len];
-        let lines: Vec<Line> = active.iter().map(|hp| hp.boundary).collect();
-        let verts = level_region_vertices(active, &lines, k, bbox);
+        // Prefix-incremental, like the bisector list of the top-k path.
+        for hp in &active[lines_built..] {
+            lines.push(hp.boundary);
+        }
+        lines_built = active_len;
+        level_region_vertices_into(active, lines, k, bbox, verts);
         if active_len == n {
-            break (verts, lines);
+            break;
         }
         let r_max = if verts.is_empty() {
             bbox.diagonal()
         } else {
-            max_distance(anchor, &verts)
+            max_distance(anchor, verts)
         };
         let next = key(&sorted[active_len]);
         if next >= 0.0 && next > r_max + CERT_SLACK {
             stats.security_radius = r_max;
-            break (verts, lines);
+            break;
         }
         active_len = (active_len + (active_len / 2).max(2)).min(n);
-    };
+    }
     stats.incorporated = active_len;
     stats.pruned = n - active_len;
 
     let active = &sorted[..active_len];
     let inside = |q: &Point| bbox.contains(q) && crate::topk_cell::violation_depth(active, q) < k;
-    let area = boundary_level_area(&lines, &inside, bbox);
+    let area = boundary_level_area(lines, &inside, bbox, ts, distinct);
 
     (
         LevelRegion {
             area,
-            vertices,
+            vertices: verts.clone(),
             bbox: *bbox,
             k,
         },
@@ -377,14 +474,20 @@ pub fn level_region_pruned(
 /// strictly outside the security radius, hence strictly outside every
 /// boundary piece, so it only subdivides sub-segments that contribute zero
 /// either way.
-fn boundary_level_area(lines: &[Line], inside: &dyn Fn(&Point) -> bool, bbox: &Rect) -> f64 {
+fn boundary_level_area(
+    lines: &[Line],
+    inside: &dyn Fn(&Point) -> bool,
+    bbox: &Rect,
+    ts: &mut Vec<f64>,
+    distinct: &mut Vec<Line>,
+) -> f64 {
     let eps_off = bbox.diagonal().max(1.0) * 1e-9;
     let origin = bbox.center();
     let mut area = 0.0_f64;
 
     // Coincident duplicate lines (duplicate candidate tuples) must
     // contribute their boundary pieces once, not once per copy.
-    let mut distinct: Vec<Line> = Vec::with_capacity(lines.len());
+    distinct.clear();
     for line in lines {
         let duplicate = distinct.iter().any(|l| {
             (l.a - line.a).abs() <= 1e-12
@@ -409,7 +512,11 @@ fn boundary_level_area(lines: &[Line], inside: &dyn Fn(&Point) -> bool, bbox: &R
         let unit = dir / len;
         let normal = line.normal();
 
-        let mut ts: Vec<f64> = vec![0.0, len];
+        // Breakpoints along the chord, in the reused buffer (this was a
+        // fresh `vec![0.0, len]` per segment before the scratch arena).
+        ts.clear();
+        ts.push(0.0);
+        ts.push(len);
         for (j, other) in distinct.iter().enumerate() {
             if j == i {
                 continue;
@@ -459,8 +566,10 @@ fn boundary_level_area(lines: &[Line], inside: &dyn Fn(&Point) -> bool, bbox: &R
         let inward = Point::new(-unit.y, unit.x);
         let edge_line = Line::through(&ca, &cb).expect("box edges are non-degenerate");
 
-        let mut ts: Vec<f64> = vec![0.0, len];
-        for line in &distinct {
+        ts.clear();
+        ts.push(0.0);
+        ts.push(len);
+        for line in distinct.iter() {
             if let Some(p) = edge_line.intersection(line) {
                 let t = (p - ca).dot(&unit);
                 if t > 0.0 && t < len {

@@ -97,16 +97,7 @@ impl ConvexPolygon {
 
     /// Area of the polygon (shoelace formula; zero for degenerate polygons).
     pub fn area(&self) -> f64 {
-        if self.is_empty() {
-            return 0.0;
-        }
-        let mut twice = 0.0;
-        for i in 0..self.vertices.len() {
-            let a = self.vertices[i];
-            let b = self.vertices[(i + 1) % self.vertices.len()];
-            twice += a.cross(&b);
-        }
-        twice.abs() * 0.5
+        ccw_area(&self.vertices)
     }
 
     /// Centroid of the polygon. Returns the average of the vertices for
@@ -158,47 +149,15 @@ impl ConvexPolygon {
     ///
     /// This is the fundamental operation of the exact Voronoi cell
     /// construction: each discovered neighbour tuple shrinks the tentative
-    /// cell by one clip.
+    /// cell by one clip. Allocation-sensitive callers (the pruned cell
+    /// engine) use `clip_into` with reused buffers instead; this method is
+    /// a convenience wrapper around the same kernel and produces bit-equal
+    /// vertices.
     pub fn clip(&self, hp: &HalfPlane) -> ConvexPolygon {
-        if self.vertices.is_empty() {
-            return ConvexPolygon::empty();
-        }
-        let n = self.vertices.len();
-        let mut out: Vec<Point> = Vec::with_capacity(n + 1);
-        for i in 0..n {
-            let cur = self.vertices[i];
-            let next = self.vertices[(i + 1) % n];
-            let d_cur = hp.signed_distance(&cur);
-            let d_next = hp.signed_distance(&next);
-            let cur_in = d_cur <= EPS;
-            let next_in = d_next <= EPS;
-            if cur_in {
-                out.push(cur);
-            }
-            // Edge crosses the boundary: add the crossing point.
-            if (cur_in && !next_in) || (!cur_in && next_in) {
-                let denom = d_cur - d_next;
-                if denom.abs() > EPS {
-                    let t = d_cur / denom;
-                    out.push(cur.lerp(&next, t.clamp(0.0, 1.0)));
-                }
-            }
-        }
-        // Collapse consecutive (near-)duplicate vertices produced by clips
-        // that pass exactly through a vertex.
-        let mut dedup: Vec<Point> = Vec::with_capacity(out.len());
-        for p in out {
-            if dedup
-                .last()
-                .map_or(true, |last| !last.approx_eq_eps(&p, 1e-9))
-            {
-                dedup.push(p);
-            }
-        }
-        if dedup.len() >= 2 && dedup[0].approx_eq_eps(dedup.last().unwrap(), 1e-9) {
-            dedup.pop();
-        }
-        ConvexPolygon { vertices: dedup }
+        let mut dists: Vec<f64> = Vec::with_capacity(self.vertices.len());
+        let mut out: Vec<Point> = Vec::with_capacity(self.vertices.len() + 1);
+        clip_into(&self.vertices, hp, &mut dists, &mut out);
+        ConvexPolygon { vertices: out }
     }
 
     /// Clips the polygon by many half-planes in sequence.
@@ -257,6 +216,86 @@ impl ConvexPolygon {
             }
         }
         best
+    }
+}
+
+/// Shoelace area of a counter-clockwise vertex list (zero when degenerate).
+///
+/// Shared by [`ConvexPolygon::area`] and the scratch-based constructions of
+/// [`crate::cell_engine`], which hold their vertices in reused buffers and
+/// must not build a polygon just to measure it.
+pub(crate) fn ccw_area(vertices: &[Point]) -> f64 {
+    if vertices.len() < 3 {
+        return 0.0;
+    }
+    let mut twice = 0.0;
+    for i in 0..vertices.len() {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % vertices.len()];
+        twice += a.cross(&b);
+    }
+    twice.abs() * 0.5
+}
+
+/// The Sutherland–Hodgman clip kernel, writing the result into `out`.
+///
+/// `src` are the polygon vertices in counter-clockwise order; `dists` and
+/// `out` are caller-owned buffers (cleared here) so a warm caller performs no
+/// heap allocation. The routine is restructured for throughput but keeps the
+/// floating-point **operation order** of the historical per-edge loop, so its
+/// output is bit-identical to it:
+///
+/// * signed distances are evaluated once per vertex into the `dists` lane,
+///   two vertices at a time (the old loop recomputed each vertex's distance
+///   twice, as `d_cur` of one edge and `d_next` of the previous). The value
+///   is a pure function of the vertex, so memoizing it cannot change a bit.
+/// * the emit pass classifies each edge from the precomputed pair
+///   `(dists[i], dists[i+1])`; crossing points use the exact historical
+///   expression `cur.lerp(next, (d_cur / (d_cur - d_next)).clamp(0, 1))`.
+/// * consecutive (near-)duplicate vertices produced by clips through a
+///   vertex are collapsed in place, including the wrap-around pair.
+pub(crate) fn clip_into(src: &[Point], hp: &HalfPlane, dists: &mut Vec<f64>, out: &mut Vec<Point>) {
+    out.clear();
+    let n = src.len();
+    if n == 0 {
+        return;
+    }
+    dists.clear();
+    dists.reserve(n);
+    let mut pairs = src.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        // Two independent evaluations per iteration: the a*x + b*y - c lanes
+        // have no cross dependency, so the compiler can keep both in flight.
+        let d0 = hp.signed_distance(&pair[0]);
+        let d1 = hp.signed_distance(&pair[1]);
+        dists.push(d0);
+        dists.push(d1);
+    }
+    if let Some(p) = pairs.remainder().first() {
+        dists.push(hp.signed_distance(p));
+    }
+
+    for i in 0..n {
+        let j = if i + 1 == n { 0 } else { i + 1 };
+        let d_cur = dists[i];
+        let d_next = dists[j];
+        let cur_in = d_cur <= EPS;
+        let next_in = d_next <= EPS;
+        if cur_in {
+            out.push(src[i]);
+        }
+        // Edge crosses the boundary: add the crossing point.
+        if cur_in != next_in {
+            let denom = d_cur - d_next;
+            if denom.abs() > EPS {
+                let t = d_cur / denom;
+                out.push(src[i].lerp(&src[j], t.clamp(0.0, 1.0)));
+            }
+        }
+    }
+    out.dedup_by(|p, last| last.approx_eq_eps(p, 1e-9));
+    if out.len() >= 2 && out[0].approx_eq_eps(out.last().unwrap(), 1e-9) {
+        out.pop();
     }
 }
 

@@ -33,6 +33,7 @@
 //! | [`circle`] | circles/disks and exact disk-union coverage tests |
 //! | [`topk_cell`] | exact top-k Voronoi cells (vertices + area) |
 //! | [`cell_engine`] | pruned incremental cell construction with security-radius certificates |
+//! | [`scratch`] | reusable buffers making the cell constructions allocation-free |
 //! | [`voronoi`] | full Voronoi diagrams over a site set |
 //!
 //! ## Numerical conventions
@@ -54,10 +55,14 @@ pub mod line;
 pub mod point;
 pub mod polygon;
 pub mod rect;
+pub mod scratch;
 pub mod topk_cell;
 pub mod voronoi;
 
-pub use cell_engine::{level_region_pruned, sort_by_distance, top_k_cell_pruned, CellBuildStats};
+pub use cell_engine::{
+    level_region_pruned, level_region_pruned_with, sort_by_distance, top_k_cell_pruned,
+    top_k_cell_pruned_with, CellBuildStats, CERT_SLACK,
+};
 pub use circle::{disk_covered_by_union, Circle};
 pub use convex::ConvexPolygon;
 pub use halfplane::HalfPlane;
@@ -65,6 +70,7 @@ pub use line::{Line, Ray, Segment};
 pub use point::Point;
 pub use polygon::Polygon;
 pub use rect::Rect;
+pub use scratch::ClipScratch;
 pub use topk_cell::{level_region, top_k_cell, violation_depth, LevelRegion, TopKCell};
 pub use voronoi::{voronoi_diagram, VoronoiDiagram};
 

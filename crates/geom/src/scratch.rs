@@ -1,0 +1,93 @@
+//! Reusable scratch buffers for the cell-construction hot path.
+//!
+//! Every estimator sample funnels through the pruned cell engine
+//! ([`crate::cell_engine`]), and a single cell build touches dozens of
+//! short-lived vectors: the filtered candidate list, the ping-pong vertex
+//! buffers of the half-plane clip, the per-vertex signed distances, the
+//! bisector list, the vertex accumulator and the breakpoint buffers of the
+//! boundary-structure area. Allocating those afresh per cell (let alone per
+//! clip or per boundary segment) dominated the allocator profile; the
+//! [`ClipScratch`] arena owns all of them so that, once warm, the hot loop
+//! performs **zero heap allocation** beyond the result cell itself.
+//!
+//! ## Ownership and determinism
+//!
+//! A `ClipScratch` is plain reusable memory: it carries **no state between
+//! builds**. Every construction starts by clearing the buffers it uses, so
+//! the bits produced with a warm arena are identical to the bits produced
+//! with a fresh one — the property suite asserts this across random
+//! configurations, and the `repro --gate` bench gate enforces it end to end.
+//!
+//! The arena is owned per-`History` in `lbs-core` (hence per session and
+//! per stratum). `Clone` deliberately returns an **empty** arena: cloning a
+//! `History` (session fork, checkpoint restore) must not drag warmed
+//! capacity across thread boundaries, and the buffers' contents are
+//! meaningless outside the construction that filled them.
+
+use crate::halfplane::HalfPlane;
+use crate::line::Line;
+use crate::point::Point;
+
+/// Reusable buffers threaded through the pruned cell constructions.
+///
+/// See the [module docs](self) for ownership rules. Obtain one with
+/// [`ClipScratch::new`] (or `Default`) and pass it to
+/// [`crate::cell_engine::top_k_cell_pruned_with`] /
+/// [`crate::cell_engine::level_region_pruned_with`]; the buffers grow to the
+/// high-water mark of the workload and are reused thereafter.
+#[derive(Debug, Default)]
+pub struct ClipScratch {
+    /// Candidate points after dropping duplicates of the site.
+    pub(crate) others: Vec<Point>,
+    /// Ping-pong vertex buffer A of the half-plane clip.
+    pub(crate) poly_a: Vec<Point>,
+    /// Ping-pong vertex buffer B of the half-plane clip.
+    pub(crate) poly_b: Vec<Point>,
+    /// Per-vertex signed distances of the current clip plane.
+    pub(crate) dists: Vec<f64>,
+    /// Bisector / boundary lines of the active candidate prefix.
+    pub(crate) lines: Vec<Line>,
+    /// Sorted half-planes of the level-region construction.
+    pub(crate) planes: Vec<HalfPlane>,
+    /// Cell / region vertex accumulator.
+    pub(crate) verts: Vec<Point>,
+    /// Breakpoint parameters along one boundary chord or box edge.
+    pub(crate) ts: Vec<f64>,
+    /// Coincidence-deduplicated boundary lines.
+    pub(crate) distinct: Vec<Line>,
+}
+
+impl ClipScratch {
+    /// A fresh, empty arena. No allocation happens until the first build.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clone for ClipScratch {
+    /// Cloning yields an **empty** arena, not a copy of the buffers.
+    ///
+    /// The buffers are transient workspace whose contents are meaningless
+    /// between builds; a `History::fork` (which clones its scratch field)
+    /// must hand each thread its own arena rather than duplicate warmed
+    /// garbage.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_is_empty_regardless_of_warmth() {
+        let mut s = ClipScratch::new();
+        s.others.push(Point::new(1.0, 2.0));
+        s.ts.push(0.5);
+        let c = s.clone();
+        assert!(c.others.is_empty());
+        assert!(c.ts.is_empty());
+        assert_eq!(c.ts.capacity(), 0, "clone must not copy capacity either");
+    }
+}

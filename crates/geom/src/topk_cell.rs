@@ -96,6 +96,7 @@ pub fn top_k_cell(site: &Point, others: &[Point], k: usize, bbox: &Rect) -> TopK
         .iter()
         .copied()
         .filter(|o| !o.approx_eq(site))
+        // lbs-lint: allow(hot-path-alloc, reason = "legacy reference oracle; the pruned engine is the production sampling path")
         .collect();
 
     // With fewer than k other sites nothing can ever push `site` out of the
@@ -106,6 +107,7 @@ pub fn top_k_cell(site: &Point, others: &[Point], k: usize, bbox: &Rect) -> TopK
             site: *site,
             k,
             area: bbox.area(),
+            // lbs-lint: allow(hot-path-alloc, reason = "the returned cell owns its vertices; legacy oracle path, whole-box cells are rare")
             vertices: convex.vertices().to_vec(),
             bbox: *bbox,
             convex: Some(convex),
@@ -119,10 +121,13 @@ pub fn top_k_cell(site: &Point, others: &[Point], k: usize, bbox: &Rect) -> TopK
     let bisectors: Vec<Line> = others
         .iter()
         .filter_map(|o| Line::bisector(site, o))
+        // lbs-lint: allow(hot-path-alloc, reason = "legacy reference oracle; bisectors are computed once per call, not per clip")
         .collect();
 
     let area = level_set_area(site, &others, &bisectors, k, bbox);
-    let vertices = cell_vertices(site, &others, &bisectors, k, bbox);
+    // lbs-lint: allow(hot-path-alloc, reason = "the returned cell owns its vertices; legacy oracle path")
+    let mut vertices = Vec::new();
+    cell_vertices_into(site, &others, &bisectors, k, bbox, &mut vertices);
 
     TopKCell {
         site: *site,
@@ -150,6 +155,7 @@ fn top_1_cell(site: &Point, others: &[Point], bbox: &Rect) -> TopKCell {
         site: *site,
         k: 1,
         area: cell.area(),
+        // lbs-lint: allow(hot-path-alloc, reason = "the returned cell owns its vertices; legacy oracle path")
         vertices: cell.vertices().to_vec(),
         bbox: *bbox,
         convex: Some(cell),
@@ -171,6 +177,7 @@ fn level_set_area(
     k: usize,
     bbox: &Rect,
 ) -> f64 {
+    // lbs-lint: allow(hot-path-alloc, reason = "slab breakpoints are gathered once per legacy-oracle area call, not per slab")
     let mut xs: Vec<f64> = vec![bbox.min_x, bbox.max_x];
 
     let vertical_threshold = 1e-9;
@@ -207,6 +214,12 @@ fn level_set_area(
 
     let mut total_area = 0.0;
 
+    // One boundary buffer for every slab: the per-slab contents are cleared
+    // and rebuilt, but the backing storage is allocated once (this vec used
+    // to be rebuilt inside the slab loop).
+    // lbs-lint: allow(hot-path-alloc, reason = "one boundary buffer per legacy-oracle area call, reused across every slab")
+    let mut boundaries: Vec<SlabBoundary> = Vec::new();
+
     for w in xs.windows(2) {
         let (x1, x2) = (w[0], w[1]);
         let slab_width = x2 - x1;
@@ -219,24 +232,17 @@ fn level_set_area(
         // every non-vertical bisector whose y at the slab midpoint falls
         // strictly inside the box. Each boundary is either a constant or a
         // line, so its y at x1 and x2 is exact.
-        #[derive(Clone, Copy)]
-        struct Boundary {
-            y_mid: f64,
-            y_left: f64,
-            y_right: f64,
-        }
-        let mut boundaries: Vec<Boundary> = vec![
-            Boundary {
-                y_mid: bbox.min_y,
-                y_left: bbox.min_y,
-                y_right: bbox.min_y,
-            },
-            Boundary {
-                y_mid: bbox.max_y,
-                y_left: bbox.max_y,
-                y_right: bbox.max_y,
-            },
-        ];
+        boundaries.clear();
+        boundaries.push(SlabBoundary {
+            y_mid: bbox.min_y,
+            y_left: bbox.min_y,
+            y_right: bbox.min_y,
+        });
+        boundaries.push(SlabBoundary {
+            y_mid: bbox.max_y,
+            y_left: bbox.max_y,
+            y_right: bbox.max_y,
+        });
         for li in bisectors {
             if li.b.abs() <= vertical_threshold {
                 continue;
@@ -244,7 +250,7 @@ fn level_set_area(
             let y_at = |x: f64| (li.c - li.a * x) / li.b;
             let ym = y_at(xm);
             if ym > bbox.min_y && ym < bbox.max_y {
-                boundaries.push(Boundary {
+                boundaries.push(SlabBoundary {
                     y_mid: ym,
                     y_left: y_at(x1).clamp(bbox.min_y, bbox.max_y),
                     y_right: y_at(x2).clamp(bbox.min_y, bbox.max_y),
@@ -274,6 +280,17 @@ fn level_set_area(
     total_area
 }
 
+/// A constant-depth band boundary inside one vertical slab: a horizontal box
+/// edge or one non-vertical bisector, with its exact `y` at the slab's
+/// midpoint and both edges. Shared by [`level_set_area`] and
+/// [`slab_level_area`].
+#[derive(Clone, Copy)]
+struct SlabBoundary {
+    y_mid: f64,
+    y_left: f64,
+    y_right: f64,
+}
+
 /// Enumerates the vertices of the top-k cell boundary.
 ///
 /// A candidate vertex is either
@@ -287,14 +304,15 @@ fn level_set_area(
 /// * the crossing of one bisector with a box edge, which is a vertex iff the
 ///   depth just off the bisector is exactly `k − 1`, or
 /// * a box corner that lies inside the cell.
-pub(crate) fn cell_vertices(
+pub(crate) fn cell_vertices_into(
     site: &Point,
     others: &[Point],
     bisectors: &[Line],
     k: usize,
     bbox: &Rect,
-) -> Vec<Point> {
-    let mut verts: Vec<Point> = Vec::new();
+    verts: &mut Vec<Point>,
+) {
+    verts.clear();
 
     let strict_depth_excluding = |q: &Point, skip: &[usize]| -> usize {
         let d_site = site.distance_sq(q);
@@ -321,7 +339,7 @@ pub(crate) fn cell_vertices(
                 d == 0
             };
             if is_vertex {
-                push_unique(&mut verts, p);
+                push_unique(verts, p);
             }
         }
     }
@@ -340,7 +358,7 @@ pub(crate) fn cell_vertices(
             }
             let d = strict_depth_excluding(&p, &[i]);
             if d == k - 1 {
-                push_unique(&mut verts, p);
+                push_unique(verts, p);
             }
         }
     }
@@ -348,11 +366,9 @@ pub(crate) fn cell_vertices(
     // Box corners inside the cell.
     for corner in bbox.corners() {
         if depth(site, others, &corner) < k {
-            push_unique(&mut verts, corner);
+            push_unique(verts, corner);
         }
     }
-
-    verts
 }
 
 fn push_unique(verts: &mut Vec<Point>, p: Point) {
@@ -411,6 +427,7 @@ pub fn level_region(halfplanes: &[crate::HalfPlane], k: usize, bbox: &Rect) -> L
     if halfplanes.len() < k {
         return LevelRegion {
             area: bbox.area(),
+            // lbs-lint: allow(hot-path-alloc, reason = "the returned region owns its vertices; legacy oracle path, whole-box regions are rare")
             vertices: ConvexPolygon::from_rect(bbox).vertices().to_vec(),
             bbox: *bbox,
             k,
@@ -421,16 +438,20 @@ pub fn level_region(halfplanes: &[crate::HalfPlane], k: usize, bbox: &Rect) -> L
         let cell = ConvexPolygon::from_rect(bbox).clip_all(halfplanes.iter());
         return LevelRegion {
             area: cell.area(),
+            // lbs-lint: allow(hot-path-alloc, reason = "the returned region owns its vertices; legacy oracle path")
             vertices: cell.vertices().to_vec(),
             bbox: *bbox,
             k,
         };
     }
 
+    // lbs-lint: allow(hot-path-alloc, reason = "legacy reference oracle; boundary lines are computed once per call")
     let lines: Vec<Line> = halfplanes.iter().map(|hp| hp.boundary).collect();
     let depth = |q: &Point| violation_depth(halfplanes, q);
     let area = slab_level_area(&lines, &depth, k, bbox);
-    let vertices = level_region_vertices(halfplanes, &lines, k, bbox);
+    // lbs-lint: allow(hot-path-alloc, reason = "the returned region owns its vertices; legacy oracle path")
+    let mut vertices = Vec::new();
+    level_region_vertices_into(halfplanes, &lines, k, bbox, &mut vertices);
 
     LevelRegion {
         area,
@@ -442,17 +463,18 @@ pub fn level_region(halfplanes: &[crate::HalfPlane], k: usize, bbox: &Rect) -> L
 
 /// Enumerates the vertices of a level region of oriented half-planes.
 ///
-/// Mirrors [`cell_vertices`]: pairwise boundary-line intersections filtered
+/// Mirrors [`cell_vertices_into`]: pairwise boundary-line intersections filtered
 /// by the violation depth excluding the two lines meeting there, plus
 /// box-edge crossings and box corners. Shared by [`level_region`] and the
 /// pruned constructions in [`crate::cell_engine`].
-pub(crate) fn level_region_vertices(
+pub(crate) fn level_region_vertices_into(
     halfplanes: &[crate::HalfPlane],
     lines: &[Line],
     k: usize,
     bbox: &Rect,
-) -> Vec<Point> {
-    let mut vertices = Vec::new();
+    vertices: &mut Vec<Point>,
+) {
+    vertices.clear();
     let depth_excluding = |q: &Point, skip: &[usize]| -> usize {
         halfplanes
             .iter()
@@ -470,7 +492,7 @@ pub(crate) fn level_region_vertices(
             }
             let d = depth_excluding(&p, &[i, j]);
             if d == k - 1 || (k >= 2 && d == k - 2) {
-                push_unique(&mut vertices, p);
+                push_unique(vertices, p);
             }
         }
     }
@@ -483,22 +505,22 @@ pub(crate) fn level_region_vertices(
                 continue;
             }
             if depth_excluding(&p, &[i]) == k - 1 {
-                push_unique(&mut vertices, p);
+                push_unique(vertices, p);
             }
         }
     }
     for corner in bbox.corners() {
         if violation_depth(halfplanes, &corner) < k {
-            push_unique(&mut vertices, corner);
+            push_unique(vertices, corner);
         }
     }
-    vertices
 }
 
 /// Exact area of `{ q in bbox : depth(q) < k }` by vertical slab
 /// decomposition over the given boundary lines (shared by the site-based and
 /// half-plane-based level computations).
 fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bbox: &Rect) -> f64 {
+    // lbs-lint: allow(hot-path-alloc, reason = "slab breakpoints are gathered once per legacy-oracle area call, not per slab")
     let mut xs: Vec<f64> = vec![bbox.min_x, bbox.max_x];
     let vertical_threshold = 1e-9;
     for (i, li) in lines.iter().enumerate() {
@@ -526,6 +548,9 @@ fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bb
     xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
     let mut total_area = 0.0;
+    // Reused across slabs, exactly like `level_set_area`.
+    // lbs-lint: allow(hot-path-alloc, reason = "one boundary buffer per legacy-oracle area call, reused across every slab")
+    let mut boundaries: Vec<SlabBoundary> = Vec::new();
     for w in xs.windows(2) {
         let (x1, x2) = (w[0], w[1]);
         let slab_width = x2 - x1;
@@ -533,24 +558,17 @@ fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bb
             continue;
         }
         let xm = 0.5 * (x1 + x2);
-        #[derive(Clone, Copy)]
-        struct Boundary {
-            y_mid: f64,
-            y_left: f64,
-            y_right: f64,
-        }
-        let mut boundaries: Vec<Boundary> = vec![
-            Boundary {
-                y_mid: bbox.min_y,
-                y_left: bbox.min_y,
-                y_right: bbox.min_y,
-            },
-            Boundary {
-                y_mid: bbox.max_y,
-                y_left: bbox.max_y,
-                y_right: bbox.max_y,
-            },
-        ];
+        boundaries.clear();
+        boundaries.push(SlabBoundary {
+            y_mid: bbox.min_y,
+            y_left: bbox.min_y,
+            y_right: bbox.min_y,
+        });
+        boundaries.push(SlabBoundary {
+            y_mid: bbox.max_y,
+            y_left: bbox.max_y,
+            y_right: bbox.max_y,
+        });
         for li in lines {
             if li.b.abs() <= vertical_threshold {
                 continue;
@@ -558,7 +576,7 @@ fn slab_level_area(lines: &[Line], depth: &dyn Fn(&Point) -> usize, k: usize, bb
             let y_at = |x: f64| (li.c - li.a * x) / li.b;
             let ym = y_at(xm);
             if ym > bbox.min_y && ym < bbox.max_y {
-                boundaries.push(Boundary {
+                boundaries.push(SlabBoundary {
                     y_mid: ym,
                     y_left: y_at(x1).clamp(bbox.min_y, bbox.max_y),
                     y_right: y_at(x2).clamp(bbox.min_y, bbox.max_y),

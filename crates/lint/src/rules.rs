@@ -33,16 +33,30 @@ pub struct Rule {
     /// `ambient-time`. Everywhere else, exemptions must be inline
     /// annotations so they are visible, reasoned, and counted.
     pub allowed_path_suffixes: &'static [&'static str],
+    /// When non-empty, the rule applies **only** to files whose path ends
+    /// with one of these suffixes — the inverse of `allowed_path_suffixes`,
+    /// for rules that police a specific hot module (e.g. `hot-path-alloc`)
+    /// rather than the whole workspace.
+    pub only_path_suffixes: &'static [&'static str],
     check: fn(&[Token]) -> Vec<RawFinding>,
 }
 
 impl Rule {
-    /// Runs the rule over a token stream, honouring the path allowlist.
+    /// Runs the rule over a token stream, honouring the path allow- and
+    /// scope-lists.
     pub fn check(&self, rel_path: &str, tokens: &[Token]) -> Vec<RawFinding> {
         if self
             .allowed_path_suffixes
             .iter()
             .any(|suffix| rel_path.ends_with(suffix))
+        {
+            return Vec::new();
+        }
+        if !self.only_path_suffixes.is_empty()
+            && !self
+                .only_path_suffixes
+                .iter()
+                .any(|suffix| rel_path.ends_with(suffix))
         {
             return Vec::new();
         }
@@ -69,6 +83,7 @@ pub const RULES: &[Rule] = &[
                   a global property a token scanner cannot prove; membership-only caches \
                   are fine and should carry an inline allow stating that invariant.",
         allowed_path_suffixes: &[],
+        only_path_suffixes: &[],
         check: check_hashmap_iter,
     },
     Rule {
@@ -87,6 +102,7 @@ pub const RULES: &[Rule] = &[
                   `partial_cmp` call token; defining `fn partial_cmp` for a PartialOrd \
                   impl is not flagged (delegate it to an Ord impl built on total_cmp).",
         allowed_path_suffixes: &[],
+        only_path_suffixes: &[],
         check: check_float_ord,
     },
     Rule {
@@ -109,6 +125,7 @@ pub const RULES: &[Rule] = &[
             "crates/server/src/probe.rs",
             "crates/server/src/loadtest.rs",
         ],
+        only_path_suffixes: &[],
         check: check_ambient_time,
     },
     Rule {
@@ -126,6 +143,7 @@ pub const RULES: &[Rule] = &[
                   deliberately ships no entropy constructor; this rule keeps it that \
                   way when code is written against upstream rand docs.",
         allowed_path_suffixes: &[],
+        only_path_suffixes: &[],
         check: check_ambient_rng,
     },
     Rule {
@@ -149,6 +167,7 @@ pub const RULES: &[Rule] = &[
                   home of the derivation, is allowlisted; test modules are exempt \
                   because fixture seeding does not feed the production chain.",
         allowed_path_suffixes: &["crates/core/src/driver.rs"],
+        only_path_suffixes: &[],
         check: check_stray_seed_derivation,
     },
     Rule {
@@ -164,6 +183,7 @@ pub const RULES: &[Rule] = &[
                   does not see (fixtures, doc snippets compiled elsewhere, cfg'd-out \
                   modules) and survives someone deleting the attribute.",
         allowed_path_suffixes: &[],
+        only_path_suffixes: &[],
         check: check_unsafe_block,
     },
     Rule {
@@ -183,6 +203,7 @@ pub const RULES: &[Rule] = &[
                   enums, Vec, BTreeMap) are safe and should carry an inline allow \
                   naming the type.",
         allowed_path_suffixes: &[],
+        only_path_suffixes: &[],
         check: check_nondet_debug_fmt,
     },
     Rule {
@@ -203,7 +224,37 @@ pub const RULES: &[Rule] = &[
                   name CacheKey; the cache module itself, whose constructor is the one \
                   sanctioned home of the conversion, is allowlisted.",
         allowed_path_suffixes: &["crates/service/src/cache.rs"],
+        only_path_suffixes: &[],
         check: check_cache_key_float,
+    },
+    Rule {
+        id: "hot-path-alloc",
+        summary: "per-call heap allocation inside the cell-geometry hot modules",
+        hint: "reuse a ClipScratch buffer (clear + extend) instead of allocating per \
+               build; if the allocation escapes into the returned value or is \
+               provably outside the per-sample loop, annotate the line with \
+               // lbs-lint: allow(hot-path-alloc, reason = \"...\")",
+        explain: "Every estimator sample funnels through the pruned cell constructions \
+                  of crates/geom/src/cell_engine.rs and the enumerators of \
+                  crates/geom/src/topk_cell.rs; a single Vec::new, vec![…], .to_vec() \
+                  or .collect() in those loops turns into millions of allocator \
+                  round-trips per run — the exact regression class the ClipScratch \
+                  arena (crates/geom/src/scratch.rs) removed. The rule is scoped to \
+                  the two hot modules (only_path_suffixes) because allocation is \
+                  perfectly fine elsewhere; within them, every allocating idiom must \
+                  either go through the arena or carry a reasoned allow (result \
+                  ownership, cold setup path). Code after the #[cfg(test)] boundary \
+                  is exempt, as the test module is the tail of the file by workspace \
+                  convention. The counting-allocator smoke probe in the bench gate \
+                  (`repro --alloc-smoke`) enforces the same budget dynamically; this \
+                  rule catches offenders at review time, before they cost a bench \
+                  run.",
+        allowed_path_suffixes: &[],
+        only_path_suffixes: &[
+            "crates/geom/src/cell_engine.rs",
+            "crates/geom/src/topk_cell.rs",
+        ],
+        check: check_hot_path_alloc,
     },
 ];
 
@@ -337,15 +388,8 @@ fn check_stray_seed_derivation(tokens: &[Token]) -> Vec<RawFinding> {
     {
         return Vec::new();
     }
-    // Everything from the first `#[cfg(test)]` on is fixture seeding; by
-    // workspace convention the test module is the tail of the file.
-    let test_boundary = (0..tokens.len())
-        .find(|&i| {
-            ident_at(tokens, i) == Some("cfg")
-                && punct_at(tokens, i + 1) == Some("(")
-                && ident_at(tokens, i + 2) == Some("test")
-        })
-        .unwrap_or(tokens.len());
+    // Everything from the first `#[cfg(test)]` on is fixture seeding.
+    let test_boundary = cfg_test_boundary(tokens);
     let mut findings = Vec::new();
     for i in 0..test_boundary {
         if ident_at(tokens, i) == Some("StdRng")
@@ -471,6 +515,53 @@ fn check_cache_key_float(tokens: &[Token]) -> Vec<RawFinding> {
     findings
 }
 
+/// First token index of the `#[cfg(test)]` tail, or the stream length.
+/// By workspace convention the test module is the tail of the file, so
+/// everything after this boundary is fixture code.
+fn cfg_test_boundary(tokens: &[Token]) -> usize {
+    (0..tokens.len())
+        .find(|&i| {
+            ident_at(tokens, i) == Some("cfg")
+                && punct_at(tokens, i + 1) == Some("(")
+                && ident_at(tokens, i + 2) == Some("test")
+        })
+        .unwrap_or(tokens.len())
+}
+
+fn check_hot_path_alloc(tokens: &[Token]) -> Vec<RawFinding> {
+    let boundary = cfg_test_boundary(tokens);
+    let mut findings = Vec::new();
+    for i in 0..boundary {
+        let Some(id) = ident_at(tokens, i) else {
+            continue;
+        };
+        let message = match id {
+            "Vec"
+                if punct_at(tokens, i + 1) == Some("::")
+                    && ident_at(tokens, i + 2) == Some("new") =>
+            {
+                "`Vec::new()` allocates per call in a hot module".to_string()
+            }
+            "vec" if punct_at(tokens, i + 1) == Some("!") => {
+                "`vec![…]` allocates per call in a hot module".to_string()
+            }
+            "to_vec" if i > 0 && punct_at(tokens, i - 1) == Some(".") => {
+                "`.to_vec()` clones into a fresh allocation in a hot module".to_string()
+            }
+            "collect" if i > 0 && punct_at(tokens, i - 1) == Some(".") => {
+                "`.collect()` builds a fresh collection in a hot module".to_string()
+            }
+            _ => continue,
+        };
+        findings.push(RawFinding {
+            rule: "hot-path-alloc",
+            line: tokens[i].line,
+            message,
+        });
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +677,47 @@ mod tests {
                 .len(),
             3
         );
+    }
+
+    #[test]
+    fn hot_path_alloc_is_scoped_to_the_hot_modules() {
+        let src = "let mut v = Vec::new(); let w = vec![0.0, len]; \
+                   let a = xs.to_vec(); let b = ys.iter().collect();";
+        let toks = lex(src).tokens;
+        let rule = rule_by_id("hot-path-alloc").unwrap();
+        // All four allocating idioms fire inside a hot module...
+        assert_eq!(rule.check("crates/geom/src/cell_engine.rs", &toks).len(), 4);
+        assert_eq!(rule.check("crates/geom/src/topk_cell.rs", &toks).len(), 4);
+        // ... and none of them anywhere else.
+        assert!(rule.check("crates/geom/src/convex.rs", &toks).is_empty());
+        assert!(rule
+            .check("crates/core/src/lr/history.rs", &toks)
+            .is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_exempts_the_test_module_tail() {
+        let src = "fn hot() { buf.clear(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn f() { let v = vec![1, 2]; let w = Vec::new(); } }";
+        let toks = lex(src).tokens;
+        let rule = rule_by_id("hot-path-alloc").unwrap();
+        assert!(rule
+            .check("crates/geom/src/cell_engine.rs", &toks)
+            .is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_non_allocating_idioms() {
+        // Scratch reuse (clear/extend/push), Vec types in signatures, and
+        // turbofish-free iteration must not fire.
+        let src = "fn f(out: &mut Vec<Point>) { out.clear(); out.extend(src.iter().copied()); \
+                   out.push(p); let n: Vec<Point>; }";
+        let toks = lex(src).tokens;
+        let rule = rule_by_id("hot-path-alloc").unwrap();
+        assert!(rule
+            .check("crates/geom/src/cell_engine.rs", &toks)
+            .is_empty());
     }
 
     #[test]

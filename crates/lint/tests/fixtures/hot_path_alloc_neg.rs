@@ -1,0 +1,13 @@
+// Negative fixture: the scratch-arena idiom — buffers are cleared and
+// refilled in place, never reallocated per call, so the hot-path-alloc rule
+// stays silent even under the hot-module paths it is scoped to.
+fn clip_round_with(scratch: &mut ClipScratch, candidates: &[Point], len: usize) -> usize {
+    scratch.poly_a.clear();
+    scratch.poly_a.extend(candidates.iter().copied());
+    scratch.ts.clear();
+    scratch.ts.resize(len, 0.0);
+    for (slot, p) in scratch.ts.iter_mut().zip(scratch.poly_a.iter()) {
+        *slot = p.x;
+    }
+    scratch.poly_a.len()
+}

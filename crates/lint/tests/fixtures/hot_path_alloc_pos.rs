@@ -1,0 +1,11 @@
+// Positive fixture: per-call allocations in the cell-geometry hot path —
+// exactly four findings (Vec::new, vec![], .to_vec(), .collect()) when the
+// file is linted under one of the rule's hot-module paths.
+fn clip_round(candidates: &[Point], len: usize) -> Vec<Point> {
+    let mut poly: Vec<Point> = Vec::new();
+    let mut breakpoints = vec![0.0; len];
+    let snapshot = candidates.to_vec();
+    let distances: Vec<f64> = snapshot.iter().map(|p| p.x).collect();
+    breakpoints[0] = distances[0];
+    poly
+}

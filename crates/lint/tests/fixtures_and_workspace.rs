@@ -6,7 +6,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use lbs_lint::engine::{lint_source, lint_tree, to_json, LintReport, StaleKind};
-use lbs_lint::rules::RULES;
+use lbs_lint::rules::{Rule, RULES};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -15,20 +15,35 @@ fn fixture(name: &str) -> String {
     fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// Runs the linter over a fixture, returning (unsuppressed rule ids, counts).
-fn lint_fixture(name: &str) -> Vec<&'static str> {
+/// The path a fixture for `rule` must be linted under: the rule's first scope
+/// suffix for scoped rules (which fire nowhere else), a neutral path (so no
+/// rule path-allowlist applies) for the rest.
+fn scope_path(rule: &Rule, name: &str) -> String {
+    match rule.only_path_suffixes.first() {
+        Some(suffix) => (*suffix).to_string(),
+        None => format!("crates/x/src/{name}"),
+    }
+}
+
+/// Runs the linter over a fixture at a given path, returning unsuppressed
+/// rule ids.
+fn lint_fixture_at(path: &str, name: &str) -> Vec<&'static str> {
     let src = fixture(name);
-    // Fixtures are linted under a neutral path so no rule path-allowlist
-    // applies.
-    let (findings, _suppressed, _stale) = lint_source(&format!("crates/x/src/{name}"), &src);
+    let (findings, _suppressed, _stale) = lint_source(path, &src);
     findings.iter().map(|f| f.rule).collect()
+}
+
+/// Runs the linter over a fixture under a neutral path.
+fn lint_fixture(name: &str) -> Vec<&'static str> {
+    lint_fixture_at(&format!("crates/x/src/{name}"), name)
 }
 
 #[test]
 fn every_rule_has_a_positive_and_negative_fixture() {
     for rule in RULES {
         let stem = rule.id.replace('-', "_");
-        let pos = lint_fixture(&format!("{stem}_pos.rs"));
+        let pos_name = format!("{stem}_pos.rs");
+        let pos = lint_fixture_at(&scope_path(rule, &pos_name), &pos_name);
         assert!(
             pos.contains(&rule.id),
             "{}_pos.rs did not trigger `{}` (got {:?})",
@@ -36,7 +51,8 @@ fn every_rule_has_a_positive_and_negative_fixture() {
             rule.id,
             pos
         );
-        let neg = lint_fixture(&format!("{stem}_neg.rs"));
+        let neg_name = format!("{stem}_neg.rs");
+        let neg = lint_fixture_at(&scope_path(rule, &neg_name), &neg_name);
         assert!(
             !neg.contains(&rule.id),
             "{}_neg.rs triggered `{}`",
@@ -55,6 +71,10 @@ fn positive_fixtures_have_exact_finding_counts() {
     assert_eq!(lint_fixture("unsafe_block_pos.rs").len(), 1);
     assert_eq!(lint_fixture("nondet_debug_fmt_pos.rs").len(), 2);
     assert_eq!(lint_fixture("cache_key_float_pos.rs").len(), 3); // to_bits + from_bits + as u64
+    assert_eq!(
+        lint_fixture_at("crates/geom/src/cell_engine.rs", "hot_path_alloc_pos.rs").len(),
+        4 // Vec::new + vec![] + .to_vec() + .collect()
+    );
 }
 
 #[test]
@@ -63,7 +83,7 @@ fn negative_fixtures_are_completely_clean() {
         let stem = rule.id.replace('-', "_");
         let name = format!("{stem}_neg.rs");
         let src = fixture(&name);
-        let (findings, _, stale) = lint_source(&format!("crates/x/src/{name}"), &src);
+        let (findings, _, stale) = lint_source(&scope_path(rule, &name), &src);
         assert!(findings.is_empty(), "{name}: {findings:?}");
         assert!(stale.is_empty(), "{name}: {stale:?}");
     }
@@ -142,9 +162,13 @@ fn injected_fixture_hazard_fails_deny_mode() {
         let stem = rule.id.replace('-', "_");
         let src = fixture(&format!("{stem}_pos.rs"));
         // Lint the fixture as if it lived at a real (non-allowlisted)
-        // workspace path, and fold it into the clean report.
-        let (findings, _, stale) =
-            lint_source(&format!("crates/core/src/{stem}_injected.rs"), &src);
+        // workspace path — for scoped rules, the hot module they police —
+        // and fold it into the clean report.
+        let injected_path = match rule.only_path_suffixes.first() {
+            Some(suffix) => (*suffix).to_string(),
+            None => format!("crates/core/src/{stem}_injected.rs"),
+        };
+        let (findings, _, stale) = lint_source(&injected_path, &src);
         assert!(
             !findings.is_empty(),
             "injected {stem}_pos.rs produced no findings"

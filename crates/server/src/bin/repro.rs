@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--experiment <id>|all] [--scale tiny|small|paper] [--seed N]
 //!       [--threads N] [--out DIR]
-//!       [--scenario FILE]... [--scenario-dir DIR] [--smoke]
+//!       [--scenario FILE]... [--scenario-dir DIR] [--smoke] [--alloc-smoke]
 //! repro serve  [--addr 127.0.0.1:4157] [--threads N] [--seed N] [--smoke]
 //!              [--quota TENANT=LIMIT]...
 //! repro client --scenario FILE [--addr 127.0.0.1:4157] [--tenant NAME]
@@ -38,6 +38,13 @@
 
 #![forbid(unsafe_code)]
 
+/// Counting allocator for the `--alloc-smoke` gate: every run pays one
+/// relaxed atomic increment per heap allocation (noise next to the
+/// allocation itself) and in exchange the hot-path probe can prove the
+/// scratch arena keeps steady-state cell construction allocation-free.
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+
 use std::env;
 use std::fs;
 use std::path::PathBuf;
@@ -45,7 +52,7 @@ use std::process::ExitCode;
 
 use lbs_bench::{
     all_experiment_ids,
-    report::{gate_against, run_speedup_probe, run_stratified_probe},
+    report::{gate_against, run_hot_path_probe, run_speedup_probe, run_stratified_probe},
     run_experiment_threaded, BenchRecord, BenchReport, Scale, Scenario, ScenarioContext,
 };
 use lbs_server::{
@@ -63,6 +70,7 @@ struct Options {
     scenarios: Vec<PathBuf>,
     scenario_dir: Option<PathBuf>,
     smoke: bool,
+    alloc_smoke: bool,
 }
 
 struct ServeOptions {
@@ -227,6 +235,7 @@ fn parse_args() -> Result<Command, String> {
     let mut scenarios: Vec<PathBuf> = Vec::new();
     let mut scenario_dir: Option<PathBuf> = None;
     let mut smoke = false;
+    let mut alloc_smoke = false;
 
     let mut args = env::args().skip(1).peekable();
     match args.peek().map(String::as_str) {
@@ -287,6 +296,9 @@ fn parse_args() -> Result<Command, String> {
             "--smoke" => {
                 smoke = true;
             }
+            "--alloc-smoke" => {
+                alloc_smoke = true;
+            }
             "--help" | "-h" => {
                 return Ok(Command::Help);
             }
@@ -306,6 +318,7 @@ fn parse_args() -> Result<Command, String> {
         scenarios,
         scenario_dir,
         smoke,
+        alloc_smoke,
     }))
 }
 
@@ -329,6 +342,9 @@ fn usage() -> String {
          --scenario-dir D  run every .toml/.json scenario in a directory (sorted)\n\
          --smoke           shrink scenarios to a fast smoke sweep (micro scale /\n\
          \x20                 capped sizes and budgets)\n\
+         --alloc-smoke     run the hot-path allocation smoke probe under the\n\
+         \x20                 counting allocator and fail if steady-state\n\
+         \x20                 allocations per cell exceed the committed budget\n\
          serve             start the multi-tenant aggregate-serving HTTP front-end\n\
          client            submit a scenario to a running server, stream its anytime\n\
          \x20                 estimates, fetch the result; --check-batch verifies the\n\
@@ -558,6 +574,32 @@ fn main() -> ExitCode {
             stratified.deterministic,
         );
         report.stratified = Some(stratified);
+    }
+
+    if options.alloc_smoke {
+        // Hot-path allocation smoke: the same cell batch built with cold
+        // and warm scratch arenas under the counting global allocator; the
+        // warm (steady-state) allocations per cell are gated against the
+        // committed budget.
+        println!("Running the hot-path allocation smoke probe...");
+        let hot_path =
+            run_hot_path_probe(options.scale, options.seed, &|| ALLOC.allocation_count());
+        println!(
+            "  {}: cold {:.1} allocs/cell, warm {:.2} allocs/cell (budget {:.1}, counted: {})\n",
+            hot_path.probe,
+            hot_path.cold_allocs_per_cell,
+            hot_path.warm_allocs_per_cell,
+            hot_path.budget_allocs_per_cell,
+            hot_path.counted,
+        );
+        let violations = hot_path.violations();
+        report.hot_path = Some(hot_path);
+        if !violations.is_empty() {
+            for violation in &violations {
+                eprintln!("  - {violation}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
 
     if options.threads != 1 {

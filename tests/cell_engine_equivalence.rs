@@ -18,7 +18,10 @@
 use lbs::core::driver::SampleDriver;
 use lbs::core::{Aggregate, LrLbsAgg, LrLbsAggConfig};
 use lbs::data::ScenarioBuilder;
-use lbs::geom::{level_region, level_region_pruned, top_k_cell, top_k_cell_pruned};
+use lbs::geom::{
+    level_region, level_region_pruned, level_region_pruned_with, top_k_cell, top_k_cell_pruned,
+    top_k_cell_pruned_with, ClipScratch,
+};
 use lbs::geom::{sort_by_distance, HalfPlane, Point, Rect};
 use lbs::service::{ServiceConfig, SimulatedLbs};
 use rand::rngs::StdRng;
@@ -177,6 +180,57 @@ fn property_level_region_pruned_equals_full_and_matches_oracle() {
                 pruned.area,
                 oracle.area
             );
+        }
+    }
+}
+
+#[test]
+fn property_warm_scratch_equals_fresh_arena_bitwise() {
+    // The arena contract: a ClipScratch that has been through any number of
+    // prior builds (warm — buffers sized by whatever came before) must
+    // produce byte-identical cells, areas, vertex orders and build stats to
+    // a fresh arena, for both the top-k and the level-region constructions.
+    // One arena is deliberately reused across every case and k below, so
+    // each build runs on buffers warmed by a *different* configuration.
+    let mut rng = StdRng::seed_from_u64(0x5c4a_7c11);
+    let mut warm = ClipScratch::new();
+    for case in 0..60 {
+        let site = Point::new(rng.gen_range(5.0..95.0), rng.gen_range(5.0..95.0));
+        let candidates = random_candidates(&mut rng, &site);
+        let planes: Vec<HalfPlane> = candidates
+            .iter()
+            .filter_map(|o| HalfPlane::closer_to(&site, o))
+            .collect();
+        for k in 1..=3usize {
+            for prune in [true, false] {
+                let context = format!("case {case}, k={k}, prune={prune}");
+                let (warm_cell, warm_stats) =
+                    top_k_cell_pruned_with(&mut warm, &site, &candidates, k, &bbox(), prune);
+                let (fresh_cell, fresh_stats) =
+                    top_k_cell_pruned(&site, &candidates, k, &bbox(), prune);
+                assert_eq!(
+                    warm_cell.area.to_bits(),
+                    fresh_cell.area.to_bits(),
+                    "{context}: cell area bits differ"
+                );
+                assert_points_bitwise(&warm_cell.vertices, &fresh_cell.vertices, &context);
+                assert_eq!(warm_stats, fresh_stats, "{context}: build stats differ");
+
+                let (warm_region, warm_region_stats) =
+                    level_region_pruned_with(&mut warm, &planes, &site, k, &bbox(), prune);
+                let (fresh_region, fresh_region_stats) =
+                    level_region_pruned(&planes, &site, k, &bbox(), prune);
+                assert_eq!(
+                    warm_region.area.to_bits(),
+                    fresh_region.area.to_bits(),
+                    "{context}: level-region area bits differ"
+                );
+                assert_points_bitwise(&warm_region.vertices, &fresh_region.vertices, &context);
+                assert_eq!(
+                    warm_region_stats, fresh_region_stats,
+                    "{context}: region build stats differ"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,86 @@
+//! A counting wrapper around the system allocator.
+//!
+//! Install it as the `#[global_allocator]` of a binary and every heap
+//! allocation bumps a relaxed atomic counter. The workspace's `repro`
+//! binary uses it for the `--alloc-smoke` gate: build a batch of cells with
+//! a cold scratch arena, then a batch with the warm arena, and require the
+//! steady-state allocations-per-cell delta to stay within the committed
+//! budget. Deallocations and reallocations are deliberately not counted —
+//! the gate cares about allocator round-trips entered per cell, and `alloc`
+//! alone is a faithful, monotone proxy for that.
+//!
+//! The counter uses `Ordering::Relaxed`: it is telemetry read after the
+//! measured section completes on the same thread, never a synchronization
+//! edge, so the cheapest ordering is also a correct one.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts `alloc` calls.
+pub struct CountingAlloc {
+    count: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A new allocator with a zeroed counter (const, so it can be the
+    /// initializer of a `#[global_allocator]` static).
+    pub const fn new() -> Self {
+        CountingAlloc {
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `alloc`/`alloc_zeroed` calls served since process start.
+    pub fn allocation_count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves is still one allocator round-trip, not two;
+        // growth inside a reused scratch buffer amortizes to zero of them,
+        // which is exactly the signal the smoke gate wants to see.
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_alloc_calls() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            a.dealloc(p, layout);
+            let q = a.alloc_zeroed(layout);
+            assert!(!q.is_null());
+            a.dealloc(q, layout);
+        }
+        assert_eq!(a.allocation_count(), 2);
+    }
+}
